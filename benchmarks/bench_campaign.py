@@ -1,0 +1,63 @@
+"""Use-case bench (paper §I / §II "Use Case of Vaccines").
+
+Not a numbered table in the paper, but its central motivation: capturing one
+sample early and vaccinating the uninfected fleet caps the outbreak.  The
+bench sweeps campaign coverage and records the infection curves.
+"""
+
+import pytest
+
+from repro import AutoVac, VaccinePackage
+from repro.campaign import Fleet, simulate_outbreak
+from repro.corpus import build_family
+
+from benchutil import write_artifact
+
+FLEET = 16
+ROUNDS = 5
+
+
+@pytest.fixture(scope="module")
+def worm_package():
+    worm = build_family("conficker")
+    return worm, VaccinePackage(vaccines=AutoVac().analyze(worm).vaccines)
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_coverage_sweep(benchmark, worm_package):
+    worm, package = worm_package
+    lines = ["Vaccination-campaign sweep (Conficker-like worm, "
+             f"fleet={FLEET}, campaign at round 2)"]
+    finals = {}
+    for coverage in (0.0, 0.25, 0.5, 1.0):
+        result = simulate_outbreak(
+            worm, Fleet(FLEET, seed=11), rounds=ROUNDS,
+            vaccine_package=package if coverage else None,
+            vaccinate_at_round=2, coverage=coverage,
+        )
+        finals[coverage] = result.final_infection_rate
+        curve = " ".join(str(s.infected) for s in result.history)
+        lines.append(f"coverage={coverage:4.0%}: final={result.final_infection_rate:4.0%}  "
+                     f"curve: {curve}")
+    write_artifact("campaign.txt", "\n".join(lines) + "\n")
+
+    # Shape: more coverage, fewer infections; full coverage caps the outbreak
+    # at (roughly) its pre-campaign level.
+    assert finals[1.0] <= finals[0.5] <= finals[0.0]
+    assert finals[0.0] > 0.8
+    assert finals[1.0] < 0.5
+
+    benchmark(lambda: simulate_outbreak(
+        worm, Fleet(6, seed=1), rounds=2, vaccine_package=package,
+        vaccinate_at_round=1))
+
+
+def test_campaign_timing_matters(worm_package):
+    """Vaccinating earlier contains more — the 'quickly generate vaccines'
+    argument in the paper's use case."""
+    worm, package = worm_package
+    early = simulate_outbreak(worm, Fleet(FLEET, seed=4), rounds=ROUNDS,
+                              vaccine_package=package, vaccinate_at_round=1)
+    late = simulate_outbreak(worm, Fleet(FLEET, seed=4), rounds=ROUNDS,
+                             vaccine_package=package, vaccinate_at_round=4)
+    assert early.final_infection_rate <= late.final_infection_rate

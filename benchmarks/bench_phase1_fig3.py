@@ -1,0 +1,68 @@
+"""Phase-I statistics (§VI-B) and Figure 3 — resource-sensitive behaviours.
+
+Paper: 460,323 tracked API-call occurrences over 1,716 samples, of which
+80.3% can deviate execution; Figure 3 shows file accesses dominating
+(~37%), then registry (~20%), windows (~13%), process (~8%), mutex (~7%),
+library (~6.6%), service (~3.4%).
+"""
+
+import pytest
+
+from repro.core import select_candidates
+from repro.corpus import build_family
+
+from benchutil import write_artifact
+
+
+@pytest.mark.benchmark(group="phase1")
+def test_phase1_occurrence_stats(benchmark, population):
+    _, result = population
+    stats = result.occurrence_stats()
+    rate = stats["influential"] / max(stats["total"], 1)
+
+    write_artifact(
+        "phase1_stats.txt",
+        "Phase-I reproduction (paper: 460,323 occurrences, 80.3% influential)\n"
+        f"occurrences tracked: {stats['total']}\n"
+        f"influence control flow: {stats['influential']} ({rate:.1%})\n",
+    )
+    # Shape: the large majority of resource accesses are control-flow
+    # relevant (paper: 80.3%).
+    assert rate > 0.5
+    assert stats["total"] > 100
+
+    benchmark(lambda: select_candidates(build_family("zeus")))
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_resource_operation_mix(benchmark, population):
+    _, result = population
+    stats = result.resource_operation_stats()
+    totals = {rtype: sum(ops.values()) for rtype, ops in stats.items()}
+    grand = sum(totals.values())
+
+    lines = ["Figure 3 reproduction — resource-sensitive behaviour mix",
+             f"{'resource':10s}{'share':>8s}   operations"]
+    for rtype, total in sorted(totals.items(), key=lambda kv: -kv[1]):
+        ops = ", ".join(f"{op}={n}" for op, n in sorted(stats[rtype].items()))
+        lines.append(f"{rtype:10s}{100 * total / grand:7.1f}%   {ops}")
+    write_artifact("fig3.txt", "\n".join(lines) + "\n")
+
+    # Shape claims from the figure: files dominate; registry is a major
+    # secondary; mutex/service are minor but present.
+    assert totals["file"] == max(totals.values())
+    assert totals["registry"] >= totals.get("mutex", 0)
+    assert totals.get("mutex", 0) > 0
+    assert totals.get("service", 0) > 0
+
+    def count_stats():
+        return result.resource_operation_stats()
+
+    benchmark(count_stats)
+
+
+def test_fig3_operations_cover_create_read_write_delete(population):
+    _, result = population
+    stats = result.resource_operation_stats()
+    file_ops = set(stats["file"])
+    assert {"create", "read", "write"} <= file_ops

@@ -1,0 +1,83 @@
+"""Table III — zoom-in on representative vaccines.
+
+Paper rows include: PoisonIvy mutex ``!VoqA.I4`` (ops E, impact T);
+``%system32%\\twinrsdi.exe`` (C,R,W -> P,H); ``%system32%\\drivers\\*.sys``
+(impact K); Zeus mutex ``_AVIRA_2109`` (C,E,R -> P,H) and file
+``%system32%\\sdra64.exe`` (C,E,R,W -> T,P).
+"""
+
+import pytest
+
+from repro import AutoVac
+from repro.corpus import build_family
+from repro.winenv import Operation, ResourceType
+
+from benchutil import write_artifact
+
+_OP_SYMBOLS = {
+    Operation.CHECK: "E",
+    Operation.CREATE: "C",
+    Operation.READ: "R",
+    Operation.WRITE: "W",
+    Operation.DELETE: "D",
+    Operation.EXECUTE: "X",
+}
+
+_IMPACT_SYMBOLS = {
+    "full": "T",
+    "disable_kernel_injection": "K",
+    "disable_massive_network": "N",
+    "disable_persistence": "P",
+    "disable_process_injection": "H",
+}
+
+
+def _row(vaccine) -> str:
+    ops = ",".join(sorted(_OP_SYMBOLS[o] for o in vaccine.operations))
+    impact = _IMPACT_SYMBOLS[vaccine.immunization.value]
+    return (f"{vaccine.resource_type.value:9s} {ops:10s} {impact:6s} "
+            f"{vaccine.identifier:45s} {vaccine.malware}")
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_representative_vaccines(benchmark, family_analyses):
+    rows = []
+    for family, (program, analysis) in sorted(family_analyses.items()):
+        rows.extend(_row(v) for v in analysis.vaccines)
+    header = f"{'Type':9s} {'OperType':10s} {'Impact':6s} {'Identifier':45s} Sample"
+    write_artifact("table3.txt",
+                   "Table III reproduction — vaccine samples\n" + header + "\n"
+                   + "\n".join(rows) + "\n")
+    assert len(rows) >= 10  # the paper lists 10 representative vaccines
+
+    benchmark(lambda: AutoVac().analyze(build_family("poisonivy")))
+
+
+def test_table3_poisonivy_mutex_row(family_analyses):
+    _, analysis = family_analyses["poisonivy"]
+    mutex = next(v for v in analysis.vaccines if v.resource_type is ResourceType.MUTEX)
+    assert mutex.identifier == ")!VoqA.I4"
+    assert Operation.CHECK in mutex.operations  # E
+    assert mutex.immunization.value == "full"   # T
+
+
+def test_table3_ibank_dropper_row(family_analyses):
+    _, analysis = family_analyses["ibank"]
+    dropper = next(v for v in analysis.vaccines
+                   if v.identifier.endswith("twinrsdi.exe"))
+    assert Operation.CREATE in dropper.operations
+    assert Operation.WRITE in dropper.operations
+
+
+def test_table3_sys_driver_row(family_analyses):
+    _, analysis = family_analyses["sality"]
+    driver = next(v for v in analysis.vaccines if v.identifier.endswith(".sys"))
+    assert "drivers" in driver.identifier
+    assert driver.immunization.value == "disable_kernel_injection"  # K
+
+
+def test_table3_zeus_rows(family_analyses):
+    _, analysis = family_analyses["zeus"]
+    identifiers = {v.identifier for v in analysis.vaccines}
+    assert "c:\\windows\\system32\\sdra64.exe" in identifiers
+    assert "_AVIRA_2109" in identifiers

@@ -1,0 +1,60 @@
+"""Table IV — vaccine generation over the population.
+
+Paper: 536 vaccines for 210 of 1,716 samples; file row largest (238), then
+registry (115); Type-III (persistence) the largest partial column (251);
+373 static vs 163 algorithm-deterministic/partial-static identifiers.
+"""
+
+import pytest
+
+from repro import AutoVac
+from repro.corpus import build_family
+
+from benchutil import render_table, write_artifact
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_vaccine_generation(benchmark, population):
+    samples, result = population
+    table = result.count_by_resource_and_immunization()
+    write_artifact("table4.txt", render_table(
+        "Table IV reproduction — vaccines by resource x immunization", table))
+
+    totals = {rt: sum(row.values()) for rt, row in table.items()}
+    columns = {}
+    for row in table.values():
+        for col, n in row.items():
+            columns[col] = columns.get(col, 0) + n
+
+    # Row shape: file vaccines dominate, registry/mutex are major rows.
+    assert totals["file"] == max(totals.values())
+    assert totals.get("registry", 0) > 0 and totals.get("mutex", 0) > 0
+    # Column shape: both full and partial immunizations present; persistence
+    # is the largest partial class (paper: 251 of 536).
+    partial_cols = {c: n for c, n in columns.items() if c != "full"}
+    assert partial_cols
+    assert columns.get("disable_persistence", 0) == max(partial_cols.values())
+    # Yield shape: a minority of samples has vaccines (paper: 210/1716).
+    assert 0 < result.samples_with_vaccines < len(samples) * 0.6
+    # More vaccines than vaccinated samples (paper: 536 > 210).
+    assert len(result.vaccines) > result.samples_with_vaccines
+
+    benchmark(lambda: AutoVac().analyze(build_family("sality")))
+
+
+def test_table4_identifier_kind_split(population):
+    """Paper: 373 static vs 163 algorithm-deterministic or partial static."""
+    _, result = population
+    kinds = result.count_by_identifier_kind()
+    static = kinds.get("static", 0)
+    non_static = kinds.get("partial_static", 0) + kinds.get("algorithm_deterministic", 0)
+    write_artifact(
+        "table4_kinds.txt",
+        f"identifier kinds (paper: 373 static / 163 non-static)\n{kinds}\n",
+    )
+    assert static > non_static > 0
+
+
+def test_table4_no_non_deterministic_vaccines(population):
+    _, result = population
+    assert all(v.identifier_kind.value != "non_deterministic" for v in result.vaccines)

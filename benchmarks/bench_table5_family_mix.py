@@ -1,0 +1,68 @@
+"""Table V — vaccine statistics per malware family/category.
+
+Paper shape: file vaccines common across all families (Virus 81%,
+Downloader 45%); window vaccines suit adware (47%); mutex vaccines suit
+worms (29%) and backdoors; direct injection dominates delivery (63-84%) with
+only ~20-37% needing the daemon.
+"""
+
+import pytest
+
+from benchutil import render_table, write_artifact
+
+
+def _shares(row: dict) -> dict:
+    total = sum(row.values())
+    return {k: v / total for k, v in row.items()} if total else {}
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_resource_mix_per_category(benchmark, population):
+    _, result = population
+    table = result.count_by_resource_and_immunization()  # warm anything lazy
+    per_category = result.count_by_category_and_resource()
+    write_artifact("table5_upper.txt", render_table(
+        "Table V (upper) reproduction — vaccine type per category", per_category))
+
+    # File vaccines appear for (almost) every category and dominate overall.
+    overall = {}
+    for row in per_category.values():
+        for rtype, n in row.items():
+            overall[rtype] = overall.get(rtype, 0) + n
+    assert overall["file"] == max(overall.values())
+
+    # Virus samples (file infectors) are file-heavy, as in the paper (81%).
+    virus = _shares(per_category.get("virus", {}))
+    if virus:
+        assert virus.get("file", 0) >= max(virus.values()) - 1e-9
+
+    benchmark(result.count_by_category_and_resource)
+
+
+def test_table5_mutex_favours_worms_and_backdoors(population):
+    _, result = population
+    per_category = result.count_by_category_and_resource()
+    backdoor = _shares(per_category.get("backdoor", {}))
+    downloader = _shares(per_category.get("downloader", {}))
+    # Paper: mutex 8%/29% for backdoors/worms vs 2% for downloaders.  Worms
+    # are only ~6% of the corpus, so at bench scale we assert the claim on
+    # the high-population categories and on worms only when enough worm
+    # vaccines exist.
+    assert backdoor.get("mutex", 0) >= downloader.get("mutex", 0)
+    worm_row = per_category.get("worm", {})
+    if sum(worm_row.values()) >= 8:
+        worm = _shares(worm_row)
+        assert worm.get("mutex", 0) >= downloader.get("mutex", 0)
+
+
+def test_table5_delivery_split(population):
+    """Paper: direct injection 63-84% per category; daemon 16-37%."""
+    _, result = population
+    per_category = result.count_by_category_and_delivery()
+    write_artifact("table5_lower.txt", render_table(
+        "Table V (lower) reproduction — delivery per category", per_category))
+    total_direct = sum(row.get("direct_injection", 0) for row in per_category.values())
+    total_daemon = sum(row.get("daemon", 0) for row in per_category.values())
+    assert total_direct > total_daemon
+    share = total_daemon / max(total_direct + total_daemon, 1)
+    assert share < 0.45  # paper: 20-37% need the daemon

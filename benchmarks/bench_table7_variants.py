@@ -1,0 +1,93 @@
+"""Table VII — vaccine effectiveness on new variants of high-profile
+families.
+
+Paper: 17 vaccines over 6 families, tested on 5 fresh variants each; 70 of
+85 ideal (vaccine x variant) cases verified (82%); Conficker/Qakbot/IBank at
+100%, Zeus 77%, Sality 80%, PoisonIvy 67% (some variants renamed or dropped
+identifiers).
+"""
+
+import pytest
+
+from repro import SystemEnvironment, VaccinePackage, deploy
+from repro.core import run_sample
+from repro.corpus import TABLE_VII_EXPECTED, build_variant_set
+
+from benchutil import write_artifact
+
+VARIANTS = 5
+
+
+def _vaccine_effective(program, vaccine) -> bool:
+    """Does this vaccine measurably affect this variant?  Mirrors the paper's
+    manual verification via execution differences."""
+    clean = run_sample(program, record_instructions=False)
+    host = SystemEnvironment()
+    deploy(VaccinePackage(vaccines=[vaccine]), host)
+    vaccinated = run_sample(program, environment=host, record_instructions=False)
+    if vaccinated.trace.terminated and not clean.trace.terminated:
+        return True
+    return len(vaccinated.trace.api_calls) < len(clean.trace.api_calls)
+
+
+@pytest.fixture(scope="module")
+def variant_matrix(family_analyses):
+    """family -> (vaccine_count, verified, ideal)."""
+    outcome = {}
+    for family, (base, analysis) in family_analyses.items():
+        vs = build_variant_set(family, count=VARIANTS)
+        verified = 0
+        for variant in vs.variants:
+            for vaccine in analysis.vaccines:
+                if _vaccine_effective(variant, vaccine):
+                    verified += 1
+        ideal = len(analysis.vaccines) * VARIANTS
+        outcome[family] = (len(analysis.vaccines), verified, ideal)
+    return outcome
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_variant_effectiveness(benchmark, variant_matrix, family_analyses):
+    lines = ["Table VII reproduction — vaccines vs 5 new variants per family",
+             f"{'family':12s}{'vaccines':>9s}{'ideal':>7s}{'verified':>9s}{'ratio':>7s}{'paper':>7s}"]
+    total_ideal = total_verified = 0
+    for family, (n_vacc, verified, ideal) in sorted(variant_matrix.items()):
+        ratio = verified / ideal if ideal else 0.0
+        paper = TABLE_VII_EXPECTED[family]["ratio"]
+        lines.append(f"{family:12s}{n_vacc:9d}{ideal:7d}{verified:9d}{ratio:7.0%}{paper:7.0%}")
+        total_ideal += ideal
+        total_verified += verified
+    overall = total_verified / total_ideal
+    lines.append(f"{'TOTAL':12s}{'':9s}{total_ideal:7d}{total_verified:9d}{overall:7.0%}{0.82:7.0%}")
+    write_artifact("table7.txt", "\n".join(lines) + "\n")
+
+    # Shape: overall coverage is high but below 100% (paper: 82%).
+    assert 0.6 <= overall < 1.0
+    # Families whose variants keep their identifiers stay at 100%.
+    for family in ("conficker", "qakbot", "ibank"):
+        n, verified, ideal = variant_matrix[family]
+        assert verified == ideal, family
+    # Families with renamed identifiers fall short of 100%.
+    assert variant_matrix["zeus"][1] < variant_matrix["zeus"][2]
+    assert variant_matrix["poisonivy"][1] < variant_matrix["poisonivy"][2]
+
+    base, analysis = family_analyses["zeus"]
+    variant = build_variant_set("zeus", count=1).variants[0]
+    benchmark(lambda: _vaccine_effective(variant, analysis.vaccines[0]))
+
+
+def test_table7_combination_covers_gaps(family_analyses):
+    """Paper: 'even some may not be effective for all variants, the
+    combination of these vaccines can still achieve satisfiable results'."""
+    base, analysis = family_analyses["zeus"]
+    vs = build_variant_set("zeus", count=VARIANTS)
+    covered = 0
+    for variant in vs.variants:
+        host = SystemEnvironment()
+        deploy(VaccinePackage(vaccines=analysis.vaccines), host)
+        clean = run_sample(variant, record_instructions=False)
+        vaccinated = run_sample(variant, environment=host, record_instructions=False)
+        if (vaccinated.trace.terminated and not clean.trace.terminated) or \
+                len(vaccinated.trace.api_calls) < len(clean.trace.api_calls):
+            covered += 1
+    assert covered >= VARIANTS - 1  # the combined pack covers nearly all

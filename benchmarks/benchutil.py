@@ -1,0 +1,32 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+ARTIFACTS = Path(__file__).parent / "_artifacts"
+ARTIFACTS.mkdir(exist_ok=True)
+
+POPULATION_SIZE = int(os.environ.get("REPRO_POPULATION_SIZE", "240"))
+POPULATION_SEED = 42
+
+
+def write_artifact(name: str, text: str) -> None:
+    (ARTIFACTS / name).write_text(text)
+
+
+def render_table(title: str, table: dict, total_label: str = "total") -> str:
+    columns = sorted({c for row in table.values() for c in row})
+    lines = [title, "resource".ljust(12) + "".join(c[:18].rjust(20) for c in columns)
+             + total_label.rjust(8)]
+    col_totals = {c: 0 for c in columns}
+    for name in sorted(table):
+        row = table[name]
+        cells = "".join(str(row.get(c, 0)).rjust(20) for c in columns)
+        lines.append(name.ljust(12) + cells + str(sum(row.values())).rjust(8))
+        for c in columns:
+            col_totals[c] += row.get(c, 0)
+    lines.append("TOTAL".ljust(12) + "".join(str(col_totals[c]).rjust(20) for c in columns)
+                 + str(sum(col_totals.values())).rjust(8))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,41 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Heavy artifacts (the population pipeline run, the family analyses) are
+computed once per session; individual benches assert the paper's *shape*
+claims against them and use ``benchmark`` to time representative operations.
+Rendered tables land in ``benchmarks/_artifacts/`` (the numbers recorded in
+EXPERIMENTS.md regenerate from there).
+
+Scale knob: ``REPRO_POPULATION_SIZE`` (default 240; the paper used 1,716).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AutoVac
+from repro.corpus import GeneratorConfig, all_families, benign_suite, generate_population
+
+from benchutil import POPULATION_SEED, POPULATION_SIZE
+
+
+@pytest.fixture(scope="session")
+def population():
+    """(samples, PopulationResult) for the seeded corpus."""
+    samples = generate_population(
+        GeneratorConfig(size=POPULATION_SIZE, seed=POPULATION_SEED)
+    )
+    autovac = AutoVac()
+    result = autovac.analyze_population([s.program for s in samples])
+    return samples, result
+
+
+@pytest.fixture(scope="session")
+def family_analyses():
+    autovac = AutoVac()
+    return {p.metadata["family"]: (p, autovac.analyze(p)) for p in all_families()}
+
+
+@pytest.fixture(scope="session")
+def benign_programs():
+    return benign_suite()

@@ -1,0 +1,73 @@
+"""Immunize a fleet against a Conficker-like worm with a *slice* vaccine.
+
+The worm marks infected machines with a mutex derived from the computer name
+(algorithm-deterministic identifier).  A static vaccine cannot cover the
+fleet — every machine needs its own marker — so AUTOVAC extracts the
+name-generation program slice once, and each host's vaccine daemon replays it
+locally to compute and inject that machine's marker (paper §V, §VI-D).
+
+Run:  python examples/conficker_fleet.py
+"""
+
+from repro import AutoVac, MachineIdentity, SystemEnvironment, VaccinePackage, deploy
+from repro.core import IdentifierKind, run_sample
+from repro.corpus import build_family
+
+FLEET = [
+    "ACCOUNTING-01",
+    "ACCOUNTING-02",
+    "BUILD-SERVER",
+    "RECEPTION",
+    "LAB-WORKSTATION-WITH-LONG-NAME",
+    "DC01",
+    "KIOSK-7",
+    "DEV-BOX-ALICE",
+    "DEV-BOX-BOB",
+    "PRINT-SERVER-9",
+]
+
+
+def main() -> None:
+    worm = build_family("conficker")
+
+    # Analysis machine: extract the vaccines once.
+    analysis = AutoVac().analyze(worm)
+    slice_vaccines = [v for v in analysis.vaccines
+                      if v.identifier_kind is IdentifierKind.ALGORITHM_DETERMINISTIC]
+    assert slice_vaccines, "expected an algorithm-deterministic mutex vaccine"
+    vaccine = slice_vaccines[0]
+    print("extracted slice vaccine:")
+    print(f"  observed identifier on analysis box: {vaccine.identifier!r}")
+    print(f"  generation inputs: {', '.join(vaccine.slice.env_inputs)}")
+    print(f"  slice: {len(vaccine.slice)} recorded steps, "
+          f"re-execution needed: {vaccine.slice.requires_reexecution}")
+
+    package = VaccinePackage(vaccines=analysis.vaccines)
+
+    print(f"\nimmunizing a fleet of {len(FLEET)} machines:")
+    protected = 0
+    for i, name in enumerate(FLEET):
+        host = SystemEnvironment(identity=MachineIdentity(computer_name=name),
+                                 rng_seed=1000 + i)
+        deployment = deploy(package, host)
+        marker = next((m.name for m in host.mutexes if m.name.startswith("Global\\")), None)
+
+        # Attack each machine with the worm.
+        run = run_sample(worm, environment=host, record_instructions=False)
+        infected = run.environment.network.bytes_sent_by(run.process.pid) > 0
+        status = "PROTECTED" if run.trace.terminated and not infected else "INFECTED"
+        protected += status == "PROTECTED"
+        print(f"  {name:34s} marker={marker!r:44} -> {status}")
+
+    print(f"\n{protected}/{len(FLEET)} machines immune")
+    assert protected == len(FLEET)
+
+    # Control: an unvaccinated machine does get infected.
+    victim = SystemEnvironment(identity=MachineIdentity(computer_name="UNPROTECTED"))
+    run = run_sample(worm, environment=victim, record_instructions=False)
+    print(f"control (no vaccine): exit={run.trace.exit_status}, "
+          f"scan traffic={run.environment.network.bytes_sent_by(run.process.pid)} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Vaccine daemon (partial-static regex interception) and the clinic test.
+
+A Qakbot-like sample names its single-instance mutex ``qbot-<random>-lk``: no
+static name can be pre-created, but the skeleton is stable, so the vaccine is
+a regex the daemon matches at API-interception time (paper §V "identifying
+resource name represented using regular expressions").  Before shipping, the
+clinic test (§IV-D) checks the whole package against benign software.
+
+Run:  python examples/daemon_and_clinic.py
+"""
+
+from repro import AutoVac, SystemEnvironment, VaccinePackage, deploy
+from repro.core import IdentifierKind, Immunization, Mechanism, Vaccine, clinic_test, run_sample
+from repro.corpus import benign_suite, build_family
+from repro.winenv import ResourceType
+
+
+def main() -> None:
+    qakbot = build_family("qakbot")
+    analysis = AutoVac().analyze(qakbot)
+
+    partial = [v for v in analysis.vaccines
+               if v.identifier_kind is IdentifierKind.PARTIAL_STATIC]
+    print("qakbot vaccines:")
+    for vaccine in analysis.vaccines:
+        print(f"  - {vaccine.describe()}")
+        if vaccine.pattern:
+            print(f"      regex: {vaccine.pattern}")
+
+    # Clinic test: does the package interfere with benign software?
+    suite = benign_suite()
+    report = clinic_test(analysis.vaccines, suite)
+    print(f"\nclinic test over {report.programs_tested} benign programs: "
+          f"{len(report.incidents)} incidents, {len(report.passed)} vaccines pass")
+    assert report.clean
+
+    # Counter-example: a careless vaccine that collides with the media
+    # player's lock mutex is caught and rejected by the clinic.
+    careless = Vaccine(
+        malware="careless", resource_type=ResourceType.MUTEX,
+        identifier="mplayer_lock", identifier_kind=IdentifierKind.STATIC,
+        mechanism=Mechanism.ENFORCE_FAILURE, immunization=Immunization.FULL,
+    )
+    bad_report = clinic_test(analysis.vaccines + [careless], suite)
+    print(f"with a colliding vaccine added: {len(bad_report.incidents)} incident(s); "
+          f"rejected: {[v.identifier for v in bad_report.rejected]}")
+    assert careless in bad_report.rejected
+
+    # Deploy the clean package; the daemon intercepts matching creations.
+    host = SystemEnvironment()
+    deployment = deploy(VaccinePackage(vaccines=report.passed), host)
+    daemon = deployment.daemon
+    print(f"\ndeployed: {len(deployment.injections)} direct injections, "
+          f"daemon with {len(daemon.vaccines)} vaccine(s)")
+
+    run = run_sample(qakbot, environment=host, record_instructions=False)
+    print(f"qakbot on the vaccinated host: exit={run.trace.exit_status}, "
+          f"{len(run.trace.api_calls)} API calls")
+    print(f"daemon stats: {daemon.calls_seen} calls inspected, "
+          f"{daemon.calls_matched} blocked")
+    assert run.trace.terminated
+
+    # Benign software still runs cleanly alongside the daemon.
+    for program in suite:
+        benign_run = run_sample(program, environment=host, record_instructions=False)
+        assert benign_run.trace.exit_status == "halted"
+    print("benign suite unaffected on the vaccinated host")
+
+
+if __name__ == "__main__":
+    main()

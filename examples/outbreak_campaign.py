@@ -1,0 +1,61 @@
+"""Outbreak simulation: what a vaccination campaign buys a fleet.
+
+The paper motivates vaccines epidemiologically — "prevent it from infecting
+a wider range of machines (considering the case of botnets)" and "protect
+our uninfected machines from the attacks, until a better detection or
+prevention solution … is available".  Here a Conficker-like worm spreads
+through a fleet where every infection attempt actually *executes* the worm
+on the target machine; a vaccine campaign lands at round 2.
+
+Run:  python examples/outbreak_campaign.py
+"""
+
+from repro import AutoVac, VaccinePackage
+from repro.campaign import Fleet, simulate_outbreak
+from repro.corpus import build_family
+
+FLEET_SIZE = 30
+ROUNDS = 7
+
+
+def curve(label: str, history) -> None:
+    print(f"\n{label}")
+    print("  round  infected  vaccinated  new   curve")
+    for s in history:
+        bar = "#" * s.infected
+        print(f"  {s.round:5d}  {s.infected:8d}  {s.vaccinated:10d}  {s.newly_infected:3d}   {bar}")
+
+
+def main() -> None:
+    worm = build_family("conficker")
+
+    # Capture the binary at the initial infection stage -> generate vaccines.
+    analysis = AutoVac().analyze(worm)
+    package = VaccinePackage(vaccines=analysis.vaccines)
+    print(f"extracted {len(package)} vaccines from the first captured sample")
+
+    baseline = simulate_outbreak(worm, Fleet(FLEET_SIZE, seed=7), rounds=ROUNDS)
+    curve("no vaccination:", baseline.history)
+    print(f"  final infection rate: {baseline.final_infection_rate:.0%}")
+
+    campaign = simulate_outbreak(
+        worm, Fleet(FLEET_SIZE, seed=7), rounds=ROUNDS,
+        vaccine_package=package, vaccinate_at_round=2, coverage=1.0,
+    )
+    curve("vaccination campaign at round 2 (full coverage):", campaign.history)
+    print(f"  final infection rate: {campaign.final_infection_rate:.0%}")
+
+    partial = simulate_outbreak(
+        worm, Fleet(FLEET_SIZE, seed=7), rounds=ROUNDS,
+        vaccine_package=package, vaccinate_at_round=2, coverage=0.5,
+    )
+    curve("vaccination campaign at round 2 (50% coverage):", partial.history)
+    print(f"  final infection rate: {partial.final_infection_rate:.0%}")
+
+    assert campaign.final_infection_rate < partial.final_infection_rate
+    assert partial.final_infection_rate < baseline.final_infection_rate
+    print("\nfull coverage < partial coverage < no vaccine — the use case holds")
+
+
+if __name__ == "__main__":
+    main()

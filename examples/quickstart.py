@@ -1,0 +1,54 @@
+"""Quickstart: extract vaccines from a Zeus-like sample and immunize a host.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AutoVac, SystemEnvironment, VaccinePackage, deploy
+from repro.core import run_sample
+from repro.corpus import build_family
+
+
+def main() -> None:
+    # 1. Obtain the sample (here: the built-in Zeus/Zbot analogue).
+    zeus = build_family("zeus")
+    print(f"sample: {zeus.name} ({len(zeus.instructions)} instructions)")
+
+    # 2. Run the full AUTOVAC pipeline: Phase I candidate selection,
+    #    Phase II exclusiveness/impact/determinism analysis.
+    autovac = AutoVac()
+    analysis = autovac.analyze(zeus)
+    print(f"\nPhase I: {analysis.phase1.total_occurrences} resource-API occurrences, "
+          f"{len(analysis.phase1.candidates)} candidate resources")
+    print(f"Phase II: {len(analysis.vaccines)} vaccines generated:")
+    for vaccine in analysis.vaccines:
+        print(f"  - {vaccine.describe()}")
+
+    # 3. Package the vaccines (the artifact you would distribute).
+    package = VaccinePackage(vaccines=analysis.vaccines,
+                             description="zeus immunization pack")
+    print(f"\npackage: {len(package)} vaccines, "
+          f"{len(package.to_json())} bytes of JSON")
+
+    # 4. Phase III: deploy onto an end host.
+    host = SystemEnvironment()
+    deployment = deploy(package, host)
+    for record in deployment.injections:
+        print(f"  injected: {record.action} {record.identifier}")
+
+    # 5. Verify: the malware now refuses to infect the vaccinated host.
+    before = run_sample(zeus, record_instructions=False)  # pristine machine
+    after = run_sample(zeus, environment=host, record_instructions=False)
+    print(f"\nmalware on a pristine host:   {len(before.trace.api_calls):3d} API calls, "
+          f"exit={before.trace.exit_status}")
+    print(f"malware on vaccinated host:   {len(after.trace.api_calls):3d} API calls, "
+          f"exit={after.trace.exit_status}")
+    reduction = 1 - len(after.trace.api_calls) / len(before.trace.api_calls)
+    print(f"behaviour decreasing ratio:   {reduction:.1%}")
+
+    explorer = after.environment.processes.find_by_name("explorer.exe")
+    print(f"explorer.exe injected?        {explorer.was_injected}")
+    assert not explorer.was_injected
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Defending a targeted environment (paper §II, scenario 3).
+
+"Some targeted malware is designed to work in a specific system environment.
+Our vaccine can attempt to make each protected system different from malware
+targeted environment, so as to be immune from the infection."
+
+The sample here only detonates on industrial-control workstations carrying
+specific vendor indicators plus its own stage-1 artifact.  AUTOVAC must
+analyze it *in a replica of the target environment* (otherwise the payload
+stays dormant and there is nothing to vaccinate against); the extracted
+environment-difference vaccine then protects the real fleet without touching
+the vendor software.
+
+Run:  python examples/targeted_defense.py
+"""
+
+from repro import AutoVac, SystemEnvironment, VaccinePackage, deploy
+from repro.core import run_sample, verify_all
+from repro.corpus import build_targeted_apt, prepare_target_environment
+
+
+def main() -> None:
+    apt = build_targeted_apt()
+
+    # On an ordinary machine the sample leaves silently — nothing to learn.
+    plain = AutoVac().analyze(apt)
+    print(f"analysis on a generic machine: {len(plain.vaccines)} vaccines "
+          f"(sample stays dormant)")
+
+    # Build a replica of the targeted environment and analyze there.
+    replica = prepare_target_environment(SystemEnvironment())
+    analysis = AutoVac(environment=replica).analyze(apt)
+    print(f"analysis on a target replica: {len(analysis.vaccines)} vaccines")
+    for vaccine in analysis.vaccines:
+        print(f"  - {vaccine.describe()}")
+
+    # Choose the clean environment-difference vaccine: the malware's own
+    # staging artifact, not the vendor software's resources.
+    stage = [v for v in analysis.vaccines if "stg1" in v.identifier]
+    print(f"\nselected vaccine: {stage[0].identifier} ({stage[0].mechanism.value})")
+
+    # Verify the claimed effect by real deployment before shipping.
+    verification = verify_all(apt, stage, environment=replica)
+    print(f"verification: {verification.verified_count}/{len(stage)} verified "
+          f"(observed: {verification.results[0].observed.value}, "
+          f"BDR {verification.results[0].bdr:.0%})")
+    assert verification.all_verified
+
+    # Protect a production SCADA workstation.
+    workstation = prepare_target_environment(SystemEnvironment(rng_seed=31))
+    deploy(VaccinePackage(vaccines=stage), workstation)
+    attack = run_sample(apt, environment=workstation, record_instructions=False)
+    traffic = attack.environment.network.bytes_sent_by(attack.cpu.process.pid)
+    print(f"\nattack on the vaccinated workstation: exit={attack.trace.exit_status}, "
+          f"exfil traffic={traffic} bytes")
+    assert traffic == 0
+
+    # The vendor software's indicators are untouched on the protected host.
+    assert workstation.registry.exists("hklm\\software\\industro\\plc")
+    assert workstation.windows.exists("ScadaControlWnd")
+    print("vendor software indicators intact — only the malware's own "
+          "constraint was flipped")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""AUTOVAC reproduction — automatic extraction of system resource constraints
+and vaccine generation for malware immunization (Xu, Zhang, Gu, Lin —
+ICDCS 2013).
+
+Quickstart::
+
+    from repro import AutoVac, deploy, VaccinePackage, SystemEnvironment
+    from repro.corpus import build_family
+
+    zeus = build_family("zeus")
+    analysis = AutoVac().analyze(zeus)
+    package = VaccinePackage(vaccines=analysis.vaccines)
+
+    host = SystemEnvironment()           # a machine to immunize
+    deploy(package, host)                # Phase III
+
+Layers (bottom-up): ``repro.vm`` (taint-tracking CPU substrate),
+``repro.winenv`` (simulated Windows machine), ``repro.winapi`` (labelled API
+layer), ``repro.taint``/``repro.tracing``/``repro.analysis`` (analyses),
+``repro.core`` (the three-phase pipeline), ``repro.delivery`` (Phase III),
+``repro.corpus`` (synthetic malware + benign programs), ``repro.search``
+(exclusiveness oracle).
+"""
+
+from .core import (
+    AutoVac,
+    DeliveryKind,
+    IdentifierKind,
+    Immunization,
+    Mechanism,
+    PopulationResult,
+    SampleAnalysis,
+    Vaccine,
+    measure_bdr,
+    run_sample,
+    select_candidates,
+)
+from .delivery import VaccineDaemon, VaccinePackage, deploy
+from .winenv import MachineIdentity, SystemEnvironment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoVac",
+    "DeliveryKind",
+    "IdentifierKind",
+    "Immunization",
+    "MachineIdentity",
+    "Mechanism",
+    "PopulationResult",
+    "SampleAnalysis",
+    "SystemEnvironment",
+    "Vaccine",
+    "VaccineDaemon",
+    "VaccinePackage",
+    "__version__",
+    "deploy",
+    "measure_bdr",
+    "run_sample",
+    "select_candidates",
+]

@@ -1,0 +1,30 @@
+"""Shared program/trace analyses: alignment, CFG, enforced execution."""
+
+from .alignment import AlignmentResult, align_lcs, align_linear
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .forced_execution import ExplorationResult, explore_resource_paths
+from .stats import (
+    chi_square_statistic,
+    geometric_mean_ratio,
+    normalize,
+    rank_agreement,
+    summarize,
+    total_variation,
+)
+
+__all__ = [
+    "AlignmentResult",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "ExplorationResult",
+    "align_lcs",
+    "align_linear",
+    "build_cfg",
+    "explore_resource_paths",
+    "chi_square_statistic",
+    "geometric_mean_ratio",
+    "normalize",
+    "rank_agreement",
+    "summarize",
+    "total_variation",
+]

@@ -1,0 +1,130 @@
+"""Trace differential analysis (paper §IV-B, Algorithm 1).
+
+Aligns two API-call traces — the natural run and a resource-mutated run — on
+the calling-context triple ``<API-name, Caller-PC, static params>`` and
+returns the unaligned difference sets Δm (mutated-only) and Δn (natural-only).
+
+Two alignment strategies are provided:
+
+* :func:`align_linear` — the paper's Algorithm 1: linear scan for the first
+  anchor where the traces re-converge; everything before it on each side is
+  the difference set.
+* :func:`align_lcs` — Zeller-style alignment as a longest-common-subsequence
+  diff over context keys (the paper adopts the alignment idea from Zeller's
+  cause-effect-chain work); more precise when traces interleave.
+
+The pipeline uses LCS by default and keeps Algorithm 1 for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from ..tracing.events import ApiCallEvent
+
+
+@dataclass
+class AlignmentResult:
+    """Unaligned events from each trace."""
+
+    delta_mutated: List[ApiCallEvent] = field(default_factory=list)
+    delta_natural: List[ApiCallEvent] = field(default_factory=list)
+    aligned_pairs: int = 0
+
+    @property
+    def is_identical(self) -> bool:
+        return not self.delta_mutated and not self.delta_natural
+
+
+def _keys(events: Sequence[ApiCallEvent]) -> List[Tuple]:
+    return [e.context_key() for e in events]
+
+
+def align_linear(
+    mutated: Sequence[ApiCallEvent], natural: Sequence[ApiCallEvent]
+) -> AlignmentResult:
+    """Paper Algorithm 1: find the first anchor call of the mutated trace that
+    aligns into the natural trace; the prefixes before the anchor form the
+    difference sets, and the remainder is aligned greedily."""
+    result = AlignmentResult()
+    nat_keys = _keys(natural)
+
+    anchor_m = anchor_n = None
+    for i, event in enumerate(mutated):
+        key = event.context_key()
+        try:
+            anchor_n = nat_keys.index(key)
+            anchor_m = i
+            break
+        except ValueError:
+            result.delta_mutated.append(event)
+    if anchor_m is None:
+        # No alignment point at all: the whole traces differ (lines 8-10).
+        result.delta_natural = list(natural)
+        return result
+
+    result.delta_natural = list(natural[:anchor_n])
+    # Greedy pairwise walk from the anchor.
+    i, j = anchor_m, anchor_n
+    while i < len(mutated) and j < len(natural):
+        if mutated[i].context_key() == natural[j].context_key():
+            result.aligned_pairs += 1
+            i += 1
+            j += 1
+        else:
+            # Skip the shorter lookahead to re-synchronize.
+            next_m = _find(nat_keys, mutated[i].context_key(), j)
+            if next_m is None:
+                result.delta_mutated.append(mutated[i])
+                i += 1
+            else:
+                result.delta_natural.extend(natural[j:next_m])
+                j = next_m
+    result.delta_mutated.extend(mutated[i:])
+    result.delta_natural.extend(natural[j:])
+    return result
+
+
+def _find(keys: List[Tuple], key: Tuple, start: int):
+    try:
+        return keys.index(key, start)
+    except ValueError:
+        return None
+
+
+def align_lcs(
+    mutated: Sequence[ApiCallEvent], natural: Sequence[ApiCallEvent]
+) -> AlignmentResult:
+    """LCS alignment over context keys (Zeller-style program alignment)."""
+    a, b = _keys(mutated), _keys(natural)
+    n, m = len(a), len(b)
+    # Standard O(n*m) LCS table; traces are API-level so sizes are modest.
+    table = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        row, nxt = table[i], table[i + 1]
+        for j in range(m - 1, -1, -1):
+            if a[i] == b[j]:
+                row[j] = nxt[j + 1] + 1
+            else:
+                row[j] = nxt[j] if nxt[j] >= row[j + 1] else row[j + 1]
+    result = AlignmentResult()
+    i = j = 0
+    while i < n and j < m:
+        if a[i] == b[j]:
+            result.aligned_pairs += 1
+            i += 1
+            j += 1
+        elif table[i + 1][j] >= table[i][j + 1]:
+            result.delta_mutated.append(mutated[i])
+            i += 1
+        else:
+            result.delta_natural.append(natural[j])
+            j += 1
+    result.delta_mutated.extend(mutated[i:])
+    result.delta_natural.extend(natural[j:])
+    return result
+
+
+#: Signature shared by both aligners.
+Aligner = Callable[[Sequence[ApiCallEvent], Sequence[ApiCallEvent]], AlignmentResult]

@@ -1,0 +1,88 @@
+"""Distribution statistics for reproduction quality checks.
+
+Used by the benches to *quantify* how close a measured categorical
+distribution (Table II mix, Figure 3 shares) is to the paper's, instead of
+eyeballing orderings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence, Tuple
+
+
+def normalize(counts: Mapping[str, float]) -> Dict[str, float]:
+    """Counts -> probability distribution (empty input -> empty dict)."""
+    total = float(sum(counts.values()))
+    if total <= 0:
+        return {}
+    return {k: v / total for k, v in counts.items()}
+
+
+def total_variation(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Total-variation distance between two categorical distributions
+    (0 = identical, 1 = disjoint).  Inputs may be raw counts."""
+    pn, qn = normalize(p), normalize(q)
+    keys = set(pn) | set(qn)
+    return 0.5 * sum(abs(pn.get(k, 0.0) - qn.get(k, 0.0)) for k in keys)
+
+
+def rank_agreement(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Kendall-style agreement of category orderings in [0, 1].
+
+    1.0 = both distributions order all shared categories identically.
+    """
+    keys = sorted(set(p) & set(q))
+    if len(keys) < 2:
+        return 1.0
+    concordant = discordant = 0
+    for i in range(len(keys)):
+        for j in range(i + 1, len(keys)):
+            a = p[keys[i]] - p[keys[j]]
+            b = q[keys[i]] - q[keys[j]]
+            if a * b > 0:
+                concordant += 1
+            elif a * b < 0:
+                discordant += 1
+    total = concordant + discordant
+    return 1.0 if total == 0 else concordant / total
+
+
+def chi_square_statistic(
+    observed: Mapping[str, float], expected: Mapping[str, float]
+) -> float:
+    """Pearson chi-square of observed counts vs an expected *distribution*
+    (expected is normalized to the observed total)."""
+    total = float(sum(observed.values()))
+    exp_dist = normalize(expected)
+    stat = 0.0
+    for key, share in exp_dist.items():
+        exp = share * total
+        if exp > 0:
+            obs = float(observed.get(key, 0.0))
+            stat += (obs - exp) ** 2 / exp
+    return stat
+
+
+def geometric_mean_ratio(
+    measured: Mapping[str, float], paper: Mapping[str, float]
+) -> float:
+    """Geometric mean of measured/paper share ratios over shared categories —
+    a single 'scale agreement' number (1.0 = perfect)."""
+    pn, qn = normalize(measured), normalize(paper)
+    ratios = [pn[k] / qn[k] for k in set(pn) & set(qn) if pn.get(k) and qn.get(k)]
+    if not ratios:
+        return 0.0
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def summarize(values: Sequence[float]) -> Tuple[float, float, float, float]:
+    """(min, mean, median, max) of a non-empty sequence."""
+    if not values:
+        raise ValueError("empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    median = (
+        ordered[n // 2] if n % 2 else (ordered[n // 2 - 1] + ordered[n // 2]) / 2
+    )
+    return ordered[0], sum(ordered) / n, median, ordered[-1]

@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro analyze  <family|asm-file> [-o pack.json] [--explore] [--minimal]
+    python -m repro deploy   <pack.json> [--computer-name NAME] [--attack FAMILY]
+    python -m repro families
+    python -m repro survey   [--size N] [--seed S]
+
+``analyze`` runs the full pipeline on a built-in family or an assembly file
+and optionally writes a vaccine package; ``deploy`` simulates deployment on a
+fresh machine (optionally re-attacking it with a family sample); ``survey``
+prints the population-scale tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import AutoVac, render_report, run_sample, select_minimal
+from .corpus import FAMILIES, GeneratorConfig, build_family, generate_population
+from .delivery import VaccinePackage, deploy
+from .vm.assembler import assemble
+from .winenv import MachineIdentity, SystemEnvironment
+
+
+def _load_program(spec: str):
+    if spec in FAMILIES:
+        return build_family(spec)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(f"error: {spec!r} is neither a family ({', '.join(FAMILIES)}) "
+                         f"nor an assembly file")
+    return assemble(path.read_text(), name=path.stem)
+
+
+def cmd_families(args: argparse.Namespace) -> int:
+    for name, module in sorted(FAMILIES.items()):
+        print(f"{name:12s} {module.CATEGORY:10s} {module.__doc__.strip().splitlines()[0]}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    program = _load_program(args.sample)
+    autovac = AutoVac(explore_paths=args.explore)
+    analysis = autovac.analyze(program)
+
+    if analysis.filtered_reason:
+        print(f"{program.name}: filtered — {analysis.filtered_reason}")
+        return 1
+
+    phase1 = analysis.phase1
+    print(f"{program.name}: {phase1.total_occurrences} resource accesses, "
+          f"{len(phase1.candidates)} candidates, "
+          f"{len(analysis.vaccines)} vaccines")
+    vaccines = analysis.vaccines
+    if args.minimal:
+        selection = select_minimal(vaccines)
+        vaccines = selection.selected
+        print(f"minimal set: {len(vaccines)} kept, {len(selection.dropped)} dropped")
+    for vaccine in vaccines:
+        print(f"  {vaccine.describe()}")
+
+    if args.output:
+        package = VaccinePackage(vaccines=vaccines,
+                                 description=f"vaccines for {program.name}")
+        package.save(args.output)
+        print(f"wrote {args.output} ({len(package)} vaccines)")
+    if args.report:
+        Path(args.report).write_text(render_report(analysis))
+        print(f"wrote {args.report}")
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    package = VaccinePackage.load(args.package)
+    identity = MachineIdentity(computer_name=args.computer_name)
+    host = SystemEnvironment(identity=identity)
+    deployment = deploy(package, host)
+    print(f"deployed {len(package)} vaccines on {identity.computer_name}: "
+          f"{len(deployment.injections)} direct injections, "
+          f"daemon={'yes' if deployment.daemon_needed else 'no'}")
+    for record in deployment.injections:
+        print(f"  {record.action}: {record.identifier}")
+    for vaccine, reason in deployment.failures:
+        print(f"  FAILED {vaccine.identifier}: {reason}")
+
+    if args.attack:
+        program = _load_program(args.attack)
+        run = run_sample(program, environment=host, record_instructions=False)
+        verdict = "PROTECTED" if run.trace.terminated else "check manually"
+        print(f"attack with {program.name}: exit={run.trace.exit_status}, "
+              f"{len(run.trace.api_calls)} API calls -> {verdict}")
+        return 0 if run.trace.terminated else 2
+    return 0
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    samples = generate_population(GeneratorConfig(size=args.size, seed=args.seed))
+    autovac = AutoVac()
+    result = autovac.analyze_population([s.program for s in samples])
+    print(f"{args.size} samples -> {len(result.vaccines)} vaccines "
+          f"from {result.samples_with_vaccines} samples")
+    print("by resource x immunization:")
+    for rtype, row in sorted(result.count_by_resource_and_immunization().items()):
+        cells = ", ".join(f"{k}={v}" for k, v in sorted(row.items()))
+        print(f"  {rtype:10s} {cells}")
+    print("identifier kinds:", result.count_by_identifier_kind())
+    print("delivery:", result.count_by_delivery())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AUTOVAC reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("families", help="list built-in malware families")
+    p.set_defaults(func=cmd_families)
+
+    p = sub.add_parser("analyze", help="run the pipeline on a sample")
+    p.add_argument("sample", help="family name or .asm file path")
+    p.add_argument("-o", "--output", help="write a vaccine package (JSON)")
+    p.add_argument("--explore", action="store_true",
+                   help="enable enforced execution (dormant-path discovery)")
+    p.add_argument("--minimal", action="store_true",
+                   help="reduce to the minimal covering vaccine set")
+    p.add_argument("--report", help="write a markdown analysis report")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("deploy", help="simulate deployment on a fresh machine")
+    p.add_argument("package", help="vaccine package JSON file")
+    p.add_argument("--computer-name", default="END-HOST-01")
+    p.add_argument("--attack", help="re-attack the host with a family/sample")
+    p.set_defaults(func=cmd_deploy)
+
+    p = sub.add_parser("survey", help="population-scale pipeline statistics")
+    p.add_argument("--size", type=int, default=100)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_survey)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""AUTOVAC core: the three-phase vaccine extraction pipeline."""
+
+from .bdr import BdrResult, EFFECT_BUDGET, measure_bdr
+from .candidate import CandidateReport, CandidateResource, select_candidates
+from .clinic import ClinicIncident, ClinicReport, clinic_test
+from .determinism import DeterminismResult, analyze_determinism, build_pattern
+from .exclusiveness import ExclusivenessAnalyzer, ExclusivenessDecision
+from .impact import ImpactAnalyzer, ImpactOutcome, ResourceMutation, classify_deltas
+from .pipeline import AutoVac, PopulationResult, SampleAnalysis
+from .report import render_report
+from .runner import DEFAULT_BUDGET, RunResult, run_sample
+from .selection import SelectionResult, rank, score, select_minimal, select_with_backups
+from .verification import VerificationReport, VerificationResult, verify_all, verify_vaccine
+from .vaccine import (
+    DeliveryKind,
+    IdentifierKind,
+    Immunization,
+    Mechanism,
+    Vaccine,
+    normalize_identifier,
+)
+
+__all__ = [
+    "AutoVac",
+    "BdrResult",
+    "CandidateReport",
+    "CandidateResource",
+    "ClinicIncident",
+    "ClinicReport",
+    "DEFAULT_BUDGET",
+    "DeliveryKind",
+    "DeterminismResult",
+    "EFFECT_BUDGET",
+    "ExclusivenessAnalyzer",
+    "ExclusivenessDecision",
+    "IdentifierKind",
+    "ImpactAnalyzer",
+    "ImpactOutcome",
+    "Immunization",
+    "Mechanism",
+    "PopulationResult",
+    "ResourceMutation",
+    "RunResult",
+    "SelectionResult",
+    "SampleAnalysis",
+    "Vaccine",
+    "VerificationReport",
+    "VerificationResult",
+    "analyze_determinism",
+    "build_pattern",
+    "classify_deltas",
+    "clinic_test",
+    "measure_bdr",
+    "normalize_identifier",
+    "rank",
+    "score",
+    "select_minimal",
+    "select_with_backups",
+    "run_sample",
+    "select_candidates",
+    "render_report",
+    "verify_all",
+    "verify_vaccine",
+]

@@ -1,0 +1,148 @@
+"""Malware clinic test (paper §IV-D).
+
+Deploy candidate vaccines into a test machine running benign software and
+check they cause no interference: every benign program must behave exactly as
+in a clean machine.  Vaccines implicated in incidents are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..delivery.package import VaccinePackage, deploy
+from ..vm.program import Program
+from ..winenv.acl import IntegrityLevel
+from ..winenv.environment import SystemEnvironment
+from .runner import DEFAULT_BUDGET, run_sample
+from .vaccine import Vaccine, normalize_identifier
+
+
+@dataclass
+class ClinicIncident:
+    """A benign program behaved differently under vaccination."""
+
+    program: str
+    api: str
+    identifier: Optional[str]
+    detail: str
+    #: The vaccine(s) whose identifier/pattern matched the failing access.
+    implicated: List[Vaccine] = field(default_factory=list)
+
+
+@dataclass
+class ClinicReport:
+    incidents: List[ClinicIncident] = field(default_factory=list)
+    programs_tested: int = 0
+    #: Vaccines that caused no incident.
+    passed: List[Vaccine] = field(default_factory=list)
+    #: Vaccines discarded for interfering with benign software.
+    rejected: List[Vaccine] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.incidents
+
+
+def clinic_test(
+    vaccines: Sequence[Vaccine],
+    benign_programs: Sequence[Program],
+    environment: Optional[SystemEnvironment] = None,
+    max_steps: int = DEFAULT_BUDGET,
+) -> ClinicReport:
+    """Run the clinic: benign suite on a clean vs a vaccinated machine."""
+    base = environment if environment is not None else SystemEnvironment()
+
+    vaccinated = base.clone()
+    deploy(VaccinePackage(vaccines=list(vaccines)), vaccinated)
+
+    report = ClinicReport(programs_tested=len(benign_programs))
+    incidents: List[ClinicIncident] = []
+    for program in benign_programs:
+        clean_run = run_sample(
+            program,
+            environment=base,
+            max_steps=max_steps,
+            record_instructions=False,
+            integrity=IntegrityLevel.MEDIUM,
+        )
+        vacc_run = run_sample(
+            program,
+            environment=vaccinated,
+            max_steps=max_steps,
+            record_instructions=False,
+            integrity=IntegrityLevel.MEDIUM,
+        )
+        incidents.extend(_compare_runs(program.name, clean_run, vacc_run, vaccines))
+    report.incidents = incidents
+
+    implicated = {id(v) for inc in incidents for v in inc.implicated}
+    # An incident with no attribution is conservative grounds to reject all.
+    if any(not inc.implicated for inc in incidents):
+        report.rejected = list(vaccines)
+        report.passed = []
+    else:
+        report.rejected = [v for v in vaccines if id(v) in implicated]
+        report.passed = [v for v in vaccines if id(v) not in implicated]
+    return report
+
+
+def _compare_runs(name, clean_run, vacc_run, vaccines) -> List[ClinicIncident]:
+    incidents: List[ClinicIncident] = []
+
+    clean_trace, vacc_trace = clean_run.trace, vacc_run.trace
+    if clean_trace.exit_status != vacc_trace.exit_status:
+        incidents.append(
+            ClinicIncident(
+                program=name,
+                api="<exit>",
+                identifier=None,
+                detail=(
+                    f"exit changed: {clean_trace.exit_status} -> {vacc_trace.exit_status}"
+                ),
+                implicated=[],
+            )
+        )
+
+    clean_ok = {
+        (e.api, e.caller_pc, e.identifier) for e in clean_trace.api_calls if e.success
+    }
+    clean_failed = {
+        (e.api, e.caller_pc, e.identifier)
+        for e in clean_trace.api_calls
+        if not e.success
+    }
+    for event in vacc_trace.api_calls:
+        if event.success:
+            continue
+        key = (event.api, event.caller_pc, event.identifier)
+        if key not in clean_ok:
+            continue  # also failed (or absent) on the clean machine
+        if key in clean_failed:
+            # The call site legitimately fails too on a clean machine
+            # (e.g. an enumeration loop ending in ERROR_NO_MORE_ITEMS).
+            continue
+        implicated = [v for v in vaccines if _matches(v, event)]
+        incidents.append(
+            ClinicIncident(
+                program=name,
+                api=event.api,
+                identifier=event.identifier,
+                detail=f"succeeded clean, failed vaccinated (error 0x{event.error:x})",
+                implicated=implicated,
+            )
+        )
+    return incidents
+
+
+def _matches(vaccine: Vaccine, event) -> bool:
+    if event.resource_type is not vaccine.resource_type or event.identifier is None:
+        return False
+    identifier = normalize_identifier(event.resource_type, event.identifier)
+    if identifier == vaccine.identifier:
+        return True
+    if vaccine.pattern:
+        import re
+
+        return re.match(vaccine.pattern, identifier) is not None
+    return False

@@ -1,0 +1,165 @@
+"""Phase II, step III — determinism analysis (paper §IV-C, Figure 2).
+
+Decides whether a resource identifier can be reproduced on another machine:
+
+* **static** — every byte comes from read-only data or constants
+  (Fig. 2 left: ``"\\\\.PIPE\\_AVIRA_2109"`` from ``.rdata``);
+* **partial static** — static skeleton around unpredictable bytes → anchored
+  regex (deployable by the daemon's interception matcher);
+* **algorithm-deterministic** — derived from stable machine inputs
+  (Fig. 2 middle: computer name through ``_snprintf``) → extract the
+  executable generation slice via backward taint tracking;
+* **non-deterministic** — all unpredictable (Fig. 2 right:
+  ``GetTempFileName``); discarded.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..taint.backward import BackwardResult, backward_slice
+from ..taint.labels import TagSet, TaintClass
+from ..taint.replay import SliceReplayError, replay_slice
+from ..taint.slicing import VaccineSlice, extract_slice
+from ..tracing.events import ApiCallEvent
+from ..tracing.trace import Trace
+from ..vm.program import Program
+from .runner import RunResult
+from .vaccine import IdentifierKind
+
+#: Minimum literal characters for a partial-static pattern to be
+#: distinguishable (avoids over-broad wildcard vaccines).
+MIN_STATIC_CONTEXT = 3
+
+
+@dataclass
+class DeterminismResult:
+    kind: IdentifierKind
+    pattern: Optional[str] = None
+    slice: Optional[VaccineSlice] = None
+    backward: Optional[BackwardResult] = None
+    notes: str = ""
+
+
+def _byte_class(tags: TagSet) -> str:
+    """Classify one identifier byte: random > env > static (priority)."""
+    classes = {tag.klass for tag in tags}
+    if TaintClass.RANDOM in classes or TaintClass.RESOURCE in classes:
+        return "random"
+    if TaintClass.ENV_DETERMINISTIC in classes:
+        return "env"
+    return "static"
+
+
+def byte_classes(event: ApiCallEvent) -> List[str]:
+    if not event.identifier or event.identifier_taints is None:
+        return []
+    return [_byte_class(tags) for tags in event.identifier_taints]
+
+
+def build_pattern(identifier: str, classes: List[str]) -> Optional[str]:
+    """Anchored regex: static runs literal, other runs wildcarded.
+
+    Unpredictable *and* merely machine-dependent (env) bytes both become
+    wildcards so the pattern transfers across machines.
+    """
+    if len(identifier) != len(classes):
+        return None
+    pieces: List[str] = []
+    static_chars = 0
+    i = 0
+    while i < len(identifier):
+        if classes[i] == "static":
+            j = i
+            while j < len(identifier) and classes[j] == "static":
+                j += 1
+            pieces.append(re.escape(identifier[i:j]))
+            static_chars += j - i
+            i = j
+        else:
+            j = i
+            while j < len(identifier) and classes[j] != "static":
+                j += 1
+            pieces.append(".+")
+            i = j
+    if static_chars < MIN_STATIC_CONTEXT:
+        return None
+    return "^" + "".join(pieces) + "$"
+
+
+def analyze_determinism(
+    program: Program,
+    run: RunResult,
+    event: ApiCallEvent,
+    validate_replay: bool = True,
+) -> DeterminismResult:
+    """Classify ``event``'s identifier and build its deployable artifact."""
+    classes = byte_classes(event)
+    if not classes:
+        # Identifier came through the handle map (no in-memory string);
+        # treat as static if non-empty — the name-carrying open event is the
+        # canonical one and is analyzed separately.
+        kind = IdentifierKind.STATIC if event.identifier else IdentifierKind.NON_DETERMINISTIC
+        return DeterminismResult(kind=kind, notes="handle-resolved identifier")
+
+    has_random = "random" in classes
+    has_env = "env" in classes
+
+    if not has_random and not has_env:
+        return DeterminismResult(kind=IdentifierKind.STATIC)
+
+    if has_random:
+        pattern = build_pattern(event.identifier, classes)
+        if pattern is None:
+            return DeterminismResult(
+                kind=IdentifierKind.NON_DETERMINISTIC,
+                notes="insufficient static context around random bytes",
+            )
+        return DeterminismResult(kind=IdentifierKind.PARTIAL_STATIC, pattern=pattern)
+
+    # env-deterministic bytes, no random: algorithm-deterministic.
+    backward = backward_slice(run.trace, event, memory=run.cpu.memory)
+    if backward.has_random_sources:
+        # Over-approximation in byte classes; the root cause says random.
+        pattern = build_pattern(event.identifier, classes)
+        if pattern is not None:
+            return DeterminismResult(
+                kind=IdentifierKind.PARTIAL_STATIC, pattern=pattern, backward=backward
+            )
+        return DeterminismResult(kind=IdentifierKind.NON_DETERMINISTIC, backward=backward)
+
+    output_addr = event.extra.get("identifier_addr")
+    if output_addr is None:
+        return DeterminismResult(
+            kind=IdentifierKind.NON_DETERMINISTIC,
+            backward=backward,
+            notes="no identifier address recorded",
+        )
+    slice_ = extract_slice(program, run.trace, backward, output_addr, target_event=event)
+
+    if validate_replay:
+        # Sanity: replaying on a clone of the analysis machine must
+        # regenerate the very identifier observed.
+        try:
+            regenerated = replay_slice(slice_, run.environment.clone())
+        except SliceReplayError as exc:
+            return DeterminismResult(
+                kind=IdentifierKind.NON_DETERMINISTIC,
+                backward=backward,
+                notes=f"slice replay failed: {exc}",
+            )
+        if regenerated != event.identifier:
+            return DeterminismResult(
+                kind=IdentifierKind.NON_DETERMINISTIC,
+                backward=backward,
+                notes=f"slice replay mismatch: {regenerated!r}",
+            )
+
+    return DeterminismResult(
+        kind=IdentifierKind.ALGORITHM_DETERMINISTIC,
+        slice=slice_,
+        backward=backward,
+        notes=f"inputs: {', '.join(slice_.env_inputs)}",
+    )

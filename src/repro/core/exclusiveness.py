@@ -1,0 +1,105 @@
+"""Phase II, step I — exclusiveness analysis (paper §IV-A).
+
+Resources also used by benign software (library names like ``uxtheme.dll``,
+standard registry keys, standard processes) must not become vaccines: flipping
+them would break benign programs.  Identifiers are checked against
+
+1. a pre-built whitelist of platform resources (the paper combines search
+   results with a "pre-built whitelist", §VI-F), and
+2. the offline search engine: any hit associating the identifier with benign
+   software excludes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..search.engine import SearchEngine
+from ..winenv.filesystem import STARTUP_FOLDER, SYSTEM32, SYSTEM_INI
+from ..winenv.libraries import STANDARD_LIBRARIES
+from ..winenv.objects import ResourceType
+from ..winenv.processes import STANDARD_PROCESSES
+from ..winenv.registry import PERSISTENCE_KEY_PREFIXES
+from .candidate import CandidateResource
+
+#: Platform resources that exist on every machine — never exclusive.
+#: Exact matches only: a malware-private file *inside* system32 is still a
+#: perfectly exclusive vaccine.
+_EXACT_WHITELIST: Set[str] = {
+    *(name for name in STANDARD_LIBRARIES),
+    *(name for name in STANDARD_PROCESSES),
+    "scmanager",
+    "eventlog",
+    "dhcp",
+    SYSTEM_INI,
+    SYSTEM32,
+    STARTUP_FOLDER,
+    "c:\\windows",
+    "c:\\windows\\temp",
+    "shell_traywnd",
+    "progman",
+}
+
+#: Registry subtrees shared with benign software — prefix semantics, because
+#: any value/subkey under them is contended (Run keys, services, winlogon).
+_PREFIX_WHITELIST: Set[str] = {
+    *(prefix for prefix in PERSISTENCE_KEY_PREFIXES),
+    "hklm\\software\\microsoft\\windows\\currentversion",
+}
+
+
+@dataclass
+class ExclusivenessDecision:
+    candidate: CandidateResource
+    exclusive: bool
+    reason: str = ""
+    hits: int = 0
+
+
+@dataclass
+class ExclusivenessAnalyzer:
+    """Filters candidate resources that collide with benign software."""
+
+    search: SearchEngine = field(default_factory=SearchEngine)
+    extra_whitelist: Set[str] = field(default_factory=set)
+
+    def is_whitelisted(self, identifier: str) -> bool:
+        needle = identifier.lower()
+        if needle in _EXACT_WHITELIST:
+            return True
+        if needle in {w.lower() for w in self.extra_whitelist}:
+            return True
+        for prefix in _PREFIX_WHITELIST:
+            if needle == prefix or needle.startswith(prefix.rstrip("\\") + "\\"):
+                return True
+        return False
+
+    def check(self, candidate: CandidateResource) -> ExclusivenessDecision:
+        identifier = candidate.identifier
+        if self.is_whitelisted(identifier):
+            return ExclusivenessDecision(candidate, False, reason="whitelisted platform resource")
+
+        # Query the full identifier and, for paths, its basename — the
+        # fragment benign documentation would actually mention.
+        probes = [identifier]
+        if candidate.resource_type in (ResourceType.FILE, ResourceType.LIBRARY):
+            probes.append(identifier.rsplit("\\", 1)[-1])
+        total_hits = 0
+        for probe in probes:
+            hits = self.search.query(probe)
+            total_hits += len(hits)
+            if hits:
+                return ExclusivenessDecision(
+                    candidate,
+                    False,
+                    reason=f"search hit: {hits[0].title!r}",
+                    hits=total_hits,
+                )
+        return ExclusivenessDecision(candidate, True, reason="no benign association", hits=0)
+
+    def filter(self, candidates: List[CandidateResource]) -> List[ExclusivenessDecision]:
+        return [self.check(c) for c in candidates]
+
+    def exclusive_candidates(self, candidates: List[CandidateResource]) -> List[CandidateResource]:
+        return [d.candidate for d in self.filter(candidates) if d.exclusive]

@@ -1,0 +1,241 @@
+"""Phase II, step II — impact analysis (paper §IV-B).
+
+For each candidate resource, re-run the malware with that resource's API
+results mutated (one resource at a time, both directions: simulate presence /
+enforce failure), align the mutated trace against the natural trace
+(Algorithm 1 / LCS), and classify the immunization effect of the difference
+set: full immunization, partial Types I–IV, or none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..analysis.alignment import Aligner, AlignmentResult, align_lcs
+from ..tracing.events import ApiCallEvent
+from ..tracing.trace import Trace
+from ..vm.program import Program
+from ..winapi import INJECTION_APIS, NETWORK_APIS, TERMINATION_APIS
+from ..winapi.dispatcher import Interception
+from ..winapi.labels import ApiDef
+from ..winenv.environment import SystemEnvironment
+from ..winenv.filesystem import STARTUP_FOLDER, SYSTEM_INI
+from ..winenv.objects import Operation, ResourceType
+from ..winenv.processes import STANDARD_PROCESSES
+from ..winenv.registry import is_persistence_key
+from .candidate import CandidateResource
+from .runner import DEFAULT_BUDGET, RunResult, run_sample
+from .vaccine import Immunization, Mechanism, normalize_identifier
+
+
+class ResourceMutation:
+    """Interceptor mutating every API access to one candidate resource.
+
+    ``SIMULATE_PRESENCE`` makes existence checks succeed and create
+    operations report "already exists"; ``ENFORCE_FAILURE`` makes every
+    access fail with the API's labelled failure encoding.
+    """
+
+    def __init__(self, candidate: CandidateResource, mechanism: Mechanism) -> None:
+        self.candidate = candidate
+        self.mechanism = mechanism
+        self.hits = 0
+
+    def matches(self, event: ApiCallEvent) -> bool:
+        if event.resource_type is not self.candidate.resource_type:
+            return False
+        if event.identifier is None:
+            return False
+        norm = normalize_identifier(event.resource_type, event.identifier)
+        return norm == self.candidate.identifier
+
+    def intercept(self, apidef: ApiDef, event: ApiCallEvent) -> Interception:
+        if not self.matches(event):
+            return Interception.PASS
+        self.hits += 1
+        if self.mechanism is Mechanism.ENFORCE_FAILURE:
+            return Interception.FORCE_FAIL
+        if event.operation is Operation.CREATE:
+            return Interception.FORCE_FAIL_EXISTS
+        return Interception.FORCE_SUCCESS
+
+
+@dataclass
+class ImpactOutcome:
+    """Result of mutating one resource with one mechanism."""
+
+    candidate: CandidateResource
+    mechanism: Mechanism
+    immunization: Immunization
+    effects: Set[Immunization] = field(default_factory=set)
+    alignment: Optional[AlignmentResult] = None
+    mutated_run: Optional[RunResult] = None
+    mutation_hits: int = 0
+
+    @property
+    def is_effective(self) -> bool:
+        return self.immunization is not Immunization.NONE
+
+
+class ImpactAnalyzer:
+    """Runs mutated executions and classifies the behavioural difference."""
+
+    def __init__(
+        self,
+        environment: Optional[SystemEnvironment] = None,
+        aligner: Aligner = align_lcs,
+        max_steps: int = DEFAULT_BUDGET,
+    ) -> None:
+        self.environment = environment
+        self.aligner = aligner
+        self.max_steps = max_steps
+
+    def analyze(
+        self,
+        program: Program,
+        candidate: CandidateResource,
+        natural: Trace,
+        mechanisms: Iterable[Mechanism] = (Mechanism.SIMULATE_PRESENCE, Mechanism.ENFORCE_FAILURE),
+    ) -> List[ImpactOutcome]:
+        outcomes = []
+        for mechanism in mechanisms:
+            outcomes.append(self.analyze_mechanism(program, candidate, natural, mechanism))
+        return outcomes
+
+    def analyze_mechanism(
+        self,
+        program: Program,
+        candidate: CandidateResource,
+        natural: Trace,
+        mechanism: Mechanism,
+    ) -> ImpactOutcome:
+        mutation = ResourceMutation(candidate, mechanism)
+        mutated_run = run_sample(
+            program,
+            environment=self.environment,
+            interceptors=[mutation],
+            max_steps=self.max_steps,
+            record_instructions=False,
+        )
+        mutated = mutated_run.trace
+        alignment = self.aligner(mutated.api_calls, natural.api_calls)
+        effects = classify_deltas(natural, mutated, alignment)
+        return ImpactOutcome(
+            candidate=candidate,
+            mechanism=mechanism,
+            immunization=primary_immunization(effects),
+            effects=effects,
+            alignment=alignment,
+            mutated_run=mutated_run,
+            mutation_hits=mutation.hits,
+        )
+
+
+# ---------------------------------------------------------------------------
+# delta classification
+# ---------------------------------------------------------------------------
+
+#: Priority order for picking the headline immunization class.
+_PRIORITY = (
+    Immunization.FULL,
+    Immunization.TYPE_I_KERNEL,
+    Immunization.TYPE_II_NETWORK,
+    Immunization.TYPE_III_PERSISTENCE,
+    Immunization.TYPE_IV_INJECTION,
+)
+
+
+def primary_immunization(effects: Set[Immunization]) -> Immunization:
+    for effect in _PRIORITY:
+        if effect in effects:
+            return effect
+    return Immunization.NONE
+
+
+def classify_deltas(
+    natural: Trace, mutated: Trace, alignment: AlignmentResult
+) -> Set[Immunization]:
+    """Classify what the mutation disabled (paper §IV-B definitions)."""
+    effects: Set[Immunization] = set()
+    delta_n = alignment.delta_natural  # behaviour lost under mutation
+    delta_m = alignment.delta_mutated  # behaviour gained under mutation
+
+    if _terminated_early(natural, mutated, delta_m):
+        effects.add(Immunization.FULL)
+
+    if _has_kernel_injection(delta_n):
+        effects.add(Immunization.TYPE_I_KERNEL)
+
+    natural_net = _network_count(natural.api_calls)
+    mutated_net = _network_count(mutated.api_calls)
+    if natural_net >= 3 and mutated_net <= natural_net // 3:
+        effects.add(Immunization.TYPE_II_NETWORK)
+
+    if _has_persistence(delta_n):
+        effects.add(Immunization.TYPE_III_PERSISTENCE)
+
+    if _has_process_injection(delta_n):
+        effects.add(Immunization.TYPE_IV_INJECTION)
+
+    return effects
+
+
+def _terminated_early(natural: Trace, mutated: Trace, delta_m: Sequence[ApiCallEvent]) -> bool:
+    """Full immunization: the malware killed itself under mutation."""
+    if any(e.api in TERMINATION_APIS for e in delta_m):
+        return True
+    # Termination that the naive delta misses (same Caller-PC exit stub):
+    # the mutated run terminated while losing most of its behaviour.
+    if mutated.terminated and not natural.terminated:
+        return len(mutated.api_calls) < max(2, len(natural.api_calls) // 2)
+    return False
+
+
+def _has_kernel_injection(events: Sequence[ApiCallEvent]) -> bool:
+    for event in events:
+        if event.api == "NtLoadDriver":
+            return True
+        if event.extra.get("kernel_driver"):
+            return True
+        if (
+            event.resource_type is ResourceType.FILE
+            and event.operation in (Operation.CREATE, Operation.WRITE)
+            and (event.identifier or "").lower().endswith(".sys")
+        ):
+            return True
+    return False
+
+
+def _network_count(events: Sequence[ApiCallEvent]) -> int:
+    return sum(1 for e in events if e.api in NETWORK_APIS)
+
+
+def _has_persistence(events: Sequence[ApiCallEvent]) -> bool:
+    for event in events:
+        identifier = (event.identifier or "").lower()
+        if event.resource_type is ResourceType.REGISTRY and is_persistence_key(identifier):
+            if event.operation in (Operation.WRITE, Operation.CREATE, Operation.DELETE):
+                return True
+        if event.resource_type is ResourceType.FILE and event.operation in (
+            Operation.CREATE,
+            Operation.WRITE,
+        ):
+            if identifier.startswith(STARTUP_FOLDER) or identifier == SYSTEM_INI:
+                return True
+        if event.api == "CreateServiceA" and not event.extra.get("kernel_driver"):
+            return True
+        if event.resource_type is ResourceType.REGISTRY and "winlogon" in identifier:
+            return True
+    return False
+
+
+def _has_process_injection(events: Sequence[ApiCallEvent]) -> bool:
+    standard = set(STANDARD_PROCESSES)
+    for event in events:
+        if event.api not in INJECTION_APIS:
+            continue
+        target = str(event.extra.get("target_process") or event.identifier or "").lower()
+        if target in standard:
+            return True
+    return False

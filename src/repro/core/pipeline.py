@@ -1,0 +1,297 @@
+"""The end-to-end AUTOVAC pipeline (paper Figure 1).
+
+``AutoVac.analyze(program)`` runs:
+
+1. **Phase I** candidate selection (profiling + taint),
+2. **Phase II** exclusiveness → impact (both mutation mechanisms) →
+   determinism (backward slicing) → optional clinic test,
+3. emits :class:`~repro.core.vaccine.Vaccine` objects ready for Phase III
+   delivery.
+
+``AutoVac.analyze_population`` maps the pipeline over a corpus and aggregates
+the statistics the paper reports (Tables IV/V, Figure 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.alignment import Aligner, align_lcs
+from ..search.engine import SearchEngine
+from ..vm.program import Program
+from ..winenv.environment import SystemEnvironment
+from .candidate import CandidateReport, CandidateResource, select_candidates
+from .clinic import ClinicReport, clinic_test
+from .determinism import DeterminismResult, analyze_determinism
+from .exclusiveness import ExclusivenessAnalyzer, ExclusivenessDecision
+from .impact import ImpactAnalyzer, ImpactOutcome
+from .runner import DEFAULT_BUDGET
+from .vaccine import IdentifierKind, Immunization, Mechanism, Vaccine
+
+
+@dataclass
+class SampleAnalysis:
+    """Everything the pipeline produced for one sample."""
+
+    program: Program
+    phase1: Optional[CandidateReport] = None
+    exclusiveness: List[ExclusivenessDecision] = field(default_factory=list)
+    impacts: List[ImpactOutcome] = field(default_factory=list)
+    determinism: Dict[str, DeterminismResult] = field(default_factory=dict)
+    vaccines: List[Vaccine] = field(default_factory=list)
+    clinic: Optional[ClinicReport] = None
+    filtered_reason: Optional[str] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def has_vaccines(self) -> bool:
+        return bool(self.vaccines)
+
+
+@dataclass
+class PopulationResult:
+    """Aggregate over a corpus run."""
+
+    analyses: List[SampleAnalysis] = field(default_factory=list)
+
+    @property
+    def vaccines(self) -> List[Vaccine]:
+        return [v for a in self.analyses for v in a.vaccines]
+
+    @property
+    def samples_with_vaccines(self) -> int:
+        return sum(1 for a in self.analyses if a.has_vaccines)
+
+    def count_by_resource_and_immunization(self) -> Dict[str, Dict[str, int]]:
+        """Paper Table IV: rows = resource type, columns = Full/Type I-IV."""
+        table: Dict[str, Dict[str, int]] = {}
+        for vaccine in self.vaccines:
+            row = table.setdefault(vaccine.resource_type.value, {})
+            col = vaccine.immunization.value
+            row[col] = row.get(col, 0) + 1
+        return table
+
+    def count_by_identifier_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for vaccine in self.vaccines:
+            counts[vaccine.identifier_kind.value] = (
+                counts.get(vaccine.identifier_kind.value, 0) + 1
+            )
+        return counts
+
+    def count_by_delivery(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for vaccine in self.vaccines:
+            counts[vaccine.delivery.value] = counts.get(vaccine.delivery.value, 0) + 1
+        return counts
+
+    def resource_operation_stats(self) -> Dict[str, Dict[str, int]]:
+        """Figure 3: resource-type x operation access counts over the
+        whole population's profiling runs."""
+        stats: Dict[str, Dict[str, int]] = {}
+        for analysis in self.analyses:
+            if analysis.phase1 is None:
+                continue
+            for rtype, per_op in analysis.phase1.trace.count_by_resource_operation().items():
+                row = stats.setdefault(rtype.value, {})
+                for op, count in per_op.items():
+                    row[op.value] = row.get(op.value, 0) + count
+        return stats
+
+    def occurrence_stats(self) -> Dict[str, int]:
+        """Phase-I §VI-B numbers: total resource-API occurrences and how
+        many influenced control flow (paper: 460,323 / 80.3%)."""
+        total = sum(a.phase1.total_occurrences for a in self.analyses if a.phase1)
+        influential = sum(
+            a.phase1.influential_occurrences for a in self.analyses if a.phase1
+        )
+        return {"total": total, "influential": influential}
+
+    def count_by_category_and_resource(self) -> Dict[str, Dict[str, int]]:
+        """Table V upper half: vaccine resource mix per malware category."""
+        table: Dict[str, Dict[str, int]] = {}
+        for analysis in self.analyses:
+            category = str(analysis.program.metadata.get("category", "unknown"))
+            for vaccine in analysis.vaccines:
+                row = table.setdefault(category, {})
+                key = vaccine.resource_type.value
+                row[key] = row.get(key, 0) + 1
+        return table
+
+    def count_by_category_and_delivery(self) -> Dict[str, Dict[str, int]]:
+        """Table V lower half: delivery mix per malware category."""
+        table: Dict[str, Dict[str, int]] = {}
+        for analysis in self.analyses:
+            category = str(analysis.program.metadata.get("category", "unknown"))
+            for vaccine in analysis.vaccines:
+                row = table.setdefault(category, {})
+                key = vaccine.delivery.value
+                row[key] = row.get(key, 0) + 1
+        return table
+
+
+class AutoVac:
+    """The AUTOVAC analysis system.
+
+    Parameters mirror the paper's setup: a pristine analysis machine, the
+    search engine for exclusiveness, the trace aligner, and the profiling
+    budget (1-minute analogue).  ``exclusiveness_enabled`` and
+    ``run_clinic`` exist for the ablation benches.
+    """
+
+    def __init__(
+        self,
+        environment: Optional[SystemEnvironment] = None,
+        search_engine: Optional[SearchEngine] = None,
+        aligner: Aligner = align_lcs,
+        profile_budget: int = DEFAULT_BUDGET,
+        clinic_programs: Sequence[Program] = (),
+        validate_replay: bool = True,
+        exclusiveness_enabled: bool = True,
+        run_clinic: bool = False,
+        explore_paths: bool = False,
+    ) -> None:
+        self.environment = environment if environment is not None else SystemEnvironment()
+        self.exclusiveness = ExclusivenessAnalyzer(search=search_engine or SearchEngine())
+        self.impact = ImpactAnalyzer(
+            environment=self.environment, aligner=aligner, max_steps=profile_budget
+        )
+        self.profile_budget = profile_budget
+        self.clinic_programs = list(clinic_programs)
+        self.validate_replay = validate_replay
+        self.exclusiveness_enabled = exclusiveness_enabled
+        self.run_clinic = run_clinic
+        #: Enforced execution (§VIII): flip resource-check outcomes to find
+        #: candidates on dormant paths before Phase II.
+        self.explore_paths = explore_paths
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, program: Program) -> SampleAnalysis:
+        analysis = SampleAnalysis(program=program)
+
+        started = time.perf_counter()
+        phase1 = select_candidates(
+            program, environment=self.environment, max_steps=self.profile_budget
+        )
+        analysis.phase1 = phase1
+        analysis.timings["phase1"] = time.perf_counter() - started
+
+        if not phase1.has_vaccine_potential:
+            analysis.filtered_reason = "no resource-dependent branch (Phase I filter)"
+            return analysis
+
+        candidates = [
+            c for c in phase1.candidates if c.influences_control_flow or c.had_failure
+        ]
+
+        if self.explore_paths:
+            started = time.perf_counter()
+            from ..analysis.forced_execution import explore_resource_paths
+
+            exploration = explore_resource_paths(
+                program, environment=self.environment, max_steps=self.profile_budget
+            )
+            candidates.extend(exploration.discovered)
+            analysis.timings["exploration"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        if self.exclusiveness_enabled:
+            analysis.exclusiveness = self.exclusiveness.filter(candidates)
+            candidates = [d.candidate for d in analysis.exclusiveness if d.exclusive]
+        analysis.timings["exclusiveness"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for candidate in candidates:
+            analysis.impacts.extend(
+                self.impact.analyze(program, candidate, phase1.trace)
+            )
+        analysis.timings["impact"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        built: Dict[tuple, Vaccine] = {}
+        ordered = sorted(
+            (o for o in analysis.impacts if o.is_effective),
+            key=lambda o: o.mechanism is not Mechanism.SIMULATE_PRESENCE,
+        )
+        for outcome in ordered:
+            vaccine = self._build_vaccine(program, phase1, outcome, analysis)
+            if vaccine is None:
+                continue
+            # Both mutation directions of a create-checked resource deploy as
+            # the same artifact (a locked marker); keep one per effect.
+            key = (vaccine.resource_type, vaccine.identifier, vaccine.immunization)
+            if key not in built:
+                built[key] = vaccine
+        analysis.vaccines = list(built.values())
+        analysis.timings["determinism"] = time.perf_counter() - started
+
+        if self.run_clinic and analysis.vaccines and self.clinic_programs:
+            started = time.perf_counter()
+            analysis.clinic = clinic_test(
+                analysis.vaccines, self.clinic_programs, environment=self.environment
+            )
+            analysis.vaccines = list(analysis.clinic.passed)
+            analysis.timings["clinic"] = time.perf_counter() - started
+
+        return analysis
+
+    def analyze_population(self, programs: Iterable[Program]) -> PopulationResult:
+        result = PopulationResult()
+        for program in programs:
+            result.analyses.append(self.analyze(program))
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _build_vaccine(
+        self,
+        program: Program,
+        phase1: CandidateReport,
+        outcome: ImpactOutcome,
+        analysis: SampleAnalysis,
+    ) -> Optional[Vaccine]:
+        candidate = outcome.candidate
+        event = self._representative_event(phase1, candidate)
+        if event is None:
+            return None
+
+        det_key = f"{candidate.resource_type.value}:{candidate.identifier}"
+        det = analysis.determinism.get(det_key)
+        if det is None:
+            det = analyze_determinism(
+                program, phase1.run, event, validate_replay=self.validate_replay
+            )
+            analysis.determinism[det_key] = det
+
+        if det.kind is IdentifierKind.NON_DETERMINISTIC:
+            return None
+
+        return Vaccine(
+            malware=program.name,
+            resource_type=candidate.resource_type,
+            identifier=candidate.identifier,
+            identifier_kind=det.kind,
+            mechanism=outcome.mechanism,
+            immunization=outcome.immunization,
+            operations=frozenset(candidate.operations),
+            pattern=det.pattern,
+            slice=det.slice,
+            apis=tuple(sorted(candidate.apis)),
+            notes=det.notes,
+        )
+
+    @staticmethod
+    def _representative_event(phase1: CandidateReport, candidate: CandidateResource):
+        """Pick the name-carrying event for determinism analysis."""
+        ids = set(candidate.event_ids)
+        best = None
+        for event in phase1.trace.api_calls:
+            if event.event_id not in ids:
+                continue
+            if event.identifier_taints is not None:
+                return event
+            best = best or event
+        return best

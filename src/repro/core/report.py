@@ -1,0 +1,112 @@
+"""Human-readable analysis reports (markdown).
+
+Renders a :class:`~repro.core.pipeline.SampleAnalysis` the way an analyst
+would publish it: profiling summary, candidate decisions, extracted vaccines
+with deployment guidance, timings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .pipeline import SampleAnalysis
+from .vaccine import DeliveryKind, IdentifierKind
+
+
+def render_report(analysis: SampleAnalysis, title: Optional[str] = None) -> str:
+    program = analysis.program
+    lines: List[str] = []
+    push = lines.append
+
+    push(f"# {title or f'AUTOVAC analysis: {program.name}'}")
+    push("")
+    meta = program.metadata
+    if meta:
+        facts = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()) if k != "markers")
+        push(f"*Sample metadata:* {facts}")
+        push("")
+
+    if analysis.filtered_reason:
+        push(f"**Filtered in Phase I** — {analysis.filtered_reason}.")
+        push("")
+        return "\n".join(lines)
+
+    phase1 = analysis.phase1
+    push("## Phase I — profiling")
+    push("")
+    push(f"* exit: `{phase1.trace.exit_status}` after {phase1.trace.steps} steps")
+    push(f"* resource-API occurrences: {phase1.total_occurrences} "
+         f"({phase1.influential_occurrences} influence control flow)")
+    push(f"* tainted predicates: {len(phase1.trace.predicates)}")
+    push(f"* candidate resources: {len(phase1.candidates)}")
+    push("")
+
+    if analysis.exclusiveness:
+        push("## Phase II — exclusiveness decisions")
+        push("")
+        push("| resource | identifier | exclusive | reason |")
+        push("|---|---|---|---|")
+        for decision in analysis.exclusiveness:
+            c = decision.candidate
+            mark = "yes" if decision.exclusive else "no"
+            push(f"| {c.resource_type.value} | `{c.identifier}` | {mark} | {decision.reason} |")
+        push("")
+
+    push("## Vaccines")
+    push("")
+    if not analysis.vaccines:
+        push("_No deployable vaccines: every candidate failed impact or "
+             "determinism analysis._")
+        push("")
+    for i, vaccine in enumerate(analysis.vaccines, 1):
+        push(f"### {i}. {vaccine.resource_type.value} `{vaccine.identifier}`")
+        push("")
+        push(f"* immunization: **{vaccine.immunization.value}**")
+        push(f"* identifier kind: {vaccine.identifier_kind.value}")
+        push(f"* mechanism: {vaccine.mechanism.value}")
+        push(f"* delivery: {vaccine.delivery.value}")
+        if vaccine.operations:
+            push(f"* operations observed: {', '.join(sorted(o.value for o in vaccine.operations))}")
+        if vaccine.pattern:
+            push(f"* daemon match pattern: `{vaccine.pattern}`")
+        if vaccine.slice is not None:
+            push(f"* generation slice: {len(vaccine.slice)} steps, "
+                 f"inputs {', '.join(vaccine.slice.env_inputs) or 'none'}, "
+                 f"re-execution={'yes' if vaccine.slice.requires_reexecution else 'no'}")
+        if vaccine.bdr is not None:
+            push(f"* measured BDR: {vaccine.bdr:.0%}")
+        push(f"* deployment: {_deployment_hint(vaccine)}")
+        if vaccine.notes:
+            push(f"* notes: {vaccine.notes}")
+        push("")
+
+    if analysis.clinic is not None:
+        push("## Clinic test")
+        push("")
+        push(f"* benign programs: {analysis.clinic.programs_tested}")
+        push(f"* incidents: {len(analysis.clinic.incidents)}")
+        push(f"* vaccines passed: {len(analysis.clinic.passed)}")
+        push("")
+
+    if analysis.timings:
+        push("## Timings")
+        push("")
+        for phase, seconds in analysis.timings.items():
+            push(f"* {phase}: {seconds * 1000:.1f} ms")
+        push("")
+
+    return "\n".join(lines)
+
+
+def _deployment_hint(vaccine) -> str:
+    if vaccine.delivery is DeliveryKind.DIRECT_INJECTION:
+        from .vaccine import Mechanism
+
+        if vaccine.mechanism is Mechanism.SIMULATE_PRESENCE:
+            return ("create the marker once, owned by a super user, "
+                    "read-only for everyone else")
+        return "plant a locked decoy (or remove the resource) once"
+    if vaccine.identifier_kind is IdentifierKind.ALGORITHM_DETERMINISTIC:
+        return ("daemon replays the generation slice per host and injects "
+                "the computed marker; re-run when machine identity changes")
+    return "daemon intercepts matching resource accesses at runtime"

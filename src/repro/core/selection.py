@@ -1,0 +1,124 @@
+"""Vaccine set selection.
+
+The paper (§II-A): "an ideal malware vaccine is those with full immunization
+and one-time direct injection.  However, other types of vaccines are also
+useful."  A sample often yields several vaccines; deployments want a small,
+cheap, maximally-effective subset.  This module scores vaccines along the
+paper's taxonomy axes and picks a minimal set that preserves coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .vaccine import DeliveryKind, IdentifierKind, Immunization, Vaccine
+
+#: Immunization value: full stops everything; partials ranked by how much of
+#: the malware lifecycle they remove (paper's discussion order).
+_IMMUNIZATION_SCORE = {
+    Immunization.FULL: 100,
+    Immunization.TYPE_I_KERNEL: 40,
+    Immunization.TYPE_II_NETWORK: 35,
+    Immunization.TYPE_III_PERSISTENCE: 30,
+    Immunization.TYPE_IV_INJECTION: 25,
+    Immunization.NONE: 0,
+}
+
+#: Deployment cost preference: one-time injection beats a resident daemon.
+_DELIVERY_SCORE = {
+    DeliveryKind.DIRECT_INJECTION: 20,
+    DeliveryKind.DAEMON: 5,
+}
+
+#: Identifier robustness: static names are simplest to reproduce; slices
+#: still deterministic; regexes risk over-matching.
+_KIND_SCORE = {
+    IdentifierKind.STATIC: 15,
+    IdentifierKind.ALGORITHM_DETERMINISTIC: 10,
+    IdentifierKind.PARTIAL_STATIC: 6,
+    IdentifierKind.NON_DETERMINISTIC: 0,
+}
+
+
+def score(vaccine: Vaccine) -> int:
+    """Higher is better; BDR (when measured) is a tiebreaker."""
+    value = (
+        _IMMUNIZATION_SCORE[vaccine.immunization]
+        + _DELIVERY_SCORE[vaccine.delivery]
+        + _KIND_SCORE[vaccine.identifier_kind]
+    )
+    if vaccine.bdr is not None:
+        value += int(10 * vaccine.bdr)
+    return value
+
+
+def rank(vaccines: Iterable[Vaccine]) -> List[Vaccine]:
+    """Best-first ordering."""
+    return sorted(vaccines, key=score, reverse=True)
+
+
+@dataclass
+class SelectionResult:
+    selected: List[Vaccine] = field(default_factory=list)
+    dropped: List[Vaccine] = field(default_factory=list)
+    #: immunization classes covered per malware sample.
+    coverage: Dict[str, Set[Immunization]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+
+def select_minimal(vaccines: Sequence[Vaccine]) -> SelectionResult:
+    """Per malware: keep the best full-immunization vaccine if one exists;
+    otherwise keep the best vaccine of each partial class.
+
+    Redundant vaccines (same sample, effect already covered by a
+    better-scored vaccine) are dropped — they can still ship as backups for
+    variant robustness (see :func:`select_with_backups`).
+    """
+    result = SelectionResult()
+    by_malware: Dict[str, List[Vaccine]] = {}
+    for vaccine in vaccines:
+        by_malware.setdefault(vaccine.malware, []).append(vaccine)
+
+    for malware, group in sorted(by_malware.items()):
+        ordered = rank(group)
+        covered: Set[Immunization] = set()
+        for vaccine in ordered:
+            if Immunization.FULL in covered:
+                result.dropped.append(vaccine)
+                continue
+            if vaccine.immunization in covered:
+                result.dropped.append(vaccine)
+                continue
+            covered.add(vaccine.immunization)
+            result.selected.append(vaccine)
+        result.coverage[malware] = covered
+    return result
+
+
+def select_with_backups(
+    vaccines: Sequence[Vaccine], backups_per_sample: int = 1
+) -> SelectionResult:
+    """Minimal set plus up to N backup vaccines per sample.
+
+    The paper's Table-VII finding motivates backups: "even some may not be
+    effective for all variants, the combination of these vaccines can still
+    achieve satisfiable results".
+    """
+    minimal = select_minimal(vaccines)
+    if backups_per_sample <= 0:
+        return minimal
+    taken = {id(v) for v in minimal.selected}
+    extra_per_sample: Dict[str, int] = {}
+    still_dropped: List[Vaccine] = []
+    for vaccine in rank(minimal.dropped):
+        used = extra_per_sample.get(vaccine.malware, 0)
+        if used < backups_per_sample and id(vaccine) not in taken:
+            minimal.selected.append(vaccine)
+            extra_per_sample[vaccine.malware] = used + 1
+        else:
+            still_dropped.append(vaccine)
+    minimal.dropped = still_dropped
+    return minimal

@@ -1,0 +1,150 @@
+"""Vaccine model and taxonomy (paper §II-A).
+
+A vaccine is a specific system resource (plus how to manipulate it) that
+immunizes a machine against one malware sample.  The taxonomy axes:
+
+* **identifier kind** — static / partial static / algorithm-deterministic
+  (non-deterministic identifiers are discarded);
+* **immunization effect** — full, or partial Types I–IV;
+* **mechanism** — simulate the resource's presence vs enforce failure of the
+  malware's access;
+* **delivery** — one-time direct injection vs vaccine daemon.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..taint.slicing import VaccineSlice
+from ..winenv.filesystem import normalize_path
+from ..winenv.objects import Operation, ResourceType
+from ..winenv.registry import normalize_key
+
+
+class IdentifierKind(enum.Enum):
+    STATIC = "static"
+    PARTIAL_STATIC = "partial_static"
+    ALGORITHM_DETERMINISTIC = "algorithm_deterministic"
+    NON_DETERMINISTIC = "non_deterministic"
+
+
+class Immunization(enum.Enum):
+    FULL = "full"
+    TYPE_I_KERNEL = "disable_kernel_injection"
+    TYPE_II_NETWORK = "disable_massive_network"
+    TYPE_III_PERSISTENCE = "disable_persistence"
+    TYPE_IV_INJECTION = "disable_process_injection"
+    NONE = "none"
+
+    @property
+    def is_partial(self) -> bool:
+        return self not in (Immunization.FULL, Immunization.NONE)
+
+
+class Mechanism(enum.Enum):
+    """How the vaccine flips the malware's resource check."""
+
+    SIMULATE_PRESENCE = "simulate_presence"   # make the check find the marker
+    ENFORCE_FAILURE = "enforce_failure"       # make the access fail
+
+
+class DeliveryKind(enum.Enum):
+    DIRECT_INJECTION = "direct_injection"
+    DAEMON = "daemon"
+
+
+def normalize_identifier(rtype: ResourceType, identifier: str) -> str:
+    """Canonical identifier form per resource type."""
+    if rtype is ResourceType.FILE:
+        return normalize_path(identifier)
+    if rtype is ResourceType.REGISTRY:
+        return normalize_key(identifier)
+    if rtype in (ResourceType.SERVICE, ResourceType.LIBRARY, ResourceType.PROCESS):
+        return identifier.lower()
+    return identifier  # mutex / window names are case-sensitive
+
+
+@dataclass
+class Vaccine:
+    """A generated vaccine for one (malware, resource) pair."""
+
+    malware: str
+    resource_type: ResourceType
+    identifier: str
+    identifier_kind: IdentifierKind
+    mechanism: Mechanism
+    immunization: Immunization
+    operations: FrozenSet[Operation] = frozenset()
+    #: Regex (anchored) for partial-static identifiers.
+    pattern: Optional[str] = None
+    #: Replayable generation slice for algorithm-deterministic identifiers.
+    slice: Optional[VaccineSlice] = None
+    #: APIs through which the malware touched the resource.
+    apis: Tuple[str, ...] = ()
+    #: Behaviour decreasing ratio measured during validation (§VI-E).
+    bdr: Optional[float] = None
+    notes: str = ""
+
+    @property
+    def delivery(self) -> DeliveryKind:
+        """Deployment route (paper §V): static identifiers are injected
+        directly; partial-static and algorithm-deterministic ones need the
+        daemon — except an ENFORCE_FAILURE on files/registry, which direct
+        injection handles by planting an access-locked decoy resource."""
+        if self.resource_type is ResourceType.PROCESS:
+            return DeliveryKind.DAEMON
+        if self.identifier_kind is IdentifierKind.STATIC:
+            if self.mechanism is Mechanism.SIMULATE_PRESENCE:
+                return DeliveryKind.DIRECT_INJECTION
+            if self.resource_type in (ResourceType.FILE, ResourceType.REGISTRY):
+                return DeliveryKind.DIRECT_INJECTION
+            return DeliveryKind.DAEMON
+        return DeliveryKind.DAEMON
+
+    @property
+    def is_full_immunization(self) -> bool:
+        return self.immunization is Immunization.FULL
+
+    def describe(self) -> str:
+        return (
+            f"[{self.malware}] {self.resource_type.value}:{self.identifier!r} "
+            f"{self.identifier_kind.value}/{self.mechanism.value} -> "
+            f"{self.immunization.value} ({self.delivery.value})"
+        )
+
+    # -- serialization (delivery packages) ---------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "malware": self.malware,
+            "resource_type": self.resource_type.value,
+            "identifier": self.identifier,
+            "identifier_kind": self.identifier_kind.value,
+            "mechanism": self.mechanism.value,
+            "immunization": self.immunization.value,
+            "operations": sorted(op.value for op in self.operations),
+            "pattern": self.pattern,
+            "slice": self.slice.to_dict() if self.slice else None,
+            "apis": list(self.apis),
+            "bdr": self.bdr,
+            "notes": self.notes,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Vaccine":
+        return Vaccine(
+            malware=data["malware"],
+            resource_type=ResourceType(data["resource_type"]),
+            identifier=data["identifier"],
+            identifier_kind=IdentifierKind(data["identifier_kind"]),
+            mechanism=Mechanism(data["mechanism"]),
+            immunization=Immunization(data["immunization"]),
+            operations=frozenset(Operation(o) for o in data.get("operations", [])),
+            pattern=data.get("pattern"),
+            slice=VaccineSlice.from_dict(data["slice"]) if data.get("slice") else None,
+            apis=tuple(data.get("apis", ())),
+            bdr=data.get("bdr"),
+            notes=data.get("notes", ""),
+        )

@@ -1,0 +1,45 @@
+"""Synthetic corpus: named malware families, a seeded population generator,
+polymorphic variants, benign software, and evasion samples."""
+
+from .benign import benign_suite
+from .builder import AsmBuilder, asm_string
+from .evasive import build_control_dependence_evader, build_index_launder_evader
+from .families import FAMILIES, all_families, build_family
+from .families.rustock import build as build_rustock
+from .families.targeted import (
+    build as build_targeted_apt,
+    prepare_target_environment,
+)
+from .generator import (
+    CATEGORY_WEIGHTS,
+    GeneratedSample,
+    GeneratorConfig,
+    category_distribution,
+    generate_population,
+    generate_sample,
+)
+from .variants import TABLE_VII_EXPECTED, VariantSet, all_variant_sets, build_variant_set
+
+__all__ = [
+    "AsmBuilder",
+    "CATEGORY_WEIGHTS",
+    "FAMILIES",
+    "GeneratedSample",
+    "GeneratorConfig",
+    "TABLE_VII_EXPECTED",
+    "VariantSet",
+    "all_families",
+    "all_variant_sets",
+    "asm_string",
+    "benign_suite",
+    "build_control_dependence_evader",
+    "build_index_launder_evader",
+    "build_family",
+    "build_rustock",
+    "build_targeted_apt",
+    "prepare_target_environment",
+    "build_variant_set",
+    "category_distribution",
+    "generate_population",
+    "generate_sample",
+]

@@ -1,0 +1,215 @@
+"""Benign software corpus.
+
+Used by the exclusiveness analysis (their resources appear in the offline
+search corpus) and by the malware clinic test (§IV-D): browsers, office
+tools, AV updaters, media players — each a real guest program whose normal
+behaviour must survive vaccination unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..vm.program import Program
+from .builder import AsmBuilder, frag_beacon, frag_create_mutex, frag_load_library
+
+
+def build_browser() -> Program:
+    """Single-instance browser: mutex + window class + networking."""
+    b = AsmBuilder("benign_browser")
+    focus = b.unique("focus")
+    b.call("FindWindowA", b.string("BrowserMainWnd"), "0")
+    b.emit("    test eax, eax", f"    jnz {focus}")
+    frag_create_mutex(b, "BrowserSingletonMtx")
+    b.call("RegisterClassA", b.string("BrowserMainWnd"))
+    b.call("CreateWindowExA", b.string("BrowserMainWnd"), b.string("Browser"), "0")
+    frag_load_library(b, "ws2_32.dll")
+    frag_beacon(b, "cdn.example.com", rounds=2, payload="GET /")
+    b.label(focus)
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="browser")
+
+
+def build_office() -> Program:
+    """Office quickstart applet: tray window, settings registry key."""
+    b = AsmBuilder("benign_office")
+    frag_create_mutex(b, "OfficeQuickstartMutex")
+    b.call("RegisterClassA", b.string("OfficeTrayWnd"))
+    b.call("CreateWindowExA", b.string("OfficeTrayWnd"), b.string("Office"), "0")
+    hkey = b.dword(0)
+    b.call(
+        "RegCreateKeyExA", "0x80000001",
+        b.string("software\\officetools\\quickstart"), "0", "0xF003F", hkey,
+    )
+    b.call(
+        "RegSetValueExA", f"[{hkey}]", b.string("lastrun"), "0", "1",
+        b.string("today"), "6",
+    )
+    b.call("RegCloseKey", f"[{hkey}]")
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="office")
+
+
+def build_av_updater() -> Program:
+    """AV updater: state file in system32, update-server traffic."""
+    b = AsmBuilder("benign_avupdate")
+    state = b.string("c:\\windows\\system32\\avstate.dat")
+    buf = b.buffer(64)
+    read = b.buffer(4)
+    hvar = b.dword(0)
+    retry = b.unique("fresh")
+    b.call("CreateFileA", state, "0x80000000", "0", "0", "3", "0", "0")
+    b.emit("    cmp eax, 0xFFFFFFFF", f"    je {retry}")
+    b.emit(f"    mov [{hvar}], eax")
+    b.call("ReadFile", f"[{hvar}]", buf, "32", read, "0")
+    b.call("CloseHandle", f"[{hvar}]")
+    b.label(retry)
+    b.call("CreateFileA", state, "0x40000000", "0", "0", "2", "0", "0")
+    b.emit(f"    mov [{hvar}], eax")
+    b.call("WriteFile", f"[{hvar}]", b.string("sigs:12345"), "10", read, "0")
+    b.call("CloseHandle", f"[{hvar}]")
+    frag_beacon(b, "update.example-av.com", rounds=2, payload="GET /sigs")
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="av")
+
+
+def build_media_player() -> Program:
+    """Media player: codec library plus a playback lock mutex."""
+    b = AsmBuilder("benign_media")
+    fallback = b.unique("nocodec")
+    b.call("LoadLibraryA", b.string("codec.dll"))
+    b.emit("    test eax, eax", f"    jz {fallback}")
+    b.label(fallback)
+    frag_create_mutex(b, "mplayer_lock")
+    frag_load_library(b, "uxtheme.dll")
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="media")
+
+
+def build_messenger() -> Program:
+    """IM client: log file in temp, main window, DNS."""
+    b = AsmBuilder("benign_messenger")
+    log = b.string("c:\\windows\\temp\\imlog.txt")
+    written = b.buffer(4)
+    hvar = b.dword(0)
+    b.call("CreateFileA", log, "0x40000000", "0", "0", "2", "0", "0")
+    b.emit(f"    mov [{hvar}], eax")
+    b.call("WriteFile", f"[{hvar}]", b.string("signed in"), "9", written, "0")
+    b.call("CloseHandle", f"[{hvar}]")
+    b.call("RegisterClassA", b.string("IMMainWindow"))
+    b.call("CreateWindowExA", b.string("IMMainWindow"), b.string("IM"), "0")
+    b.call("gethostbyname", b.string("cdn.example.com"))
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="im")
+
+
+def build_backup_tool() -> Program:
+    """Backup utility: reads registry config, copies files, writes archives."""
+    b = AsmBuilder("benign_backup")
+    hkey = b.dword(0)
+    b.call("RegCreateKeyExA", "0x80000001", b.string("software\\backuptool"),
+           "0", "0xF003F", hkey)
+    b.call("RegSetValueExA", f"[{hkey}]", b.string("lastbackup"), "0", "1",
+           b.string("ok"), "3")
+    b.call("RegCloseKey", f"[{hkey}]")
+    arch = b.string("c:\\windows\\temp\\backup.arc")
+    written = b.buffer(4)
+    h = b.dword(0)
+    b.call("CreateFileA", arch, "0x40000000", "0", "0", "2", "0", "0")
+    b.emit(f"    mov [{h}], eax")
+    b.call("WriteFile", f"[{h}]", b.string("ARCHIVE"), "7", written, "0")
+    b.call("CloseHandle", f"[{h}]")
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="backup")
+
+
+def build_registry_cleaner() -> Program:
+    """Registry cleaner: enumerates Run-key values and subkeys (read-only)."""
+    b = AsmBuilder("benign_regclean")
+    hkey = b.dword(0)
+    name = b.buffer(64)
+    b.call("RegOpenKeyExA", "0x80000002",
+           b.string("software\\microsoft\\windows\\currentversion\\run"),
+           "0", "0x20019", hkey)
+    skip = b.unique("L")
+    b.emit("    test eax, eax", f"    jnz {skip}")
+    b.emit("    xor esi, esi")
+    loop = b.label(b.unique("enum"))
+    b.call("RegEnumValueA", f"[{hkey}]", "esi", name, "64")
+    done = b.unique("L")
+    b.emit("    test eax, eax", f"    jnz {done}",
+           "    inc esi", f"    jmp {loop}")
+    b.label(done)
+    b.call("RegCloseKey", f"[{hkey}]")
+    b.label(skip)
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="regclean")
+
+
+def build_download_manager() -> Program:
+    """Download manager: resolves hosts, downloads to temp, single instance
+    via a named file mapping."""
+    b = AsmBuilder("benign_dlm")
+    b.call("CreateFileMappingA", "0", "0", "4", "0", "0", b.string("DlmSingleton"))
+    b.call("gethostbyname", b.string("cdn.example.com"))
+    frag_download_helper(b)
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="dlm")
+
+
+def frag_download_helper(b: AsmBuilder) -> None:
+    from .builder import frag_download
+
+    frag_download(b, "http://cdn.example.com/file.zip",
+                  "c:\\windows\\temp\\file.zip")
+
+
+def build_task_monitor() -> Program:
+    """Task monitor: walks the process list read-only (Toolhelp)."""
+    b = AsmBuilder("benign_taskmon")
+    snap = b.dword(0)
+    entry = b.buffer(64)
+    b.call("CreateToolhelp32Snapshot", "2", "0")
+    b.emit(f"    mov [{snap}], eax")
+    b.call("Process32First", f"[{snap}]", entry)
+    loop = b.label(b.unique("walk"))
+    b.call("Process32Next", f"[{snap}]", entry)
+    done = b.unique("L")
+    b.emit("    test eax, eax", f"    jz {done}", f"    jmp {loop}")
+    b.label(done)
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="taskmon")
+
+
+def build_ide() -> Program:
+    """Development environment: loads libraries, spawns a compiler child."""
+    b = AsmBuilder("benign_ide")
+    frag_load_library(b, "msvcrt.dll")
+    frag_load_library(b, "kernel32.dll")
+    src = b.string("c:\\windows\\temp\\build.log")
+    written = b.buffer(4)
+    h = b.dword(0)
+    b.call("CreateFileA", src, "0x40000000", "0", "0", "2", "0", "0")
+    b.emit(f"    mov [{h}], eax")
+    b.call("WriteFile", f"[{h}]", b.string("built"), "5", written, "0")
+    b.call("CloseHandle", f"[{h}]")
+    frag_create_mutex(b, "IdeWorkspaceLock")
+    b.emit("    halt")
+    return b.build(family="benign", category="benign", kind="ide")
+
+
+def benign_suite() -> List[Program]:
+    """The clinic-test suite (paper: "over 40 benign software"; one per
+    category of behaviour here, each exercising the colliding APIs)."""
+    return [
+        build_browser(),
+        build_office(),
+        build_av_updater(),
+        build_media_player(),
+        build_messenger(),
+        build_backup_tool(),
+        build_registry_cleaner(),
+        build_download_manager(),
+        build_task_monitor(),
+        build_ide(),
+    ]

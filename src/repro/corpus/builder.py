@@ -1,0 +1,419 @@
+"""Assembly builder DSL for the synthetic corpus.
+
+Malware/benign samples are real guest programs assembled from reusable
+behaviour fragments (infection-marker checks, droppers, persistence writers,
+C&C beacons, process injection …).  The fragments emit the same API calling
+sequences the paper observes in the wild, so the pipeline sees realistic
+traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ..vm.assembler import assemble
+from ..vm.program import Program
+
+GENERIC_READ = 0x80000000
+GENERIC_WRITE = 0x40000000
+CREATE_NEW = 1
+CREATE_ALWAYS = 2
+OPEN_EXISTING = 3
+HKLM = 0x80000002
+HKCU = 0x80000001
+REG_SZ = 1
+MUTEX_ALL_ACCESS = 0x1F0001
+PROCESS_ALL_ACCESS = 0x1F0FFF
+
+
+def asm_string(text: str) -> str:
+    """Escape a Python string into an assembler string literal body."""
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+class AsmBuilder:
+    """Accumulates sections and emits an assembled :class:`Program`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._rdata: List[str] = []
+        self._data: List[str] = []
+        self._text: List[str] = []
+        self._strings: Dict[str, str] = {}
+        self._counter = itertools.count(1)
+        self.metadata: Dict[str, object] = {}
+
+    # -- data -----------------------------------------------------------------
+
+    def unique(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._counter)}"
+
+    def string(self, text: str, label: Optional[str] = None) -> str:
+        """Intern a NUL-terminated string in ``.rdata``; returns its label."""
+        if label is None:
+            if text in self._strings:
+                return self._strings[text]
+            label = self.unique("str")
+            self._strings[text] = label
+        self._rdata.append(f'{label}: .asciz "{asm_string(text)}"')
+        return label
+
+    def buffer(self, size: int, label: Optional[str] = None) -> str:
+        label = label or self.unique("buf")
+        self._data.append(f"{label}: .space {size}")
+        return label
+
+    def dword(self, value: int = 0, label: Optional[str] = None) -> str:
+        label = label or self.unique("var")
+        self._data.append(f"{label}: .dword {value}")
+        return label
+
+    # -- code ------------------------------------------------------------------
+
+    def emit(self, *lines: str) -> None:
+        self._text.extend(lines)
+
+    def label(self, name: Optional[str] = None) -> str:
+        name = name or self.unique("L")
+        self._text.append(f"{name}:")
+        return name
+
+    def comment(self, text: str) -> None:
+        self._text.append(f"    ; {text}")
+
+    def call(self, api: str, *args) -> None:
+        """Push ``args`` right-to-left (stdcall) and call the API.
+
+        Arguments are raw operand strings: labels, immediates, registers.
+        """
+        for arg in reversed(args):
+            self.emit(f"    push {arg}")
+        self.emit(f"    call @{api}")
+
+    def call_cdecl(self, api: str, *args) -> None:
+        for arg in reversed(args):
+            self.emit(f"    push {arg}")
+        self.emit(f"    call @{api}")
+        if args:
+            self.emit(f"    add esp, {4 * len(args)}")
+
+    # -- assembly ---------------------------------------------------------------
+
+    def source(self) -> str:
+        parts = []
+        if self._rdata:
+            parts.append(".section .rdata")
+            parts.extend(self._rdata)
+        if self._data:
+            parts.append(".section .data")
+            parts.extend(self._data)
+        parts.append(".section .text")
+        parts.append("main:")
+        parts.extend(self._text)
+        return "\n".join(parts) + "\n"
+
+    def build(self, **metadata) -> Program:
+        program = assemble(self.source(), name=self.name)
+        program.metadata.update(self.metadata)
+        program.metadata.update(metadata)
+        return program
+
+
+# ---------------------------------------------------------------------------
+# behaviour fragments
+# ---------------------------------------------------------------------------
+
+def frag_check_mutex_marker(b: AsmBuilder, mutex_name: str, on_infected: str) -> None:
+    """OpenMutex infection check: jump to ``on_infected`` when marker exists."""
+    name = b.string(mutex_name)
+    b.comment(f"duplicate-infection check on mutex {mutex_name!r}")
+    b.call("OpenMutexA", hex(MUTEX_ALL_ACCESS), "0", name)
+    b.emit("    test eax, eax", f"    jnz {on_infected}")
+
+
+def frag_check_mutex_marker_reg(b: AsmBuilder, name_reg_buffer: str, on_infected: str) -> None:
+    """Same check but the name comes from a buffer (computed identifier)."""
+    b.call("OpenMutexA", hex(MUTEX_ALL_ACCESS), "0", name_reg_buffer)
+    b.emit("    test eax, eax", f"    jnz {on_infected}")
+
+
+def frag_create_mutex(b: AsmBuilder, mutex_name: Optional[str] = None, buffer_label: Optional[str] = None) -> None:
+    operand = buffer_label if buffer_label is not None else b.string(mutex_name)
+    b.call("CreateMutexA", "0", "0", operand)
+
+
+def frag_exit(b: AsmBuilder, code: int = 0) -> None:
+    b.call("ExitProcess", str(code))
+
+
+def frag_check_file_marker(b: AsmBuilder, path: str, on_present: str) -> None:
+    name = b.string(path)
+    b.comment(f"file existence check {path!r}")
+    b.call("GetFileAttributesA", name)
+    b.emit("    cmp eax, 0xFFFFFFFF", f"    jne {on_present}")
+
+
+def frag_drop_file(
+    b: AsmBuilder,
+    path: str,
+    on_fail: str,
+    content: str = "MZpayload",
+    handle_var: Optional[str] = None,
+) -> str:
+    """CreateFile(CREATE_NEW) + WriteFile; jumps to ``on_fail`` if the file
+    already exists or access is denied (the Zeus sdra64.exe pattern)."""
+    name = b.string(path)
+    payload = b.string(content)
+    written = b.buffer(4)
+    hvar = handle_var or b.dword(0)
+    b.comment(f"drop payload file {path!r}")
+    b.call("CreateFileA", name, hex(GENERIC_WRITE), "0", "0", str(CREATE_NEW), "0", "0")
+    b.emit("    cmp eax, 0xFFFFFFFF", f"    je {on_fail}")
+    b.emit(f"    mov [{hvar}], eax")
+    b.call("WriteFile", f"[{hvar}]", payload, str(len(content)), written, "0")
+    b.emit("    test eax, eax", f"    jz {on_fail}")
+    b.call("CloseHandle", f"[{hvar}]")
+    return hvar
+
+
+def frag_read_config_file(b: AsmBuilder, path: str, on_missing: str, out_buffer: Optional[str] = None) -> str:
+    """Open + read a config file; branch when absent (targeted malware)."""
+    name = b.string(path)
+    out = out_buffer or b.buffer(64)
+    read = b.buffer(4)
+    hvar = b.dword(0)
+    b.call("CreateFileA", name, hex(GENERIC_READ), "0", "0", str(OPEN_EXISTING), "0", "0")
+    b.emit("    cmp eax, 0xFFFFFFFF", f"    je {on_missing}")
+    b.emit(f"    mov [{hvar}], eax")
+    b.call("ReadFile", f"[{hvar}]", out, "32", read, "0")
+    b.call("CloseHandle", f"[{hvar}]")
+    return out
+
+
+def frag_persist_run_key(b: AsmBuilder, value_name: str, exe_path: str, on_fail: Optional[str] = None) -> None:
+    """Write an autostart value under HKLM\\...\\Run (Type-III behaviour)."""
+    subkey = b.string("software\\microsoft\\windows\\currentversion\\run")
+    vname = b.string(value_name)
+    vdata = b.string(exe_path)
+    hkey = b.dword(0)
+    b.comment(f"persistence via Run key value {value_name!r}")
+    b.call("RegOpenKeyExA", hex(HKLM), subkey, "0", "0xF003F", hkey)
+    skip = b.unique("L")
+    b.emit("    test eax, eax", f"    jnz {skip}")
+    b.call(
+        "RegSetValueExA",
+        f"[{hkey}]", vname, "0", str(REG_SZ), vdata, str(len(exe_path) + 1),
+    )
+    if on_fail is not None:
+        b.emit("    test eax, eax", f"    jnz {on_fail}")
+    b.call("RegCloseKey", f"[{hkey}]")
+    b.label(skip)
+
+
+def frag_check_registry_marker(b: AsmBuilder, key_path: str, on_present: str) -> None:
+    """Infection marker as a registry key (Qakbot style)."""
+    # Split "hklm\..." into hive + subkey.
+    hive = HKLM if key_path.lower().startswith("hklm") else HKCU
+    subkey = key_path.split("\\", 1)[1]
+    label = b.string(subkey)
+    hkey = b.dword(0)
+    b.comment(f"registry marker check {key_path!r}")
+    b.call("RegOpenKeyExA", hex(hive), label, "0", "0x20019", hkey)
+    b.emit("    test eax, eax", f"    jz {on_present}")
+
+
+def frag_create_registry_marker(b: AsmBuilder, key_path: str) -> None:
+    hive = HKLM if key_path.lower().startswith("hklm") else HKCU
+    subkey = key_path.split("\\", 1)[1]
+    label = b.string(subkey)
+    hkey = b.dword(0)
+    b.call("RegCreateKeyExA", hex(hive), label, "0", "0xF003F", hkey)
+
+
+def frag_beacon(b: AsmBuilder, host: str, port: int = 80, rounds: int = 4, payload: str = "PING") -> None:
+    """C&C beacon loop: connect/send/recv ``rounds`` times (Type-II mass)."""
+    hostname = b.string(host)
+    msg = b.string(payload)
+    recv_buf = b.buffer(64)
+    sock = b.dword(0)
+    b.comment(f"C&C beacon to {host}:{port}")
+    b.emit(f"    mov edi, {rounds}")
+    loop = b.label(b.unique("beacon"))
+    b.call("socket", "2", "1", "6")
+    b.emit(f"    mov [{sock}], eax")
+    b.call("connect", f"[{sock}]", hostname, str(port))
+    skip = b.unique("L")
+    b.emit("    cmp eax, 0", f"    jne {skip}")
+    b.call("send", f"[{sock}]", msg, str(len(payload)), "0")
+    b.call("recv", f"[{sock}]", recv_buf, "32", "0")
+    b.label(skip)
+    b.call("closesocket", f"[{sock}]")
+    b.emit("    dec edi", f"    jnz {loop}")
+
+
+def frag_download(b: AsmBuilder, url: str, target_path: str) -> None:
+    u = b.string(url)
+    t = b.string(target_path)
+    b.call("URLDownloadToFileA", "0", u, t)
+
+
+def frag_inject_process(b: AsmBuilder, target: str, on_fail: Optional[str] = None) -> None:
+    """Benign-process injection (Type-IV): Find/Open/Write/CreateRemoteThread."""
+    name = b.string(target)
+    payload = b.string("INJECT")
+    hproc = b.dword(0)
+    b.comment(f"code injection into {target!r}")
+    b.call("FindProcessA", name)
+    skip = b.unique("L")
+    b.emit("    test eax, eax", f"    jz {on_fail or skip}")
+    b.call("OpenProcess", hex(PROCESS_ALL_ACCESS), "0", "eax")
+    b.emit("    test eax, eax", f"    jz {on_fail or skip}")
+    b.emit(f"    mov [{hproc}], eax")
+    b.call("VirtualAllocEx", f"[{hproc}]", "0", "0x1000", "0x3000", "0x40")
+    b.call("WriteProcessMemory", f"[{hproc}]", "eax", payload, "6", "0")
+    b.call("CreateRemoteThread", f"[{hproc}]", "0", "0", "0x7F000000", "0", "0", "0")
+    b.label(skip)
+
+
+def frag_install_driver(b: AsmBuilder, service_name: str, sys_path: str, on_fail: Optional[str] = None) -> None:
+    """Kernel-driver install (Type-I): drop .sys + SCM registration."""
+    scm = b.dword(0)
+    svc = b.dword(0)
+    name = b.string(service_name)
+    path = b.string(sys_path)
+    b.comment(f"kernel driver install {service_name!r} -> {sys_path!r}")
+    fail = on_fail or b.unique("L")
+    frag_drop_file(b, sys_path, fail, content="SYSDRIVERIMAGE")
+    b.call("OpenSCManagerA", "0", "0", "0xF003F")
+    b.emit("    test eax, eax", f"    jz {fail}")
+    b.emit(f"    mov [{scm}], eax")
+    b.call("CreateServiceA", f"[{scm}]", name, name, "1", "3", path)
+    b.emit("    test eax, eax", f"    jz {fail}")
+    b.emit(f"    mov [{svc}], eax")
+    b.call("StartServiceA", f"[{svc}]", "0", "0")
+    if on_fail is None:
+        b.label(fail)
+
+
+def frag_check_window(b: AsmBuilder, class_name: str, on_present: str) -> None:
+    name = b.string(class_name)
+    b.call("FindWindowA", name, "0")
+    b.emit("    test eax, eax", f"    jnz {on_present}")
+
+
+def frag_create_window(b: AsmBuilder, class_name: str, title: str = "ad") -> None:
+    cls = b.string(class_name)
+    ttl = b.string(title)
+    b.call("CreateWindowExA", cls, ttl, "0")
+
+
+def frag_load_library(b: AsmBuilder, dll: str, on_fail: Optional[str] = None) -> None:
+    name = b.string(dll)
+    b.call("LoadLibraryA", name)
+    if on_fail is not None:
+        b.emit("    test eax, eax", f"    jz {on_fail}")
+
+
+def frag_check_service(b: AsmBuilder, service: str, on_present: str) -> None:
+    scm = b.dword(0)
+    name = b.string(service)
+    b.call("OpenSCManagerA", "0", "0", "0xF003F")
+    b.emit(f"    mov [{scm}], eax")
+    b.call("OpenServiceA", f"[{scm}]", name, "0xF003F")
+    b.emit("    test eax, eax", f"    jnz {on_present}")
+
+
+def frag_computer_name_hash(
+    b: AsmBuilder,
+    out_buffer: str,
+    fmt: str = "Global\\%s-%x",
+    multiplier: int = 33,
+    seed: int = 0x1505,
+    mask: int = 0xFFFFFF,
+) -> None:
+    """Algorithm-deterministic identifier: djb2-style hash of the computer
+    name formatted into ``out_buffer`` (the Conficker-style generator).
+
+    Emits a data-dependent loop, so the extracted slice requires forced
+    re-execution on hosts with different name lengths.
+    """
+    name_buf = b.buffer(64)
+    fmt_label = b.string(fmt)
+    b.comment("algorithm-deterministic name from computer name")
+    b.call("GetComputerNameA", name_buf, "0")
+    b.emit(
+        "    xor esi, esi",
+        f"    mov ebx, {hex(seed)}",
+    )
+    loop = b.label(b.unique("hash"))
+    done = b.unique("hashdone")
+    b.emit(
+        "    xor eax, eax",
+        f"    movb eax, [{name_buf}+esi]",
+        "    test eax, eax",
+        f"    jz {done}",
+        f"    imul ebx, {multiplier}",
+        "    add ebx, eax",
+        "    inc esi",
+        f"    jmp {loop}",
+    )
+    b.label(done)
+    b.emit(f"    and ebx, {hex(mask)}")
+    if "%s" in fmt:
+        b.call_cdecl("wsprintfA", out_buffer, fmt_label, name_buf, "ebx")
+    else:
+        b.call_cdecl("wsprintfA", out_buffer, fmt_label, "ebx")
+
+
+def frag_random_name(b: AsmBuilder, out_buffer: str, fmt: str = "tmp%x") -> None:
+    """Non-deterministic identifier from GetTickCount."""
+    fmt_label = b.string(fmt)
+    b.call("GetTickCount")
+    b.call_cdecl("wsprintfA", out_buffer, fmt_label, "eax")
+
+
+def frag_partial_static_name(b: AsmBuilder, out_buffer: str, prefix_fmt: str = "WRM-%x-LOCK") -> None:
+    """Partial-static identifier: static skeleton around a random field."""
+    fmt_label = b.string(prefix_fmt)
+    b.call("GetTickCount")
+    b.emit("    and eax, 0xFFFF")
+    b.call_cdecl("wsprintfA", out_buffer, fmt_label, "eax")
+
+
+def frag_drop_and_load_library(b: AsmBuilder, dll_path: str, on_fail: str) -> None:
+    """Drop a component DLL then load it; failure of either skips the gated
+    payload (creates library-type vaccine candidates)."""
+    frag_drop_file(b, dll_path, on_fail, content="MZdll")
+    name = b.string(dll_path)
+    b.call("LoadLibraryA", name)
+    b.emit("    test eax, eax", f"    jz {on_fail}")
+
+
+def frag_c2_config_key(b: AsmBuilder, key_path: str, host: str, on_fail: str) -> str:
+    """Write then read back a C&C config registry value; a failed read-back
+    skips the network payload (enforce-failure -> Type II vaccine)."""
+    hive = HKLM if key_path.lower().startswith("hklm") else HKCU
+    subkey = key_path.split("\\", 1)[1]
+    klabel = b.string(subkey)
+    vname = b.string("srv")
+    vdata = b.string(host)
+    hkey = b.dword(0)
+    out = b.buffer(64)
+    sz = b.buffer(4)
+    b.comment(f"C&C config key {key_path!r}")
+    b.call("RegCreateKeyExA", hex(hive), klabel, "0", "0xF003F", hkey)
+    b.emit("    test eax, eax", f"    jnz {on_fail}")
+    b.call("RegSetValueExA", f"[{hkey}]", vname, "0", str(REG_SZ), vdata, str(len(host) + 1))
+    b.call("RegQueryValueExA", f"[{hkey}]", vname, "0", "0", out, sz)
+    b.emit("    test eax, eax", f"    jnz {on_fail}")
+    return out
+
+
+def frag_gated_persistence_file(b: AsmBuilder, flag_path: str, value_name: str, exe_path: str) -> None:
+    """Drop a flag file; only when it succeeds write the Run-key autostart.
+    Locking the flag path kills persistence only (Type III vaccine)."""
+    skip = b.unique("L")
+    frag_drop_file(b, flag_path, skip, content="flag")
+    frag_persist_run_key(b, value_name, exe_path)
+    b.label(skip)

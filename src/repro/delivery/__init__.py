@@ -1,0 +1,15 @@
+"""Phase III: vaccine delivery and deployment."""
+
+from .daemon import VaccineDaemon
+from .injection import DirectInjector, InjectionError, InjectionRecord
+from .package import Deployment, VaccinePackage, deploy
+
+__all__ = [
+    "Deployment",
+    "DirectInjector",
+    "InjectionError",
+    "InjectionRecord",
+    "VaccineDaemon",
+    "VaccinePackage",
+    "deploy",
+]

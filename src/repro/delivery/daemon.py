@@ -1,0 +1,150 @@
+"""Vaccine daemon — resident deployment (paper §V).
+
+Handles everything direct injection cannot:
+
+* **algorithm-deterministic** identifiers: on install the daemon replays the
+  generation slice against *this* host, obtains the concrete identifier, and
+  (for simulate-presence vaccines) direct-injects the computed marker — the
+  paper's Conficker deployment.  The daemon re-checks periodically whether
+  the machine inputs changed (``refresh()``).
+* **partial-static** identifiers: runtime API interception; any resolved
+  identifier matching the vaccine regex gets the predefined (failure/success)
+  result.
+* **static enforce-failure** on resources without lockable ACL semantics
+  (mutex, window, service, process): runtime interception by exact name.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.vaccine import IdentifierKind, Mechanism, Vaccine, normalize_identifier
+from ..taint.replay import SliceReplayError, replay_slice
+from ..tracing.events import ApiCallEvent
+from ..winapi.dispatcher import Interception
+from ..winapi.labels import ApiDef
+from ..winenv.environment import SystemEnvironment
+from ..winenv.objects import Operation
+
+
+@dataclass
+class _Rule:
+    """One active interception rule."""
+
+    vaccine: Vaccine
+    mechanism: Mechanism
+    exact: Optional[str] = None
+    pattern: Optional["re.Pattern[str]"] = None
+
+    def matches(self, identifier: str) -> bool:
+        if self.exact is not None and identifier == self.exact:
+            return True
+        return self.pattern is not None and self.pattern.match(identifier) is not None
+
+
+@dataclass
+class VaccineDaemon:
+    """Resident vaccine service for one machine.
+
+    Register with ``install(environment)``; the daemon adds itself to the
+    environment's global interceptors so every process dispatcher consults it.
+    """
+
+    vaccines: List[Vaccine] = field(default_factory=list)
+    rules: List[_Rule] = field(default_factory=list)
+    #: Per-host identifiers computed from slices at install time.
+    computed_identifiers: Dict[str, str] = field(default_factory=dict)
+    #: Interception counters (perf-overhead bench, §VI-F).
+    calls_seen: int = 0
+    calls_matched: int = 0
+    environment: Optional[SystemEnvironment] = None
+    #: Identity fingerprint used to detect input changes on refresh.
+    _identity_seen: Optional[tuple] = None
+
+    def install(self, environment: SystemEnvironment) -> None:
+        self.environment = environment
+        self._identity_seen = self._fingerprint(environment)
+        self.rules = []
+        for vaccine in self.vaccines:
+            self._activate(vaccine, environment)
+        if self not in environment.global_interceptors:
+            environment.global_interceptors.append(self)
+
+    def add(self, vaccine: Vaccine) -> None:
+        self.vaccines.append(vaccine)
+        if self.environment is not None:
+            self._activate(vaccine, self.environment)
+
+    def uninstall(self) -> None:
+        """Detach from the environment and drop all interception rules."""
+        if self.environment is not None and self in self.environment.global_interceptors:
+            self.environment.global_interceptors.remove(self)
+        self.rules = []
+
+    def refresh(self) -> bool:
+        """Periodic check: regenerate slice-derived vaccines if the machine
+        inputs (identity) changed.  Returns True when anything was redone."""
+        if self.environment is None:
+            return False
+        fingerprint = self._fingerprint(self.environment)
+        if fingerprint == self._identity_seen:
+            return False
+        self.install(self.environment)
+        return True
+
+    # -- installation ----------------------------------------------------------
+
+    def _activate(self, vaccine: Vaccine, environment: SystemEnvironment) -> None:
+        from .injection import DirectInjector, InjectionError
+
+        kind = vaccine.identifier_kind
+        if kind is IdentifierKind.ALGORITHM_DETERMINISTIC and vaccine.slice is not None:
+            try:
+                identifier = replay_slice(vaccine.slice, environment.clone())
+            except SliceReplayError:
+                identifier = vaccine.identifier  # fall back to observed value
+            self.computed_identifiers[vaccine.identifier] = identifier
+            if vaccine.mechanism is Mechanism.SIMULATE_PRESENCE:
+                try:
+                    DirectInjector(environment).inject(vaccine, identifier=identifier)
+                    return
+                except InjectionError:
+                    pass
+            self.rules.append(_Rule(vaccine, vaccine.mechanism, exact=identifier))
+            return
+
+        if kind is IdentifierKind.PARTIAL_STATIC and vaccine.pattern:
+            self.rules.append(
+                _Rule(vaccine, vaccine.mechanism, pattern=re.compile(vaccine.pattern))
+            )
+            return
+
+        # Static identifiers that reached the daemon (non-lockable resources).
+        self.rules.append(_Rule(vaccine, vaccine.mechanism, exact=vaccine.identifier))
+
+    # -- interception (hot path) ---------------------------------------------
+
+    def intercept(self, apidef: ApiDef, event: ApiCallEvent) -> Interception:
+        self.calls_seen += 1
+        if event.identifier is None or event.resource_type is None:
+            return Interception.PASS
+        identifier = normalize_identifier(event.resource_type, event.identifier)
+        for rule in self.rules:
+            if rule.vaccine.resource_type is not event.resource_type:
+                continue
+            if not rule.matches(identifier):
+                continue
+            self.calls_matched += 1
+            if rule.mechanism is Mechanism.ENFORCE_FAILURE:
+                return Interception.FORCE_FAIL
+            if event.operation is Operation.CREATE:
+                return Interception.FORCE_FAIL_EXISTS
+            return Interception.FORCE_SUCCESS
+        return Interception.PASS
+
+    @staticmethod
+    def _fingerprint(environment: SystemEnvironment) -> tuple:
+        identity = environment.identity
+        return (identity.computer_name, identity.user_name, identity.volume_serial)

@@ -1,0 +1,158 @@
+"""Direct injection — one-time vaccine deployment (paper §V).
+
+For *simulate presence* vaccines the resource is created (owned by a super
+user, locked read-only so malware cannot remove it); for *enforce failure*
+vaccines on files/registry a locked decoy is planted — or, when the malware
+only needed to read an existing resource, the resource is removed ("we remove
+the static file (or registry), or vice versa").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..winenv.acl import Acl, IntegrityLevel, vaccine_acl
+from ..winenv.environment import SystemEnvironment
+from ..winenv.objects import Operation, ResourceType
+from ..core.vaccine import Mechanism, Vaccine
+
+#: ACL for enforce-failure decoys: even READ denied below SYSTEM.
+_NO_ACCESS = Acl(owner_level=IntegrityLevel.SYSTEM, everyone=frozenset())
+
+
+class InjectionError(Exception):
+    """The vaccine cannot be deployed via direct injection."""
+
+
+@dataclass
+class InjectionRecord:
+    """What the injector did, for audit/uninstall."""
+
+    vaccine: Vaccine
+    action: str
+    identifier: str
+
+
+@dataclass
+class DirectInjector:
+    """Applies direct-injection vaccines to a SystemEnvironment."""
+
+    environment: SystemEnvironment
+    records: List[InjectionRecord] = field(default_factory=list)
+
+    def inject(self, vaccine: Vaccine, identifier: str = None) -> InjectionRecord:
+        """Deploy one vaccine; ``identifier`` overrides the vaccine's (used
+        when a daemon replayed a slice and computed the per-host name)."""
+        name = identifier if identifier is not None else vaccine.identifier
+        if vaccine.mechanism is Mechanism.SIMULATE_PRESENCE:
+            record = self._create_marker(vaccine, name)
+        else:
+            record = self._enforce_failure(vaccine, name)
+        self.records.append(record)
+        return record
+
+    def inject_all(self, vaccines) -> List[InjectionRecord]:
+        return [self.inject(v) for v in vaccines]
+
+    def uninstall_all(self) -> int:
+        """Best-effort removal of everything this injector planted (for
+        decommissioning a vaccine pack); returns the number of artifacts
+        removed."""
+        removed = 0
+        env = self.environment
+        for record in reversed(self.records):
+            rtype = record.vaccine.resource_type
+            name = record.identifier
+            try:
+                if record.action in ("created-marker", "planted-locked-decoy"):
+                    if rtype is ResourceType.MUTEX:
+                        env.mutexes.release(name)
+                    elif rtype is ResourceType.FILE and env.filesystem.exists(name):
+                        env.filesystem.delete(name, IntegrityLevel.SYSTEM)
+                    elif rtype is ResourceType.REGISTRY and env.registry.exists(name):
+                        env.registry.delete_key(name, IntegrityLevel.SYSTEM)
+                    elif rtype is ResourceType.WINDOW:
+                        env.windows.destroy(name)
+                    elif rtype is ResourceType.LIBRARY:
+                        env.libraries.remove(name)
+                    elif rtype is ResourceType.SERVICE and env.services.exists(name):
+                        env.services.delete(name, IntegrityLevel.SYSTEM)
+                    removed += 1
+                elif record.action == "blocked-library":
+                    lib = env.libraries.lookup(name)
+                    if lib is not None:
+                        lib.blocked = False
+                    removed += 1
+                # "removed-resource" is not restorable (content unknown).
+            except Exception:  # pragma: no cover - best effort by contract
+                continue
+        self.records = []
+        return removed
+
+    # -- simulate presence --------------------------------------------------
+
+    def _create_marker(self, vaccine: Vaccine, name: str) -> InjectionRecord:
+        env = self.environment
+        rtype = vaccine.resource_type
+        acl = vaccine_acl()
+        if rtype is ResourceType.MUTEX:
+            env.mutexes.create(name, IntegrityLevel.SYSTEM, acl=acl)
+        elif rtype is ResourceType.FILE:
+            env.filesystem.create(
+                name, IntegrityLevel.SYSTEM, content=b"", exist_ok=True, acl=acl
+            )
+        elif rtype is ResourceType.REGISTRY:
+            key = env.registry.create_key(name, IntegrityLevel.SYSTEM)
+            key.acl = acl
+        elif rtype is ResourceType.WINDOW:
+            env.windows.register(name, title="vaccine", acl=acl)
+        elif rtype is ResourceType.LIBRARY:
+            env.libraries.register(name, acl=acl)
+        elif rtype is ResourceType.SERVICE:
+            if not env.services.exists(name):
+                svc = env.services.create(
+                    name, "c:\\windows\\system32\\vaccine.exe", IntegrityLevel.SYSTEM
+                )
+                svc.acl = acl
+        else:
+            raise InjectionError(f"cannot inject presence of {rtype.value}")
+        return InjectionRecord(vaccine, "created-marker", name)
+
+    # -- enforce failure ------------------------------------------------------
+
+    def _enforce_failure(self, vaccine: Vaccine, name: str) -> InjectionRecord:
+        env = self.environment
+        rtype = vaccine.resource_type
+        mutating_ops = {Operation.CREATE, Operation.WRITE, Operation.DELETE}
+        wants_mutation = bool(vaccine.operations & mutating_ops)
+
+        if rtype is ResourceType.FILE:
+            node = env.filesystem.lookup(name)
+            if not wants_mutation and node is not None:
+                env.filesystem.delete(name, IntegrityLevel.SYSTEM)
+                return InjectionRecord(vaccine, "removed-resource", name)
+            acl = vaccine_acl() if wants_mutation else _NO_ACCESS
+            env.filesystem.create(
+                name, IntegrityLevel.SYSTEM, content=b"", exist_ok=True, acl=acl
+            )
+            env.filesystem.set_acl(name, acl)
+            return InjectionRecord(vaccine, "planted-locked-decoy", name)
+
+        if rtype is ResourceType.REGISTRY:
+            key = env.registry.lookup(name)
+            if not wants_mutation and key is not None:
+                env.registry.delete_key(name, IntegrityLevel.SYSTEM)
+                return InjectionRecord(vaccine, "removed-resource", name)
+            acl = vaccine_acl() if wants_mutation else _NO_ACCESS
+            created = env.registry.create_key(name, IntegrityLevel.SYSTEM)
+            created.acl = acl
+            return InjectionRecord(vaccine, "planted-locked-decoy", name)
+
+        if rtype is ResourceType.LIBRARY:
+            env.libraries.block(name)
+            return InjectionRecord(vaccine, "blocked-library", name)
+
+        raise InjectionError(
+            f"enforce-failure on {rtype.value} requires the vaccine daemon"
+        )

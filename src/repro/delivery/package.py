@@ -1,0 +1,100 @@
+"""Vaccine package format: the artifact shipped to end hosts.
+
+A package bundles the vaccines extracted for one or more malware samples with
+provenance metadata, serializes to JSON, and deploys onto a machine — direct
+injections applied once, daemon-needing vaccines handed to a
+:class:`~repro.delivery.daemon.VaccineDaemon`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..core.vaccine import DeliveryKind, Vaccine
+from ..winenv.environment import SystemEnvironment
+from .daemon import VaccineDaemon
+from .injection import DirectInjector, InjectionError, InjectionRecord
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class VaccinePackage:
+    """A signed-off set of vaccines ready for distribution."""
+
+    vaccines: List[Vaccine] = field(default_factory=list)
+    generator: str = "autovac-repro"
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.vaccines)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "generator": self.generator,
+                "description": self.description,
+                "vaccines": [v.to_dict() for v in self.vaccines],
+            },
+            indent=indent,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "VaccinePackage":
+        data = json.loads(text)
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported package version {version!r}")
+        return VaccinePackage(
+            vaccines=[Vaccine.from_dict(v) for v in data.get("vaccines", [])],
+            generator=data.get("generator", ""),
+            description=data.get("description", ""),
+        )
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @staticmethod
+    def load(path) -> "VaccinePackage":
+        return VaccinePackage.from_json(Path(path).read_text())
+
+
+@dataclass
+class Deployment:
+    """Outcome of deploying a package onto one machine."""
+
+    injections: List[InjectionRecord] = field(default_factory=list)
+    daemon: Optional[VaccineDaemon] = None
+    failures: List[Tuple[Vaccine, str]] = field(default_factory=list)
+
+    @property
+    def daemon_needed(self) -> bool:
+        return self.daemon is not None and bool(self.daemon.vaccines)
+
+
+def deploy(
+    package: VaccinePackage, environment: SystemEnvironment
+) -> Deployment:
+    """Deploy every vaccine in ``package`` onto ``environment``."""
+    deployment = Deployment()
+    injector = DirectInjector(environment)
+    daemon_vaccines: List[Vaccine] = []
+    for vaccine in package.vaccines:
+        if vaccine.delivery is DeliveryKind.DIRECT_INJECTION:
+            try:
+                deployment.injections.append(injector.inject(vaccine))
+            except InjectionError as exc:
+                deployment.failures.append((vaccine, str(exc)))
+        else:
+            daemon_vaccines.append(vaccine)
+    if daemon_vaccines:
+        daemon = VaccineDaemon(vaccines=daemon_vaccines)
+        daemon.install(environment)
+        deployment.daemon = daemon
+    return deployment

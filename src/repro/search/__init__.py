@@ -1,0 +1,6 @@
+"""Offline search-engine substrate for exclusiveness analysis."""
+
+from .corpus_data import BENIGN_DOCUMENTS, build_token_index
+from .engine import SearchEngine, SearchHit
+
+__all__ = ["BENIGN_DOCUMENTS", "SearchEngine", "SearchHit", "build_token_index"]

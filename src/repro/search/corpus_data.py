@@ -1,0 +1,88 @@
+"""Offline web-corpus: documents describing benign software resources.
+
+Stands in for the Google queries of the paper's exclusiveness analysis
+(§IV-A, following the "Googling the Internet" endpoint-profiling approach):
+a resource identifier that appears in these documents is associated with
+benign software and must not become a vaccine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: (title, body) documents; bodies mention benign resource identifiers.
+BENIGN_DOCUMENTS: List[Tuple[str, str]] = [
+    (
+        "Windows theming internals",
+        "uxtheme.dll provides visual styles; applications load uxtheme.dll "
+        "and msstyles resources at startup.",
+    ),
+    (
+        "Microsoft C runtime redistributable",
+        "msvcrt.dll and mscrt.dll ship with the platform SDK; installers "
+        "copy msvcrt.dll into c:\\windows\\system32.",
+    ),
+    (
+        "Winsock programming guide",
+        "ws2_32.dll exports socket, connect, send and recv for TCP clients.",
+    ),
+    (
+        "Shell extension development",
+        "shell32.dll and explorer.exe host shell namespace extensions; "
+        "register your COM class under hklm\\software\\classes.",
+    ),
+    (
+        "Service host configuration",
+        "svchost.exe groups services configured under "
+        "hklm\\system\\currentcontrolset\\services; eventlog and dhcp run "
+        "inside shared hosts.",
+    ),
+    (
+        "Startup programs and the Run key",
+        "Programs add values under "
+        "hklm\\software\\microsoft\\windows\\currentversion\\run to start at "
+        "logon; cleanup utilities enumerate the run key.",
+    ),
+    (
+        "Office quickstart tray",
+        "The office quickstart applet registers the OfficeTrayWnd window "
+        "class and a single instance mutex named OfficeQuickstartMutex.",
+    ),
+    (
+        "Browser single-instance locking",
+        "The browser creates the mutex BrowserSingletonMtx and the window "
+        "class BrowserMainWnd so a second launch focuses the first.",
+    ),
+    (
+        "Antivirus update scheduler",
+        "The updater service avupdate.exe stores state in "
+        "c:\\windows\\system32\\avstate.dat and resolves "
+        "update.example-av.com.",
+    ),
+    (
+        "Instant messenger protocol notes",
+        "messenger.exe keeps logs in c:\\windows\\temp\\imlog.txt and "
+        "registers the IMMainWindow class.",
+    ),
+    (
+        "Media player codecs",
+        "mediaplay.exe loads codec.dll and registers mplayer_lock mutex "
+        "while playing.",
+    ),
+    (
+        "System file checker reference",
+        "winlogon.exe verifies userinit.exe and explorer.exe signatures at "
+        "boot; system.ini is parsed for legacy boot options.",
+    ),
+]
+
+
+def build_token_index(documents: List[Tuple[str, str]]) -> Dict[str, List[int]]:
+    """Lower-cased token -> document ids (tokens split on whitespace)."""
+    index: Dict[str, List[int]] = {}
+    for doc_id, (title, body) in enumerate(documents):
+        for token in f"{title} {body}".lower().split():
+            token = token.strip(".,;()\"'")
+            if token:
+                index.setdefault(token, []).append(doc_id)
+    return index

@@ -1,0 +1,67 @@
+"""Offline search engine for exclusiveness analysis.
+
+Mirrors the paper's use of the Google query API: ``query(identifier)``
+returns hits from an indexed document corpus; hit context lets the caller
+infer whether the identifier is associated with benign software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .corpus_data import BENIGN_DOCUMENTS, build_token_index
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    doc_id: int
+    title: str
+    snippet: str
+
+
+class SearchEngine:
+    """Substring/token search over an offline document corpus."""
+
+    def __init__(self, documents: Optional[List[Tuple[str, str]]] = None) -> None:
+        self.documents = list(BENIGN_DOCUMENTS if documents is None else documents)
+        self._index = build_token_index(self.documents)
+        self.query_count = 0
+
+    def add_document(self, title: str, body: str) -> None:
+        self.documents.append((title, body))
+        self._index = build_token_index(self.documents)
+
+    def query(self, text: str, max_hits: int = 10) -> List[SearchHit]:
+        """Search for an identifier; exact token match or substring match.
+
+        Very short or generic fragments (< 4 chars) are ignored to avoid
+        meaningless hits, mirroring sanity filtering of real search queries.
+        """
+        self.query_count += 1
+        needle = text.strip().lower()
+        if len(needle) < 4:
+            return []
+        hits: List[SearchHit] = []
+        seen = set()
+        for doc_id in self._index.get(needle, []):
+            if doc_id not in seen:
+                seen.add(doc_id)
+                hits.append(self._hit(doc_id, needle))
+        if not hits:
+            for doc_id, (title, body) in enumerate(self.documents):
+                if needle in f"{title} {body}".lower() and doc_id not in seen:
+                    seen.add(doc_id)
+                    hits.append(self._hit(doc_id, needle))
+        return hits[:max_hits]
+
+    def _hit(self, doc_id: int, needle: str) -> SearchHit:
+        title, body = self.documents[doc_id]
+        lowered = body.lower()
+        pos = lowered.find(needle)
+        if pos < 0:
+            snippet = body[:80]
+        else:
+            start = max(0, pos - 30)
+            snippet = body[start:pos + len(needle) + 30]
+        return SearchHit(doc_id=doc_id, title=title, snippet=snippet)

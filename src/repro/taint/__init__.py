@@ -1,0 +1,23 @@
+"""Taint model and offline analyses (backward tracking, slicing, replay)."""
+
+from .labels import (
+    EMPTY,
+    TagSet,
+    TaintClass,
+    TaintTag,
+    classes_of,
+    has_class,
+    has_resource_taint,
+    union,
+)
+
+__all__ = [
+    "EMPTY",
+    "TagSet",
+    "TaintClass",
+    "TaintTag",
+    "classes_of",
+    "has_class",
+    "has_resource_taint",
+    "union",
+]

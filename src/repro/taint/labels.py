@@ -1,0 +1,74 @@
+"""Taint label model.
+
+Every labelled API call that produces data mints a :class:`TaintTag`; tags
+flow with the data through the VM.  Three classes matter to AUTOVAC:
+
+* ``RESOURCE`` — the result of a resource-access API (``OpenMutex`` …).
+  Phase I flags a sample when a branch predicate carries one of these.
+* ``ENV_DETERMINISTIC`` — stable machine inputs (``GetComputerName`` …).
+  Determinism analysis classifies identifiers built from these as
+  *algorithm-deterministic*.
+* ``RANDOM`` — per-run entropy (``GetTickCount``, ``GetTempFileName`` …).
+  Identifier bytes carrying only these are unpredictable.
+
+Tag sets are ``frozenset`` so they can be unioned cheaply and shared.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+
+class TaintClass(enum.Enum):
+    RESOURCE = "resource"
+    ENV_DETERMINISTIC = "env"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class TaintTag:
+    """Provenance of one datum: which API call event produced it."""
+
+    event_id: int
+    api: str
+    klass: TaintClass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tag({self.api}#{self.event_id}:{self.klass.value})"
+
+
+TagSet = FrozenSet[TaintTag]
+
+#: The empty tag set — the common case, interned for speed.
+EMPTY: TagSet = frozenset()
+
+
+def union(*tagsets: TagSet) -> TagSet:
+    """Union of tag sets, avoiding allocation when possible."""
+    nonempty = [t for t in tagsets if t]
+    if not nonempty:
+        return EMPTY
+    if len(nonempty) == 1:
+        return nonempty[0]
+    out = set()
+    for t in nonempty:
+        out |= t
+    return frozenset(out)
+
+
+def has_class(tags: TagSet, klass: TaintClass) -> bool:
+    return any(tag.klass is klass for tag in tags)
+
+
+def has_resource_taint(tags: TagSet) -> bool:
+    return has_class(tags, TaintClass.RESOURCE)
+
+
+def classes_of(tagsets: Iterable[TagSet]) -> FrozenSet[TaintClass]:
+    seen = set()
+    for tags in tagsets:
+        for tag in tags:
+            seen.add(tag.klass)
+    return frozenset(seen)

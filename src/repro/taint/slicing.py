@@ -1,0 +1,171 @@
+"""Executable identifier-generation slices (paper §IV-C / §V).
+
+A :class:`VaccineSlice` packages the dynamic slice produced by
+:func:`~repro.taint.backward.backward_slice` into a self-contained,
+serializable artifact the vaccine daemon replays on each end host ("we
+collect these information ahead and run the captured program slice … very
+similar to Inspector Gadget").
+
+Two replay strategies are supported (see :mod:`repro.taint.replay`):
+
+* straight-line per-instance replay for loop-free generation logic;
+* forced re-execution for input-dependent loops (e.g. hashing a computer
+  name of different length), where the original program re-runs with every
+  resource-API outcome pinned to the analysis run so environment differences
+  on the end host cannot divert control flow before the identifier is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..tracing.events import ApiCallEvent, InstructionRecord
+from ..tracing.trace import Trace
+from ..vm.program import Program
+from .backward import BackwardResult
+
+
+@dataclass
+class SliceStep:
+    """One replayable execution instance."""
+
+    pc: int
+    esp: int
+    ebp: int
+    api: Optional[str] = None  # set for API pseudo-steps
+
+    def to_dict(self) -> dict:
+        return {"pc": self.pc, "esp": self.esp, "ebp": self.ebp, "api": self.api}
+
+    @staticmethod
+    def from_dict(data: dict) -> "SliceStep":
+        return SliceStep(pc=data["pc"], esp=data["esp"], ebp=data["ebp"], api=data.get("api"))
+
+
+@dataclass
+class PinnedOutcome:
+    """Recorded outcome of one resource-API call site occurrence."""
+
+    api: str
+    caller_pc: int
+    success: bool
+
+    def to_dict(self) -> dict:
+        return {"api": self.api, "caller_pc": self.caller_pc, "success": self.success}
+
+    @staticmethod
+    def from_dict(data: dict) -> "PinnedOutcome":
+        return PinnedOutcome(data["api"], data["caller_pc"], data["success"])
+
+
+@dataclass
+class VaccineSlice:
+    """Executable identifier-generation program slice.
+
+    Serialization keeps the originating program's *assembly source* so the
+    slice is portable: a deploying host reassembles it and replays.
+    """
+
+    program_source: str
+    program_name: str
+    steps: List[SliceStep] = field(default_factory=list)
+    #: Guest address holding the regenerated identifier after replay.
+    output_addr: int = 0
+    #: Environment APIs the slice consumes (documented inputs).
+    env_inputs: Tuple[str, ...] = ()
+    #: Call site (api, caller_pc, occurrence index) that consumed the
+    #: identifier — forced re-execution stops there.
+    target_api: str = ""
+    target_caller_pc: int = 0
+    target_occurrence: int = 0
+    #: Resource-API outcomes recorded from the natural run, in order per call
+    #: site, so forced re-execution follows the same path on any host.
+    pinned_outcomes: List[PinnedOutcome] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def requires_reexecution(self) -> bool:
+        """Loops make per-instance replay machine-specific: a pc appearing in
+        several instances means the trip count may depend on input length."""
+        seen = set()
+        for step in self.steps:
+            if step.pc in seen:
+                return True
+            seen.add(step.pc)
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "program_name": self.program_name,
+            "program_source": self.program_source,
+            "steps": [s.to_dict() for s in self.steps],
+            "output_addr": self.output_addr,
+            "env_inputs": list(self.env_inputs),
+            "target_api": self.target_api,
+            "target_caller_pc": self.target_caller_pc,
+            "target_occurrence": self.target_occurrence,
+            "pinned_outcomes": [p.to_dict() for p in self.pinned_outcomes],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "VaccineSlice":
+        return VaccineSlice(
+            program_source=data["program_source"],
+            program_name=data["program_name"],
+            steps=[SliceStep.from_dict(s) for s in data["steps"]],
+            output_addr=data["output_addr"],
+            env_inputs=tuple(data.get("env_inputs", ())),
+            target_api=data.get("target_api", ""),
+            target_caller_pc=data.get("target_caller_pc", 0),
+            target_occurrence=data.get("target_occurrence", 0),
+            pinned_outcomes=[
+                PinnedOutcome.from_dict(p) for p in data.get("pinned_outcomes", [])
+            ],
+        )
+
+
+def extract_slice(
+    program: Program,
+    trace: Trace,
+    result: BackwardResult,
+    output_addr: int,
+    target_event: Optional[ApiCallEvent] = None,
+) -> VaccineSlice:
+    """Package a backward-slice result into a replayable VaccineSlice."""
+    steps: List[SliceStep] = []
+    for record in result.slice_records:
+        api = None
+        if record.api_event_id is not None:
+            event = trace.event_by_id(record.api_event_id)
+            api = event.api if event is not None else None
+        steps.append(SliceStep(pc=record.pc, esp=record.esp, ebp=record.ebp, api=api))
+
+    target_api = ""
+    target_caller_pc = 0
+    target_occurrence = 0
+    pinned: List[PinnedOutcome] = []
+    if target_event is not None:
+        target_api = target_event.api
+        target_caller_pc = target_event.caller_pc
+        for event in trace.api_calls:
+            if event.event_id == target_event.event_id:
+                break
+            if event.api == target_api and event.caller_pc == target_caller_pc:
+                target_occurrence += 1
+            if event.is_resource_access:
+                pinned.append(PinnedOutcome(event.api, event.caller_pc, event.success))
+
+    return VaccineSlice(
+        program_source=program.source,
+        program_name=program.name,
+        steps=steps,
+        output_addr=output_addr,
+        env_inputs=tuple(dict.fromkeys(result.env_sources)),
+        target_api=target_api,
+        target_caller_pc=target_caller_pc,
+        target_occurrence=target_occurrence,
+        pinned_outcomes=pinned,
+    )

@@ -1,0 +1,16 @@
+"""Execution tracing: API events with calling context, tainted predicates,
+per-instruction def/use records, and JSON serialization."""
+
+from .events import ApiCallEvent, InstructionRecord, Location, TaintedPredicateEvent
+from .serialize import trace_from_json, trace_to_json
+from .trace import Trace
+
+__all__ = [
+    "ApiCallEvent",
+    "InstructionRecord",
+    "Location",
+    "TaintedPredicateEvent",
+    "Trace",
+    "trace_from_json",
+    "trace_to_json",
+]

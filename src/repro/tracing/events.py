@@ -1,0 +1,90 @@
+"""Trace event types recorded during guest execution.
+
+Phase I's output (paper §III): "we log all the executed APIs as well as their
+parameters, along with the precise calling context information including the
+call stack and the caller-PC", plus the tainted predicates.  These records are
+exactly what the later phases (alignment, determinism) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..taint.labels import TagSet
+from ..winenv.objects import Operation, ResourceType
+
+#: A data location for def/use tracking: ("reg", name) | ("mem", addr) | ("flags",).
+Location = Tuple
+
+
+@dataclass
+class ApiCallEvent:
+    """One executed API call with full calling context."""
+
+    event_id: int
+    seq: int                      # position in the instruction stream
+    api: str
+    caller_pc: int
+    args: Tuple[int, ...]
+    callstack: Tuple[int, ...] = ()
+    #: Resolved resource identifier (normalized), when the API has one.
+    identifier: Optional[str] = None
+    #: Per-byte taint of the identifier string as read from guest memory.
+    identifier_taints: Optional[List[TagSet]] = None
+    resource_type: Optional[ResourceType] = None
+    operation: Optional[Operation] = None
+    retval: int = 0
+    success: bool = True
+    error: int = 0
+    #: True when an interceptor (mutation / daemon) altered the outcome.
+    mutated: bool = False
+    #: API-specific details (e.g. target process name, registry value name).
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_resource_access(self) -> bool:
+        return self.resource_type is not None
+
+    def context_key(self, static_args: bool = True) -> Tuple:
+        """Alignment key: ``<API-name, Caller-PC, parameter list>`` (§IV-B).
+
+        Only static parameters — the resolved identifier rather than raw
+        pointer values, which differ across runs — participate, as the paper
+        compares "only the static parameters that are identical across
+        different executions".
+        """
+        if static_args:
+            return (self.api, self.caller_pc, self.identifier)
+        return (self.api, self.caller_pc)
+
+
+@dataclass
+class TaintedPredicateEvent:
+    """A ``cmp``/``test`` whose operands carried taint (§III-B)."""
+
+    seq: int
+    pc: int
+    instr_text: str
+    tags: TagSet
+    lhs: int = 0
+    rhs: int = 0
+
+
+@dataclass
+class InstructionRecord:
+    """Def/use record of one executed step, for backward slicing (§IV-C).
+
+    ``api_event_id`` links API pseudo-steps to their :class:`ApiCallEvent`.
+    """
+
+    seq: int
+    pc: int
+    text: str
+    defs: Tuple[Location, ...]
+    uses: Tuple[Location, ...]
+    api_event_id: Optional[int] = None
+    #: esp/ebp at instruction start — slice replay pins the stack frame to
+    #: these recorded values instead of chasing full stack-pointer history.
+    esp: int = 0
+    ebp: int = 0

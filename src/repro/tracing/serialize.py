@@ -1,0 +1,138 @@
+"""Trace serialization: persist Phase-I logs for offline analysis.
+
+The paper performs differential and backward analysis "offline on logged
+traces"; this module provides the log format — JSON with enough fidelity to
+re-run alignment and statistics (instruction-level def/use records are
+intentionally omitted: they are bulky and only consumed in-process).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from ..taint.labels import TaintClass, TaintTag
+from ..winenv.objects import Operation, ResourceType
+from .events import ApiCallEvent, TaintedPredicateEvent
+from .trace import Trace
+
+FORMAT_VERSION = 1
+
+
+def _tagset_to_list(tags) -> List[dict]:
+    return [
+        {"event_id": t.event_id, "api": t.api, "klass": t.klass.value}
+        for t in sorted(tags, key=lambda t: (t.event_id, t.api))
+    ]
+
+
+def _tagset_from_list(data) -> frozenset:
+    return frozenset(
+        TaintTag(event_id=d["event_id"], api=d["api"], klass=TaintClass(d["klass"]))
+        for d in data
+    )
+
+
+def event_to_dict(event: ApiCallEvent) -> dict:
+    return {
+        "event_id": event.event_id,
+        "seq": event.seq,
+        "api": event.api,
+        "caller_pc": event.caller_pc,
+        "args": list(event.args),
+        "callstack": list(event.callstack),
+        "identifier": event.identifier,
+        "identifier_taints": (
+            [_tagset_to_list(t) for t in event.identifier_taints]
+            if event.identifier_taints is not None
+            else None
+        ),
+        "resource_type": event.resource_type.value if event.resource_type else None,
+        "operation": event.operation.value if event.operation else None,
+        "retval": event.retval,
+        "success": event.success,
+        "error": event.error,
+        "mutated": event.mutated,
+        "extra": {k: v for k, v in event.extra.items() if _jsonable(v)},
+    }
+
+
+def event_from_dict(data: dict) -> ApiCallEvent:
+    return ApiCallEvent(
+        event_id=data["event_id"],
+        seq=data["seq"],
+        api=data["api"],
+        caller_pc=data["caller_pc"],
+        args=tuple(data.get("args", ())),
+        callstack=tuple(data.get("callstack", ())),
+        identifier=data.get("identifier"),
+        identifier_taints=(
+            [_tagset_from_list(t) for t in data["identifier_taints"]]
+            if data.get("identifier_taints") is not None
+            else None
+        ),
+        resource_type=(
+            ResourceType(data["resource_type"]) if data.get("resource_type") else None
+        ),
+        operation=Operation(data["operation"]) if data.get("operation") else None,
+        retval=data.get("retval", 0),
+        success=data.get("success", True),
+        error=data.get("error", 0),
+        mutated=data.get("mutated", False),
+        extra=dict(data.get("extra", {})),
+    )
+
+
+def predicate_to_dict(pred: TaintedPredicateEvent) -> dict:
+    return {
+        "seq": pred.seq,
+        "pc": pred.pc,
+        "instr_text": pred.instr_text,
+        "tags": _tagset_to_list(pred.tags),
+        "lhs": pred.lhs,
+        "rhs": pred.rhs,
+    }
+
+
+def predicate_from_dict(data: dict) -> TaintedPredicateEvent:
+    return TaintedPredicateEvent(
+        seq=data["seq"],
+        pc=data["pc"],
+        instr_text=data["instr_text"],
+        tags=_tagset_from_list(data.get("tags", [])),
+        lhs=data.get("lhs", 0),
+        rhs=data.get("rhs", 0),
+    )
+
+
+def trace_to_json(trace: Trace, indent: Optional[int] = None) -> str:
+    return json.dumps(
+        {
+            "format_version": FORMAT_VERSION,
+            "program_name": trace.program_name,
+            "exit_status": trace.exit_status,
+            "exit_code": trace.exit_code,
+            "steps": trace.steps,
+            "api_calls": [event_to_dict(e) for e in trace.api_calls],
+            "predicates": [predicate_to_dict(p) for p in trace.predicates],
+        },
+        indent=indent,
+    )
+
+
+def trace_from_json(text: str) -> Trace:
+    data = json.loads(text)
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    trace = Trace(program_name=data.get("program_name", ""))
+    trace.exit_status = data.get("exit_status", "unknown")
+    trace.exit_code = data.get("exit_code")
+    trace.steps = data.get("steps", 0)
+    trace.api_calls = [event_from_dict(e) for e in data.get("api_calls", [])]
+    trace.predicates = [predicate_from_dict(p) for p in data.get("predicates", [])]
+    return trace
+
+
+def _jsonable(value) -> bool:
+    return isinstance(value, (str, int, float, bool, type(None)))

@@ -1,0 +1,75 @@
+"""Execution trace container."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..winenv.objects import Operation, ResourceType
+from .events import ApiCallEvent, InstructionRecord, TaintedPredicateEvent
+
+
+@dataclass
+class Trace:
+    """Everything recorded during one guest run.
+
+    The natural run (Phase I) and each mutated run (Phase II) produce one
+    ``Trace``; differential analysis aligns their ``api_calls`` lists and
+    determinism analysis walks ``instructions`` backward.
+    """
+
+    program_name: str = ""
+    api_calls: List[ApiCallEvent] = field(default_factory=list)
+    predicates: List[TaintedPredicateEvent] = field(default_factory=list)
+    instructions: List[InstructionRecord] = field(default_factory=list)
+    exit_status: str = "running"
+    exit_code: Optional[int] = None
+    steps: int = 0
+    _event_ids: "itertools.count[int]" = field(default_factory=lambda: itertools.count(1))
+
+    def next_event_id(self) -> int:
+        return next(self._event_ids)
+
+    # -- queries -----------------------------------------------------------
+
+    def resource_events(self) -> List[ApiCallEvent]:
+        return [e for e in self.api_calls if e.is_resource_access]
+
+    def events_for_api(self, api: str) -> List[ApiCallEvent]:
+        return [e for e in self.api_calls if e.api == api]
+
+    def event_by_id(self, event_id: int) -> Optional[ApiCallEvent]:
+        for event in self.api_calls:
+            if event.event_id == event_id:
+                return event
+        return None
+
+    def api_names(self) -> List[str]:
+        return [e.api for e in self.api_calls]
+
+    def called_any(self, names: Iterable[str]) -> bool:
+        wanted = {n.lower() for n in names}
+        return any(e.api.lower() in wanted for e in self.api_calls)
+
+    def count_by_resource_operation(self) -> Dict[ResourceType, Dict[Operation, int]]:
+        """Tally resource accesses for Figure-3-style statistics."""
+        out: Dict[ResourceType, Dict[Operation, int]] = {}
+        for event in self.resource_events():
+            per_op = out.setdefault(event.resource_type, {})
+            per_op[event.operation] = per_op.get(event.operation, 0) + 1
+        return out
+
+    def identifier_events(self) -> List[ApiCallEvent]:
+        return [e for e in self.api_calls if e.identifier]
+
+    @property
+    def terminated(self) -> bool:
+        return self.exit_status == "terminated"
+
+    def summary(self) -> str:
+        return (
+            f"<Trace {self.program_name}: {len(self.api_calls)} api calls, "
+            f"{len(self.predicates)} tainted predicates, {self.steps} steps, "
+            f"exit={self.exit_status}>"
+        )

@@ -1,0 +1,42 @@
+"""The VM substrate: ISA, assembler, memory with per-byte taint, and the
+interpreting CPU the malware corpus executes on."""
+
+from .assembler import Assembler, AssemblyError, assemble
+from .cpu import CPU, CpuFault, ExitStatus
+from .isa import Instruction
+from .memory import (
+    DATA_BASE,
+    HEAP_BASE,
+    Memory,
+    MemoryFault,
+    RDATA_BASE,
+    STACK_TOP,
+    TEXT_BASE,
+)
+from .operands import ApiRef, Imm, Mem, Reg, mask32, to_signed
+from .program import DataSection, Program
+
+__all__ = [
+    "ApiRef",
+    "Assembler",
+    "AssemblyError",
+    "CPU",
+    "CpuFault",
+    "DataSection",
+    "DATA_BASE",
+    "ExitStatus",
+    "HEAP_BASE",
+    "Imm",
+    "Instruction",
+    "Mem",
+    "Memory",
+    "MemoryFault",
+    "Program",
+    "RDATA_BASE",
+    "Reg",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "assemble",
+    "mask32",
+    "to_signed",
+]

@@ -1,0 +1,322 @@
+"""Two-pass assembler for the simulated ISA.
+
+Syntax (a small NASM-flavoured dialect)::
+
+    .section .rdata
+    fmt:     .asciz "Global\\\\%s-99"
+    table:   .dword 1, 2, 3
+    .section .data
+    buf:     .space 64
+    .section .text
+    main:
+        push fmt
+        call @GetComputerNameA
+        mov eax, [ebp-0x1c]
+        movb [buf+esi], 0x41
+        cmp eax, 0
+        jz fail
+        halt
+
+Pass 1 collects labels (text labels address instructions, data labels address
+bytes); pass 2 parses operands with all symbols known.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .isa import Instruction
+from .memory import DATA_BASE, RDATA_BASE, TEXT_BASE
+from .operands import REGISTERS, ApiRef, Imm, Mem, Operand
+from .operands import Reg
+from .program import DataSection, Program
+
+
+class AssemblyError(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_SECTION_BASES = {".text": TEXT_BASE, ".rdata": RDATA_BASE, ".data": DATA_BASE}
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_NUMBER_RE = re.compile(r"^[-+]?(0x[0-9a-fA-F]+|\d+)$")
+_CHAR_RE = re.compile(r"^'(\\?.)'$")
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == '"' and (i == 0 or line[i - 1] != "\\"):
+            in_string = not in_string
+        if ch == ";" and not in_string:
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out).rstrip()
+
+
+def _parse_string_literal(text: str, line: int) -> bytes:
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AssemblyError(f"bad string literal {text!r}", line)
+    body = text[1:-1]
+    out = bytearray()
+    i = 0
+    escapes = {"n": 10, "r": 13, "t": 9, "0": 0, "\\": 92, '"': 34}
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            nxt = body[i + 1]
+            if nxt == "x" and i + 3 < len(body):
+                out.append(int(body[i + 2:i + 4], 16))
+                i += 4
+                continue
+            if nxt in escapes:
+                out.append(escapes[nxt])
+                i += 2
+                continue
+        out.append(ord(ch))
+        i += 1
+    return bytes(out)
+
+
+def _parse_number(token: str, line: int) -> int:
+    token = token.strip()
+    m = _CHAR_RE.match(token)
+    if m:
+        ch = m.group(1)
+        return ord(ch[-1])
+    if not _NUMBER_RE.match(token):
+        raise AssemblyError(f"bad number {token!r}", line)
+    return int(token, 0)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not inside brackets or quotes."""
+    parts: List[str] = []
+    depth = 0
+    in_string = False
+    current = []
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+        elif not in_string:
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                parts.append("".join(current).strip())
+                current = []
+                continue
+        current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class Assembler:
+    """Assembles source text into a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._labels: Dict[str, int] = {}
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        raw_instrs, labels, sections = self._pass1(source)
+        self._labels = labels
+        instructions = [
+            Instruction(mnemonic, tuple(self._parse_operand(tok, mnemonic, ln) for tok in toks), line=ln)
+            for mnemonic, toks, ln in raw_instrs
+        ]
+        entry = labels.get("main", labels.get("start", TEXT_BASE))
+        return Program(
+            name=name,
+            instructions=instructions,
+            labels=dict(labels),
+            sections=sections,
+            entry=entry,
+            source=source,
+        )
+
+    # -- pass 1 ------------------------------------------------------------
+
+    def _pass1(
+        self, source: str
+    ) -> Tuple[List[Tuple[str, List[str], int]], Dict[str, int], List[DataSection]]:
+        labels: Dict[str, int] = {}
+        raw: List[Tuple[str, List[str], int]] = []
+        data_images: Dict[str, bytearray] = {".rdata": bytearray(), ".data": bytearray()}
+        section = ".text"
+
+        for lineno, rawline in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(rawline).strip()
+            if not line:
+                continue
+            if line.startswith(".section"):
+                sec = line.split()[1]
+                if sec not in _SECTION_BASES:
+                    raise AssemblyError(f"unknown section {sec}", lineno)
+                section = sec
+                continue
+            m = _LABEL_RE.match(line)
+            if m:
+                label, rest = m.group(1), m.group(2).strip()
+                if label in labels:
+                    raise AssemblyError(f"duplicate label {label}", lineno)
+                if section == ".text":
+                    labels[label] = TEXT_BASE + len(raw)
+                else:
+                    labels[label] = _SECTION_BASES[section] + len(data_images[section])
+                if not rest:
+                    continue
+                line = rest
+            if section == ".text":
+                raw.append(self._parse_instruction_tokens(line, lineno))
+            else:
+                self._parse_data_directive(line, lineno, data_images[section])
+
+        sections = [
+            DataSection(".rdata", RDATA_BASE, bytes(data_images[".rdata"]), readonly=True),
+            DataSection(".data", DATA_BASE, bytes(data_images[".data"]), readonly=False),
+        ]
+        return raw, labels, sections
+
+    @staticmethod
+    def _parse_instruction_tokens(line: str, lineno: int) -> Tuple[str, List[str], int]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        return mnemonic, _split_operands(operand_text), lineno
+
+    @staticmethod
+    def _parse_data_directive(line: str, lineno: int, image: bytearray) -> None:
+        parts = line.split(None, 1)
+        directive = parts[0].lower()
+        arg = parts[1] if len(parts) > 1 else ""
+        if directive in (".asciz", ".ascii"):
+            data = _parse_string_literal(arg, lineno)
+            image.extend(data)
+            if directive == ".asciz":
+                image.append(0)
+        elif directive == ".dword":
+            for token in _split_operands(arg):
+                value = _parse_number(token, lineno) & 0xFFFFFFFF
+                image.extend(value.to_bytes(4, "little"))
+        elif directive == ".byte":
+            for token in _split_operands(arg):
+                image.append(_parse_number(token, lineno) & 0xFF)
+        elif directive == ".space":
+            image.extend(b"\x00" * _parse_number(arg, lineno))
+        else:
+            raise AssemblyError(f"unknown directive {directive}", lineno)
+
+    # -- pass 2: operand parsing --------------------------------------------
+
+    def _parse_operand(self, token: str, mnemonic: str, line: int) -> Operand:
+        token = token.strip()
+        if not token:
+            raise AssemblyError("empty operand", line)
+        if token.startswith("@"):
+            return ApiRef(token[1:])
+        size = 4
+        lowered = token.lower()
+        if lowered.startswith("byte "):
+            size = 1
+            token = token[5:].strip()
+            lowered = token.lower()
+        if token.startswith("["):
+            if not token.endswith("]"):
+                raise AssemblyError(f"unterminated memory operand {token!r}", line)
+            return self._parse_mem(token[1:-1], size, line)
+        if mnemonic == "movb" and size == 4:
+            size = 1
+        if lowered in REGISTERS:
+            return Reg(lowered)
+        return self._parse_imm(token, line)
+
+    def _parse_imm(self, token: str, line: int) -> Imm:
+        token = token.strip()
+        if _NUMBER_RE.match(token) or _CHAR_RE.match(token):
+            return Imm(_parse_number(token, line))
+        # label or label+offset / label-offset
+        m = re.match(r"^([A-Za-z_.$][\w.$]*)\s*([+-]\s*\w+)?$", token)
+        if m:
+            label = m.group(1)
+            if label not in self._labels:
+                raise AssemblyError(f"undefined symbol {label!r}", line)
+            value = self._labels[label]
+            if m.group(2):
+                value += _parse_number(m.group(2).replace(" ", ""), line)
+            return Imm(value, symbol=token.replace(" ", ""))
+        raise AssemblyError(f"cannot parse operand {token!r}", line)
+
+    def _parse_mem(self, inner: str, size: int, line: int) -> Mem:
+        base: Optional[str] = None
+        index: Optional[str] = None
+        scale = 1
+        disp = 0
+        symbol: Optional[str] = None
+
+        for sign, term in _split_terms(inner, line):
+            term = term.strip()
+            lowered = term.lower()
+            if "*" in term:
+                left, _, right = term.partition("*")
+                left, right = left.strip().lower(), right.strip()
+                if left in REGISTERS:
+                    reg_name, factor = left, _parse_number(right, line)
+                elif right.lower() in REGISTERS:
+                    reg_name, factor = right.lower(), _parse_number(left, line)
+                else:
+                    raise AssemblyError(f"bad scaled term {term!r}", line)
+                if index is not None or sign < 0:
+                    raise AssemblyError(f"unsupported addressing {inner!r}", line)
+                index, scale = reg_name, factor
+            elif lowered in REGISTERS:
+                if sign < 0:
+                    raise AssemblyError("cannot negate a register in address", line)
+                if base is None:
+                    base = lowered
+                elif index is None:
+                    index = lowered
+                else:
+                    raise AssemblyError(f"too many registers in {inner!r}", line)
+            elif _NUMBER_RE.match(term) or _CHAR_RE.match(term):
+                disp += sign * _parse_number(term, line)
+            else:
+                if term not in self._labels:
+                    raise AssemblyError(f"undefined symbol {term!r}", line)
+                disp += sign * self._labels[term]
+                symbol = term
+        return Mem(base=base, index=index, scale=scale, disp=disp, size=size, symbol=symbol)
+
+
+def _split_terms(expr: str, line: int) -> List[Tuple[int, str]]:
+    """Split ``a + b - c`` into signed terms."""
+    terms: List[Tuple[int, str]] = []
+    sign = 1
+    current: List[str] = []
+    for ch in expr:
+        if ch == "+" or ch == "-":
+            if current and "".join(current).strip():
+                terms.append((sign, "".join(current)))
+            sign = 1 if ch == "+" else -1
+            current = []
+        else:
+            current.append(ch)
+    if current and "".join(current).strip():
+        terms.append((sign, "".join(current)))
+    if not terms:
+        raise AssemblyError(f"empty address expression", line)
+    return terms
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Convenience wrapper: assemble ``source`` into a :class:`Program`."""
+    return Assembler().assemble(source, name=name)

@@ -1,0 +1,473 @@
+"""Interpreting CPU with inline forward taint propagation.
+
+The CPU executes one :class:`Program` inside one guest process.  It is the
+DynamoRIO-replacement: every step records a def/use
+:class:`~repro.tracing.events.InstructionRecord` (for backward slicing) and
+every tainted ``cmp``/``test`` records a
+:class:`~repro.tracing.events.TaintedPredicateEvent` (Phase-I candidate
+signal).  API calls trap into an injected dispatcher.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, Tuple
+
+from ..taint.labels import EMPTY, TagSet, union
+from ..tracing.events import ApiCallEvent, InstructionRecord, TaintedPredicateEvent
+from ..tracing.trace import Trace
+from .isa import Instruction
+from .memory import Memory, MemoryFault, STACK_TOP
+from .operands import ApiRef, Imm, Mem, Operand, Reg, mask32, to_signed
+from .program import Program
+
+
+class ExitStatus(enum.Enum):
+    RUNNING = "running"
+    HALTED = "halted"            # program ran off its own accord (halt)
+    TERMINATED = "terminated"    # ExitProcess/TerminateProcess on itself
+    BUDGET = "budget_exhausted"  # paper's 1-minute cap analogue
+    FAULT = "fault"              # crash (bad memory, bad jump…)
+
+
+class CpuFault(Exception):
+    """Internal faults that end the run with ``ExitStatus.FAULT``."""
+
+
+class CPU:
+    """One guest hardware thread.
+
+    Parameters
+    ----------
+    program:
+        Assembled guest program.
+    dispatcher:
+        Object with ``invoke(cpu, api_name) -> None`` handling ``call @Api``
+        (the winapi layer).  May be ``None`` for pure computations.
+    process:
+        The :class:`~repro.winenv.processes.Process` this program runs as.
+    max_steps:
+        Execution budget; the paper caps profiling runs at one minute, we cap
+        at an instruction count.
+    record_instructions:
+        Keep per-step def/use records (needed for backward slicing; can be
+        disabled for cheap population-scale profiling).
+    taint_addresses:
+        Pointer-taint policy (off by default, matching the paper): when on,
+        a memory load's result also carries the taint of the registers used
+        to *compute the address*, defeating table-lookup taint laundering
+        (``movb eax, [table+tainted_index]``) at the cost of over-tainting —
+        the §VII trade-off.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        environment=None,
+        process=None,
+        dispatcher=None,
+        max_steps: int = 200_000,
+        record_instructions: bool = True,
+        trace: Optional[Trace] = None,
+        taint_addresses: bool = False,
+    ) -> None:
+        self.program = program
+        self.environment = environment
+        self.process = process
+        self.dispatcher = dispatcher
+        self.max_steps = max_steps
+        self.record_instructions = record_instructions
+        self.taint_addresses = taint_addresses
+
+        self.memory = Memory()
+        program.load_into(self.memory)
+
+        self.regs = {name: 0 for name in ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")}
+        self.reg_taint = {name: EMPTY for name in self.regs}
+        self.regs["esp"] = STACK_TOP
+        self.regs["ebp"] = STACK_TOP
+
+        self.flags = {"zf": 0, "sf": 0, "cf": 0}
+        self.flag_taint: TagSet = EMPTY
+
+        self.pc = program.entry
+        self.steps = 0
+        self.status = ExitStatus.RUNNING
+        self.fault_reason: Optional[str] = None
+        self.callstack: List[int] = []
+
+        self.trace = trace if trace is not None else Trace(program_name=program.name)
+        self.trace.program_name = program.name
+
+        # Per-step def/use accumulators (reset each step).
+        self._uses: List[Tuple] = []
+        self._defs: List[Tuple] = []
+        self._api_step_recorded = False
+        self._last_addr_taint: TagSet = EMPTY
+
+    # ------------------------------------------------------------------
+    # register / memory access with def-use tracking
+    # ------------------------------------------------------------------
+
+    def get_reg(self, name: str) -> Tuple[int, TagSet]:
+        self._uses.append(("reg", name))
+        return self.regs[name], self.reg_taint[name]
+
+    def set_reg(self, name: str, value: int, taint: TagSet = EMPTY) -> None:
+        self._defs.append(("reg", name))
+        self.regs[name] = mask32(value)
+        self.reg_taint[name] = taint
+
+    def _mem_address(self, op: Mem) -> int:
+        addr = op.disp
+        addr_taints = []
+        if op.base:
+            value, taint = self.get_reg(op.base)
+            addr += value
+            if taint:
+                addr_taints.append(taint)
+        if op.index:
+            value, taint = self.get_reg(op.index)
+            addr += value * op.scale
+            if taint:
+                addr_taints.append(taint)
+        self._last_addr_taint = union(*addr_taints) if addr_taints else EMPTY
+        return mask32(addr)
+
+    def read_mem(self, addr: int, size: int) -> Tuple[int, TagSet]:
+        value = 0
+        tagsets = []
+        for i in range(size):
+            byte, tags = self.memory.read_byte(addr + i)
+            value |= byte << (8 * i)
+            if tags:
+                tagsets.append(tags)
+            self._uses.append(("mem", mask32(addr + i)))
+        return value, union(*tagsets)
+
+    def write_mem(self, addr: int, value: int, size: int, taint: TagSet = EMPTY) -> None:
+        for i in range(size):
+            self.memory.write_byte(addr + i, (value >> (8 * i)) & 0xFF, taint)
+            self._defs.append(("mem", mask32(addr + i)))
+
+    # ------------------------------------------------------------------
+    # operand evaluation
+    # ------------------------------------------------------------------
+
+    def read_operand(self, op: Operand) -> Tuple[int, TagSet]:
+        if isinstance(op, Reg):
+            return self.get_reg(op.name)
+        if isinstance(op, Imm):
+            return mask32(op.value), EMPTY
+        if isinstance(op, Mem):
+            addr = self._mem_address(op)
+            value, taint = self.read_mem(addr, op.size)
+            if self.taint_addresses and self._last_addr_taint:
+                taint = union(taint, self._last_addr_taint)
+            return value, taint
+        raise CpuFault(f"cannot read operand {op}")
+
+    def write_operand(self, op: Operand, value: int, taint: TagSet = EMPTY) -> None:
+        if isinstance(op, Reg):
+            self.set_reg(op.name, value, taint)
+            return
+        if isinstance(op, Mem):
+            self.write_mem(self._mem_address(op), value, op.size, taint)
+            return
+        raise CpuFault(f"cannot write operand {op}")
+
+    # ------------------------------------------------------------------
+    # stack helpers (shared with the API dispatcher)
+    # ------------------------------------------------------------------
+
+    def push(self, value: int, taint: TagSet = EMPTY) -> None:
+        esp, esp_taint = self.get_reg("esp")
+        esp = mask32(esp - 4)
+        self.set_reg("esp", esp, esp_taint)
+        self.write_mem(esp, value, 4, taint)
+
+    def pop(self) -> Tuple[int, TagSet]:
+        esp, esp_taint = self.get_reg("esp")
+        value, taint = self.read_mem(esp, 4)
+        self.set_reg("esp", mask32(esp + 4), esp_taint)
+        return value, taint
+
+    def stack_arg(self, index: int) -> Tuple[int, TagSet]:
+        """Read stdcall argument ``index`` (0-based) at ``[esp + 4*index]``."""
+        esp = self.regs["esp"]
+        return self.read_mem(mask32(esp + 4 * index), 4)
+
+    # ------------------------------------------------------------------
+    # execution loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> Trace:
+        """Execute until exit, fault, or budget exhaustion."""
+        while self.status is ExitStatus.RUNNING:
+            self.step()
+        self.trace.exit_status = self.status.value
+        self.trace.steps = self.steps
+        if self.process is not None and self.process.exit_code is not None:
+            self.trace.exit_code = self.process.exit_code
+        return self.trace
+
+    def terminate(self, exit_code: int = 0) -> None:
+        """Called by ExitProcess-style APIs."""
+        self.status = ExitStatus.TERMINATED
+        if self.process is not None:
+            self.process.terminate(exit_code)
+
+    def step(self) -> None:
+        if self.status is not ExitStatus.RUNNING:
+            return
+        if self.steps >= self.max_steps:
+            self.status = ExitStatus.BUDGET
+            return
+        instr = self.program.instruction_at(self.pc)
+        if instr is None:
+            self.status = ExitStatus.FAULT
+            self.fault_reason = f"pc 0x{self.pc:08x} outside .text"
+            return
+        self._uses = []
+        self._defs = []
+        self._api_step_recorded = False
+        self._step_esp = self.regs["esp"]
+        self._step_ebp = self.regs["ebp"]
+        seq = self.steps
+        pc = self.pc
+        self.steps += 1
+        self.pc += 1  # default fallthrough; jumps overwrite
+        try:
+            self._execute(instr, pc, seq)
+        except (MemoryFault, CpuFault) as exc:
+            self.status = ExitStatus.FAULT
+            self.fault_reason = str(exc)
+            return
+        if self.record_instructions and not self._api_step_recorded:
+            self.trace.instructions.append(
+                InstructionRecord(
+                    seq=seq,
+                    pc=pc,
+                    text=str(instr),
+                    defs=tuple(self._defs),
+                    uses=tuple(self._uses),
+                    esp=self._step_esp,
+                    ebp=self._step_ebp,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # per-instruction semantics
+    # ------------------------------------------------------------------
+
+    def _execute(self, instr: Instruction, pc: int, seq: int) -> None:
+        m = instr.mnemonic
+        ops = instr.operands
+
+        if m == "nop":
+            return
+        if m == "halt":
+            self.status = ExitStatus.HALTED
+            return
+        if m in ("mov", "movb"):
+            value, taint = self.read_operand(ops[1])
+            if m == "movb":
+                value &= 0xFF
+                if isinstance(ops[0], Mem) and ops[0].size != 1:
+                    ops = (Mem(ops[0].base, ops[0].index, ops[0].scale, ops[0].disp, 1, ops[0].symbol), ops[1])
+            self.write_operand(ops[0], value, taint)
+            return
+        if m == "lea":
+            mem = ops[1]
+            if not isinstance(mem, Mem):
+                raise CpuFault("lea needs a memory operand")
+            taints = []
+            if mem.base:
+                _, t = self.get_reg(mem.base)
+                taints.append(t)
+            if mem.index:
+                _, t = self.get_reg(mem.index)
+                taints.append(t)
+            self.write_operand(ops[0], self._mem_address_quiet(mem), union(*taints))
+            return
+        if m == "xchg":
+            a, ta = self.read_operand(ops[0])
+            b, tb = self.read_operand(ops[1])
+            self.write_operand(ops[0], b, tb)
+            self.write_operand(ops[1], a, ta)
+            return
+        if m == "push":
+            value, taint = self.read_operand(ops[0])
+            self.push(value, taint)
+            return
+        if m == "pop":
+            value, taint = self.pop()
+            self.write_operand(ops[0], value, taint)
+            return
+        if m in ("inc", "dec", "not", "neg"):
+            self._unary(m, ops[0])
+            return
+        if m in ("add", "sub", "xor", "and", "or", "shl", "shr", "imul", "mul"):
+            self._binary(m, ops[0], ops[1])
+            return
+        if m in ("cmp", "test"):
+            self._compare(m, ops[0], ops[1], pc, seq, str(instr))
+            return
+        if instr.is_jump:
+            self._jump(m, ops[0])
+            return
+        if m == "call":
+            self._call(ops[0], pc, seq, str(instr))
+            return
+        if m == "ret":
+            value, _ = self.pop()
+            if ops:
+                extra, _ = self.read_operand(ops[0])
+                self.set_reg("esp", mask32(self.regs["esp"] + extra), self.reg_taint["esp"])
+            if self.callstack:
+                self.callstack.pop()
+            self.pc = value
+            return
+        raise CpuFault(f"unimplemented mnemonic {m}")
+
+    def _mem_address_quiet(self, op: Mem) -> int:
+        """Address computation identical to ``_mem_address`` (uses recorded)."""
+        return self._mem_address(op)
+
+    def _unary(self, m: str, dst: Operand) -> None:
+        value, taint = self.read_operand(dst)
+        if m == "inc":
+            result = value + 1
+        elif m == "dec":
+            result = value - 1
+        elif m == "not":
+            result = ~value
+        else:  # neg
+            result = -value
+        result = mask32(result)
+        self.write_operand(dst, result, taint)
+        if m in ("inc", "dec", "neg"):
+            self._set_flags(result, taint, cf=None)
+
+    def _binary(self, m: str, dst: Operand, src: Operand) -> None:
+        # xor r, r zeroes the register and *clears* taint (the classic
+        # untainting idiom every taint engine must honour).
+        if m == "xor" and isinstance(dst, Reg) and isinstance(src, Reg) and dst.name == src.name:
+            self.get_reg(dst.name)
+            self.set_reg(dst.name, 0, EMPTY)
+            self._set_flags(0, EMPTY, cf=0)
+            return
+        a, ta = self.read_operand(dst)
+        b, tb = self.read_operand(src)
+        cf = 0
+        if m == "add":
+            result = a + b
+            cf = 1 if result > 0xFFFFFFFF else 0
+        elif m == "sub":
+            result = a - b
+            cf = 1 if a < b else 0
+        elif m == "xor":
+            result = a ^ b
+        elif m == "and":
+            result = a & b
+        elif m == "or":
+            result = a | b
+        elif m == "shl":
+            result = a << (b & 0x1F)
+        elif m == "shr":
+            result = a >> (b & 0x1F)
+        else:  # imul / mul
+            result = a * b
+        result = mask32(result)
+        taint = union(ta, tb)
+        self.write_operand(dst, result, taint)
+        self._set_flags(result, taint, cf=cf)
+
+    def _set_flags(self, result: int, taint: TagSet, cf: Optional[int]) -> None:
+        self.flags["zf"] = 1 if result == 0 else 0
+        self.flags["sf"] = 1 if result & 0x80000000 else 0
+        if cf is not None:
+            self.flags["cf"] = cf
+        self.flag_taint = taint
+        self._defs.append(("flags",))
+
+    def _compare(self, m: str, lhs: Operand, rhs: Operand, pc: int, seq: int, text: str) -> None:
+        a, ta = self.read_operand(lhs)
+        b, tb = self.read_operand(rhs)
+        if m == "cmp":
+            result = mask32(a - b)
+            cf = 1 if a < b else 0
+        else:  # test
+            result = a & b
+            cf = 0
+        taint = union(ta, tb)
+        self._set_flags(result, taint, cf=cf)
+        if taint:
+            self.trace.predicates.append(
+                TaintedPredicateEvent(seq=seq, pc=pc, instr_text=text, tags=taint, lhs=a, rhs=b)
+            )
+
+    _CONDITIONS: dict = {}
+
+    def _jump(self, m: str, target: Operand) -> None:
+        taken = True
+        if m != "jmp":
+            self._uses.append(("flags",))
+            zf, sf, cf = self.flags["zf"], self.flags["sf"], self.flags["cf"]
+            taken = {
+                "je": zf == 1,
+                "jz": zf == 1,
+                "jne": zf == 0,
+                "jnz": zf == 0,
+                "jl": sf == 1,
+                "jge": sf == 0,
+                "jle": sf == 1 or zf == 1,
+                "jg": sf == 0 and zf == 0,
+                "jb": cf == 1,
+                "jae": cf == 0,
+                "jbe": cf == 1 or zf == 1,
+                "ja": cf == 0 and zf == 0,
+                "js": sf == 1,
+                "jns": sf == 0,
+            }[m]
+        if taken:
+            value, _ = self.read_operand(target)
+            self.pc = value
+
+    def _call(self, target: Operand, pc: int, seq: int, text: str) -> None:
+        if isinstance(target, ApiRef):
+            if self.dispatcher is None:
+                raise CpuFault(f"no API dispatcher for {target}")
+            self.dispatcher.invoke(self, target.name, caller_pc=pc, seq=seq)
+            return
+        value, _ = self.read_operand(target)
+        self.push(self.pc)  # return address (already points past the call)
+        self.callstack.append(pc)
+        self.pc = value
+
+    # ------------------------------------------------------------------
+    # hooks used by the API dispatcher
+    # ------------------------------------------------------------------
+
+    def note_use(self, location: Tuple) -> None:
+        self._uses.append(location)
+
+    def note_def(self, location: Tuple) -> None:
+        self._defs.append(location)
+
+    def record_api_step(self, seq: int, pc: int, text: str, event_id: int) -> None:
+        """Append the API pseudo-instruction's def/use record."""
+        if self.record_instructions:
+            self.trace.instructions.append(
+                InstructionRecord(
+                    seq=seq,
+                    pc=pc,
+                    text=text,
+                    defs=tuple(self._defs),
+                    uses=tuple(self._uses),
+                    api_event_id=event_id,
+                    esp=getattr(self, "_step_esp", self.regs["esp"]),
+                    ebp=getattr(self, "_step_ebp", self.regs["ebp"]),
+                )
+            )
+        self._api_step_recorded = True

@@ -1,0 +1,101 @@
+"""Instruction set of the simulated 32-bit machine.
+
+The ISA is a compact x86 subset: enough for real condition-check / string /
+hash logic (the malware corpus is written in it) while keeping the
+interpreter, taint propagation and slicing exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .operands import Operand, operands_text
+
+#: Data-movement / ALU mnemonics, their operand counts checked at assembly.
+ALU_BINARY = frozenset({"add", "sub", "xor", "and", "or", "shl", "shr", "imul", "mul"})
+ALU_UNARY = frozenset({"inc", "dec", "not", "neg"})
+MOVES = frozenset({"mov", "movb", "lea", "push", "pop", "xchg"})
+COMPARES = frozenset({"cmp", "test"})
+JUMPS = frozenset(
+    {
+        "jmp",
+        "je",
+        "jz",
+        "jne",
+        "jnz",
+        "jl",
+        "jle",
+        "jg",
+        "jge",
+        "jb",
+        "jbe",
+        "ja",
+        "jae",
+        "js",
+        "jns",
+    }
+)
+CALLS = frozenset({"call", "ret"})
+MISC = frozenset({"nop", "halt"})
+
+ALL_MNEMONICS = ALU_BINARY | ALU_UNARY | MOVES | COMPARES | JUMPS | CALLS | MISC
+
+#: Mnemonic -> valid operand counts.
+ARITY = {}
+for _m in ALU_BINARY | COMPARES:
+    ARITY[_m] = (2,)
+for _m in ALU_UNARY:
+    ARITY[_m] = (1,)
+ARITY.update(
+    {
+        "mov": (2,),
+        "movb": (2,),
+        "lea": (2,),
+        "xchg": (2,),
+        "push": (1,),
+        "pop": (1,),
+        "call": (1,),
+        "ret": (0, 1),
+        "nop": (0,),
+        "halt": (0,),
+    }
+)
+for _m in JUMPS:
+    ARITY[_m] = (1,)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction; ``pc`` is assigned at load time."""
+
+    mnemonic: str
+    operands: Tuple[Operand, ...] = field(default_factory=tuple)
+    line: int = 0  # source line for diagnostics
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in ALL_MNEMONICS:
+            raise ValueError(f"unknown mnemonic {self.mnemonic!r} (line {self.line})")
+        counts = ARITY[self.mnemonic]
+        if len(self.operands) not in counts:
+            raise ValueError(
+                f"{self.mnemonic} expects {counts} operands, got "
+                f"{len(self.operands)} (line {self.line})"
+            )
+
+    @property
+    def is_jump(self) -> bool:
+        return self.mnemonic in JUMPS
+
+    @property
+    def is_conditional_jump(self) -> bool:
+        return self.mnemonic in JUMPS and self.mnemonic != "jmp"
+
+    @property
+    def is_compare(self) -> bool:
+        return self.mnemonic in COMPARES
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.mnemonic
+        return f"{self.mnemonic} {operands_text(self.operands)}"

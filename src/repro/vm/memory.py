@@ -1,0 +1,134 @@
+"""Sparse byte-addressable memory with per-byte taint.
+
+Per-byte taint is what makes *partial static* identifiers recoverable: after
+``wsprintf(buf, "Global\\%s-99", random_part)`` the literal bytes of ``buf``
+carry the format string's (static) provenance while the ``%s`` bytes carry the
+random API's tag, so a regex can be cut along taint boundaries (paper §IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..taint.labels import EMPTY, TagSet, union
+from .operands import mask32
+
+TEXT_BASE = 0x00401000
+RDATA_BASE = 0x00410000
+DATA_BASE = 0x00420000
+STACK_BASE = 0x00180000
+STACK_TOP = 0x0018F000
+HEAP_BASE = 0x00500000
+
+
+class MemoryFault(Exception):
+    """Raised on an access outside any mapped region."""
+
+    def __init__(self, addr: int, why: str = "unmapped") -> None:
+        super().__init__(f"memory fault at 0x{addr:08x}: {why}")
+        self.addr = addr
+
+
+class Memory:
+    """Sparse memory: unwritten mapped bytes read as zero, untainted."""
+
+    def __init__(self) -> None:
+        self._bytes: Dict[int, int] = {}
+        self._taint: Dict[int, TagSet] = {}
+        #: (start, end) half-open mapped ranges.
+        self._regions: List[Tuple[int, int]] = [
+            (STACK_BASE, STACK_TOP + 0x1000),
+            (HEAP_BASE, HEAP_BASE + 0x100000),
+        ]
+        #: Half-open ranges that are read-only constants (.rdata).
+        self.readonly_ranges: List[Tuple[int, int]] = []
+
+    def map_region(self, start: int, size: int, readonly: bool = False) -> None:
+        self._regions.append((start, start + size))
+        if readonly:
+            self.readonly_ranges.append((start, start + size))
+
+    def is_mapped(self, addr: int) -> bool:
+        return any(start <= addr < end for start, end in self._regions)
+
+    def is_readonly(self, addr: int) -> bool:
+        return any(start <= addr < end for start, end in self.readonly_ranges)
+
+    def _check(self, addr: int) -> None:
+        if not self.is_mapped(addr):
+            raise MemoryFault(addr)
+
+    # -- byte-level -------------------------------------------------------
+
+    def read_byte(self, addr: int) -> Tuple[int, TagSet]:
+        addr = mask32(addr)
+        self._check(addr)
+        return self._bytes.get(addr, 0), self._taint.get(addr, EMPTY)
+
+    def write_byte(self, addr: int, value: int, taint: TagSet = EMPTY) -> None:
+        addr = mask32(addr)
+        self._check(addr)
+        self._bytes[addr] = value & 0xFF
+        if taint:
+            self._taint[addr] = taint
+        else:
+            self._taint.pop(addr, None)
+
+    # -- word-level -------------------------------------------------------
+
+    def read_u32(self, addr: int) -> Tuple[int, TagSet]:
+        value = 0
+        tagsets = []
+        for i in range(4):
+            byte, tags = self.read_byte(addr + i)
+            value |= byte << (8 * i)
+            if tags:
+                tagsets.append(tags)
+        return value, union(*tagsets)
+
+    def write_u32(self, addr: int, value: int, taint: TagSet = EMPTY) -> None:
+        for i in range(4):
+            self.write_byte(addr + i, (value >> (8 * i)) & 0xFF, taint)
+
+    # -- bulk helpers (used by loader and the API layer) -------------------
+
+    def write_bytes(self, addr: int, data: bytes, taint: TagSet = EMPTY) -> None:
+        for i, b in enumerate(data):
+            self.write_byte(addr + i, b, taint)
+
+    def write_bytes_tainted(
+        self, addr: int, data: bytes, taints: Iterable[TagSet]
+    ) -> None:
+        """Write bytes each with its own tag set (string taint transfer)."""
+        for i, (b, t) in enumerate(zip(data, taints)):
+            self.write_byte(addr + i, b, t)
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        return bytes(self.read_byte(addr + i)[0] for i in range(size))
+
+    def read_cstring(
+        self, addr: int, max_len: int = 4096
+    ) -> Tuple[str, List[TagSet]]:
+        """Read a NUL-terminated ASCII string and its per-byte taint."""
+        chars: List[str] = []
+        taints: List[TagSet] = []
+        for i in range(max_len):
+            byte, tags = self.read_byte(addr + i)
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+            taints.append(tags)
+        return "".join(chars), taints
+
+    def write_cstring(
+        self, addr: int, text: str, taints: Optional[List[TagSet]] = None
+    ) -> None:
+        data = text.encode("latin-1", errors="replace")
+        if taints is None:
+            self.write_bytes(addr, data + b"\x00")
+        else:
+            self.write_bytes_tainted(addr, data, taints)
+            self.write_byte(addr + len(data), 0)
+
+    def taint_of_range(self, addr: int, size: int) -> TagSet:
+        return union(*(self.read_byte(addr + i)[1] for i in range(size)))

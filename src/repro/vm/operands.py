@@ -1,0 +1,85 @@
+"""Operand model for the simulated 32-bit ISA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+REGISTERS = ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose 32-bit register operand."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in REGISTERS:
+            raise ValueError(f"unknown register {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate value; ``symbol`` remembers the label it came from."""
+
+    value: int
+    symbol: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.symbol if self.symbol else f"0x{self.value & 0xFFFFFFFF:x}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """Memory operand ``[base + index*scale + disp]`` with access size."""
+
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale: int = 1
+    disp: int = 0
+    size: int = 4  # bytes: 1 or 4
+    symbol: Optional[str] = None  # label contributing to disp, for display
+
+    def __str__(self) -> str:
+        parts = []
+        if self.base:
+            parts.append(self.base)
+        if self.index:
+            parts.append(f"{self.index}*{self.scale}" if self.scale != 1 else self.index)
+        if self.symbol:
+            parts.append(self.symbol)
+        elif self.disp or not parts:
+            parts.append(f"0x{self.disp & 0xFFFFFFFF:x}")
+        inner = "+".join(parts)
+        prefix = "byte " if self.size == 1 else ""
+        return f"{prefix}[{inner}]"
+
+
+@dataclass(frozen=True)
+class ApiRef:
+    """Target of ``call @SomeApi``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+Operand = Union[Reg, Imm, Mem, ApiRef]
+
+
+def mask32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+def to_signed(value: int) -> int:
+    value = mask32(value)
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def operands_text(operands: Tuple[Operand, ...]) -> str:
+    return ", ".join(str(op) for op in operands)

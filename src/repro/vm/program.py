@@ -1,0 +1,77 @@
+"""Program image: assembled instructions plus initialized data sections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .isa import Instruction
+from .memory import DATA_BASE, Memory, RDATA_BASE, TEXT_BASE
+
+
+@dataclass
+class DataSection:
+    """An initialized data section with its load base."""
+
+    name: str
+    base: int
+    image: bytes
+    readonly: bool = False
+
+
+@dataclass
+class Program:
+    """An assembled guest program.
+
+    ``pc`` addressing: instruction *i* lives at ``TEXT_BASE + i`` (one address
+    unit per instruction — simulated, not encoded x86).
+    """
+
+    name: str
+    instructions: List[Instruction]
+    labels: Dict[str, int]
+    sections: List[DataSection] = field(default_factory=list)
+    entry: int = TEXT_BASE
+    source: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def text_base(self) -> int:
+        return TEXT_BASE
+
+    @property
+    def text_end(self) -> int:
+        return TEXT_BASE + len(self.instructions)
+
+    def instruction_at(self, pc: int) -> Optional[Instruction]:
+        idx = pc - TEXT_BASE
+        if 0 <= idx < len(self.instructions):
+            return self.instructions[idx]
+        return None
+
+    def label_at(self, addr: int) -> Optional[str]:
+        for name, a in self.labels.items():
+            if a == addr:
+                return name
+        return None
+
+    def load_into(self, memory: Memory) -> None:
+        """Map and initialize this program's data sections."""
+        for section in self.sections:
+            size = max(len(section.image), 0x1000)
+            memory.map_region(section.base, size, readonly=section.readonly)
+            memory.write_bytes(section.base, section.image)
+
+    def disassemble(self) -> str:
+        """Human-readable text listing (pc, instruction)."""
+        addr_to_label = {a: n for n, a in self.labels.items()}
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            pc = TEXT_BASE + i
+            if pc in addr_to_label:
+                lines.append(f"{addr_to_label[pc]}:")
+            lines.append(f"  0x{pc:08x}  {instr}")
+        return "\n".join(lines)
+
+
+__all__ = ["DataSection", "Program", "TEXT_BASE", "RDATA_BASE", "DATA_BASE"]

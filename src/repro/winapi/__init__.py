@@ -1,0 +1,72 @@
+"""Labelled Windows API layer.
+
+Importing this package registers every API implementation into
+:data:`repro.winapi.labels.REGISTRY`; the :class:`Dispatcher` executes
+``call @Api`` instructions against a
+:class:`~repro.winenv.environment.SystemEnvironment`.
+"""
+
+from . import (  # noqa: F401  (imports populate the registry)
+    enum_api,
+    file_api,
+    kernel_objects_api,
+    library_api,
+    mutex_api,
+    network_api,
+    process_api,
+    registry_api,
+    service_api,
+    string_api,
+    system_api,
+    window_api,
+)
+from . import wide_api  # noqa: F401  (aliases; must import after the A variants)
+from .context import ApiContext
+from .dispatcher import Dispatcher, Interception, Interceptor
+from .labels import (
+    HIVE_NAMES,
+    HKEY_CURRENT_USER,
+    HKEY_LOCAL_MACHINE,
+    REGISTRY,
+    ApiDef,
+    Calling,
+    FailureSpec,
+    Returns,
+    api,
+    hooked_api_count,
+    lookup,
+    resource_apis,
+)
+
+#: APIs whose presence in the difference set signals self-termination
+#: (full immunization, paper §IV-B).
+TERMINATION_APIS = frozenset({"ExitProcess", "ExitThread", "TerminateProcess"})
+
+#: Network-behaviour APIs for Type-II detection.
+NETWORK_APIS = frozenset(d.name for d in REGISTRY.values() if d.network)
+
+#: Injection-evidence APIs for Type-IV detection.
+INJECTION_APIS = frozenset({"OpenProcess", "FindProcessA", "VirtualAllocEx",
+                            "WriteProcessMemory", "CreateRemoteThread"})
+
+__all__ = [
+    "ApiContext",
+    "ApiDef",
+    "Calling",
+    "Dispatcher",
+    "FailureSpec",
+    "HIVE_NAMES",
+    "HKEY_CURRENT_USER",
+    "HKEY_LOCAL_MACHINE",
+    "INJECTION_APIS",
+    "Interception",
+    "Interceptor",
+    "NETWORK_APIS",
+    "REGISTRY",
+    "Returns",
+    "TERMINATION_APIS",
+    "api",
+    "hooked_api_count",
+    "lookup",
+    "resource_apis",
+]

@@ -1,0 +1,151 @@
+"""Per-call API execution context.
+
+Wraps the CPU + environment + process for one API invocation, giving
+implementations typed access to guest memory (with def/use recording so API
+pseudo-steps slot into the backward-slicing trace) and to taint minting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..taint.labels import EMPTY, TagSet, TaintClass, TaintTag, union
+from ..winenv.environment import SystemEnvironment
+from ..winenv.errors import ResourceFault, Win32Error
+from ..winenv.objects import Handle, HandleKind, Resource
+from ..winenv.processes import Process
+
+
+class ApiContext:
+    """Everything an API implementation needs for one invocation."""
+
+    def __init__(
+        self,
+        cpu,
+        environment: SystemEnvironment,
+        process: Process,
+        apidef,
+        event_id: int,
+    ) -> None:
+        self.cpu = cpu
+        self.env = environment
+        self.process = process
+        self.apidef = apidef
+        self.event_id = event_id
+        #: Filled by the dispatcher before the impl runs.
+        self.args: List[int] = []
+        self.arg_taints: List[TagSet] = []
+        #: Resolved resource identifier (set by dispatcher when labelled).
+        self.identifier: Optional[str] = None
+        self.identifier_taints: Optional[List[TagSet]] = None
+        #: Implementation-set extras copied onto the event.
+        self.extra: dict = {}
+        #: Taint to place on the return value (defaults to the minted tag).
+        self.retval_taint: TagSet = EMPTY
+        #: Implementations may refine the labelled operation (e.g. CreateFile
+        #: is CREATE or READ depending on its disposition argument).
+        self.operation_override = None
+        #: True once an implementation set last-error itself (e.g.
+        #: CreateMutex's ERROR_ALREADY_EXISTS on success).
+        self.explicit_last_error = False
+
+    # -- taint ----------------------------------------------------------------
+
+    def mint_tag(self, klass: Optional[TaintClass] = None) -> TagSet:
+        klass = klass or self.apidef.taint_class
+        if klass is None:
+            return EMPTY
+        return frozenset({TaintTag(self.event_id, self.apidef.name, klass)})
+
+    # -- argument access --------------------------------------------------------
+
+    def arg(self, index: int) -> int:
+        """Argument value; beyond the pre-read ones, reads the guest stack."""
+        while index >= len(self.args):
+            value, taint = self.cpu.stack_arg(len(self.args))
+            self.args.append(value)
+            self.arg_taints.append(taint)
+        return self.args[index]
+
+    def arg_taint(self, index: int) -> TagSet:
+        self.arg(index)
+        return self.arg_taints[index]
+
+    # -- guest memory -----------------------------------------------------------
+
+    def read_string(self, addr: int, max_len: int = 4096) -> Tuple[str, List[TagSet]]:
+        if addr == 0:
+            return "", []
+        from ..vm.memory import MemoryFault
+
+        try:
+            text, taints = self.cpu.memory.read_cstring(addr, max_len)
+        except MemoryFault:
+            # A bogus guest pointer is the API's problem, not the host's:
+            # real APIs validate and fail gracefully.
+            return "", []
+        for i in range(len(text) + 1):
+            self.cpu.note_use(("mem", addr + i))
+        return text, taints
+
+    def read_string_arg(self, index: int) -> Tuple[str, List[TagSet]]:
+        return self.read_string(self.arg(index))
+
+    def write_string(self, addr: int, text: str, taints=None, taint: TagSet = EMPTY) -> None:
+        data = text.encode("latin-1", errors="replace")
+        if taints is None:
+            taints = [taint] * len(data)
+        for i, (b, t) in enumerate(zip(data, taints)):
+            self.cpu.memory.write_byte(addr + i, b, t)
+            self.cpu.note_def(("mem", addr + i))
+        self.cpu.memory.write_byte(addr + len(data), 0, EMPTY)
+        self.cpu.note_def(("mem", addr + len(data)))
+
+    def read_u32(self, addr: int) -> int:
+        value, _ = self.cpu.read_mem(addr, 4)
+        return value
+
+    def write_u32(self, addr: int, value: int, taint: TagSet = EMPTY) -> None:
+        self.cpu.write_mem(addr, value, 4, taint)
+
+    def read_buffer(self, addr: int, size: int) -> bytes:
+        data = self.cpu.memory.read_bytes(addr, size)
+        for i in range(size):
+            self.cpu.note_use(("mem", addr + i))
+        return data
+
+    def write_buffer(self, addr: int, data: bytes, taint: TagSet = EMPTY) -> None:
+        for i, b in enumerate(data):
+            self.cpu.memory.write_byte(addr + i, b, taint)
+            self.cpu.note_def(("mem", addr + i))
+
+    def read_buffer_taints(self, addr: int, size: int) -> List[TagSet]:
+        return [self.cpu.memory.read_byte(addr + i)[1] for i in range(size)]
+
+    # -- handles ------------------------------------------------------------------
+
+    def alloc_handle(self, kind: HandleKind, resource: Optional[Resource]) -> Handle:
+        handle = self.process.handles.allocate(kind, resource)
+        handle.state["opened_by_event"] = self.event_id
+        return handle
+
+    def handle(self, value: int) -> Handle:
+        handle = self.process.handles.get(value)
+        if handle is None:
+            raise ResourceFault(Win32Error.INVALID_HANDLE, f"handle 0x{value:x}")
+        return handle
+
+    def handle_arg(self, index: int) -> Handle:
+        return self.handle(self.arg(index))
+
+    # -- misc -----------------------------------------------------------------------
+
+    def set_last_error(self, error: int, tag: TagSet = EMPTY) -> None:
+        self.explicit_last_error = True
+        self.process.last_error = int(error)
+        # Remember provenance so GetLastError() returns tainted data.
+        self.process.__dict__["last_error_tag"] = tag
+
+    @property
+    def integrity(self):
+        return self.process.integrity

@@ -1,0 +1,245 @@
+"""API dispatcher: the single choke point between guest code and the
+environment.
+
+This is where DynamoRIO-style instrumentation lives in the reproduction:
+argument capture, identifier resolution through the labelling DB, taint
+minting, event logging with calling context — and *interception*, used both by
+Phase-II impact analysis (mutate one API's result) and by the Phase-III
+vaccine daemon (block matching identifiers at runtime).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Protocol
+
+from ..taint.labels import EMPTY, union
+from ..tracing.events import ApiCallEvent
+from ..winenv.environment import SystemEnvironment
+from ..winenv.errors import ResourceFault, Win32Error
+from ..winenv.objects import HandleKind, Resource
+from ..winenv.processes import Process
+from .context import ApiContext
+from .labels import ApiDef, Calling, Returns, lookup
+
+
+class Interception(enum.Enum):
+    """An interceptor's verdict on one API call."""
+
+    PASS = "pass"
+    FORCE_FAIL = "force_fail"
+    #: Fail with an already-exists flavour (simulating the marker's presence
+    #: against a *create* operation).
+    FORCE_FAIL_EXISTS = "force_fail_exists"
+    FORCE_SUCCESS = "force_success"
+
+
+class Interceptor(Protocol):
+    """Implemented by mutation specs (Phase II) and the vaccine daemon."""
+
+    def intercept(self, apidef: ApiDef, event: ApiCallEvent) -> Interception:
+        ...  # pragma: no cover
+
+
+class Dispatcher:
+    """Executes ``call @Api`` instructions against a SystemEnvironment."""
+
+    def __init__(
+        self,
+        environment: SystemEnvironment,
+        process: Process,
+        interceptors: Optional[Iterable[Interceptor]] = None,
+    ) -> None:
+        self.env = environment
+        self.process = process
+        self.interceptors: List[Interceptor] = list(interceptors or [])
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        self.interceptors.append(interceptor)
+
+    # ------------------------------------------------------------------
+
+    def invoke(self, cpu, name: str, caller_pc: int, seq: int) -> None:
+        try:
+            apidef = lookup(name)
+        except KeyError as exc:
+            # An unresolvable import is a *guest* fault (crashed process),
+            # not a host error.
+            from ..vm.cpu import CpuFault
+
+            raise CpuFault(str(exc)) from None
+        event_id = cpu.trace.next_event_id()
+        ctx = ApiContext(cpu, self.env, self.process, apidef, event_id)
+
+        # Pre-read the declared arguments (records their stack-slot uses).
+        for i in range(apidef.argc):
+            ctx.arg(i)
+
+        event = ApiCallEvent(
+            event_id=event_id,
+            seq=seq,
+            api=name,
+            caller_pc=caller_pc,
+            args=tuple(ctx.args),
+            callstack=tuple(cpu.callstack),
+            resource_type=apidef.resource_type,
+            operation=apidef.operation,
+        )
+        self._resolve_identifier(ctx, apidef, event)
+
+        verdict = Interception.PASS
+        for interceptor in self.interceptors:
+            verdict = interceptor.intercept(apidef, event)
+            if verdict is not Interception.PASS:
+                event.mutated = True
+                break
+
+        retval, success, error = self._execute(ctx, apidef, event, verdict)
+
+        event.retval = retval
+        event.success = success
+        event.error = error
+        cpu.trace.api_calls.append(event)
+
+        tag = ctx.mint_tag() if apidef.taint_class is not None else EMPTY
+        if not success:
+            ctx.set_last_error(error, tag)
+        elif not ctx.explicit_last_error:
+            ctx.set_last_error(0, EMPTY)
+
+        # Return value in eax, tainted per the label.
+        retval_taint = union(tag, ctx.retval_taint)
+        cpu.set_reg("eax", retval, retval_taint)
+
+        # stdcall: callee pops its arguments.
+        if apidef.calling is Calling.STDCALL:
+            esp, esp_taint = cpu.get_reg("esp")
+            cpu.set_reg("esp", esp + 4 * apidef.argc, esp_taint)
+
+        if event.identifier is None and ctx.identifier is not None:
+            # Implementations may resolve identifiers themselves (OpenProcess).
+            event.identifier = ctx.identifier
+            event.identifier_taints = ctx.identifier_taints
+        if ctx.operation_override is not None:
+            event.operation = ctx.operation_override
+        event.extra.update(ctx.extra)
+        cpu.record_api_step(seq=seq, pc=caller_pc, text=f"call @{name}", event_id=event_id)
+
+    # ------------------------------------------------------------------
+
+    def _resolve_identifier(self, ctx: ApiContext, apidef: ApiDef, event: ApiCallEvent) -> None:
+        if apidef.identifier_arg is not None:
+            addr = ctx.arg(apidef.identifier_arg)
+            if addr:
+                text, taints = ctx.read_string(addr)
+                ctx.identifier, ctx.identifier_taints = text, taints
+                event.identifier, event.identifier_taints = text, taints
+                event.extra["identifier_addr"] = addr
+        elif apidef.registry_path_args is not None:
+            from ..winenv.registry import normalize_key
+            from .labels import HIVE_NAMES
+
+            hkey_arg, subkey_arg = apidef.registry_path_args
+            hkey = ctx.arg(hkey_arg)
+            subkey, taints = ctx.read_string_arg(subkey_arg)
+            base = None
+            if hkey in HIVE_NAMES:
+                base = HIVE_NAMES[hkey]
+            else:
+                handle = self.process.handles.get(hkey)
+                if handle is not None and handle.resource is not None:
+                    base = handle.resource.name
+            if base is not None:
+                full = normalize_key(f"{base}\\{subkey}") if subkey else normalize_key(base)
+                ctx.identifier, ctx.identifier_taints = full, taints
+                event.identifier, event.identifier_taints = full, taints
+                event.extra["identifier_addr"] = ctx.arg(subkey_arg)
+        elif apidef.identifier_handle_arg is not None:
+            value = ctx.arg(apidef.identifier_handle_arg)
+            handle = self.process.handles.get(value)
+            if handle is not None and handle.resource is not None:
+                ctx.identifier = handle.resource.identifier
+                event.identifier = ctx.identifier
+                origin = handle.state.get("opened_by_event")
+                if origin is not None:
+                    event.extra["origin_event"] = origin
+
+    def _execute(self, ctx, apidef: ApiDef, event: ApiCallEvent, verdict: Interception):
+        """Run the implementation (or a forced outcome).
+
+        Returns ``(retval, success, error)`` following the API's labelled
+        encodings.
+        """
+        if verdict is Interception.FORCE_FAIL:
+            return apidef.failure.retval, False, int(apidef.failure.last_error)
+
+        if verdict is Interception.FORCE_FAIL_EXISTS:
+            error = (
+                Win32Error.FILE_EXISTS if "File" in apidef.name else Win32Error.ALREADY_EXISTS
+            )
+            retval = apidef.failure.retval
+            if apidef.returns is Returns.NTSTATUS:
+                retval = _nt_status_for(error)
+            return retval, False, int(error)
+
+        if verdict is Interception.FORCE_SUCCESS:
+            return self._fabricate_success(ctx, apidef, event), True, 0
+
+        try:
+            retval = apidef.impl(ctx)
+            return int(retval) if retval is not None else 0, True, 0
+        except ResourceFault as fault:
+            retval = apidef.failure.retval
+            # NT APIs return the specific status; Win32 APIs use the labelled
+            # failure retval and report detail via GetLastError.
+            if apidef.returns is Returns.NTSTATUS:
+                retval = _nt_status_for(fault.error)
+            return retval, False, int(fault.error)
+
+    def _fabricate_success(self, ctx: ApiContext, apidef: ApiDef, event: ApiCallEvent) -> int:
+        """Simulate success without touching the environment.
+
+        Used when impact analysis tests "what if the resource were present":
+        e.g. a phantom mutex handle makes ``OpenMutex`` appear to succeed.
+        """
+        if apidef.returns is Returns.HANDLE:
+            phantom: Optional[Resource] = None
+            if apidef.resource_type is not None and ctx.identifier:
+                phantom = Resource(name=ctx.identifier, rtype=apidef.resource_type)
+            kind = _PHANTOM_KINDS.get(
+                apidef.resource_type.value if apidef.resource_type else "", HandleKind.FILE
+            )
+            handle = ctx.alloc_handle(kind, phantom)
+            handle.state["phantom"] = True
+            return handle.value
+        if apidef.returns is Returns.BOOL:
+            return 1
+        if apidef.returns in (Returns.NTSTATUS, Returns.ERRCODE):
+            return 0
+        return 1
+
+
+_PHANTOM_KINDS = {
+    "file": HandleKind.FILE,
+    "registry": HandleKind.REGISTRY,
+    "mutex": HandleKind.MUTEX,
+    "process": HandleKind.PROCESS,
+    "service": HandleKind.SERVICE,
+    "window": HandleKind.WINDOW,
+    "library": HandleKind.LIBRARY,
+}
+
+
+def _nt_status_for(error: Win32Error) -> int:
+    from ..winenv.errors import NtStatus
+
+    mapping = {
+        Win32Error.FILE_NOT_FOUND: NtStatus.OBJECT_NAME_NOT_FOUND,
+        Win32Error.PATH_NOT_FOUND: NtStatus.OBJECT_PATH_NOT_FOUND,
+        Win32Error.ACCESS_DENIED: NtStatus.ACCESS_DENIED,
+        Win32Error.FILE_EXISTS: NtStatus.OBJECT_NAME_COLLISION,
+        Win32Error.ALREADY_EXISTS: NtStatus.OBJECT_NAME_COLLISION,
+        Win32Error.INVALID_HANDLE: NtStatus.INVALID_HANDLE,
+        Win32Error.SHARING_VIOLATION: NtStatus.SHARING_VIOLATION,
+    }
+    return int(mapping.get(error, NtStatus.UNSUCCESSFUL))

@@ -1,0 +1,180 @@
+"""Network APIs — the activity Type-II partial immunization silences.
+
+All are flagged ``network=True`` so differential analysis can measure the
+network-call mass lost between the natural and the mutated run.
+"""
+
+from __future__ import annotations
+
+from ..taint.labels import TaintClass
+from ..winenv.errors import NULL, ResourceFault, TRUE, Win32Error
+from ..winenv.objects import HandleKind, Operation, ResourceType
+from .context import ApiContext
+from .labels import FailureSpec, Returns, api
+
+INVALID_SOCKET = 0xFFFFFFFF
+
+
+@api(
+    "socket",
+    argc=3,
+    returns=Returns.HANDLE,
+    network=True,
+    failure=FailureSpec(INVALID_SOCKET, Win32Error.INVALID_PARAMETER),
+)
+def socket_(ctx: ApiContext) -> int:
+    handle = ctx.alloc_handle(HandleKind.SOCKET, None)
+    return handle.value
+
+
+@api(
+    "connect",
+    argc=3,
+    returns=Returns.VALUE,
+    network=True,
+    failure=FailureSpec(0xFFFFFFFF, Win32Error.CONNECTION_REFUSED),
+    doc="Simplified: (socket, host string pointer, port).",
+)
+def connect_(ctx: ApiContext) -> int:
+    handle = ctx.handle_arg(0)
+    host, _ = ctx.read_string_arg(1)
+    port = ctx.arg(2)
+    conn = ctx.env.network.connect(ctx.process.pid, host, port)
+    handle.state["conn_id"] = conn.conn_id
+    return 0
+
+
+@api(
+    "send",
+    argc=4,
+    returns=Returns.VALUE,
+    network=True,
+    failure=FailureSpec(0xFFFFFFFF, Win32Error.CONNECTION_REFUSED),
+)
+def send_(ctx: ApiContext) -> int:
+    handle = ctx.handle_arg(0)
+    buf, size = ctx.arg(1), ctx.arg(2)
+    conn_id = handle.state.get("conn_id")
+    if conn_id is None:
+        raise ResourceFault(Win32Error.INVALID_HANDLE)
+    data = ctx.read_buffer(buf, size)
+    return ctx.env.network.send(ctx.process.pid, conn_id, data)
+
+
+@api(
+    "recv",
+    argc=4,
+    returns=Returns.VALUE,
+    network=True,
+    failure=FailureSpec(0xFFFFFFFF, Win32Error.CONNECTION_REFUSED),
+)
+def recv_(ctx: ApiContext) -> int:
+    handle = ctx.handle_arg(0)
+    buf, size = ctx.arg(1), ctx.arg(2)
+    conn_id = handle.state.get("conn_id")
+    if conn_id is None:
+        raise ResourceFault(Win32Error.INVALID_HANDLE)
+    data = ctx.env.network.recv(ctx.process.pid, conn_id, size)
+    ctx.write_buffer(buf, data)
+    return len(data)
+
+
+@api("closesocket", argc=1, returns=Returns.VALUE, network=True)
+def closesocket_(ctx: ApiContext) -> int:
+    handle = ctx.process.handles.get(ctx.arg(0))
+    if handle is not None and "conn_id" in handle.state:
+        ctx.env.network.close(handle.state["conn_id"])
+    ctx.process.handles.close(ctx.arg(0))
+    return 0
+
+
+@api(
+    "gethostbyname",
+    argc=1,
+    returns=Returns.VALUE,
+    network=True,
+    failure=FailureSpec(NULL, Win32Error.HOST_UNREACHABLE),
+)
+def gethostbyname_(ctx: ApiContext) -> int:
+    name, _ = ctx.read_string_arg(0)
+    addr = ctx.env.network.resolve(name)
+    return sum(int(p) << (8 * i) for i, p in enumerate(addr.split(".")))
+
+
+@api(
+    "DnsQuery_A",
+    argc=1,
+    returns=Returns.VALUE,
+    network=True,
+    failure=FailureSpec(9003, Win32Error.HOST_UNREACHABLE),  # DNS_ERROR_RCODE_NAME_ERROR
+)
+def dns_query(ctx: ApiContext) -> int:
+    name, _ = ctx.read_string_arg(0)
+    ctx.env.network.resolve(name)
+    return 0
+
+
+@api(
+    "InternetOpenA",
+    argc=1,
+    returns=Returns.HANDLE,
+    network=True,
+    failure=FailureSpec(NULL, Win32Error.INVALID_PARAMETER),
+)
+def internet_open(ctx: ApiContext) -> int:
+    handle = ctx.alloc_handle(HandleKind.INTERNET, None)
+    return handle.value
+
+
+@api(
+    "InternetConnectA",
+    argc=3,
+    returns=Returns.HANDLE,
+    network=True,
+    failure=FailureSpec(NULL, Win32Error.CONNECTION_REFUSED),
+)
+def internet_connect(ctx: ApiContext) -> int:
+    ctx.handle_arg(0)
+    host, _ = ctx.read_string_arg(1)
+    port = ctx.arg(2) or 80
+    conn = ctx.env.network.connect(ctx.process.pid, host, port)
+    handle = ctx.alloc_handle(HandleKind.INTERNET, None)
+    handle.state["conn_id"] = conn.conn_id
+    return handle.value
+
+
+@api(
+    "HttpSendRequestA",
+    argc=2,
+    returns=Returns.BOOL,
+    network=True,
+    failure=FailureSpec(0, Win32Error.CONNECTION_REFUSED),
+)
+def http_send_request(ctx: ApiContext) -> int:
+    handle = ctx.handle_arg(0)
+    conn_id = handle.state.get("conn_id")
+    if conn_id is None:
+        raise ResourceFault(Win32Error.INVALID_HANDLE)
+    ctx.env.network.send(ctx.process.pid, conn_id, b"GET / HTTP/1.1\r\n\r\n")
+    return TRUE
+
+
+@api(
+    "URLDownloadToFileA",
+    argc=3,
+    returns=Returns.VALUE,
+    network=True,
+    failure=FailureSpec(0x800C0005, Win32Error.CONNECTION_REFUSED),  # INET_E_RESOURCE_NOT_FOUND
+    doc="(caller, url string, target file string) — downloader primitive.",
+)
+def url_download_to_file(ctx: ApiContext) -> int:
+    url, _ = ctx.read_string_arg(1)
+    target, _ = ctx.read_string_arg(2)
+    host = url.split("//")[-1].split("/")[0]
+    conn = ctx.env.network.connect(ctx.process.pid, host, 80)
+    ctx.env.network.send(ctx.process.pid, conn.conn_id, f"GET {url}\r\n".encode())
+    payload = ctx.env.network.recv(ctx.process.pid, conn.conn_id, 4096) or b"payload"
+    ctx.env.filesystem.create(
+        target, ctx.integrity, content=payload, exist_ok=True, created_by=ctx.process.pid
+    )
+    return 0

@@ -1,0 +1,229 @@
+"""Registry APIs.
+
+Key paths resolve against hive pseudo-handles (``HKEY_LOCAL_MACHINE`` /
+``HKEY_CURRENT_USER``) or against previously opened key handles, mirroring the
+Win32 model; the resolved full path is the vaccine identifier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..taint.labels import EMPTY, TagSet, TaintClass, union
+from ..winenv.errors import ResourceFault, TRUE, Win32Error
+from ..winenv.objects import HandleKind, Operation, ResourceType
+from ..winenv.registry import normalize_key
+from .context import ApiContext
+from .labels import FailureSpec, HIVE_NAMES, Returns, api
+
+REG_SZ = 1
+REG_DWORD = 4
+
+ERROR_SUCCESS = 0
+ERROR_FILE_NOT_FOUND = int(Win32Error.FILE_NOT_FOUND)
+
+
+def _resolve_key_path(ctx: ApiContext, hkey_arg: int, subkey_arg: int) -> Tuple[str, List[TagSet]]:
+    """Join a hive/parent-handle argument with the subkey string."""
+    hkey = ctx.arg(hkey_arg)
+    subkey, taints = ctx.read_string_arg(subkey_arg)
+    if hkey in HIVE_NAMES:
+        base = HIVE_NAMES[hkey]
+    else:
+        handle = ctx.handle(hkey)
+        if handle.resource is None:
+            raise ResourceFault(Win32Error.INVALID_HANDLE)
+        base = handle.resource.name
+    full = normalize_key(f"{base}\\{subkey}") if subkey else normalize_key(base)
+    return full, taints
+
+
+def _set_identifier(ctx: ApiContext, path: str, taints: List[TagSet]) -> None:
+    ctx.identifier = path
+    ctx.identifier_taints = taints
+
+
+# Registry APIs return the error code directly (no GetLastError), so the
+# "failure retval" is the Win32 error value itself.
+
+
+@api(
+    "RegOpenKeyExA",
+    argc=5,
+    returns=Returns.ERRCODE,
+    resource=ResourceType.REGISTRY,
+    operation=Operation.READ,
+    registry_path_args=(0, 1),
+    taint=TaintClass.RESOURCE,
+    failure=FailureSpec(ERROR_FILE_NOT_FOUND, Win32Error.FILE_NOT_FOUND),
+)
+def reg_open_key(ctx: ApiContext) -> int:
+    """Open an existing key; out-handle via 5th parameter."""
+    path = ctx.identifier or _resolve_key_path(ctx, 0, 1)[0]
+    key = ctx.env.registry.lookup(path)
+    if key is None:
+        raise ResourceFault(Win32Error.FILE_NOT_FOUND, path)
+    out_ptr = ctx.arg(4)
+    handle = ctx.alloc_handle(HandleKind.REGISTRY, key)
+    if out_ptr:
+        ctx.write_u32(out_ptr, handle.value, ctx.mint_tag())
+    return ERROR_SUCCESS
+
+
+@api(
+    "RegCreateKeyExA",
+    argc=5,
+    returns=Returns.ERRCODE,
+    resource=ResourceType.REGISTRY,
+    operation=Operation.CREATE,
+    registry_path_args=(0, 1),
+    taint=TaintClass.RESOURCE,
+    failure=FailureSpec(int(Win32Error.ACCESS_DENIED), Win32Error.ACCESS_DENIED),
+)
+def reg_create_key(ctx: ApiContext) -> int:
+    path = ctx.identifier or _resolve_key_path(ctx, 0, 1)[0]
+    key = ctx.env.registry.create_key(path, ctx.integrity, created_by=ctx.process.pid)
+    out_ptr = ctx.arg(4)
+    handle = ctx.alloc_handle(HandleKind.REGISTRY, key)
+    if out_ptr:
+        ctx.write_u32(out_ptr, handle.value, ctx.mint_tag())
+    return ERROR_SUCCESS
+
+
+@api(
+    "RegQueryValueExA",
+    argc=6,
+    returns=Returns.ERRCODE,
+    resource=ResourceType.REGISTRY,
+    operation=Operation.READ,
+    identifier_handle_arg=0,
+    taint=TaintClass.RESOURCE,
+    failure=FailureSpec(ERROR_FILE_NOT_FOUND, Win32Error.FILE_NOT_FOUND),
+)
+def reg_query_value(ctx: ApiContext) -> int:
+    """Read a value; string data lands resource-tainted in the out buffer."""
+    handle = ctx.handle_arg(0)
+    name, _ = ctx.read_string_arg(1)
+    buf, size_ptr = ctx.arg(4), ctx.arg(5)
+    ctx.extra["value_name"] = name
+    if handle.resource is None or handle.state.get("phantom"):
+        raise ResourceFault(Win32Error.FILE_NOT_FOUND, name)
+    value = ctx.env.registry.query_value(handle.resource.name, name, ctx.integrity)
+    tag = ctx.mint_tag()
+    if isinstance(value, int):
+        if buf:
+            ctx.write_u32(buf, value, tag)
+        if size_ptr:
+            ctx.write_u32(size_ptr, 4)
+    else:
+        if buf:
+            ctx.write_string(buf, value, taint=tag)
+        if size_ptr:
+            ctx.write_u32(size_ptr, len(value) + 1)
+    return ERROR_SUCCESS
+
+
+@api(
+    "RegSetValueExA",
+    argc=6,
+    returns=Returns.ERRCODE,
+    resource=ResourceType.REGISTRY,
+    operation=Operation.WRITE,
+    identifier_handle_arg=0,
+    taint=TaintClass.RESOURCE,
+    failure=FailureSpec(int(Win32Error.ACCESS_DENIED), Win32Error.ACCESS_DENIED),
+)
+def reg_set_value(ctx: ApiContext) -> int:
+    handle = ctx.handle_arg(0)
+    name, _ = ctx.read_string_arg(1)
+    vtype, data_ptr, size = ctx.arg(3), ctx.arg(4), ctx.arg(5)
+    ctx.extra["value_name"] = name
+    if handle.resource is None:
+        raise ResourceFault(Win32Error.INVALID_HANDLE)
+    if vtype == REG_DWORD:
+        value = ctx.read_u32(data_ptr)
+    else:
+        value, _ = ctx.read_string(data_ptr)
+    ctx.extra["value_data"] = value
+    if not handle.state.get("phantom"):
+        ctx.env.registry.set_value(handle.resource.name, name, value, ctx.integrity)
+    return ERROR_SUCCESS
+
+
+@api(
+    "RegDeleteValueA",
+    argc=2,
+    returns=Returns.ERRCODE,
+    resource=ResourceType.REGISTRY,
+    operation=Operation.DELETE,
+    identifier_handle_arg=0,
+    taint=TaintClass.RESOURCE,
+    failure=FailureSpec(ERROR_FILE_NOT_FOUND, Win32Error.FILE_NOT_FOUND),
+)
+def reg_delete_value(ctx: ApiContext) -> int:
+    handle = ctx.handle_arg(0)
+    name, _ = ctx.read_string_arg(1)
+    if handle.resource is None:
+        raise ResourceFault(Win32Error.INVALID_HANDLE)
+    ctx.env.registry.delete_value(handle.resource.name, name, ctx.integrity)
+    return ERROR_SUCCESS
+
+
+@api(
+    "RegDeleteKeyA",
+    argc=2,
+    returns=Returns.ERRCODE,
+    resource=ResourceType.REGISTRY,
+    operation=Operation.DELETE,
+    registry_path_args=(0, 1),
+    taint=TaintClass.RESOURCE,
+    failure=FailureSpec(ERROR_FILE_NOT_FOUND, Win32Error.FILE_NOT_FOUND),
+)
+def reg_delete_key(ctx: ApiContext) -> int:
+    path = ctx.identifier or _resolve_key_path(ctx, 0, 1)[0]
+    ctx.env.registry.delete_key(path, ctx.integrity)
+    return ERROR_SUCCESS
+
+
+@api("RegCloseKey", argc=1, returns=Returns.ERRCODE)
+def reg_close_key(ctx: ApiContext) -> int:
+    ctx.process.handles.close(ctx.arg(0))
+    return ERROR_SUCCESS
+
+
+@api(
+    "NtOpenKey",
+    argc=3,
+    returns=Returns.NTSTATUS,
+    resource=ResourceType.REGISTRY,
+    operation=Operation.READ,
+    identifier_arg=2,
+    taint=TaintClass.RESOURCE,
+)
+def nt_open_key(ctx: ApiContext) -> int:
+    """NT open-by-full-path: handle via first (out) parameter (Table I note)."""
+    out_ptr = ctx.arg(0)
+    path = normalize_key(ctx.identifier or "")
+    key = ctx.env.registry.lookup(path)
+    if key is None:
+        raise ResourceFault(Win32Error.FILE_NOT_FOUND, path)
+    handle = ctx.alloc_handle(HandleKind.REGISTRY, key)
+    ctx.write_u32(out_ptr, handle.value, ctx.mint_tag())
+    return 0
+
+
+@api(
+    "NtSaveKey",
+    argc=2,
+    returns=Returns.NTSTATUS,
+    resource=ResourceType.REGISTRY,
+    operation=Operation.READ,
+    identifier_handle_arg=0,
+    taint=TaintClass.RESOURCE,
+)
+def nt_save_key(ctx: ApiContext) -> int:
+    """Serialize a key to a file handle (taints only the return — Table I)."""
+    handle = ctx.handle_arg(0)
+    if handle.resource is None:
+        raise ResourceFault(Win32Error.INVALID_HANDLE)
+    return 0

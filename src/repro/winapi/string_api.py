@@ -1,0 +1,177 @@
+"""C-runtime / shell string helpers with exact per-byte taint transfer.
+
+These are API-level taint summaries (the paper instruments library calls the
+same way): copying moves each byte's tags; comparison returns a value tainted
+by *both* inputs, so ``cmp eax, 0`` after ``lstrcmpA(reg_value, expected)``
+is a tainted predicate; formatting interleaves format-string bytes (usually
+static) with argument bytes — the mechanism behind partial-static vaccines
+(paper Figure 2's ``"Global\\%s-99"``).
+
+Variadic formatters are ``cdecl``: guest code cleans the stack itself.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..taint.labels import EMPTY, TagSet, union
+from .context import ApiContext
+from .labels import Calling, Returns, api
+
+
+@api("lstrlenA", argc=1, returns=Returns.VALUE)
+def lstrlen(ctx: ApiContext) -> int:
+    text, taints = ctx.read_string_arg(0)
+    ctx.retval_taint = union(*taints) if taints else EMPTY
+    return len(text)
+
+
+@api("lstrcpyA", argc=2, returns=Returns.VALUE)
+def lstrcpy(ctx: ApiContext) -> int:
+    dst = ctx.arg(0)
+    text, taints = ctx.read_string_arg(1)
+    ctx.write_string(dst, text, taints=taints)
+    return dst
+
+
+@api("lstrcatA", argc=2, returns=Returns.VALUE)
+def lstrcat(ctx: ApiContext) -> int:
+    dst = ctx.arg(0)
+    old, old_taints = ctx.read_string(dst)
+    add, add_taints = ctx.read_string_arg(1)
+    ctx.write_string(dst, old + add, taints=old_taints + add_taints)
+    return dst
+
+
+def _compare(ctx: ApiContext, fold_case: bool) -> int:
+    a, ta = ctx.read_string_arg(0)
+    b, tb = ctx.read_string_arg(1)
+    ctx.retval_taint = union(*(ta + tb)) if (ta or tb) else EMPTY
+    if fold_case:
+        a, b = a.lower(), b.lower()
+    if a == b:
+        return 0
+    return 1 if a > b else 0xFFFFFFFF  # -1
+
+
+@api("lstrcmpA", argc=2, returns=Returns.VALUE)
+def lstrcmp(ctx: ApiContext) -> int:
+    return _compare(ctx, fold_case=False)
+
+
+@api("lstrcmpiA", argc=2, returns=Returns.VALUE)
+def lstrcmpi(ctx: ApiContext) -> int:
+    return _compare(ctx, fold_case=True)
+
+
+@api("CharUpperA", argc=1, returns=Returns.VALUE)
+def char_upper(ctx: ApiContext) -> int:
+    addr = ctx.arg(0)
+    text, taints = ctx.read_string(addr)
+    ctx.write_string(addr, text.upper(), taints=taints)
+    return addr
+
+
+@api("atoi", argc=1, returns=Returns.VALUE, calling=Calling.CDECL)
+def atoi_(ctx: ApiContext) -> int:
+    text, taints = ctx.read_string_arg(0)
+    ctx.retval_taint = union(*taints) if taints else EMPTY
+    digits = ""
+    for ch in text.strip():
+        if ch.isdigit() or (ch == "-" and not digits):
+            digits += ch
+        else:
+            break
+    try:
+        return int(digits) & 0xFFFFFFFF
+    except ValueError:
+        return 0
+
+
+@api("_itoa", argc=3, returns=Returns.VALUE, calling=Calling.CDECL)
+def itoa_(ctx: ApiContext) -> int:
+    value, buf, radix = ctx.arg(0), ctx.arg(1), ctx.arg(2) or 10
+    taint = ctx.arg_taint(0)
+    if radix == 16:
+        text = f"{value:x}"
+    else:
+        text = str(value)
+    ctx.write_string(buf, text, taint=taint)
+    return buf
+
+
+@api("memcpy", argc=3, returns=Returns.VALUE, calling=Calling.CDECL)
+def memcpy_(ctx: ApiContext) -> int:
+    dst, src, n = ctx.arg(0), ctx.arg(1), ctx.arg(2)
+    data = ctx.read_buffer(src, n)
+    taints = ctx.read_buffer_taints(src, n)
+    for i, (b, t) in enumerate(zip(data, taints)):
+        ctx.cpu.memory.write_byte(dst + i, b, t)
+        ctx.cpu.note_def(("mem", dst + i))
+    return dst
+
+
+def _format(ctx: ApiContext, buf: int, fmt: str, fmt_taints: List[TagSet], first_vararg: int) -> int:
+    """%s/%d/%u/%x/%c/%% formatting with per-byte provenance."""
+    out_chars: List[str] = []
+    out_taints: List[TagSet] = []
+    argi = first_vararg
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch != "%":
+            out_chars.append(ch)
+            out_taints.append(fmt_taints[i] if i < len(fmt_taints) else EMPTY)
+            i += 1
+            continue
+        spec = fmt[i + 1] if i + 1 < len(fmt) else "%"
+        if spec == "%":
+            out_chars.append("%")
+            out_taints.append(EMPTY)
+        elif spec == "s":
+            addr = ctx.arg(argi)
+            argi += 1
+            text, taints = ctx.read_string(addr)
+            out_chars.extend(text)
+            out_taints.extend(taints)
+        elif spec in "dux":
+            value = ctx.arg(argi)
+            taint = ctx.arg_taint(argi)
+            argi += 1
+            if spec == "x":
+                text = f"{value:x}"
+            elif spec == "u":
+                text = str(value)
+            else:
+                signed = value - 0x100000000 if value & 0x80000000 else value
+                text = str(signed)
+            out_chars.extend(text)
+            out_taints.extend([taint] * len(text))
+        elif spec == "c":
+            value = ctx.arg(argi)
+            taint = ctx.arg_taint(argi)
+            argi += 1
+            out_chars.append(chr(value & 0xFF))
+            out_taints.append(taint)
+        else:
+            out_chars.append(spec)
+            out_taints.append(EMPTY)
+        i += 2
+    ctx.write_string(buf, "".join(out_chars), taints=out_taints)
+    return len(out_chars)
+
+
+@api("wsprintfA", argc=2, returns=Returns.VALUE, calling=Calling.CDECL)
+def wsprintf(ctx: ApiContext) -> int:
+    """``wsprintfA(buf, fmt, ...)`` — varargs read lazily off the stack."""
+    buf = ctx.arg(0)
+    fmt, fmt_taints = ctx.read_string_arg(1)
+    return _format(ctx, buf, fmt, fmt_taints, first_vararg=2)
+
+
+@api("_snprintf", argc=3, returns=Returns.VALUE, calling=Calling.CDECL)
+def snprintf(ctx: ApiContext) -> int:
+    """``_snprintf(buf, count, fmt, ...)`` — as in paper Figure 2."""
+    buf = ctx.arg(0)
+    fmt, fmt_taints = ctx.read_string_arg(2)
+    return _format(ctx, buf, fmt, fmt_taints, first_vararg=3)

@@ -1,0 +1,84 @@
+"""GUI window APIs (adware's favourite resource, paper Table V)."""
+
+from __future__ import annotations
+
+from ..taint.labels import TaintClass
+from ..winenv.errors import NULL, ResourceFault, TRUE, Win32Error
+from ..winenv.objects import HandleKind, Operation, ResourceType
+from .context import ApiContext
+from .labels import FailureSpec, Returns, api
+
+
+@api(
+    "FindWindowA",
+    argc=2,
+    returns=Returns.HANDLE,
+    resource=ResourceType.WINDOW,
+    operation=Operation.CHECK,
+    identifier_arg=0,
+    taint=TaintClass.RESOURCE,
+    failure=FailureSpec(NULL, Win32Error.FILE_NOT_FOUND),
+)
+def find_window(ctx: ApiContext) -> int:
+    win = ctx.env.windows.find(ctx.identifier or "")
+    handle = ctx.alloc_handle(HandleKind.WINDOW, win)
+    return handle.value
+
+
+@api(
+    "CreateWindowExA",
+    argc=3,
+    returns=Returns.HANDLE,
+    resource=ResourceType.WINDOW,
+    operation=Operation.CREATE,
+    identifier_arg=0,
+    taint=TaintClass.RESOURCE,
+    failure=FailureSpec(NULL, Win32Error.ACCESS_DENIED),
+)
+def create_window(ctx: ApiContext) -> int:
+    """Create a top-level window: ``(lpClassName, lpWindowName, dwStyle)``."""
+    title, _ = ctx.read_string_arg(1)
+    win = ctx.env.windows.create(
+        ctx.identifier or "", ctx.integrity, title=title, owner_pid=ctx.process.pid
+    )
+    handle = ctx.alloc_handle(HandleKind.WINDOW, win)
+    return handle.value
+
+
+@api(
+    "RegisterClassA",
+    argc=1,
+    returns=Returns.VALUE,
+    resource=ResourceType.WINDOW,
+    operation=Operation.CREATE,
+    identifier_arg=0,
+    taint=TaintClass.RESOURCE,
+    failure=FailureSpec(0, Win32Error.ALREADY_EXISTS),
+)
+def register_class(ctx: ApiContext) -> int:
+    """Register a window class by name (simplified: name pointer arg)."""
+    name = ctx.identifier or ""
+    if ctx.env.windows.exists(name):
+        raise ResourceFault(Win32Error.ALREADY_EXISTS, name)
+    return 0xC000 + (len(name) & 0xFF)  # fake ATOM
+
+
+@api("DestroyWindow", argc=1, returns=Returns.BOOL)
+def destroy_window(ctx: ApiContext) -> int:
+    handle = ctx.handle_arg(0)
+    if handle.resource is not None:
+        ctx.env.windows.destroy(handle.resource.name)
+    return TRUE
+
+
+@api("ShowWindow", argc=2, returns=Returns.BOOL)
+def show_window(ctx: ApiContext) -> int:
+    ctx.handle_arg(0)
+    return TRUE
+
+
+@api("GetForegroundWindow", argc=0, returns=Returns.HANDLE)
+def get_foreground_window(ctx: ApiContext) -> int:
+    win = ctx.env.windows.lookup("Shell_TrayWnd")
+    handle = ctx.alloc_handle(HandleKind.WINDOW, win)
+    return handle.value

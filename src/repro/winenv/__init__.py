@@ -1,0 +1,101 @@
+"""Simulated Windows environment substrate.
+
+This package replaces the real Windows machine the paper runs malware on:
+files (with ACLs), registry, named mutexes, processes, services, GUI windows,
+libraries and a fake network, all hanging off :class:`SystemEnvironment`.
+"""
+
+from .acl import Access, Acl, IntegrityLevel, open_acl, vaccine_acl
+from .environment import MachineIdentity, SystemEnvironment
+from .errors import (
+    FALSE,
+    INVALID_HANDLE_VALUE,
+    NULL,
+    TRUE,
+    NtStatus,
+    ResourceFault,
+    Win32Error,
+    is_nt_success,
+)
+from .filesystem import (
+    STARTUP_FOLDER,
+    SYSTEM32,
+    SYSTEM_INI,
+    FileNode,
+    FileSystem,
+    basename,
+    expand_path,
+    normalize_path,
+)
+from .libraries import STANDARD_LIBRARIES, Library, LibraryManager
+from .mutexes import Mutex, MutexNamespace
+from .network import Network, TrafficRecord
+from .objects import Handle, HandleKind, HandleTable, Operation, Resource, ResourceType
+from .processes import STANDARD_PROCESSES, Process, ProcessTable
+from .registry import (
+    PERSISTENCE_KEY_PREFIXES,
+    RUN_KEY_HKCU,
+    RUN_KEY_HKLM,
+    WINLOGON_KEY,
+    Registry,
+    RegistryKey,
+    is_persistence_key,
+    normalize_key,
+)
+from .services import Service, ServiceManager, ServiceState
+from .windows_gui import Window, WindowManager
+
+__all__ = [
+    "Access",
+    "Acl",
+    "FALSE",
+    "FileNode",
+    "FileSystem",
+    "Handle",
+    "HandleKind",
+    "HandleTable",
+    "INVALID_HANDLE_VALUE",
+    "IntegrityLevel",
+    "Library",
+    "LibraryManager",
+    "MachineIdentity",
+    "Mutex",
+    "MutexNamespace",
+    "Network",
+    "NtStatus",
+    "NULL",
+    "Operation",
+    "PERSISTENCE_KEY_PREFIXES",
+    "Process",
+    "ProcessTable",
+    "Registry",
+    "RegistryKey",
+    "Resource",
+    "ResourceFault",
+    "ResourceType",
+    "RUN_KEY_HKCU",
+    "RUN_KEY_HKLM",
+    "STANDARD_LIBRARIES",
+    "STANDARD_PROCESSES",
+    "STARTUP_FOLDER",
+    "SYSTEM32",
+    "SYSTEM_INI",
+    "Service",
+    "ServiceManager",
+    "ServiceState",
+    "SystemEnvironment",
+    "TRUE",
+    "TrafficRecord",
+    "Win32Error",
+    "Window",
+    "WindowManager",
+    "WINLOGON_KEY",
+    "basename",
+    "expand_path",
+    "is_nt_success",
+    "is_persistence_key",
+    "normalize_key",
+    "normalize_path",
+    "open_acl",
+    "vaccine_acl",
+]

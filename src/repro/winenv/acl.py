@@ -1,0 +1,80 @@
+"""Access control for simulated system resources.
+
+Direct-injection vaccines rely on privileges: the paper deploys e.g. the Zeus
+``sdra64.exe`` file vaccine *owned by a super user* so the (low-privilege)
+malware cannot delete or re-create it.  We model a small integrity-level
+scheme: every process runs at an :class:`IntegrityLevel` and every resource
+carries an :class:`Acl` that says which operations are allowed below the
+owner's level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from .errors import ResourceFault, Win32Error
+
+
+class IntegrityLevel(enum.IntEnum):
+    """Process/resource integrity levels, ordered low → system."""
+
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+    SYSTEM = 4
+
+
+class Access(enum.Enum):
+    """Operation classes checked against an ACL."""
+
+    READ = "read"
+    WRITE = "write"
+    CREATE = "create"
+    DELETE = "delete"
+    EXECUTE = "execute"
+
+
+#: Operations everyone may perform on a default resource.
+DEFAULT_EVERYONE = frozenset(
+    {Access.READ, Access.WRITE, Access.CREATE, Access.DELETE, Access.EXECUTE}
+)
+
+#: Locked-down ACL used by vaccine injection: readable, nothing else.
+VACCINE_LOCKED = frozenset({Access.READ})
+
+
+@dataclass(frozen=True)
+class Acl:
+    """Owner integrity level plus the accesses granted to lower levels.
+
+    A requester at or above ``owner_level`` is granted everything; below it,
+    only the accesses in ``everyone`` are allowed.
+    """
+
+    owner_level: IntegrityLevel = IntegrityLevel.MEDIUM
+    everyone: FrozenSet[Access] = field(default_factory=lambda: DEFAULT_EVERYONE)
+
+    def allows(self, requester: IntegrityLevel, access: Access) -> bool:
+        if requester >= self.owner_level:
+            return True
+        return access in self.everyone
+
+    def check(self, requester: IntegrityLevel, access: Access) -> None:
+        """Raise ``ResourceFault(ACCESS_DENIED)`` unless access is allowed."""
+        if not self.allows(requester, access):
+            raise ResourceFault(
+                Win32Error.ACCESS_DENIED,
+                f"{access.value} denied below integrity {self.owner_level.name}",
+            )
+
+
+def open_acl(level: IntegrityLevel = IntegrityLevel.MEDIUM) -> Acl:
+    """ACL granting every access to everyone (normal user resource)."""
+    return Acl(owner_level=level, everyone=DEFAULT_EVERYONE)
+
+
+def vaccine_acl() -> Acl:
+    """System-owned, read-only ACL used when injecting vaccines."""
+    return Acl(owner_level=IntegrityLevel.SYSTEM, everyone=VACCINE_LOCKED)

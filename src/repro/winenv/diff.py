@@ -1,0 +1,115 @@
+"""Environment diffing — infection forensics.
+
+Compares two machine states (typically a pristine clone vs the machine after
+a sample ran) and lists every resource the sample created, removed or
+modified.  Used to validate corpus behaviour, to double-check vaccine
+injections, and by tests asserting "the malware changed nothing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .environment import SystemEnvironment
+
+
+@dataclass
+class NamespaceDiff:
+    """Changes within one resource namespace."""
+
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    modified: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed or self.modified)
+
+    def summary(self) -> str:
+        return (f"+{len(self.added)} -{len(self.removed)} "
+                f"~{len(self.modified)}")
+
+
+@dataclass
+class EnvironmentDiff:
+    """Full machine-state delta keyed by namespace."""
+
+    namespaces: Dict[str, NamespaceDiff] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        return any(ns.changed for ns in self.namespaces.values())
+
+    def added(self, namespace: str) -> List[str]:
+        return self.namespaces.get(namespace, NamespaceDiff()).added
+
+    def all_added(self) -> List[Tuple[str, str]]:
+        return [
+            (name, identifier)
+            for name, ns in sorted(self.namespaces.items())
+            for identifier in ns.added
+        ]
+
+    def render(self) -> str:
+        lines = []
+        for name, ns in sorted(self.namespaces.items()):
+            if not ns.changed:
+                continue
+            lines.append(f"{name}: {ns.summary()}")
+            for identifier in ns.added:
+                lines.append(f"  + {identifier}")
+            for identifier in ns.removed:
+                lines.append(f"  - {identifier}")
+            for identifier in ns.modified:
+                lines.append(f"  ~ {identifier}")
+        return "\n".join(lines) if lines else "(no changes)"
+
+
+def _diff_sets(before: Set[str], after: Set[str]) -> NamespaceDiff:
+    return NamespaceDiff(
+        added=sorted(after - before),
+        removed=sorted(before - after),
+    )
+
+
+def environment_diff(before: SystemEnvironment, after: SystemEnvironment) -> EnvironmentDiff:
+    """Structural diff of two machine states (``before`` is typically a
+    pristine clone taken prior to running a sample)."""
+    diff = EnvironmentDiff()
+
+    files_before = {n.name: bytes(n.content) for n in before.filesystem}
+    files_after = {n.name: bytes(n.content) for n in after.filesystem}
+    file_diff = _diff_sets(set(files_before), set(files_after))
+    file_diff.modified = sorted(
+        name for name in set(files_before) & set(files_after)
+        if files_before[name] != files_after[name]
+    )
+    diff.namespaces["files"] = file_diff
+
+    keys_before = {k.name: dict(k.values) for k in before.registry}
+    keys_after = {k.name: dict(k.values) for k in after.registry}
+    reg_diff = _diff_sets(set(keys_before), set(keys_after))
+    reg_diff.modified = sorted(
+        name for name in set(keys_before) & set(keys_after)
+        if keys_before[name] != keys_after[name]
+    )
+    diff.namespaces["registry"] = reg_diff
+
+    diff.namespaces["mutexes"] = _diff_sets(
+        {m.name for m in before.mutexes}, {m.name for m in after.mutexes}
+    )
+    diff.namespaces["services"] = _diff_sets(
+        {s.name for s in before.services}, {s.name for s in after.services}
+    )
+    diff.namespaces["windows"] = _diff_sets(
+        {w.name for w in before.windows}, {w.name for w in after.windows}
+    )
+    diff.namespaces["libraries"] = _diff_sets(
+        {l.name for l in before.libraries}, {l.name for l in after.libraries}
+    )
+    diff.namespaces["processes"] = _diff_sets(
+        {p.name for p in before.processes if p.alive},
+        {p.name for p in after.processes if p.alive},
+    )
+    return diff

@@ -1,0 +1,82 @@
+"""Win32-style status and error codes used by the simulated environment.
+
+The real AUTOVAC labels every hooked API with its success/failure encoding
+(paper Table I: e.g. ``OpenMutex`` fails with ``EAX == NULL`` and
+``GetLastError() == 0x02``).  The simulated API layer reproduces those
+encodings, so the constants here follow the Win32 numbering where the paper
+mentions concrete values.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Win32Error(enum.IntEnum):
+    """Subset of Win32 ``GetLastError`` codes the simulated APIs raise."""
+
+    SUCCESS = 0x00
+    FILE_NOT_FOUND = 0x02          # paper Table I: OpenMutex failure
+    PATH_NOT_FOUND = 0x03
+    ACCESS_DENIED = 0x05
+    INVALID_HANDLE = 0x06
+    NOT_ENOUGH_MEMORY = 0x08
+    WRITE_PROTECT = 0x13
+    SHARING_VIOLATION = 0x20
+    HANDLE_EOF = 0x26
+    READ_FAULT = 0x1E              # paper Table I: ReadFile failure
+    FILE_EXISTS = 0x50
+    INVALID_PARAMETER = 0x57
+    INSUFFICIENT_BUFFER = 0x7A
+    ALREADY_EXISTS = 0xB7
+    MORE_DATA = 0xEA
+    NO_MORE_ITEMS = 0x103
+    SERVICE_ALREADY_RUNNING = 0x420
+    SERVICE_EXISTS = 0x431
+    SERVICE_DOES_NOT_EXIST = 0x424
+    REGISTRY_KEY_NOT_FOUND = 0x02  # registry reuses FILE_NOT_FOUND
+    CONNECTION_REFUSED = 0x274D    # WSAECONNREFUSED
+    HOST_UNREACHABLE = 0x2751      # WSAEHOSTUNREACH
+
+
+class NtStatus(enum.IntEnum):
+    """NT native status codes for the ``Nt*`` API family."""
+
+    SUCCESS = 0x00000000
+    UNSUCCESSFUL = 0xC0000001
+    ACCESS_DENIED = 0xC0000022
+    OBJECT_NAME_NOT_FOUND = 0xC0000034
+    OBJECT_NAME_COLLISION = 0xC0000035
+    OBJECT_PATH_NOT_FOUND = 0xC000003A
+    SHARING_VIOLATION = 0xC0000043
+    PRIVILEGE_NOT_HELD = 0xC0000061
+    INVALID_HANDLE = 0xC0000008
+
+
+# Conventional Win32 boolean/handle encodings.
+TRUE = 1
+FALSE = 0
+NULL = 0
+INVALID_HANDLE_VALUE = 0xFFFFFFFF
+
+
+class EnvironmentError_(Exception):
+    """Base class for internal environment faults (not guest-visible)."""
+
+
+class ResourceFault(EnvironmentError_):
+    """A resource operation failed; carries the Win32 error to report.
+
+    API implementations catch this and translate it into the API's labelled
+    failure encoding (return value + last-error), never letting a Python
+    exception leak into the guest.
+    """
+
+    def __init__(self, error: Win32Error, message: str = "") -> None:
+        super().__init__(message or error.name)
+        self.error = Win32Error(error)
+
+
+def is_nt_success(status: int) -> bool:
+    """NT convention: non-negative (top bit clear) status means success."""
+    return (status & 0x80000000) == 0

@@ -1,0 +1,126 @@
+"""Simulated network: sockets, DNS and HTTP endpoints.
+
+The paper's Type-II partial immunization ("disable massive network behavior")
+is detected from the *difference* in network API activity between the natural
+and the mutated runs, so the substrate only needs to (a) resolve/connect/send
+deterministically and (b) record traffic for later inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import ResourceFault, Win32Error
+
+#: Hosts the simulated internet will resolve; everything else fails DNS.
+DEFAULT_HOSTS = {
+    "update.example-av.com": "10.0.0.10",
+    "cdn.example.com": "10.0.0.11",
+    "cc.badguy-domain.biz": "10.6.6.6",
+    "pool.badguy-domain.biz": "10.6.6.7",
+    "time.windows.com": "10.0.0.12",
+}
+
+
+@dataclass
+class Connection:
+    """One simulated TCP connection with the bytes sent over it."""
+
+    conn_id: int
+    host: str
+    port: int
+    sent: bytearray = field(default_factory=bytearray)
+    received: bytearray = field(default_factory=bytearray)
+    open: bool = True
+
+
+@dataclass
+class TrafficRecord:
+    """Flattened log entry for traffic accounting."""
+
+    pid: int
+    host: str
+    port: int
+    nbytes: int
+    direction: str  # "send" | "recv"
+
+
+class Network:
+    """Deterministic fake internet with a DNS table and canned responses."""
+
+    def __init__(self, hosts: Optional[Dict[str, str]] = None) -> None:
+        self.hosts: Dict[str, str] = dict(DEFAULT_HOSTS if hosts is None else hosts)
+        self.responses: Dict[Tuple[str, int], bytes] = {
+            ("cc.badguy-domain.biz", 80): b"HTTP/1.1 200 OK\r\n\r\ncmd:sleep",
+            ("update.example-av.com", 80): b"HTTP/1.1 200 OK\r\n\r\nsigs:12345",
+        }
+        self._next_conn = 1
+        self.connections: Dict[int, Connection] = {}
+        self.traffic: List[TrafficRecord] = []
+        #: When true every connect fails (environment-level network vaccine).
+        self.blackhole = False
+
+    # -- DNS ---------------------------------------------------------------
+
+    def resolve(self, hostname: str) -> str:
+        addr = self.hosts.get(hostname.lower())
+        if addr is None:
+            raise ResourceFault(Win32Error.HOST_UNREACHABLE, hostname)
+        return addr
+
+    # -- TCP ---------------------------------------------------------------
+
+    def connect(self, pid: int, host: str, port: int) -> Connection:
+        if self.blackhole:
+            raise ResourceFault(Win32Error.CONNECTION_REFUSED, f"{host}:{port}")
+        key = host.lower()
+        if key not in self.hosts and not _looks_like_ip(key):
+            raise ResourceFault(Win32Error.HOST_UNREACHABLE, host)
+        conn = Connection(conn_id=self._next_conn, host=key, port=port)
+        self._next_conn += 1
+        self.connections[conn.conn_id] = conn
+        return conn
+
+    def send(self, pid: int, conn_id: int, data: bytes) -> int:
+        conn = self._require(conn_id)
+        conn.sent.extend(data)
+        self.traffic.append(TrafficRecord(pid, conn.host, conn.port, len(data), "send"))
+        return len(data)
+
+    def recv(self, pid: int, conn_id: int, size: int) -> bytes:
+        conn = self._require(conn_id)
+        canned = self.responses.get((conn.host, conn.port), b"")
+        already = len(conn.received)
+        chunk = canned[already:already + size]
+        conn.received.extend(chunk)
+        if chunk:
+            self.traffic.append(TrafficRecord(pid, conn.host, conn.port, len(chunk), "recv"))
+        return chunk
+
+    def close(self, conn_id: int) -> None:
+        conn = self.connections.get(conn_id)
+        if conn is not None:
+            conn.open = False
+
+    def _require(self, conn_id: int) -> Connection:
+        conn = self.connections.get(conn_id)
+        if conn is None or not conn.open:
+            raise ResourceFault(Win32Error.INVALID_HANDLE, f"conn {conn_id}")
+        return conn
+
+    # -- accounting ----------------------------------------------------------
+
+    def bytes_sent_by(self, pid: int) -> int:
+        return sum(t.nbytes for t in self.traffic if t.pid == pid and t.direction == "send")
+
+    def clone(self) -> "Network":
+        other = Network(hosts=dict(self.hosts))
+        other.responses = dict(self.responses)
+        other.blackhole = self.blackhole
+        return other
+
+
+def _looks_like_ip(text: str) -> bool:
+    parts = text.split(".")
+    return len(parts) == 4 and all(p.isdigit() and int(p) < 256 for p in parts)

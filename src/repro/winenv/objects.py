@@ -1,0 +1,122 @@
+"""Base classes for named system resources and the handle table.
+
+Everything AUTOVAC observes — files, registry keys, mutexes, processes,
+services, GUI windows, libraries — is a *named resource* that guest programs
+reach through handles returned by the API layer.  The paper's vaccine
+identifier is exactly ``(resource type, identifier)``, so the base class keeps
+both.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from .acl import Acl, open_acl
+
+
+class ResourceType(enum.Enum):
+    """The seven resource categories the paper's evaluation covers (§VI-B)."""
+
+    FILE = "file"
+    REGISTRY = "registry"
+    MUTEX = "mutex"
+    PROCESS = "process"
+    SERVICE = "service"
+    WINDOW = "window"
+    LIBRARY = "library"
+    NETWORK = "network"  # propagation substrate only; never a vaccine itself
+
+
+class Operation(enum.Enum):
+    """Resource operations tallied by Phase I (Figure 3 axes)."""
+
+    CREATE = "create"
+    READ = "read"          # read/open in the paper's figure
+    WRITE = "write"
+    DELETE = "delete"
+    EXECUTE = "execute"
+    CHECK = "check"        # existence check (paper Table III symbol E)
+
+
+@dataclass
+class Resource:
+    """A named system resource with an ACL.
+
+    ``identifier`` is the canonical name used for vaccine extraction
+    (lower-cased path for files/registry, verbatim name for mutexes etc.).
+    """
+
+    name: str
+    rtype: ResourceType
+    acl: Acl = field(default_factory=open_acl)
+    created_by: Optional[int] = None   # pid of the creating process, if any
+
+    @property
+    def identifier(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.rtype.value}:{self.name}>"
+
+
+class HandleKind(enum.Enum):
+    """What a guest handle refers to."""
+
+    FILE = "file"
+    REGISTRY = "registry"
+    MUTEX = "mutex"
+    PROCESS = "process"
+    THREAD = "thread"
+    SERVICE = "service"
+    SCMANAGER = "scmanager"
+    WINDOW = "window"
+    LIBRARY = "library"
+    SOCKET = "socket"
+    INTERNET = "internet"
+
+
+@dataclass
+class Handle:
+    """A per-process handle entry mapping a small integer to a resource."""
+
+    value: int
+    kind: HandleKind
+    resource: Optional[Resource]
+    #: Position of the read cursor for file-like handles.
+    cursor: int = 0
+    #: Extra per-handle state (e.g. registry enum index, socket peer).
+    state: Dict[str, object] = field(default_factory=dict)
+
+
+class HandleTable:
+    """Per-process handle table.
+
+    Handle values start at a distinctive base so they never collide with the
+    boolean/NULL encodings APIs use for failure (0/1/0xFFFFFFFF).
+    """
+
+    _BASE = 0x100
+
+    def __init__(self) -> None:
+        self._next = itertools.count(self._BASE, 4)
+        self._table: Dict[int, Handle] = {}
+
+    def allocate(self, kind: HandleKind, resource: Optional[Resource]) -> Handle:
+        handle = Handle(value=next(self._next), kind=kind, resource=resource)
+        self._table[handle.value] = handle
+        return handle
+
+    def get(self, value: int) -> Optional[Handle]:
+        return self._table.get(value)
+
+    def close(self, value: int) -> bool:
+        return self._table.pop(value, None) is not None
+
+    def __iter__(self) -> Iterator[Handle]:
+        return iter(self._table.values())
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,101 @@
+"""Trace alignment tests (Algorithm 1 and LCS)."""
+
+import pytest
+
+from repro.analysis import align_lcs, align_linear
+from repro.tracing import ApiCallEvent
+
+
+def ev(api: str, pc: int = 0x401000, ident=None, seq: int = 0) -> ApiCallEvent:
+    return ApiCallEvent(event_id=seq + 1, seq=seq, api=api, caller_pc=pc, args=(), identifier=ident)
+
+
+def seqs(calls):
+    return [ev(api, pc=0x401000 + i, seq=i) for i, (api) in enumerate(calls)]
+
+
+@pytest.fixture(params=[align_lcs, align_linear], ids=["lcs", "linear"])
+def aligner(request):
+    return request.param
+
+
+class TestBothAligners:
+    def test_identical_traces_align_fully(self, aligner):
+        a = seqs(["A", "B", "C"])
+        b = seqs(["A", "B", "C"])
+        result = aligner(a, b)
+        assert result.is_identical and result.aligned_pairs == 3
+
+    def test_empty_traces(self, aligner):
+        result = aligner([], [])
+        assert result.is_identical
+
+    def test_mutated_prefix_detected(self, aligner):
+        natural = seqs(["A", "B", "C"])
+        mutated = [ev("X", pc=0x500000, seq=0)] + seqs(["A", "B", "C"])
+        result = aligner(mutated, natural)
+        assert [e.api for e in result.delta_mutated] == ["X"]
+        assert result.delta_natural == []
+
+    def test_truncated_mutated_trace(self, aligner):
+        natural = seqs(["A", "B", "C", "D", "E"])
+        mutated = seqs(["A", "B"])
+        result = aligner(mutated, natural)
+        assert [e.api for e in result.delta_natural] == ["C", "D", "E"]
+
+    def test_completely_disjoint(self, aligner):
+        natural = seqs(["A", "B"])
+        mutated = [ev("X", pc=0x99, seq=0), ev("Y", pc=0x98, seq=1)]
+        result = aligner(mutated, natural)
+        assert len(result.delta_mutated) == 2 and len(result.delta_natural) == 2
+
+    def test_caller_pc_distinguishes_same_api(self, aligner):
+        natural = [ev("A", pc=1, seq=0), ev("A", pc=2, seq=1)]
+        mutated = [ev("A", pc=1, seq=0), ev("A", pc=3, seq=1)]
+        result = aligner(mutated, natural)
+        assert len(result.delta_mutated) == 1 and len(result.delta_natural) == 1
+
+    def test_identifier_participates_in_key(self, aligner):
+        natural = [ev("CreateFileA", pc=1, ident="c:\\a", seq=0)]
+        mutated = [ev("CreateFileA", pc=1, ident="c:\\b", seq=0)]
+        result = aligner(mutated, natural)
+        assert not result.is_identical
+
+
+class TestLcsSpecifics:
+    def test_interleaved_difference_minimal(self):
+        natural = seqs(["A", "B", "C", "D"])
+        mutated = [natural[0], ev("X", pc=0x77, seq=1), natural[2], natural[3]]
+        result = align_lcs(mutated, natural)
+        assert [e.api for e in result.delta_mutated] == ["X"]
+        assert [e.api for e in result.delta_natural] == ["B"]
+        assert result.aligned_pairs == 3
+
+    def test_lcs_handles_shifted_block(self):
+        a = seqs(["A", "B", "C"])
+        shifted = [ev("N", pc=0x9, seq=0)] + seqs(["A", "B", "C"])[0:3]
+        result = align_lcs(shifted, a)
+        assert result.aligned_pairs == 3
+
+
+class TestLinearSpecifics:
+    def test_anchor_found_mid_trace(self):
+        natural = seqs(["A", "B", "C"])
+        mutated = [ev("Q", pc=0x50, seq=0), natural[1], natural[2]]
+        result = align_linear(mutated, natural)
+        assert [e.api for e in result.delta_mutated] == ["Q"]
+        assert [e.api for e in result.delta_natural] == ["A"]
+
+    def test_no_anchor_everything_differs(self):
+        natural = seqs(["A"])
+        mutated = [ev("Z", pc=0x1, seq=0)]
+        result = align_linear(mutated, natural)
+        assert len(result.delta_mutated) == 1
+        assert len(result.delta_natural) == 1
+
+    def test_resync_after_divergence(self):
+        natural = seqs(["A", "B", "C", "D"])
+        mutated = [natural[0], natural[2], natural[3]]  # lost B
+        result = align_linear(mutated, natural)
+        assert [e.api for e in result.delta_natural] == ["B"]
+        assert result.delta_mutated == []

@@ -1,0 +1,213 @@
+"""Backward taint tracking, slice extraction, and cross-machine replay."""
+
+import pytest
+
+from repro.taint.backward import backward_slice
+from repro.taint.replay import SliceReplayError, replay_slice
+from repro.taint.slicing import VaccineSlice, extract_slice
+from repro.vm import CPU, assemble
+from repro.winapi import Dispatcher
+from repro.winenv import MachineIdentity, SystemEnvironment
+
+
+def run(src: str, identity=None, seed=0xA07C):
+    env = SystemEnvironment(identity=identity, rng_seed=seed)
+    prog = assemble(src, name="bt")
+    proc = env.spawn_process("bt.exe")
+    cpu = CPU(prog, environment=env, process=proc, dispatcher=Dispatcher(env, proc))
+    cpu.run()
+    return cpu, prog, env
+
+
+STRAIGHT_LINE = r"""
+.section .rdata
+fmt:    .asciz "pipe\\%s"
+.section .data
+buf:    .space 64
+name:   .space 64
+.section .text
+main:
+    push 0
+    push name
+    call @GetComputerNameA
+    push name
+    push fmt
+    push buf
+    call @wsprintfA
+    add esp, 12
+    push buf
+    push 0
+    push 0
+    call @CreateMutexA
+    halt
+"""
+
+LOOPY = r"""
+.section .rdata
+fmt:    .asciz "LK-%x"
+.section .data
+buf:    .space 64
+name:   .space 64
+.section .text
+main:
+    push 0
+    push name
+    call @GetComputerNameA
+    xor esi, esi
+    xor ebx, ebx
+hash:
+    xor eax, eax
+    movb eax, [name+esi]
+    test eax, eax
+    jz done
+    imul ebx, 31
+    add ebx, eax
+    inc esi
+    jmp hash
+done:
+    and ebx, 0xFFFFF
+    push ebx
+    push fmt
+    push buf
+    call @wsprintfA
+    add esp, 12
+    push buf
+    push 0
+    push 0
+    call @CreateMutexA
+    halt
+"""
+
+RANDOM_NAME = r"""
+.section .rdata
+fmt:    .asciz "tmp%x"
+.section .data
+buf:    .space 32
+.section .text
+main:
+    call @GetTickCount
+    push eax
+    push fmt
+    push buf
+    call @wsprintfA
+    add esp, 12
+    push buf
+    push 0
+    push 0
+    call @CreateMutexA
+    halt
+"""
+
+
+def target_event(cpu, api="CreateMutexA"):
+    return cpu.trace.events_for_api(api)[0]
+
+
+class TestBackwardSlice:
+    def test_env_source_identified(self):
+        cpu, prog, env = run(STRAIGHT_LINE)
+        result = backward_slice(cpu.trace, target_event(cpu), memory=cpu.memory)
+        assert result.env_sources == ["GetComputerNameA"]
+        assert not result.has_random_sources
+
+    def test_static_terminals_from_rdata(self):
+        cpu, prog, env = run(STRAIGHT_LINE)
+        result = backward_slice(cpu.trace, target_event(cpu), memory=cpu.memory)
+        assert result.static_terminals > 0
+
+    def test_random_source_identified(self):
+        cpu, prog, env = run(RANDOM_NAME)
+        result = backward_slice(cpu.trace, target_event(cpu), memory=cpu.memory)
+        assert "GetTickCount" in result.random_sources
+
+    def test_slice_is_subset_of_trace(self):
+        cpu, prog, env = run(LOOPY)
+        result = backward_slice(cpu.trace, target_event(cpu), memory=cpu.memory)
+        assert 0 < len(result.slice_records) < len(cpu.trace.instructions)
+
+    def test_slice_in_forward_order(self):
+        cpu, prog, env = run(LOOPY)
+        result = backward_slice(cpu.trace, target_event(cpu), memory=cpu.memory)
+        seqs = [r.seq for r in result.slice_records]
+        assert seqs == sorted(seqs)
+
+    def test_requires_instruction_records(self):
+        env = SystemEnvironment()
+        prog = assemble(STRAIGHT_LINE)
+        proc = env.spawn_process("x.exe")
+        cpu = CPU(prog, environment=env, process=proc,
+                  dispatcher=Dispatcher(env, proc), record_instructions=False)
+        cpu.run()
+        with pytest.raises(ValueError):
+            backward_slice(cpu.trace, target_event(cpu), memory=cpu.memory)
+
+    def test_pure_static_identifier_has_no_sources(self):
+        cpu, prog, env = run(
+            '.section .rdata\nm: .asciz "static_mtx"\n.section .text\n'
+            "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n    halt\n"
+        )
+        result = backward_slice(cpu.trace, target_event(cpu), memory=cpu.memory)
+        assert result.is_pure_static
+
+
+class TestSliceReplay:
+    def _slice(self, src):
+        cpu, prog, env = run(src)
+        event = target_event(cpu)
+        result = backward_slice(cpu.trace, event, memory=cpu.memory)
+        return extract_slice(prog, cpu.trace, result, event.extra["identifier_addr"],
+                             target_event=event), event, env
+
+    def test_straight_line_replays_on_same_machine(self):
+        slice_, event, env = self._slice(STRAIGHT_LINE)
+        assert not slice_.requires_reexecution
+        assert replay_slice(slice_, env.clone()) == event.identifier
+
+    def test_straight_line_replays_on_other_machine(self):
+        slice_, event, env = self._slice(STRAIGHT_LINE)
+        other = SystemEnvironment(identity=MachineIdentity(computer_name="OTHER"))
+        assert replay_slice(slice_, other) == "pipe\\OTHER"
+
+    def test_loop_slice_flagged_for_reexecution(self):
+        slice_, event, env = self._slice(LOOPY)
+        assert slice_.requires_reexecution
+
+    def test_loop_slice_replays_across_name_lengths(self):
+        slice_, event, env = self._slice(LOOPY)
+        other = SystemEnvironment(
+            identity=MachineIdentity(computer_name="A-VERY-MUCH-LONGER-NAME")
+        )
+        regenerated = replay_slice(slice_, other)
+        assert regenerated.startswith("LK-") and regenerated != event.identifier
+
+    def test_loop_replay_matches_direct_execution(self):
+        slice_, event, env = self._slice(LOOPY)
+        other_id = MachineIdentity(computer_name="CROSSCHECK-BOX")
+        regenerated = replay_slice(slice_, SystemEnvironment(identity=other_id))
+        cpu2, _, _ = run(LOOPY, identity=other_id)
+        assert regenerated == target_event(cpu2).identifier
+
+    def test_reexecution_immune_to_existing_vaccine(self):
+        """Pinned outcomes keep the path even when the marker already exists
+        on the deploying host (the daemon's own injection must not divert
+        re-generation)."""
+        slice_, event, env = self._slice(LOOPY)
+        host = SystemEnvironment(identity=MachineIdentity(computer_name="HOSTX"))
+        name = replay_slice(slice_, host)
+        from repro.winenv import IntegrityLevel
+
+        host.mutexes.create(name, IntegrityLevel.SYSTEM)
+        assert replay_slice(slice_, host) == name
+
+    def test_serialization_roundtrip(self):
+        slice_, event, env = self._slice(LOOPY)
+        clone = VaccineSlice.from_dict(slice_.to_dict())
+        other = SystemEnvironment(identity=MachineIdentity(computer_name="SER-BOX"))
+        assert replay_slice(clone, other) == replay_slice(slice_, other.clone())
+
+    def test_empty_output_raises(self):
+        slice_, event, env = self._slice(STRAIGHT_LINE)
+        broken = VaccineSlice.from_dict(slice_.to_dict())
+        broken.output_addr = 0x0018E000  # empty stack memory
+        with pytest.raises(SliceReplayError):
+            replay_slice(broken, env.clone())

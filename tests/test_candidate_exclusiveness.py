@@ -1,0 +1,163 @@
+"""Phase-I candidate selection + exclusiveness analysis tests."""
+
+import pytest
+
+from repro.core import select_candidates
+from repro.core.exclusiveness import ExclusivenessAnalyzer
+from repro.corpus import build_family
+from repro.search import SearchEngine
+from repro.vm import assemble
+from repro.winenv import ResourceType, SystemEnvironment
+
+MUTEX_CHECKER = (
+    '.section .rdata\nm: .asciz "Marker99"\n.section .text\n'
+    "    push m\n    push 0\n    push 0x1F0001\n    call @OpenMutexA\n"
+    "    test eax, eax\n    jnz infected\n"
+    "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n"
+    "    halt\ninfected:\n    push 0\n    call @ExitProcess\n"
+)
+
+NO_CHECKS = (
+    '.section .rdata\nm: .asciz "JustCreate"\n.section .text\n'
+    "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n    halt\n"
+)
+
+
+class TestCandidateSelection:
+    def test_mutex_checker_flagged(self):
+        report = select_candidates(assemble(MUTEX_CHECKER, name="mc"))
+        assert report.has_vaccine_potential
+
+    def test_candidate_grouped_by_identifier(self):
+        report = select_candidates(assemble(MUTEX_CHECKER, name="mc"))
+        cand = report.candidate(ResourceType.MUTEX, "Marker99")
+        assert cand is not None
+        assert cand.influences_control_flow
+        assert {"OpenMutexA", "CreateMutexA"} <= cand.apis
+
+    def test_candidate_operations_recorded(self):
+        from repro.winenv import Operation
+
+        report = select_candidates(assemble(MUTEX_CHECKER, name="mc"))
+        cand = report.candidate(ResourceType.MUTEX, "Marker99")
+        assert Operation.CHECK in cand.operations
+        assert Operation.CREATE in cand.operations
+
+    def test_unchecked_resource_not_influential(self):
+        report = select_candidates(assemble(NO_CHECKS, name="nc"))
+        assert not report.has_vaccine_potential
+        cand = report.candidate(ResourceType.MUTEX, "JustCreate")
+        assert cand is not None and not cand.influences_control_flow
+
+    def test_failed_access_flagged(self):
+        report = select_candidates(assemble(MUTEX_CHECKER, name="mc"))
+        cand = report.candidate(ResourceType.MUTEX, "Marker99")
+        assert cand.had_failure  # OpenMutex failed in the clean run
+
+    def test_occurrence_statistics(self):
+        report = select_candidates(assemble(MUTEX_CHECKER, name="mc"))
+        assert report.total_occurrences == 2
+        assert report.influential_occurrences >= 1
+
+    def test_file_identifier_normalized(self):
+        src = (
+            '.section .rdata\np: .asciz "%SYSTEM32%\\\\Evil.exe"\n.section .text\n'
+            "    push p\n    call @GetFileAttributesA\n"
+            "    cmp eax, 0xFFFFFFFF\n    je done\ndone:\n    halt\n"
+        )
+        report = select_candidates(assemble(src, name="f"))
+        assert report.candidate(ResourceType.FILE, "c:\\windows\\system32\\evil.exe")
+
+    def test_environment_not_polluted_between_runs(self):
+        env = SystemEnvironment()
+        select_candidates(assemble(NO_CHECKS, name="nc"), environment=env)
+        assert not env.mutexes.exists("JustCreate")
+
+    def test_zeus_candidates_include_paper_resources(self, family_programs):
+        report = select_candidates(family_programs["zeus"])
+        assert report.candidate(ResourceType.FILE, "c:\\windows\\system32\\sdra64.exe")
+        assert report.candidate(ResourceType.MUTEX, "_AVIRA_2109")
+
+
+class TestExclusiveness:
+    def _candidate(self, rtype, identifier):
+        from repro.core.candidate import CandidateResource
+
+        return CandidateResource(resource_type=rtype, identifier=identifier)
+
+    def test_malware_specific_name_exclusive(self):
+        analyzer = ExclusivenessAnalyzer()
+        decision = analyzer.check(self._candidate(ResourceType.MUTEX, "_AVIRA_2109"))
+        assert decision.exclusive
+
+    def test_standard_library_excluded_by_whitelist(self):
+        analyzer = ExclusivenessAnalyzer()
+        decision = analyzer.check(self._candidate(ResourceType.LIBRARY, "uxtheme.dll"))
+        assert not decision.exclusive
+        assert "whitelisted" in decision.reason
+
+    def test_benign_documented_resource_excluded_by_search(self):
+        analyzer = ExclusivenessAnalyzer()
+        decision = analyzer.check(self._candidate(ResourceType.MUTEX, "BrowserSingletonMtx"))
+        assert not decision.exclusive
+        assert "search hit" in decision.reason
+
+    def test_run_key_prefix_whitelisted(self):
+        analyzer = ExclusivenessAnalyzer()
+        key = "hklm\\software\\microsoft\\windows\\currentversion\\run"
+        assert not analyzer.check(self._candidate(ResourceType.REGISTRY, key)).exclusive
+
+    def test_file_inside_system32_still_exclusive(self):
+        analyzer = ExclusivenessAnalyzer()
+        decision = analyzer.check(
+            self._candidate(ResourceType.FILE, "c:\\windows\\system32\\sdra64.exe")
+        )
+        assert decision.exclusive
+
+    def test_basename_probe_catches_documented_file(self):
+        analyzer = ExclusivenessAnalyzer()
+        decision = analyzer.check(
+            self._candidate(ResourceType.FILE, "c:\\windows\\system32\\avstate.dat")
+        )
+        assert not decision.exclusive
+
+    def test_extra_whitelist_respected(self):
+        analyzer = ExclusivenessAnalyzer(extra_whitelist={"CorpMutex"})
+        assert not analyzer.check(self._candidate(ResourceType.MUTEX, "CorpMutex")).exclusive
+
+    def test_filter_partitions(self):
+        analyzer = ExclusivenessAnalyzer()
+        candidates = [
+            self._candidate(ResourceType.MUTEX, "_AVIRA_2109"),
+            self._candidate(ResourceType.LIBRARY, "msvcrt.dll"),
+        ]
+        exclusive = analyzer.exclusive_candidates(candidates)
+        assert [c.identifier for c in exclusive] == ["_AVIRA_2109"]
+
+
+class TestSearchEngine:
+    def test_query_counts(self):
+        engine = SearchEngine()
+        engine.query("uxtheme.dll")
+        engine.query("nothing-here-xyz")
+        assert engine.query_count == 2
+
+    def test_token_hit(self):
+        hits = SearchEngine().query("uxtheme.dll")
+        assert hits and "them" in hits[0].snippet or hits
+
+    def test_substring_fallback(self):
+        hits = SearchEngine().query("officequickstart")
+        assert hits
+
+    def test_short_queries_ignored(self):
+        assert SearchEngine().query("ab") == []
+
+    def test_no_hits_for_random_identifier(self):
+        assert SearchEngine().query("zzq_random_8931") == []
+
+    def test_add_document_extends_corpus(self):
+        engine = SearchEngine()
+        assert engine.query("customapp_mutex_77") == []
+        engine.add_document("Custom app manual", "customapp_mutex_77 guards the tray icon")
+        assert engine.query("customapp_mutex_77")

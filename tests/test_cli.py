@@ -1,0 +1,79 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFamiliesCommand:
+    def test_lists_all_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        for family in ("zeus", "conficker", "sality", "qakbot", "ibank", "poisonivy"):
+            assert family in out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_family(self, capsys):
+        assert main(["analyze", "zeus"]) == 0
+        out = capsys.readouterr().out
+        assert "sdra64.exe" in out and "_AVIRA_2109" in out
+
+    def test_analyze_writes_package(self, capsys, tmp_path):
+        path = tmp_path / "pack.json"
+        assert main(["analyze", "conficker", "-o", str(path)]) == 0
+        from repro.delivery import VaccinePackage
+
+        package = VaccinePackage.load(path)
+        assert len(package) >= 1
+
+    def test_analyze_minimal(self, capsys):
+        assert main(["analyze", "zeus", "--minimal"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal set" in out
+
+    def test_analyze_asm_file(self, capsys, tmp_path):
+        src = tmp_path / "sample.asm"
+        src.write_text(
+            '.section .rdata\nm: .asciz "CliMtx"\n.section .text\nmain:\n'
+            "    push m\n    push 0\n    push 0x1F0001\n    call @OpenMutexA\n"
+            "    test eax, eax\n    jnz i\n"
+            "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n"
+            "    halt\ni:\n    push 0\n    call @ExitProcess\n"
+        )
+        assert main(["analyze", str(src)]) == 0
+        assert "CliMtx" in capsys.readouterr().out
+
+    def test_analyze_filtered_sample_exit_code(self, capsys, tmp_path):
+        src = tmp_path / "inert.asm"
+        src.write_text("main:\n    nop\n    halt\n")
+        assert main(["analyze", str(src)]) == 1
+
+    def test_unknown_sample_errors(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "not-a-family-or-file"])
+
+
+class TestDeployCommand:
+    def test_deploy_and_attack(self, capsys, tmp_path):
+        path = tmp_path / "pack.json"
+        main(["analyze", "zeus", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["deploy", str(path), "--attack", "zeus"]) == 0
+        out = capsys.readouterr().out
+        assert "PROTECTED" in out
+
+    def test_deploy_custom_name(self, capsys, tmp_path):
+        path = tmp_path / "pack.json"
+        main(["analyze", "conficker", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["deploy", str(path), "--computer-name", "CLI-BOX",
+                     "--attack", "conficker"]) == 0
+        assert "CLI-BOX" in capsys.readouterr().out
+
+
+class TestSurveyCommand:
+    def test_survey_small(self, capsys):
+        assert main(["survey", "--size", "12", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "12 samples" in out and "identifier kinds" in out

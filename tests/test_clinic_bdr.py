@@ -1,0 +1,98 @@
+"""Clinic test (§IV-D / §VI-E false positives) and BDR metric tests."""
+
+import pytest
+
+from repro.core import (
+    IdentifierKind,
+    Immunization,
+    Mechanism,
+    Vaccine,
+    clinic_test,
+    measure_bdr,
+)
+from repro.corpus import benign_suite, build_family
+from repro.winenv import ResourceType, SystemEnvironment
+
+
+def vaccine(rtype, identifier, mechanism=Mechanism.SIMULATE_PRESENCE,
+            kind=IdentifierKind.STATIC, pattern=None):
+    return Vaccine(
+        malware="t", resource_type=rtype, identifier=identifier,
+        identifier_kind=kind, mechanism=mechanism, immunization=Immunization.FULL,
+        pattern=pattern,
+    )
+
+
+class TestClinic:
+    def test_clean_vaccines_pass(self, benign_programs):
+        vaccines = [vaccine(ResourceType.MUTEX, "_AVIRA_2109"),
+                    vaccine(ResourceType.FILE, "c:\\windows\\system32\\sdra64.exe")]
+        report = clinic_test(vaccines, benign_programs)
+        assert report.clean
+        assert len(report.passed) == 2 and not report.rejected
+
+    def test_colliding_mutex_vaccine_rejected(self, benign_programs):
+        """A vaccine denying the browser's single-instance mutex must be
+        caught by the clinic and discarded."""
+        bad = vaccine(ResourceType.MUTEX, "BrowserSingletonMtx",
+                      mechanism=Mechanism.ENFORCE_FAILURE)
+        good = vaccine(ResourceType.MUTEX, "_AVIRA_2109")
+        report = clinic_test([bad, good], benign_programs)
+        assert not report.clean
+        assert bad in report.rejected
+        assert good in report.passed
+
+    def test_colliding_file_vaccine_rejected(self, benign_programs):
+        bad = vaccine(ResourceType.FILE, "c:\\windows\\system32\\avstate.dat",
+                      mechanism=Mechanism.ENFORCE_FAILURE)
+        report = clinic_test([bad], benign_programs)
+        assert bad in report.rejected
+        assert any(i.api == "CreateFileA" for i in report.incidents)
+
+    def test_pattern_vaccine_attribution(self, benign_programs):
+        bad = vaccine(ResourceType.MUTEX, "mplayer_lock",
+                      mechanism=Mechanism.ENFORCE_FAILURE,
+                      kind=IdentifierKind.PARTIAL_STATIC, pattern="^mplayer_.+$")
+        report = clinic_test([bad], benign_programs)
+        assert bad in report.rejected
+
+    def test_programs_tested_count(self, benign_programs):
+        report = clinic_test([], benign_programs)
+        assert report.programs_tested == len(benign_programs)
+
+
+class TestBdr:
+    def test_full_immunization_high_bdr(self, family_programs):
+        from repro.core import AutoVac
+
+        program = family_programs["sality"]
+        vaccines = AutoVac().analyze(program).vaccines
+        full = [v for v in vaccines if v.is_full_immunization]
+        result = measure_bdr(program, full)
+        assert result.bdr > 0.5
+        assert result.vaccinated_terminated
+
+    def test_partial_immunization_positive_bdr(self, family_programs):
+        from repro.core import AutoVac
+
+        program = family_programs["zeus"]
+        vaccines = [v for v in AutoVac().analyze(program).vaccines
+                    if v.immunization.is_partial]
+        result = measure_bdr(program, vaccines)
+        assert 0.1 < result.bdr < 1.0
+
+    def test_no_vaccines_zero_bdr(self, family_programs):
+        result = measure_bdr(family_programs["zeus"], [])
+        assert result.bdr == pytest.approx(0.0)
+
+    def test_bdr_not_full_100_percent(self, family_programs):
+        """Paper: full-immunization BDR < 100% because the pre-exit calls
+        still execute."""
+        from repro.core import AutoVac
+
+        program = family_programs["poisonivy"]
+        vaccines = [v for v in AutoVac().analyze(program).vaccines
+                    if v.is_full_immunization]
+        result = measure_bdr(program, vaccines)
+        assert 0.0 < result.bdr < 1.0
+        assert result.calls_vaccinated >= 1

@@ -1,0 +1,184 @@
+"""Corpus tests: builder DSL, families, generator, benign suite, variants."""
+
+import pytest
+
+from repro.core import run_sample, select_candidates
+from repro.corpus import (
+    CATEGORY_WEIGHTS,
+    FAMILIES,
+    GeneratorConfig,
+    TABLE_VII_EXPECTED,
+    all_variant_sets,
+    benign_suite,
+    build_family,
+    build_variant_set,
+    category_distribution,
+    generate_population,
+    generate_sample,
+)
+from repro.corpus.builder import AsmBuilder, asm_string
+from repro.vm import ExitStatus
+from repro.winenv import IntegrityLevel, SystemEnvironment
+
+
+class TestAsmBuilder:
+    def test_string_interning_dedupes(self):
+        b = AsmBuilder("t")
+        assert b.string("same") == b.string("same")
+        assert b.string("same") != b.string("other")
+
+    def test_asm_string_escaping(self):
+        assert asm_string("a\\b") == "a\\\\b"
+        assert asm_string('say "hi"') == 'say \\"hi\\"'
+
+    def test_call_pushes_args_reversed(self):
+        b = AsmBuilder("t")
+        b.call("OpenMutexA", "1", "2", "3")
+        pushes = [line for line in b._text if "push" in line]
+        assert pushes == ["    push 3", "    push 2", "    push 1"]
+
+    def test_cdecl_adds_cleanup(self):
+        b = AsmBuilder("t")
+        b.call_cdecl("wsprintfA", "a" , "a")
+        assert any("add esp, 8" in line for line in b._text)
+
+    def test_build_assembles_and_sets_metadata(self):
+        b = AsmBuilder("meta_test")
+        b.emit("    halt")
+        program = b.build(category="trojan")
+        assert program.metadata["category"] == "trojan"
+        assert program.name == "meta_test"
+
+    def test_unique_labels_never_collide(self):
+        b = AsmBuilder("t")
+        names = {b.unique("L") for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_assembles_and_runs_clean(self, family):
+        program = build_family(family)
+        run = run_sample(program, record_instructions=False)
+        assert run.trace.exit_status in ("halted", "terminated")
+        assert run.trace.api_calls  # did something observable
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_flagged_by_phase1(self, family):
+        report = select_candidates(build_family(family))
+        assert report.has_vaccine_potential
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("variant", [1, 3, 5])
+    def test_variants_assemble_and_run(self, family, variant):
+        program = build_family(family, variant=variant)
+        run = run_sample(program, record_instructions=False)
+        assert run.trace.exit_status in ("halted", "terminated")
+
+    def test_zeus_variant_3_drops_file_marker(self):
+        base = select_candidates(build_family("zeus", variant=0))
+        v3 = select_candidates(build_family("zeus", variant=3))
+        from repro.winenv import ResourceType
+
+        path = "c:\\windows\\system32\\sdra64.exe"
+        assert base.candidate(ResourceType.FILE, path) is not None
+        assert v3.candidate(ResourceType.FILE, path) is None
+
+    def test_conficker_reinfection_suppressed(self):
+        """Running conficker twice on the same machine: the second run must
+        exit at the marker check (the mechanism vaccines exploit)."""
+        env = SystemEnvironment()
+        program = build_family("conficker")
+        first = run_sample(program, environment=env, record_instructions=False,
+                           clone_environment=False)
+        assert first.trace.exit_status == "halted"
+        second = run_sample(program, environment=env, record_instructions=False,
+                            clone_environment=False)
+        assert second.trace.terminated
+        assert len(second.trace.api_calls) < len(first.trace.api_calls)
+
+    def test_zeus_infects_clean_machine(self):
+        run = run_sample(build_family("zeus"), record_instructions=False)
+        env = run.environment
+        assert env.filesystem.exists("c:\\windows\\system32\\sdra64.exe")
+        assert env.mutexes.exists("_AVIRA_2109")
+        assert env.network.bytes_sent_by(run.process.pid) > 0
+
+
+class TestVariants:
+    def test_variant_set_counts(self):
+        vs = build_variant_set("zeus", count=5)
+        assert len(vs.variants) == 5 and vs.base.metadata["variant"] == 0
+
+    def test_all_variant_sets_cover_families(self):
+        sets = all_variant_sets(count=2)
+        assert {vs.family for vs in sets} == set(FAMILIES)
+
+    def test_expected_table_consistent(self):
+        assert set(TABLE_VII_EXPECTED) == set(FAMILIES)
+        for row in TABLE_VII_EXPECTED.values():
+            assert row["ideal"] == row["vaccines"] * 5
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            build_variant_set("notafamily")
+
+
+class TestGenerator:
+    def test_population_size(self):
+        assert len(generate_population(GeneratorConfig(size=25, seed=2))) == 25
+
+    def test_all_samples_runnable(self):
+        for sample in generate_population(GeneratorConfig(size=40, seed=9)):
+            run = run_sample(sample.program, record_instructions=False)
+            assert run.trace.exit_status in ("halted", "terminated"), sample.program.name
+
+    def test_weights_sum_to_one(self):
+        assert sum(CATEGORY_WEIGHTS.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_distribution_converges(self):
+        dist = category_distribution(generate_population(GeneratorConfig(size=600, seed=4)))
+        share = dist["backdoor"] / 600
+        assert 0.32 < share < 0.52
+
+    def test_sample_metadata_has_category_and_markers(self):
+        sample = generate_sample(3, GeneratorConfig(seed=8))
+        assert sample.program.metadata["category"] == sample.category
+        assert sample.program.metadata["markers"] == sample.markers
+
+    def test_same_index_same_program(self):
+        a = generate_sample(7, GeneratorConfig(seed=1))
+        b = generate_sample(7, GeneratorConfig(seed=1))
+        assert a.program.source == b.program.source
+
+    def test_different_seed_different_program(self):
+        a = generate_sample(7, GeneratorConfig(seed=1))
+        b = generate_sample(7, GeneratorConfig(seed=2))
+        assert a.program.source != b.program.source
+
+
+class TestBenignSuite:
+    def test_all_benign_run_clean(self):
+        for program in benign_suite():
+            run = run_sample(program, record_instructions=False,
+                             integrity=IntegrityLevel.MEDIUM)
+            assert run.trace.exit_status == "halted", program.name
+
+    def test_benign_programs_do_no_harm(self):
+        for program in benign_suite():
+            run = run_sample(program, record_instructions=False,
+                             integrity=IntegrityLevel.MEDIUM)
+            env = run.environment
+            explorer = env.processes.find_by_name("explorer.exe")
+            assert not explorer.was_injected
+            assert all(not s.is_kernel_driver or s.name in ("eventlog", "dhcp")
+                       for s in env.services)
+
+    def test_browser_single_instance_logic(self):
+        env = SystemEnvironment()
+        browser = benign_suite()[0]
+        first = run_sample(browser, environment=env, record_instructions=False,
+                           integrity=IntegrityLevel.MEDIUM, clone_environment=False)
+        second = run_sample(browser, environment=env, record_instructions=False,
+                            integrity=IntegrityLevel.MEDIUM, clone_environment=False)
+        assert len(second.trace.api_calls) < len(first.trace.api_calls)

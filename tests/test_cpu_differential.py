@@ -1,0 +1,110 @@
+"""Differential testing: the CPU against an independent Python model.
+
+Hypothesis generates random straight-line ALU programs; both the VM and a
+direct Python evaluator execute them, and the final register files must
+agree.  This is the strongest guard on interpreter semantics (the taint and
+slicing layers all sit on top of them).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vm import CPU, assemble
+
+REGS = ("eax", "ebx", "ecx", "edx", "esi", "edi")
+MASK = 0xFFFFFFFF
+
+
+def _model_step(state: dict, mnemonic: str, dst: str, src) -> None:
+    value = state[src] if isinstance(src, str) else src
+    if mnemonic == "mov":
+        state[dst] = value & MASK
+    elif mnemonic == "add":
+        state[dst] = (state[dst] + value) & MASK
+    elif mnemonic == "sub":
+        state[dst] = (state[dst] - value) & MASK
+    elif mnemonic == "xor":
+        state[dst] = (state[dst] ^ value) & MASK
+    elif mnemonic == "and":
+        state[dst] = state[dst] & value & MASK
+    elif mnemonic == "or":
+        state[dst] = (state[dst] | value) & MASK
+    elif mnemonic == "imul":
+        state[dst] = (state[dst] * value) & MASK
+    elif mnemonic == "shl":
+        state[dst] = (state[dst] << (value & 0x1F)) & MASK
+    elif mnemonic == "shr":
+        state[dst] = (state[dst] >> (value & 0x1F)) & MASK
+    elif mnemonic == "inc":
+        state[dst] = (state[dst] + 1) & MASK
+    elif mnemonic == "dec":
+        state[dst] = (state[dst] - 1) & MASK
+    elif mnemonic == "neg":
+        state[dst] = (-state[dst]) & MASK
+    elif mnemonic == "not":
+        state[dst] = (~state[dst]) & MASK
+
+
+binary_ops = st.sampled_from(["mov", "add", "sub", "xor", "and", "or", "imul", "shl", "shr"])
+unary_ops = st.sampled_from(["inc", "dec", "neg", "not"])
+registers = st.sampled_from(REGS)
+immediates = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+binary_instr = st.tuples(binary_ops, registers, st.one_of(registers, immediates))
+unary_instr = st.tuples(unary_ops, registers, st.none())
+instructions = st.lists(st.one_of(binary_instr, unary_instr), min_size=1, max_size=30)
+
+
+@given(instructions)
+@settings(max_examples=200, deadline=None)
+def test_cpu_matches_python_model(instrs):
+    lines = []
+    model = {r: 0 for r in REGS}
+    for mnemonic, dst, src in instrs:
+        if src is None:
+            lines.append(f"    {mnemonic} {dst}")
+        elif isinstance(src, str):
+            lines.append(f"    {mnemonic} {dst}, {src}")
+        else:
+            lines.append(f"    {mnemonic} {dst}, {src}")
+        _model_step(model, mnemonic, dst, src)
+    src_text = "main:\n" + "\n".join(lines) + "\n    halt\n"
+    cpu = CPU(assemble(src_text), max_steps=1000)
+    cpu.run()
+    assert cpu.status.value == "halted"
+    for reg in REGS:
+        assert cpu.regs[reg] == model[reg], (reg, src_text)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_push_pop_lifo(values):
+    push_lines = "\n".join(f"    push {v}" for v in values)
+    pop_lines = "\n".join("    pop eax" for _ in values)
+    cpu = CPU(assemble(f"main:\n{push_lines}\n{pop_lines}\n    halt\n"))
+    cpu.run()
+    assert cpu.regs["eax"] == values[0]  # last popped = first pushed
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.integers(min_value=0, max_value=0xFFFFFFFF))
+@settings(max_examples=100, deadline=None)
+def test_comparison_flags_match_semantics(a, b):
+    cpu = CPU(assemble(
+        f"main:\n    mov eax, {a}\n    cmp eax, {b}\n    halt\n"))
+    cpu.run()
+    assert cpu.flags["zf"] == (1 if a == b else 0)
+    assert cpu.flags["cf"] == (1 if a < b else 0)
+    assert cpu.flags["sf"] == (1 if ((a - b) & 0x80000000) else 0)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.integers(min_value=0, max_value=0xFFFFFFFF))
+@settings(max_examples=60, deadline=None)
+def test_unsigned_branch_picks_correct_path(a, b):
+    cpu = CPU(assemble(
+        f"main:\n    mov eax, {a}\n    cmp eax, {b}\n    jb below\n"
+        "    mov ebx, 2\n    halt\nbelow:\n    mov ebx, 1\n    halt\n"))
+    cpu.run()
+    assert cpu.regs["ebx"] == (1 if a < b else 2)

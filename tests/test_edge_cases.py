@@ -1,0 +1,222 @@
+"""Edge-case coverage across substrate layers."""
+
+import pytest
+
+from repro.taint.labels import EMPTY
+from repro.vm import (
+    CPU,
+    Imm,
+    Instruction,
+    Mem,
+    Memory,
+    MemoryFault,
+    Program,
+    Reg,
+    TEXT_BASE,
+    assemble,
+)
+from repro.vm.memory import HEAP_BASE
+from repro.winenv import SystemEnvironment
+
+
+class TestMemoryEdges:
+    def test_unmapped_read_raises(self):
+        with pytest.raises(MemoryFault):
+            Memory().read_byte(0x10)
+
+    def test_map_region_extends_address_space(self):
+        mem = Memory()
+        mem.map_region(0x9000_0000, 0x100)
+        mem.write_byte(0x9000_0000, 7)
+        assert mem.read_byte(0x9000_0000)[0] == 7
+
+    def test_readonly_flagging(self):
+        mem = Memory()
+        mem.map_region(0xA000_0000, 0x10, readonly=True)
+        assert mem.is_readonly(0xA000_0000)
+        assert not mem.is_readonly(HEAP_BASE)
+
+    def test_taint_of_range_unions(self):
+        from repro.taint.labels import TaintClass, TaintTag
+
+        mem = Memory()
+        t1 = frozenset({TaintTag(1, "A", TaintClass.RESOURCE)})
+        t2 = frozenset({TaintTag(2, "B", TaintClass.RANDOM)})
+        mem.write_byte(HEAP_BASE, 1, t1)
+        mem.write_byte(HEAP_BASE + 1, 2, t2)
+        assert mem.taint_of_range(HEAP_BASE, 2) == t1 | t2
+
+    def test_overwrite_clears_taint(self):
+        from repro.taint.labels import TaintClass, TaintTag
+
+        mem = Memory()
+        mem.write_byte(HEAP_BASE, 1, frozenset({TaintTag(1, "A", TaintClass.RANDOM)}))
+        mem.write_byte(HEAP_BASE, 2, EMPTY)
+        assert mem.read_byte(HEAP_BASE) == (2, EMPTY)
+
+    def test_cstring_respects_max_len(self):
+        mem = Memory()
+        mem.write_bytes(HEAP_BASE, b"A" * 100)
+        text, _ = mem.read_cstring(HEAP_BASE, max_len=10)
+        assert len(text) == 10
+
+
+class TestOperandAndIsaEdges:
+    def test_reg_validation(self):
+        with pytest.raises(ValueError):
+            Reg("rax")  # 64-bit names rejected
+
+    def test_instruction_arity_validation(self):
+        with pytest.raises(ValueError):
+            Instruction("mov", (Reg("eax"),))
+        with pytest.raises(ValueError):
+            Instruction("nop", (Reg("eax"),))
+
+    def test_operand_str_forms(self):
+        assert str(Imm(0x10)) == "0x10"
+        assert str(Imm(5, symbol="label")) == "label"
+        assert str(Mem(base="ebp", disp=-4)) == "[ebp+0xfffffffc]"
+        assert "byte" in str(Mem(base="eax", size=1))
+
+    def test_instruction_str(self):
+        instr = Instruction("mov", (Reg("eax"), Imm(1)))
+        assert str(instr) == "mov eax, 0x1"
+
+
+class TestProgramEdges:
+    def test_instruction_at_out_of_range(self):
+        program = assemble("main:\n    halt\n")
+        assert program.instruction_at(TEXT_BASE + 99) is None
+
+    def test_label_at(self):
+        program = assemble("main:\n    nop\nother:\n    halt\n")
+        assert program.label_at(TEXT_BASE + 1) == "other"
+        assert program.label_at(0xDEAD) is None
+
+    def test_metadata_persisted(self):
+        program = assemble("main:\n    halt\n")
+        program.metadata["k"] = 1
+        assert program.metadata["k"] == 1
+
+
+class TestCpuEdges:
+    def test_xchg_register_memory(self):
+        cpu = CPU(assemble(
+            ".section .data\nv: .dword 5\n.section .text\n"
+            "main:\n    mov eax, 9\n    xchg eax, [v]\n    halt\n"))
+        cpu.run()
+        assert cpu.regs["eax"] == 5
+        assert cpu.memory.read_u32(cpu.program.labels["v"])[0] == 9
+
+    def test_scaled_index_addressing(self):
+        cpu = CPU(assemble(
+            ".section .data\narr: .dword 10, 20, 30\n.section .text\n"
+            "main:\n    mov esi, 2\n    mov eax, [arr+esi*4]\n    halt\n"))
+        cpu.run()
+        assert cpu.regs["eax"] == 30
+
+    def test_movb_reads_single_byte(self):
+        cpu = CPU(assemble(
+            ".section .data\nv: .dword 0xAABBCCDD\n.section .text\n"
+            "main:\n    movb eax, [v+1]\n    halt\n"))
+        cpu.run()
+        assert cpu.regs["eax"] == 0xCC
+
+    def test_shift_by_register(self):
+        cpu = CPU(assemble(
+            "main:\n    mov eax, 1\n    mov ecx, 3\n    shl eax, ecx\n    halt\n"))
+        cpu.run()
+        assert cpu.regs["eax"] == 8
+
+    def test_fault_reason_recorded(self):
+        cpu = CPU(assemble("main:\n    jmp 0x12345\n"))
+        cpu.run()
+        assert cpu.status.value == "fault"
+        assert "0x00012345" in cpu.fault_reason
+
+
+class TestDispatcherEdges:
+    def test_nt_status_failure_mapping(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\nope"\n'
+            ".section .data\nh: .dword 0\n.section .text\n"
+            "    push p\n    push 0\n    push h\n    call @NtOpenFile\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0xC0000034  # OBJECT_NAME_NOT_FOUND
+
+    def test_unknown_api_faults_guest(self, run_asm):
+        cpu = run_asm("    call @NoSuchApi\n    halt\n")
+        assert cpu.status.value == "fault"
+
+    def test_callstack_recorded_in_events(self, run_asm):
+        cpu = run_asm(
+            "main:\n    call fn\n    halt\n"
+            "fn:\n    call @GetTickCount\n    ret\n"
+        )
+        event = cpu.trace.api_calls[0]
+        assert len(event.callstack) == 1  # called from inside fn
+
+    def test_args_captured_in_event(self, run_asm):
+        cpu = run_asm("    push 0x55\n    call @Sleep\n    halt\n")
+        assert cpu.trace.api_calls[0].args == (0x55,)
+
+
+class TestBackwardEdges:
+    def test_event_without_identifier_yields_empty(self):
+        from repro.taint.backward import backward_slice
+        from repro.winapi import Dispatcher
+
+        env = SystemEnvironment()
+        proc = env.spawn_process("x.exe")
+        cpu = CPU(assemble("main:\n    call @GetTickCount\n    halt\n"),
+                  environment=env, process=proc, dispatcher=Dispatcher(env, proc))
+        cpu.run()
+        result = backward_slice(cpu.trace, cpu.trace.api_calls[0], memory=cpu.memory)
+        assert result.slice_records == []
+
+
+class TestDaemonEdges:
+    def test_slice_replay_failure_falls_back_to_observed(self):
+        from repro.core import IdentifierKind, Immunization, Mechanism, Vaccine
+        from repro.delivery import VaccineDaemon
+        from repro.taint.slicing import VaccineSlice
+        from repro.winenv import ResourceType
+
+        broken_slice = VaccineSlice(program_source="main:\n    halt\n",
+                                    program_name="x", steps=[], output_addr=0)
+        vaccine = Vaccine(
+            malware="m", resource_type=ResourceType.MUTEX, identifier="Observed",
+            identifier_kind=IdentifierKind.ALGORITHM_DETERMINISTIC,
+            mechanism=Mechanism.ENFORCE_FAILURE, immunization=Immunization.FULL,
+            slice=broken_slice,
+        )
+        env = SystemEnvironment()
+        daemon = VaccineDaemon(vaccines=[vaccine])
+        daemon.install(env)
+        assert daemon.rules and daemon.rules[0].exact == "Observed"
+
+    def test_add_after_install_activates(self):
+        from repro.core import IdentifierKind, Immunization, Mechanism, Vaccine
+        from repro.delivery import VaccineDaemon
+        from repro.winenv import ResourceType
+
+        env = SystemEnvironment()
+        daemon = VaccineDaemon()
+        daemon.install(env)
+        daemon.add(Vaccine(
+            malware="m", resource_type=ResourceType.MUTEX, identifier="Late",
+            identifier_kind=IdentifierKind.STATIC,
+            mechanism=Mechanism.ENFORCE_FAILURE, immunization=Immunization.FULL,
+        ))
+        assert daemon.rules and daemon.rules[0].exact == "Late"
+
+
+class TestExplorationOnFamilies:
+    def test_exploration_never_loses_vaccines(self, family_programs):
+        from repro import AutoVac
+
+        program = family_programs["poisonivy"]
+        plain = {v.identifier for v in AutoVac().analyze(program).vaccines}
+        explored = {v.identifier
+                    for v in AutoVac(explore_paths=True).analyze(program).vaccines}
+        assert plain <= explored

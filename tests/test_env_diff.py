@@ -1,0 +1,96 @@
+"""Environment-diff (infection forensics) tests."""
+
+import pytest
+
+from repro.core import run_sample
+from repro.corpus import build_family
+from repro.winenv import IntegrityLevel, SystemEnvironment
+from repro.winenv.diff import environment_diff
+
+
+class TestDiffBasics:
+    def test_identical_environments_no_changes(self):
+        env = SystemEnvironment()
+        diff = environment_diff(env, env.clone())
+        assert not diff.changed
+        assert diff.render() == "(no changes)"
+
+    def test_added_file_detected(self):
+        env = SystemEnvironment()
+        after = env.clone()
+        after.filesystem.create("c:\\new.bin", IntegrityLevel.MEDIUM)
+        diff = environment_diff(env, after)
+        assert "c:\\new.bin" in diff.added("files")
+
+    def test_removed_and_modified_files(self):
+        env = SystemEnvironment()
+        env.filesystem.create("c:\\gone", IntegrityLevel.MEDIUM)
+        env.filesystem.create("c:\\edit", IntegrityLevel.MEDIUM, content=b"a")
+        after = env.clone()
+        after.filesystem.delete("c:\\gone", IntegrityLevel.MEDIUM)
+        after.filesystem.write("c:\\edit", IntegrityLevel.MEDIUM, b"b")
+        diff = environment_diff(env, after)
+        assert "c:\\gone" in diff.namespaces["files"].removed
+        assert "c:\\edit" in diff.namespaces["files"].modified
+
+    def test_registry_value_change_is_modified(self):
+        env = SystemEnvironment()
+        env.registry.create_key("hklm\\software\\x", IntegrityLevel.MEDIUM)
+        after = env.clone()
+        after.registry.set_value("hklm\\software\\x", "v", 1, IntegrityLevel.MEDIUM)
+        diff = environment_diff(env, after)
+        assert "hklm\\software\\x" in diff.namespaces["registry"].modified
+
+    def test_mutex_and_service_added(self):
+        env = SystemEnvironment()
+        after = env.clone()
+        after.mutexes.create("Mk", IntegrityLevel.MEDIUM)
+        after.services.create("svc9", "c:\\x.exe", IntegrityLevel.MEDIUM)
+        diff = environment_diff(env, after)
+        assert "Mk" in diff.added("mutexes")
+        assert "svc9" in diff.added("services")
+
+    def test_render_mentions_counts(self):
+        env = SystemEnvironment()
+        after = env.clone()
+        after.mutexes.create("A", IntegrityLevel.MEDIUM)
+        text = environment_diff(env, after).render()
+        assert "mutexes" in text and "+ A" in text
+
+
+class TestInfectionForensics:
+    def test_zeus_footprint(self, family_programs):
+        base = SystemEnvironment()
+        run = run_sample(family_programs["zeus"], environment=base,
+                         record_instructions=False)
+        diff = environment_diff(base, run.environment)
+        files = diff.added("files")
+        assert "c:\\windows\\system32\\sdra64.exe" in files
+        assert "_AVIRA_2109" in diff.added("mutexes")
+        assert "hklm\\software\\microsoft\\windows\\currentversion\\run" in (
+            diff.namespaces["registry"].modified
+        )
+
+    def test_vaccinated_machine_minimal_footprint(self, family_programs):
+        from repro import AutoVac, VaccinePackage, deploy
+
+        program = family_programs["sality"]
+        vaccines = AutoVac().analyze(program).vaccines
+        host = SystemEnvironment()
+        deploy(VaccinePackage(vaccines=vaccines), host)
+        before = host.clone()
+        run = run_sample(program, environment=host, record_instructions=False)
+        diff = environment_diff(before, run.environment)
+        # The only footprint is the malware process itself — no driver, no
+        # persistence, no library drop.
+        assert not diff.added("services")
+        assert not diff.namespaces["registry"].modified
+        assert all("drivers" not in f for f in diff.added("files"))
+
+    def test_benign_programs_leave_no_malicious_footprint(self, benign_programs):
+        base = SystemEnvironment()
+        for program in benign_programs:
+            run = run_sample(program, environment=base, record_instructions=False,
+                             integrity=IntegrityLevel.MEDIUM)
+            diff = environment_diff(base, run.environment)
+            assert all(not f.endswith(".sys") for f in diff.added("files")), program.name

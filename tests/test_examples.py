@@ -1,0 +1,45 @@
+"""The shipped examples must keep running end to end (they assert their own
+claims internally)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "conficker_fleet",
+    "daemon_and_clinic",
+    "targeted_defense",
+])
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_population_survey_small(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_POPULATION", "20")
+    module = _load("population_survey")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Table-IV style" in out
+
+
+def test_outbreak_campaign(capsys):
+    module = _load("outbreak_campaign")
+    module.main()
+    out = capsys.readouterr().out
+    assert "the use case holds" in out

@@ -1,0 +1,138 @@
+"""Final breadth pass: smaller paths not covered elsewhere."""
+
+import pytest
+
+from repro.core import Immunization, Mechanism, select_candidates
+from repro.core.impact import ResourceMutation
+from repro.corpus import build_family
+from repro.winenv import IntegrityLevel, ResourceType, SystemEnvironment
+
+MED = IntegrityLevel.MEDIUM
+
+
+class TestResourceMutationMatching:
+    def _candidate(self):
+        from repro.core.candidate import CandidateResource
+
+        return CandidateResource(resource_type=ResourceType.MUTEX, identifier="M")
+
+    def _event(self, rtype=ResourceType.MUTEX, ident="M"):
+        from repro.tracing import ApiCallEvent
+
+        return ApiCallEvent(event_id=1, seq=0, api="OpenMutexA", caller_pc=0,
+                            args=(), resource_type=rtype, identifier=ident)
+
+    def test_matches_same_resource(self):
+        mutation = ResourceMutation(self._candidate(), Mechanism.ENFORCE_FAILURE)
+        assert mutation.matches(self._event())
+
+    def test_ignores_other_type(self):
+        mutation = ResourceMutation(self._candidate(), Mechanism.ENFORCE_FAILURE)
+        assert not mutation.matches(self._event(rtype=ResourceType.FILE))
+
+    def test_ignores_none_identifier(self):
+        mutation = ResourceMutation(self._candidate(), Mechanism.ENFORCE_FAILURE)
+        assert not mutation.matches(self._event(ident=None))
+
+    def test_hit_counter(self, run_asm):
+        from repro.core.candidate import CandidateResource
+
+        cand = CandidateResource(resource_type=ResourceType.MUTEX, identifier="HitMe")
+        mutation = ResourceMutation(cand, Mechanism.ENFORCE_FAILURE)
+        run_asm('.section .rdata\nm: .asciz "HitMe"\n.section .text\n'
+                "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n    halt\n",
+                interceptors=[mutation])
+        assert mutation.hits == 1
+
+
+class TestNetworkVaccineAtEnvironmentLevel:
+    def test_blackhole_silences_beacons(self):
+        from repro.core import run_sample
+
+        env = SystemEnvironment()
+        env.network.blackhole = True
+        run = run_sample(build_family("zeus"), environment=env,
+                         record_instructions=False)
+        assert run.environment.network.bytes_sent_by(run.cpu.process.pid) == 0
+
+
+class TestSystemInfoApis:
+    def test_get_command_line_points_at_image_path(self, run_asm):
+        cpu = run_asm("    call @GetCommandLineA\n    mov esi, eax\n    halt\n")
+        text, _ = cpu.memory.read_cstring(cpu.regs["esi"])
+        assert text.endswith("test.exe")
+
+    def test_get_module_file_name(self, run_asm):
+        cpu = run_asm(".section .data\nb: .space 64\n.section .text\n"
+                      "    push 64\n    push b\n    push 0\n"
+                      "    call @GetModuleFileNameA\n    halt\n")
+        text, _ = cpu.memory.read_cstring(cpu.program.labels["b"])
+        assert text.endswith("test.exe")
+
+    def test_get_version_encodes_xp(self, run_asm):
+        cpu = run_asm("    call @GetVersion\n    halt\n")
+        assert cpu.regs["eax"] & 0xFF == 5  # major 5 (XP era)
+
+    def test_system_directories(self, run_asm):
+        cpu = run_asm(".section .data\nb: .space 64\nc: .space 64\n.section .text\n"
+                      "    push 64\n    push b\n    call @GetSystemDirectoryA\n"
+                      "    push 64\n    push c\n    call @GetWindowsDirectoryA\n    halt\n")
+        sysdir, _ = cpu.memory.read_cstring(cpu.program.labels["b"])
+        windir, _ = cpu.memory.read_cstring(cpu.program.labels["c"])
+        assert sysdir == "c:\\windows\\system32" and windir == "c:\\windows"
+
+
+class TestVariantBehaviouralDiversity:
+    @pytest.mark.parametrize("family", ["zeus", "poisonivy", "sality"])
+    def test_variants_share_category_but_differ_in_source(self, family):
+        base = build_family(family, variant=0)
+        v4 = build_family(family, variant=4)
+        assert base.metadata["category"] == v4.metadata["category"]
+        assert base.source != v4.source
+
+    def test_poisonivy_v4_uses_renamed_mutex(self):
+        report = select_candidates(build_family("poisonivy", variant=4))
+        assert report.candidate(ResourceType.MUTEX, ")!VoqA.I4") is None
+        assert report.candidate(ResourceType.MUTEX, "K^DJA!#4") is not None
+
+
+class TestImmunizationTaxonomy:
+    def test_partial_flag(self):
+        assert Immunization.TYPE_II_NETWORK.is_partial
+        assert not Immunization.FULL.is_partial
+        assert not Immunization.NONE.is_partial
+
+    def test_all_paper_types_present(self):
+        values = {i.value for i in Immunization}
+        assert {"full", "disable_kernel_injection", "disable_massive_network",
+                "disable_persistence", "disable_process_injection", "none"} == values
+
+
+class TestExclusivenessBookkeeping:
+    def test_hits_counted(self):
+        from repro.core.candidate import CandidateResource
+        from repro.core.exclusiveness import ExclusivenessAnalyzer
+
+        analyzer = ExclusivenessAnalyzer()
+        decision = analyzer.check(CandidateResource(
+            resource_type=ResourceType.MUTEX, identifier="BrowserSingletonMtx"))
+        assert not decision.exclusive and decision.hits >= 1
+
+    def test_query_counter_increments(self):
+        from repro.core.candidate import CandidateResource
+        from repro.core.exclusiveness import ExclusivenessAnalyzer
+
+        analyzer = ExclusivenessAnalyzer()
+        before = analyzer.search.query_count
+        analyzer.check(CandidateResource(
+            resource_type=ResourceType.MUTEX, identifier="zq_unique_thing"))
+        assert analyzer.search.query_count > before
+
+
+class TestPackageDeployEdge:
+    def test_empty_package_deploys_cleanly(self):
+        from repro.delivery import VaccinePackage, deploy
+
+        deployment = deploy(VaccinePackage(), SystemEnvironment())
+        assert not deployment.injections and deployment.daemon is None
+        assert not deployment.daemon_needed

@@ -1,0 +1,96 @@
+"""Population-wide invariants: every vaccine the pipeline ever emits must be
+well-formed, deployable and consistent — a catch-all sweep over a generated
+corpus plus all named families."""
+
+import re
+
+import pytest
+
+from repro import AutoVac, SystemEnvironment, VaccinePackage, deploy
+from repro.core import DeliveryKind, IdentifierKind, Immunization, Mechanism
+from repro.core.exclusiveness import ExclusivenessAnalyzer
+from repro.corpus import GeneratorConfig, all_families, build_rustock, generate_population
+from repro.taint.replay import replay_slice
+from repro.winenv import MachineIdentity, ResourceType
+
+
+@pytest.fixture(scope="module")
+def all_vaccines():
+    autovac = AutoVac()
+    programs = [s.program for s in generate_population(GeneratorConfig(size=60, seed=99))]
+    programs += all_families()
+    programs.append(build_rustock())
+    result = autovac.analyze_population(programs)
+    assert result.vaccines, "sweep produced no vaccines at all"
+    return result.vaccines
+
+
+class TestVaccineWellFormedness:
+    def test_identifiers_non_empty(self, all_vaccines):
+        assert all(v.identifier for v in all_vaccines)
+
+    def test_no_none_immunization_shipped(self, all_vaccines):
+        assert all(v.immunization is not Immunization.NONE for v in all_vaccines)
+
+    def test_no_non_deterministic_identifiers(self, all_vaccines):
+        assert all(
+            v.identifier_kind is not IdentifierKind.NON_DETERMINISTIC
+            for v in all_vaccines
+        )
+
+    def test_partial_static_patterns_compile_and_match(self, all_vaccines):
+        for v in all_vaccines:
+            if v.identifier_kind is IdentifierKind.PARTIAL_STATIC:
+                assert v.pattern, v.identifier
+                assert re.match(v.pattern, v.identifier), (v.pattern, v.identifier)
+
+    def test_algorithmic_vaccines_carry_replayable_slices(self, all_vaccines):
+        host = SystemEnvironment(identity=MachineIdentity(computer_name="SWEEP-HOST"))
+        for v in all_vaccines:
+            if v.identifier_kind is IdentifierKind.ALGORITHM_DETERMINISTIC:
+                assert v.slice is not None
+                regenerated = replay_slice(v.slice, host.clone())
+                assert regenerated
+
+    def test_identifiers_are_normalized(self, all_vaccines):
+        from repro.core import normalize_identifier
+
+        for v in all_vaccines:
+            assert v.identifier == normalize_identifier(v.resource_type, v.identifier)
+
+    def test_no_whitelisted_identifiers_shipped(self, all_vaccines):
+        analyzer = ExclusivenessAnalyzer()
+        for v in all_vaccines:
+            assert not analyzer.is_whitelisted(v.identifier), v.identifier
+
+    def test_delivery_consistency(self, all_vaccines):
+        for v in all_vaccines:
+            if v.identifier_kind in (IdentifierKind.PARTIAL_STATIC,
+                                     IdentifierKind.ALGORITHM_DETERMINISTIC):
+                assert v.delivery is DeliveryKind.DAEMON
+            if (v.identifier_kind is IdentifierKind.STATIC
+                    and v.mechanism is Mechanism.SIMULATE_PRESENCE
+                    and v.resource_type is not ResourceType.PROCESS):
+                assert v.delivery is DeliveryKind.DIRECT_INJECTION
+
+    def test_serialization_roundtrip_for_every_vaccine(self, all_vaccines):
+        from repro.core import Vaccine
+
+        for v in all_vaccines:
+            clone = Vaccine.from_dict(v.to_dict())
+            assert clone.identifier == v.identifier
+            assert clone.identifier_kind == v.identifier_kind
+            assert clone.delivery == v.delivery
+
+
+class TestMassDeployment:
+    def test_entire_sweep_pack_deploys_without_failures(self, all_vaccines):
+        host = SystemEnvironment()
+        deployment = deploy(VaccinePackage(vaccines=list(all_vaccines)), host)
+        assert not deployment.failures
+        assert len(deployment.injections) + len(deployment.daemon.vaccines) == len(all_vaccines)
+
+    def test_sweep_pack_json_loads(self, all_vaccines, tmp_path):
+        path = tmp_path / "sweep.json"
+        VaccinePackage(vaccines=list(all_vaccines)).save(path)
+        assert len(VaccinePackage.load(path)) == len(all_vaccines)

@@ -1,0 +1,251 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import align_lcs, align_linear
+from repro.core.determinism import build_pattern
+from repro.core.vaccine import normalize_identifier
+from repro.taint.labels import EMPTY, TaintClass, TaintTag, union
+from repro.tracing import ApiCallEvent
+from repro.vm import Memory, assemble, mask32, to_signed
+from repro.vm.memory import HEAP_BASE
+from repro.winenv import ResourceType, normalize_key, normalize_path
+
+# ---------------------------------------------------------------------------
+# taint tag algebra
+# ---------------------------------------------------------------------------
+
+tags = st.builds(
+    TaintTag,
+    event_id=st.integers(min_value=1, max_value=50),
+    api=st.sampled_from(["OpenMutexA", "GetTickCount", "GetComputerNameA"]),
+    klass=st.sampled_from(list(TaintClass)),
+)
+tagsets = st.frozensets(tags, max_size=5)
+
+
+class TestTagSetAlgebra:
+    @given(tagsets, tagsets)
+    def test_union_commutative(self, a, b):
+        assert union(a, b) == union(b, a)
+
+    @given(tagsets, tagsets, tagsets)
+    def test_union_associative(self, a, b, c):
+        assert union(union(a, b), c) == union(a, union(b, c))
+
+    @given(tagsets)
+    def test_union_idempotent(self, a):
+        assert union(a, a) == a
+
+    @given(tagsets)
+    def test_empty_is_identity(self, a):
+        assert union(a, EMPTY) == a
+
+    @given(tagsets, tagsets)
+    def test_union_is_superset(self, a, b):
+        u = union(a, b)
+        assert a <= u and b <= u
+
+
+# ---------------------------------------------------------------------------
+# 32-bit arithmetic helpers
+# ---------------------------------------------------------------------------
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestMask32:
+    @given(st.integers())
+    def test_mask_in_range(self, v):
+        assert 0 <= mask32(v) <= 0xFFFFFFFF
+
+    @given(u32)
+    def test_mask_identity_on_u32(self, v):
+        assert mask32(v) == v
+
+    @given(u32)
+    def test_to_signed_roundtrip(self, v):
+        assert mask32(to_signed(v)) == v
+
+    @given(u32, u32)
+    def test_addition_modular(self, a, b):
+        assert mask32(a + b) == (a + b) % (1 << 32)
+
+
+# ---------------------------------------------------------------------------
+# memory
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryProperties:
+    @given(st.binary(min_size=0, max_size=64), st.integers(min_value=0, max_value=0x800))
+    def test_write_read_roundtrip(self, data, offset):
+        mem = Memory()
+        addr = HEAP_BASE + offset
+        mem.write_bytes(addr, data)
+        assert mem.read_bytes(addr, len(data)) == data
+
+    @given(u32, st.integers(min_value=0, max_value=0x800))
+    def test_u32_roundtrip(self, value, offset):
+        mem = Memory()
+        addr = HEAP_BASE + offset
+        mem.write_u32(addr, value)
+        got, _ = mem.read_u32(addr)
+        assert got == value
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40))
+    def test_cstring_roundtrip(self, text):
+        mem = Memory()
+        mem.write_cstring(HEAP_BASE, text)
+        got, _ = mem.read_cstring(HEAP_BASE)
+        assert got == text
+
+    @given(tagsets)
+    def test_taint_follows_byte(self, taint):
+        mem = Memory()
+        mem.write_byte(HEAP_BASE, 0x41, taint)
+        _, got = mem.read_byte(HEAP_BASE)
+        assert got == taint
+
+    def test_unwritten_mapped_memory_reads_zero(self):
+        mem = Memory()
+        value, taint = mem.read_u32(HEAP_BASE + 0x500)
+        assert value == 0 and taint == EMPTY
+
+
+# ---------------------------------------------------------------------------
+# identifier normalization
+# ---------------------------------------------------------------------------
+
+path_chars = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters="._-"),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestNormalizationProperties:
+    @given(path_chars)
+    def test_path_normalization_idempotent(self, name):
+        p = f"C:\\Dir\\{name}"
+        assert normalize_path(normalize_path(p)) == normalize_path(p)
+
+    @given(path_chars)
+    def test_key_normalization_idempotent(self, name):
+        k = f"HKLM\\Software\\{name}"
+        assert normalize_key(normalize_key(k)) == normalize_key(k)
+
+    @given(path_chars)
+    def test_mutex_identifier_untouched(self, name):
+        assert normalize_identifier(ResourceType.MUTEX, name) == name
+
+    @given(path_chars)
+    def test_file_identifier_lowercased(self, name):
+        norm = normalize_identifier(ResourceType.FILE, f"C:\\{name}")
+        assert norm == norm.lower()
+
+
+# ---------------------------------------------------------------------------
+# partial-static pattern building
+# ---------------------------------------------------------------------------
+
+classes = st.lists(st.sampled_from(["static", "random", "env"]), min_size=1, max_size=24)
+
+
+class TestPatternProperties:
+    @given(classes)
+    def test_pattern_matches_own_identifier(self, cls):
+        identifier = "".join("abcdefghij"[i % 10] for i in range(len(cls)))
+        pattern = build_pattern(identifier, cls)
+        if pattern is not None:
+            assert re.match(pattern, identifier)
+
+    @given(classes)
+    def test_pattern_anchored(self, cls):
+        identifier = "x" * len(cls)
+        pattern = build_pattern(identifier, cls)
+        if pattern is not None:
+            assert pattern.startswith("^") and pattern.endswith("$")
+            if cls[-1] == "static":
+                # A trailing literal cannot absorb a suffix (a trailing
+                # wildcard legitimately can).
+                assert not re.match(pattern, identifier + "suffix!!")
+
+    @given(st.text(alphabet="ab().*+[", min_size=3, max_size=10))
+    def test_static_metacharacters_escaped(self, identifier):
+        pattern = build_pattern(identifier, ["static"] * len(identifier))
+        assert pattern is not None
+        assert re.match(pattern, identifier)
+        if "(" in identifier:
+            assert not re.match(pattern, identifier.replace("(", ")"))
+
+
+# ---------------------------------------------------------------------------
+# trace alignment
+# ---------------------------------------------------------------------------
+
+api_names = st.sampled_from(["A", "B", "C", "D"])
+traces = st.lists(api_names, max_size=12)
+
+
+def _events(names):
+    return [
+        ApiCallEvent(event_id=i + 1, seq=i, api=name, caller_pc=hash(name) & 0xFFFF, args=())
+        for i, name in enumerate(names)
+    ]
+
+
+class TestAlignmentProperties:
+    @given(traces)
+    def test_self_alignment_identical(self, names):
+        events = _events(names)
+        for aligner in (align_lcs, align_linear):
+            result = aligner(events, _events(names))
+            assert result.is_identical
+
+    @given(traces, traces)
+    def test_lcs_conservation(self, a, b):
+        ea, eb = _events(a), _events(b)
+        result = align_lcs(ea, eb)
+        assert len(result.delta_mutated) + result.aligned_pairs == len(ea)
+        assert len(result.delta_natural) + result.aligned_pairs == len(eb)
+
+    @given(traces, traces)
+    def test_lcs_symmetric_delta_sizes(self, a, b):
+        r1 = align_lcs(_events(a), _events(b))
+        r2 = align_lcs(_events(b), _events(a))
+        assert len(r1.delta_mutated) == len(r2.delta_natural)
+        assert r1.aligned_pairs == r2.aligned_pairs
+
+    @given(traces)
+    def test_empty_vs_trace(self, names):
+        events = _events(names)
+        result = align_lcs([], events)
+        assert len(result.delta_natural) == len(events)
+
+
+# ---------------------------------------------------------------------------
+# assembler round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestAssemblerProperties:
+    @given(st.lists(st.sampled_from(
+        ["nop", "halt", "mov eax, 1", "add eax, ebx", "push eax", "pop ebx",
+         "xor ecx, ecx", "inc edx", "cmp eax, 5"]), min_size=1, max_size=20))
+    def test_arbitrary_instruction_sequences_assemble(self, lines):
+        src = "main:\n" + "\n".join(f"    {line}" for line in lines) + "\n    halt\n"
+        program = assemble(src)
+        assert len(program.instructions) == len(lines) + 1
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                                          blacklist_characters='"\\'), max_size=20))
+    @settings(max_examples=50)
+    def test_string_literals_roundtrip_into_image(self, text):
+        src = f'.section .rdata\ns: .asciz "{text}"\n.section .text\n    halt\n'
+        program = assemble(src)
+        assert program.sections[0].image == text.encode("latin-1") + b"\x00"

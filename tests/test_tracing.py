@@ -1,0 +1,72 @@
+"""Trace container and event tests."""
+
+import pytest
+
+from repro.tracing import ApiCallEvent, Trace
+from repro.winenv import Operation, ResourceType
+
+
+def ev(api, seq=0, pc=0x401000, rtype=None, op=None, ident=None, success=True):
+    return ApiCallEvent(
+        event_id=seq + 1, seq=seq, api=api, caller_pc=pc, args=(),
+        resource_type=rtype, operation=op, identifier=ident, success=success,
+    )
+
+
+class TestTrace:
+    def test_event_ids_monotonic(self):
+        trace = Trace()
+        assert trace.next_event_id() == 1
+        assert trace.next_event_id() == 2
+
+    def test_resource_events_filtering(self):
+        trace = Trace(api_calls=[
+            ev("GetTickCount", 0),
+            ev("OpenMutexA", 1, rtype=ResourceType.MUTEX, op=Operation.CHECK, ident="m"),
+        ])
+        assert [e.api for e in trace.resource_events()] == ["OpenMutexA"]
+
+    def test_event_by_id(self):
+        trace = Trace(api_calls=[ev("A", 0), ev("B", 1)])
+        assert trace.event_by_id(2).api == "B"
+        assert trace.event_by_id(99) is None
+
+    def test_called_any(self):
+        trace = Trace(api_calls=[ev("ExitProcess", 0)])
+        assert trace.called_any({"exitprocess"})
+        assert not trace.called_any({"CreateFileA"})
+
+    def test_count_by_resource_operation(self):
+        trace = Trace(api_calls=[
+            ev("OpenMutexA", 0, rtype=ResourceType.MUTEX, op=Operation.CHECK, ident="m"),
+            ev("CreateMutexA", 1, rtype=ResourceType.MUTEX, op=Operation.CREATE, ident="m"),
+            ev("CreateMutexA", 2, rtype=ResourceType.MUTEX, op=Operation.CREATE, ident="m2"),
+        ])
+        stats = trace.count_by_resource_operation()
+        assert stats[ResourceType.MUTEX][Operation.CREATE] == 2
+        assert stats[ResourceType.MUTEX][Operation.CHECK] == 1
+
+    def test_terminated_property(self):
+        trace = Trace()
+        trace.exit_status = "terminated"
+        assert trace.terminated
+
+    def test_summary_readable(self):
+        trace = Trace(program_name="x")
+        assert "x" in trace.summary()
+
+
+class TestContextKey:
+    def test_key_includes_identifier(self):
+        a = ev("CreateFileA", ident="c:\\a")
+        b = ev("CreateFileA", ident="c:\\b")
+        assert a.context_key() != b.context_key()
+
+    def test_key_without_static_args(self):
+        a = ev("CreateFileA", ident="c:\\a")
+        b = ev("CreateFileA", ident="c:\\b")
+        assert a.context_key(static_args=False) == b.context_key(static_args=False)
+
+    def test_is_resource_access(self):
+        assert ev("X", rtype=ResourceType.FILE).is_resource_access
+        assert not ev("X").is_resource_access

@@ -1,0 +1,99 @@
+"""Tests for vaccine verification and report rendering."""
+
+import pytest
+
+from repro import AutoVac
+from repro.core import (
+    IdentifierKind,
+    Immunization,
+    Mechanism,
+    Vaccine,
+    render_report,
+    verify_all,
+    verify_vaccine,
+)
+from repro.corpus import build_family
+from repro.winenv import ResourceType
+
+
+@pytest.fixture(scope="module")
+def zeus_analysis(family_programs):
+    return family_programs["zeus"], AutoVac().analyze(family_programs["zeus"])
+
+
+class TestVerification:
+    def test_family_vaccines_all_verify(self, family_programs):
+        autovac = AutoVac()
+        for name, program in family_programs.items():
+            analysis = autovac.analyze(program)
+            report = verify_all(program, analysis.vaccines)
+            assert report.all_verified, (name, [
+                (r.claimed.value, r.observed.value) for r in report.failures()
+            ])
+
+    def test_full_immunization_verifies_with_high_bdr(self, zeus_analysis):
+        program, analysis = zeus_analysis
+        full = next(v for v in analysis.vaccines if v.is_full_immunization)
+        result = verify_vaccine(program, full)
+        assert result.verified and result.observed is Immunization.FULL
+        assert result.bdr > 0.5
+
+    def test_bogus_claim_fails_verification(self, zeus_analysis):
+        program, _ = zeus_analysis
+        bogus = Vaccine(
+            malware="zeus", resource_type=ResourceType.MUTEX,
+            identifier="NotARealMarker", identifier_kind=IdentifierKind.STATIC,
+            mechanism=Mechanism.SIMULATE_PRESENCE,
+            immunization=Immunization.FULL,
+        )
+        result = verify_vaccine(program, bogus)
+        assert not result.verified
+        assert result.observed is Immunization.NONE
+
+    def test_stronger_observed_effect_still_verifies(self, zeus_analysis):
+        """A conservative claim (partial) verified by a FULL observation."""
+        program, analysis = zeus_analysis
+        full = next(v for v in analysis.vaccines if v.is_full_immunization)
+        import copy
+
+        claimed_partial = copy.copy(full)
+        claimed_partial.immunization = Immunization.TYPE_III_PERSISTENCE
+        result = verify_vaccine(program, claimed_partial)
+        assert result.verified and result.observed is Immunization.FULL
+
+    def test_verification_counts(self, zeus_analysis):
+        program, analysis = zeus_analysis
+        report = verify_all(program, analysis.vaccines)
+        assert report.verified_count == len(analysis.vaccines)
+
+
+class TestReport:
+    def test_report_contains_key_sections(self, zeus_analysis):
+        _, analysis = zeus_analysis
+        text = render_report(analysis)
+        for heading in ("# AUTOVAC analysis: zeus", "## Phase I", "## Vaccines",
+                        "## Timings"):
+            assert heading in text
+        assert "sdra64.exe" in text and "_AVIRA_2109" in text
+
+    def test_report_shows_exclusiveness_table(self, zeus_analysis):
+        _, analysis = zeus_analysis
+        text = render_report(analysis)
+        assert "whitelisted platform resource" in text
+
+    def test_filtered_sample_report(self):
+        from repro.vm import assemble
+
+        analysis = AutoVac().analyze(assemble("main:\n    halt\n", name="inert"))
+        text = render_report(analysis)
+        assert "Filtered in Phase I" in text
+
+    def test_report_describes_slice_vaccine(self, family_programs):
+        analysis = AutoVac().analyze(family_programs["conficker"])
+        text = render_report(analysis)
+        assert "generation slice" in text
+        assert "GetComputerNameA" in text
+
+    def test_report_custom_title(self, zeus_analysis):
+        _, analysis = zeus_analysis
+        assert render_report(analysis, title="Custom").startswith("# Custom")

@@ -1,0 +1,154 @@
+"""Assembler tests: parsing, sections, labels, operands, errors."""
+
+import pytest
+
+from repro.vm import (
+    ApiRef,
+    AssemblyError,
+    DATA_BASE,
+    Imm,
+    Mem,
+    RDATA_BASE,
+    Reg,
+    TEXT_BASE,
+    assemble,
+)
+
+
+class TestSectionsAndLabels:
+    def test_text_labels_address_instructions(self):
+        prog = assemble(".section .text\nmain:\n    nop\nsecond:\n    halt\n")
+        assert prog.labels["main"] == TEXT_BASE
+        assert prog.labels["second"] == TEXT_BASE + 1
+
+    def test_entry_prefers_main(self):
+        prog = assemble("start:\n    nop\nmain:\n    halt\n")
+        assert prog.entry == prog.labels["main"]
+
+    def test_entry_falls_back_to_start(self):
+        prog = assemble("start:\n    halt\n")
+        assert prog.entry == prog.labels["start"]
+
+    def test_rdata_labels_address_bytes(self):
+        prog = assemble('.section .rdata\na: .asciz "xy"\nb: .asciz "z"\n.section .text\n    halt\n')
+        assert prog.labels["a"] == RDATA_BASE
+        assert prog.labels["b"] == RDATA_BASE + 3  # "xy\0"
+
+    def test_data_section_base(self):
+        prog = assemble(".section .data\nbuf: .space 8\n.section .text\n    halt\n")
+        assert prog.labels["buf"] == DATA_BASE
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\n    nop\na:\n    halt\n")
+
+    def test_label_with_instruction_on_same_line(self):
+        prog = assemble("main: nop\n    halt\n")
+        assert len(prog.instructions) == 2
+
+
+class TestDataDirectives:
+    def test_asciz_null_terminates(self):
+        prog = assemble('.section .rdata\ns: .asciz "ab"\n.section .text\n    halt\n')
+        assert prog.sections[0].image == b"ab\x00"
+
+    def test_ascii_no_terminator(self):
+        prog = assemble('.section .rdata\ns: .ascii "ab"\n.section .text\n    halt\n')
+        assert prog.sections[0].image == b"ab"
+
+    def test_string_escapes(self):
+        prog = assemble('.section .rdata\ns: .asciz "a\\\\b\\n\\x41"\n.section .text\n    halt\n')
+        assert prog.sections[0].image == b"a\\b\nA\x00"
+
+    def test_dword_little_endian(self):
+        prog = assemble(".section .rdata\nd: .dword 0x01020304\n.section .text\n    halt\n")
+        assert prog.sections[0].image == b"\x04\x03\x02\x01"
+
+    def test_dword_multiple_values(self):
+        prog = assemble(".section .rdata\nd: .dword 1, 2\n.section .text\n    halt\n")
+        assert len(prog.sections[0].image) == 8
+
+    def test_space_zero_filled(self):
+        prog = assemble(".section .data\nb: .space 4\n.section .text\n    halt\n")
+        assert prog.sections[1].image == b"\x00" * 4
+
+    def test_byte_directive(self):
+        prog = assemble(".section .data\nb: .byte 1, 0xFF\n.section .text\n    halt\n")
+        assert prog.sections[1].image == b"\x01\xff"
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".section .data\nx: .quad 1\n.section .text\n    halt\n")
+
+
+class TestOperandParsing:
+    def test_register_operand(self):
+        prog = assemble("    mov eax, ebx\n    halt\n")
+        assert prog.instructions[0].operands == (Reg("eax"), Reg("ebx"))
+
+    def test_hex_and_decimal_immediates(self):
+        prog = assemble("    mov eax, 0x10\n    mov ebx, 16\n    halt\n")
+        assert prog.instructions[0].operands[1] == Imm(0x10)
+        assert prog.instructions[1].operands[1] == Imm(16)
+
+    def test_char_immediate(self):
+        prog = assemble("    mov eax, 'A'\n    halt\n")
+        assert prog.instructions[0].operands[1] == Imm(65)
+
+    def test_label_immediate_resolves(self):
+        prog = assemble('.section .rdata\ns: .asciz "x"\n.section .text\n    push s\n    halt\n')
+        assert prog.instructions[0].operands[0].value == RDATA_BASE
+
+    def test_label_plus_offset(self):
+        prog = assemble(".section .data\nb: .space 8\n.section .text\n    push b+4\n    halt\n")
+        assert prog.instructions[0].operands[0].value == DATA_BASE + 4
+
+    def test_memory_base_displacement(self):
+        prog = assemble("    mov eax, [ebp-0x1c]\n    halt\n")
+        mem = prog.instructions[0].operands[1]
+        assert mem == Mem(base="ebp", disp=-0x1C)
+
+    def test_memory_base_index_scale(self):
+        prog = assemble("    mov eax, [ebx+esi*4+8]\n    halt\n")
+        mem = prog.instructions[0].operands[1]
+        assert (mem.base, mem.index, mem.scale, mem.disp) == ("ebx", "esi", 4, 8)
+
+    def test_memory_label_plus_index(self):
+        prog = assemble(".section .data\nb: .space 8\n.section .text\n    movb eax, [b+esi]\n    halt\n")
+        mem = prog.instructions[0].operands[1]
+        assert mem.disp == DATA_BASE and mem.index is None and mem.base == "esi"
+
+    def test_byte_memory_operand(self):
+        prog = assemble(".section .data\nb: .space 4\n.section .text\n    movb byte [b], 1\n    halt\n")
+        assert prog.instructions[0].operands[0].size == 1
+
+    def test_api_ref(self):
+        prog = assemble("    call @GetTickCount\n    halt\n")
+        assert prog.instructions[0].operands[0] == ApiRef("GetTickCount")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("    push missing\n    halt\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            assemble("    frobnicate eax\n    halt\n")
+
+    def test_comment_stripping(self):
+        prog = assemble("    nop ; a comment with ; semicolons\n    halt\n")
+        assert len(prog.instructions) == 2
+
+    def test_semicolon_inside_string_preserved(self):
+        prog = assemble('.section .rdata\ns: .asciz "a;b"\n.section .text\n    halt\n')
+        assert prog.sections[0].image == b"a;b\x00"
+
+
+class TestDisassembly:
+    def test_roundtrip_contains_labels_and_instructions(self):
+        prog = assemble("main:\n    mov eax, 1\n    halt\n")
+        text = prog.disassemble()
+        assert "main:" in text and "mov eax, 0x1" in text
+
+    def test_source_preserved(self):
+        src = "main:\n    halt\n"
+        assert assemble(src).source == src

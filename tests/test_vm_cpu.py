@@ -1,0 +1,190 @@
+"""CPU interpreter tests: semantics, flags, stack, control flow, faults."""
+
+import pytest
+
+from repro.vm import CPU, ExitStatus, STACK_TOP, assemble
+
+
+def run(src: str, max_steps: int = 10_000) -> CPU:
+    cpu = CPU(assemble(src), max_steps=max_steps)
+    cpu.run()
+    return cpu
+
+
+class TestDataMovement:
+    def test_mov_imm(self):
+        assert run("    mov eax, 42\n    halt\n").regs["eax"] == 42
+
+    def test_mov_between_registers(self):
+        cpu = run("    mov eax, 7\n    mov ebx, eax\n    halt\n")
+        assert cpu.regs["ebx"] == 7
+
+    def test_mov_memory_roundtrip(self):
+        cpu = run(".section .data\nv: .space 4\n.section .text\n    mov [v], 99\n    mov ecx, [v]\n    halt\n")
+        assert cpu.regs["ecx"] == 99
+
+    def test_movb_zero_extends(self):
+        cpu = run("    mov eax, 0x1FF\n    mov ebx, eax\n    movb ebx, 0xAB\n    halt\n")
+        assert cpu.regs["ebx"] == 0xAB
+
+    def test_movb_memory_single_byte(self):
+        cpu = run(
+            ".section .data\nv: .dword 0x11223344\n.section .text\n"
+            "    movb [v], 0xFF\n    mov eax, [v]\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0x112233FF
+
+    def test_lea_computes_address(self):
+        cpu = run("    mov ebx, 0x100\n    lea eax, [ebx+esi*4+8]\n    halt\n")
+        assert cpu.regs["eax"] == 0x108
+
+    def test_xchg(self):
+        cpu = run("    mov eax, 1\n    mov ebx, 2\n    xchg eax, ebx\n    halt\n")
+        assert (cpu.regs["eax"], cpu.regs["ebx"]) == (2, 1)
+
+
+class TestAlu:
+    def test_add_sub(self):
+        cpu = run("    mov eax, 10\n    add eax, 5\n    sub eax, 3\n    halt\n")
+        assert cpu.regs["eax"] == 12
+
+    def test_add_wraps_32bit(self):
+        cpu = run("    mov eax, 0xFFFFFFFF\n    add eax, 2\n    halt\n")
+        assert cpu.regs["eax"] == 1
+        assert cpu.flags["cf"] == 1
+
+    def test_sub_borrow_sets_cf(self):
+        cpu = run("    mov eax, 1\n    sub eax, 2\n    halt\n")
+        assert cpu.regs["eax"] == 0xFFFFFFFF
+        assert cpu.flags["cf"] == 1
+
+    def test_imul(self):
+        assert run("    mov eax, 6\n    imul eax, 7\n    halt\n").regs["eax"] == 42
+
+    def test_logic_ops(self):
+        cpu = run("    mov eax, 0xF0\n    and eax, 0x3C\n    or eax, 1\n    xor eax, 0xFF\n    halt\n")
+        assert cpu.regs["eax"] == (((0xF0 & 0x3C) | 1) ^ 0xFF)
+
+    def test_shifts(self):
+        cpu = run("    mov eax, 1\n    shl eax, 4\n    shr eax, 2\n    halt\n")
+        assert cpu.regs["eax"] == 4
+
+    def test_inc_dec(self):
+        cpu = run("    mov eax, 5\n    inc eax\n    dec eax\n    dec eax\n    halt\n")
+        assert cpu.regs["eax"] == 4
+
+    def test_neg_not(self):
+        cpu = run("    mov eax, 1\n    neg eax\n    mov ebx, 0\n    not ebx\n    halt\n")
+        assert cpu.regs["eax"] == 0xFFFFFFFF and cpu.regs["ebx"] == 0xFFFFFFFF
+
+
+class TestFlagsAndJumps:
+    def test_je_taken_on_equal(self):
+        cpu = run("    mov eax, 3\n    cmp eax, 3\n    je ok\n    mov ebx, 1\nok:\n    halt\n")
+        assert cpu.regs["ebx"] == 0
+
+    def test_jne_taken_on_unequal(self):
+        cpu = run("    cmp eax, 1\n    jne ok\n    mov ebx, 1\nok:\n    halt\n")
+        assert cpu.regs["ebx"] == 0
+
+    def test_signed_comparisons(self):
+        cpu = run("    mov eax, 2\n    cmp eax, 5\n    jl less\n    mov ebx, 9\nless:\n    halt\n")
+        assert cpu.regs["ebx"] == 0
+
+    def test_unsigned_comparisons(self):
+        cpu = run("    mov eax, 2\n    cmp eax, 5\n    jb below\n    mov ebx, 9\nbelow:\n    halt\n")
+        assert cpu.regs["ebx"] == 0
+
+    def test_ja_on_greater_unsigned(self):
+        cpu = run("    mov eax, 7\n    cmp eax, 5\n    ja above\n    mov ebx, 9\nabove:\n    halt\n")
+        assert cpu.regs["ebx"] == 0
+
+    def test_test_sets_zf(self):
+        cpu = run("    xor eax, eax\n    test eax, eax\n    jz zero\n    mov ebx, 1\nzero:\n    halt\n")
+        assert cpu.regs["ebx"] == 0
+
+    def test_loop_counts(self):
+        cpu = run(
+            "    mov ecx, 5\nloop:\n    add eax, 2\n    dec ecx\n    jnz loop\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 10
+
+    def test_jmp_register_target(self):
+        cpu = run(
+            "    mov eax, target\n    jmp eax\n    mov ebx, 1\ntarget:\n    halt\n"
+        )
+        assert cpu.regs["ebx"] == 0
+
+
+class TestStackAndCalls:
+    def test_push_pop(self):
+        cpu = run("    push 7\n    push 8\n    pop eax\n    pop ebx\n    halt\n")
+        assert (cpu.regs["eax"], cpu.regs["ebx"]) == (8, 7)
+        assert cpu.regs["esp"] == STACK_TOP
+
+    def test_call_ret(self):
+        cpu = run(
+            "main:\n    call fn\n    mov ebx, eax\n    halt\nfn:\n    mov eax, 11\n    ret\n"
+        )
+        assert cpu.regs["ebx"] == 11
+
+    def test_nested_calls(self):
+        cpu = run(
+            "main:\n    call a\n    halt\n"
+            "a:\n    call bfn\n    add eax, 1\n    ret\n"
+            "bfn:\n    mov eax, 10\n    ret\n"
+        )
+        assert cpu.regs["eax"] == 11
+
+    def test_ret_with_cleanup(self):
+        cpu = run(
+            "main:\n    push 1\n    push 2\n    call fn\n    halt\n"
+            "fn:\n    mov eax, 5\n    ret 8\n"
+        )
+        assert cpu.regs["esp"] == STACK_TOP
+
+
+class TestExitConditions:
+    def test_halt_status(self):
+        assert run("    halt\n").status is ExitStatus.HALTED
+
+    def test_budget_exhaustion(self):
+        cpu = run("loop:\n    jmp loop\n", max_steps=100)
+        assert cpu.status is ExitStatus.BUDGET
+        assert cpu.steps == 100
+
+    def test_running_off_text_faults(self):
+        cpu = run("    nop\n")  # no halt
+        assert cpu.status is ExitStatus.FAULT
+
+    def test_unmapped_memory_faults(self):
+        cpu = run("    mov eax, [0x1]\n    halt\n")
+        assert cpu.status is ExitStatus.FAULT
+        assert "0x00000001" in cpu.fault_reason
+
+    def test_api_call_without_dispatcher_faults(self):
+        cpu = run("    call @GetTickCount\n    halt\n")
+        assert cpu.status is ExitStatus.FAULT
+
+
+class TestInstructionRecords:
+    def test_records_have_defs_and_uses(self):
+        cpu = run("    mov eax, 1\n    mov ebx, eax\n    halt\n")
+        records = cpu.trace.instructions
+        assert records[0].defs == (("reg", "eax"),)
+        assert ("reg", "eax") in records[1].uses
+        assert records[1].defs == (("reg", "ebx"),)
+
+    def test_records_capture_esp(self):
+        cpu = run("    push 1\n    halt\n")
+        assert cpu.trace.instructions[0].esp == STACK_TOP
+
+    def test_record_instructions_flag_disables(self):
+        cpu = CPU(assemble("    mov eax, 1\n    halt\n"), record_instructions=False)
+        cpu.run()
+        assert cpu.trace.instructions == []
+
+    def test_memory_defs_are_per_byte(self):
+        cpu = run(".section .data\nv: .space 4\n.section .text\n    mov [v], 1\n    halt\n")
+        defs = cpu.trace.instructions[0].defs
+        assert len([d for d in defs if d[0] == "mem"]) == 4

@@ -1,0 +1,130 @@
+"""Forward taint propagation tests (the Phase-I mechanism)."""
+
+import pytest
+
+from repro.taint.labels import TaintClass
+from repro.vm import CPU, assemble
+from repro.winapi import Dispatcher
+from repro.winenv import SystemEnvironment
+
+
+def run(src: str):
+    env = SystemEnvironment()
+    proc = env.spawn_process("t.exe")
+    cpu = CPU(assemble(src), environment=env, process=proc, dispatcher=Dispatcher(env, proc))
+    cpu.run()
+    return cpu
+
+
+class TestReturnValueTaint:
+    def test_api_return_tainted(self):
+        cpu = run('.section .rdata\nm: .asciz "x"\n.section .text\n'
+                  "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n    halt\n")
+        tags = cpu.reg_taint["eax"]
+        assert len(tags) == 1
+        tag = next(iter(tags))
+        assert tag.api == "OpenMutexA" and tag.klass is TaintClass.RESOURCE
+
+    def test_taint_propagates_through_mov(self):
+        cpu = run('.section .rdata\nm: .asciz "x"\n.section .text\n'
+                  "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n"
+                  "    mov ebx, eax\n    halt\n")
+        assert cpu.reg_taint["ebx"] == cpu.reg_taint["eax"]
+
+    def test_taint_propagates_through_alu(self):
+        cpu = run('.section .rdata\nm: .asciz "x"\n.section .text\n'
+                  "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n"
+                  "    add eax, 5\n    halt\n")
+        assert cpu.reg_taint["eax"]
+
+    def test_taint_propagates_through_memory(self):
+        cpu = run('.section .rdata\nm: .asciz "x"\n.section .data\nv: .space 4\n.section .text\n'
+                  "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n"
+                  "    mov [v], eax\n    mov ecx, [v]\n    halt\n")
+        assert cpu.reg_taint["ecx"]
+
+    def test_taint_propagates_through_stack(self):
+        cpu = run('.section .rdata\nm: .asciz "x"\n.section .text\n'
+                  "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n"
+                  "    push eax\n    pop edx\n    halt\n")
+        assert cpu.reg_taint["edx"]
+
+    def test_mov_imm_clears_taint(self):
+        cpu = run('.section .rdata\nm: .asciz "x"\n.section .text\n'
+                  "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n"
+                  "    mov eax, 0\n    halt\n")
+        assert not cpu.reg_taint["eax"]
+
+    def test_xor_self_clears_taint(self):
+        cpu = run('.section .rdata\nm: .asciz "x"\n.section .text\n'
+                  "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n"
+                  "    xor eax, eax\n    halt\n")
+        assert not cpu.reg_taint["eax"] and cpu.regs["eax"] == 0
+
+
+class TestTaintedPredicates:
+    MUTEX_CHECK = (
+        '.section .rdata\nm: .asciz "x"\n.section .text\n'
+        "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n"
+        "    test eax, eax\n    jz done\ndone:\n    halt\n"
+    )
+
+    def test_tainted_test_recorded(self):
+        cpu = run(self.MUTEX_CHECK)
+        assert len(cpu.trace.predicates) == 1
+        pred = cpu.trace.predicates[0]
+        assert "test" in pred.instr_text
+        assert any(t.api == "OpenMutexA" for t in pred.tags)
+
+    def test_untainted_compare_not_recorded(self):
+        cpu = run("    mov eax, 1\n    cmp eax, 2\n    halt\n")
+        assert cpu.trace.predicates == []
+
+    def test_indirect_taint_still_flagged(self):
+        cpu = run('.section .rdata\nm: .asciz "x"\n.section .data\nv: .space 4\n.section .text\n'
+                  "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n"
+                  "    mov [v], eax\n    mov ebx, [v]\n    add ebx, 0\n"
+                  "    cmp ebx, 0\n    jz d\nd:\n    halt\n")
+        assert len(cpu.trace.predicates) == 1
+
+    def test_get_last_error_taint_reaches_predicate(self):
+        cpu = run('.section .rdata\nm: .asciz "nonexistent"\n.section .text\n'
+                  "    push m\n    push 0\n    push 0\n    call @OpenMutexA\n"
+                  "    call @GetLastError\n    cmp eax, 2\n    jz d\nd:\n    halt\n")
+        assert any("cmp" in p.instr_text for p in cpu.trace.predicates)
+
+
+class TestEnvAndRandomTaint:
+    def test_computer_name_env_tainted(self):
+        cpu = run(".section .data\nb: .space 32\n.section .text\n"
+                  "    push 0\n    push b\n    call @GetComputerNameA\n"
+                  "    movb eax, [b]\n    halt\n")
+        tags = cpu.reg_taint["eax"]
+        assert any(t.klass is TaintClass.ENV_DETERMINISTIC for t in tags)
+
+    def test_tick_count_random_tainted(self):
+        cpu = run("    call @GetTickCount\n    halt\n")
+        assert any(t.klass is TaintClass.RANDOM for t in cpu.reg_taint["eax"])
+
+    def test_string_format_mixes_taint_per_byte(self):
+        cpu = run(
+            '.section .rdata\nfmt: .asciz "A%sB"\n'
+            ".section .data\nname: .space 32\nout: .space 64\n.section .text\n"
+            "    push 0\n    push name\n    call @GetComputerNameA\n"
+            "    push name\n    push fmt\n    push out\n    call @wsprintfA\n"
+            "    add esp, 12\n    halt\n"
+        )
+        text, taints = cpu.memory.read_cstring(cpu.program.labels["out"])
+        assert text == "AWORKSTATION-01B"
+        assert not taints[0] and not taints[-1]          # 'A' and 'B' static
+        assert all(taints[i] for i in range(1, len(text) - 1))
+
+    def test_strcmp_result_tainted_by_inputs(self):
+        cpu = run(
+            '.section .rdata\nexp: .asciz "val"\n'
+            ".section .data\nbuf: .space 16\n.section .text\n"
+            "    push 0\n    push buf\n    call @GetComputerNameA\n"
+            "    push exp\n    push buf\n    call @lstrcmpA\n"
+            "    cmp eax, 0\n    jz d\nd:\n    halt\n"
+        )
+        assert len(cpu.trace.predicates) == 1

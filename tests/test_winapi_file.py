@@ -1,0 +1,168 @@
+"""File API tests (guest-visible semantics per Table-I-style labels)."""
+
+import pytest
+
+from repro.winenv import IntegrityLevel, Win32Error, vaccine_acl
+
+
+class TestCreateFile:
+    def test_create_new_succeeds(self, run_asm, env):
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\new.bin"\n.section .text\n'
+            "    push 0\n    push 0\n    push 1\n    push 0\n    push 0\n"
+            "    push 0x40000000\n    push p\n    call @CreateFileA\n    halt\n"
+        )
+        assert cpu.regs["eax"] >= 0x100
+        assert env.filesystem.exists("c:\\new.bin")
+
+    def test_create_new_existing_fails_with_file_exists(self, run_asm, env):
+        env.filesystem.create("c:\\dup.bin", IntegrityLevel.MEDIUM)
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\dup.bin"\n.section .text\n'
+            "    push 0\n    push 0\n    push 1\n    push 0\n    push 0\n"
+            "    push 0x40000000\n    push p\n    call @CreateFileA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0xFFFFFFFF
+        assert cpu.process.last_error == int(Win32Error.FILE_EXISTS)
+
+    def test_open_existing_missing_fails(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\ghost"\n.section .text\n'
+            "    push 0\n    push 0\n    push 3\n    push 0\n    push 0\n"
+            "    push 0x80000000\n    push p\n    call @CreateFileA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0xFFFFFFFF
+        assert cpu.process.last_error == int(Win32Error.FILE_NOT_FOUND)
+
+    def test_operation_refined_by_disposition(self, run_asm, env):
+        env.filesystem.create("c:\\r.txt", IntegrityLevel.MEDIUM)
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\r.txt"\n.section .text\n'
+            "    push 0\n    push 0\n    push 3\n    push 0\n    push 0\n"
+            "    push 0x80000000\n    push p\n    call @CreateFileA\n    halt\n"
+        )
+        from repro.winenv import Operation
+
+        event = cpu.trace.api_calls[0]
+        assert event.operation is Operation.READ
+
+    def test_locked_vaccine_file_blocks_low_writer(self, run_asm, env):
+        env.filesystem.create("c:\\vac.exe", IntegrityLevel.SYSTEM, acl=vaccine_acl())
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\vac.exe"\n.section .text\n'
+            "    push 0\n    push 0\n    push 2\n    push 0\n    push 0\n"
+            "    push 0x40000000\n    push p\n    call @CreateFileA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0xFFFFFFFF
+        assert cpu.process.last_error == int(Win32Error.ACCESS_DENIED)
+
+
+class TestReadWrite:
+    DROP_AND_READ = (
+        '.section .rdata\np: .asciz "c:\\\\f.bin"\nmsg: .asciz "HELLO"\n'
+        ".section .data\nh: .dword 0\nbuf: .space 16\nn: .space 4\n.section .text\n"
+        "    push 0\n    push 0\n    push 1\n    push 0\n    push 0\n"
+        "    push 0x40000000\n    push p\n    call @CreateFileA\n"
+        "    mov [h], eax\n"
+        "    push 0\n    push n\n    push 5\n    push msg\n    push [h]\n    call @WriteFile\n"
+        "    push [h]\n    call @CloseHandle\n"
+    )
+
+    def test_write_persists_to_filesystem(self, run_asm, env):
+        run_asm(self.DROP_AND_READ + "    halt\n")
+        assert env.filesystem.read("c:\\f.bin", IntegrityLevel.MEDIUM) == b"HELLO"
+
+    def test_read_file_returns_content_tainted(self, run_asm, env):
+        env.filesystem.create("c:\\in.txt", IntegrityLevel.MEDIUM, content=b"DATA")
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\in.txt"\n'
+            ".section .data\nh: .dword 0\nbuf: .space 16\nn: .space 4\n.section .text\n"
+            "    push 0\n    push 0\n    push 3\n    push 0\n    push 0\n"
+            "    push 0x80000000\n    push p\n    call @CreateFileA\n"
+            "    mov [h], eax\n"
+            "    push 0\n    push n\n    push 4\n    push buf\n    push [h]\n    call @ReadFile\n"
+            "    halt\n"
+        )
+        text, taints = cpu.memory.read_cstring(cpu.program.labels["buf"])
+        assert text == "DATA"
+        assert all(taints)  # file content is resource-tainted
+
+    def test_read_file_identifier_resolved_through_handle(self, run_asm, env):
+        env.filesystem.create("c:\\in.txt", IntegrityLevel.MEDIUM, content=b"x")
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\in.txt"\n'
+            ".section .data\nh: .dword 0\nbuf: .space 8\n.section .text\n"
+            "    push 0\n    push 0\n    push 3\n    push 0\n    push 0\n"
+            "    push 0x80000000\n    push p\n    call @CreateFileA\n"
+            "    mov [h], eax\n"
+            "    push 0\n    push 0\n    push 1\n    push buf\n    push [h]\n    call @ReadFile\n"
+            "    halt\n"
+        )
+        read_event = cpu.trace.events_for_api("ReadFile")[0]
+        assert read_event.identifier == "c:\\in.txt"
+        assert read_event.extra["origin_event"] == cpu.trace.events_for_api("CreateFileA")[0].event_id
+
+
+class TestFileChecks:
+    def test_get_file_attributes_missing(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\none"\n.section .text\n'
+            "    push p\n    call @GetFileAttributesA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0xFFFFFFFF
+
+    def test_get_file_attributes_directory_bit(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "%system32%"\n.section .text\n'
+            "    push p\n    call @GetFileAttributesA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0x10
+
+    def test_delete_file(self, run_asm, env):
+        env.filesystem.create("c:\\del.me", IntegrityLevel.MEDIUM)
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\del.me"\n.section .text\n'
+            "    push p\n    call @DeleteFileA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 1
+        assert not env.filesystem.exists("c:\\del.me")
+
+    def test_copy_file_fail_if_exists(self, run_asm, env):
+        env.filesystem.create("c:\\src", IntegrityLevel.MEDIUM, content=b"s")
+        env.filesystem.create("c:\\dst", IntegrityLevel.MEDIUM)
+        cpu = run_asm(
+            '.section .rdata\ns: .asciz "c:\\\\src"\nd: .asciz "c:\\\\dst"\n.section .text\n'
+            "    push 1\n    push d\n    push s\n    call @CopyFileA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+
+    def test_find_first_file_wildcard(self, run_asm, env):
+        env.filesystem.create("c:\\probe_x.dat", IntegrityLevel.MEDIUM)
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\probe_*.dat"\n'
+            ".section .data\nfd: .space 32\n.section .text\n"
+            "    push fd\n    push p\n    call @FindFirstFileA\n    halt\n"
+        )
+        assert cpu.regs["eax"] >= 0x100
+
+    def test_get_temp_file_name_is_random_tainted(self, run_asm, env):
+        from repro.taint.labels import TaintClass
+
+        cpu = run_asm(
+            '.section .rdata\npre: .asciz "ab"\n.section .data\nout: .space 64\n.section .text\n'
+            "    push out\n    push 0\n    push pre\n    push 0\n    call @GetTempFileNameA\n    halt\n"
+        )
+        text, taints = cpu.memory.read_cstring(cpu.program.labels["out"])
+        assert text.startswith("c:\\windows\\temp\\ab")
+        assert all(any(t.klass is TaintClass.RANDOM for t in ts) for ts in taints)
+        assert env.filesystem.exists(text)
+
+    def test_close_handle(self, run_asm, env):
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\ch.bin"\n.section .text\n'
+            "    push 0\n    push 0\n    push 1\n    push 0\n    push 0\n"
+            "    push 0x40000000\n    push p\n    call @CreateFileA\n"
+            "    push eax\n    call @CloseHandle\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 1
+        assert len(cpu.process.handles) == 0

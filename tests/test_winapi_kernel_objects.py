@@ -1,0 +1,170 @@
+"""Tests for named kernel objects, pipes, enumeration, and wide variants."""
+
+import pytest
+
+from repro.winapi import REGISTRY, hooked_api_count, lookup
+from repro.winenv import IntegrityLevel, Win32Error
+
+MED = IntegrityLevel.MEDIUM
+
+
+class TestNamedObjects:
+    def test_semaphore_create_and_open(self, run_asm, env):
+        cpu = run_asm(
+            '.section .rdata\nn: .asciz "SemMarker"\n.section .text\n'
+            "    push n\n    push 1\n    push 1\n    push 0\n    call @CreateSemaphoreA\n"
+            "    push n\n    push 0\n    push 0x1F0003\n    call @OpenSemaphoreA\n    halt\n"
+        )
+        assert all(e.success for e in cpu.trace.api_calls)
+        assert env.mutexes.exists("SemMarker")
+
+    def test_open_missing_semaphore_fails(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nn: .asciz "NoSem"\n.section .text\n'
+            "    push n\n    push 0\n    push 0x1F0003\n    call @OpenSemaphoreA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+
+    def test_file_mapping_already_exists(self, run_asm, env):
+        env.mutexes.create("ShmMarker", MED)
+        cpu = run_asm(
+            '.section .rdata\nn: .asciz "ShmMarker"\n.section .text\n'
+            "    push n\n    push 0\n    push 0\n    push 4\n    push 0\n    push 0\n"
+            "    call @CreateFileMappingA\n    halt\n"
+        )
+        assert cpu.regs["eax"] >= 0x100
+        assert cpu.process.last_error == int(Win32Error.ALREADY_EXISTS)
+
+    def test_atom_roundtrip(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nn: .asciz "AtomMarker"\n.section .text\n'
+            "    push n\n    call @GlobalAddAtomA\n    mov ebx, eax\n"
+            "    push n\n    call @GlobalFindAtomA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == cpu.regs["ebx"] >= 0xC000
+
+    def test_find_missing_atom_tainted_predicate(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nn: .asciz "NoAtom"\n.section .text\n'
+            "    push n\n    call @GlobalFindAtomA\n"
+            "    test eax, eax\n    jz d\nd:\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+        assert len(cpu.trace.predicates) == 1
+
+
+class TestNamedPipes:
+    CREATE = (
+        '.section .rdata\np: .asciz "\\\\\\\\.\\\\pipe\\\\_avira_2109"\n.section .text\n'
+        "    push 1\n    push 0\n    push 3\n    push p\n    call @CreateNamedPipeA\n    halt\n"
+    )
+
+    def test_create_pipe_in_file_namespace(self, run_asm, env):
+        cpu = run_asm(self.CREATE)
+        assert cpu.regs["eax"] >= 0x100
+        assert env.filesystem.exists("\\\\.\\pipe\\_avira_2109")
+
+    def test_pipe_event_labelled_file(self, run_asm):
+        from repro.winenv import ResourceType
+
+        cpu = run_asm(self.CREATE)
+        event = cpu.trace.api_calls[0]
+        assert event.resource_type is ResourceType.FILE
+        assert event.identifier.lower().startswith("\\\\.\\pipe\\")
+
+    def test_wait_named_pipe_probe(self, run_asm, env):
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "\\\\\\\\.\\\\pipe\\\\nothere"\n.section .text\n'
+            "    push 100\n    push p\n    call @WaitNamedPipeA\n"
+            "    test eax, eax\n    jz d\nd:\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+        assert len(cpu.trace.predicates) == 1
+
+    def test_non_pipe_path_rejected(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\notapipe"\n.section .text\n'
+            "    push 1\n    push 0\n    push 3\n    push p\n    call @CreateNamedPipeA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0xFFFFFFFF
+
+
+class TestEnumeration:
+    def test_toolhelp_walk_finds_explorer(self, run_asm):
+        cpu = run_asm(
+            ".section .data\nsnap: .dword 0\nentry: .space 64\n.section .text\n"
+            "    push 0\n    push 2\n    call @CreateToolhelp32Snapshot\n"
+            "    mov [snap], eax\n"
+            "    push entry\n    push [snap]\n    call @Process32First\n"
+            "loop:\n"
+            "    push entry\n    push [snap]\n    call @Process32Next\n"
+            "    test eax, eax\n    jnz loop\n    halt\n"
+        )
+        names = {e.extra.get("process_name") for e in cpu.trace.api_calls
+                 if e.api.startswith("Process32")}
+        assert "explorer.exe" in names
+
+    def test_reg_enum_values(self, run_asm, env):
+        env.registry.create_key("hklm\\software\\en", MED)
+        env.registry.set_value("hklm\\software\\en", "alpha", "1", MED)
+        cpu = run_asm(
+            '.section .rdata\nk: .asciz "software\\\\en"\n'
+            ".section .data\nh: .dword 0\nname: .space 32\n.section .text\n"
+            "    push h\n    push 0xF003F\n    push 0\n    push k\n    push 0x80000002\n"
+            "    call @RegOpenKeyExA\n"
+            "    push 32\n    push name\n    push 0\n    push [h]\n    call @RegEnumValueA\n"
+            "    halt\n"
+        )
+        text, taints = cpu.memory.read_cstring(cpu.program.labels["name"])
+        assert text == "alpha" and all(taints)
+
+    def test_reg_enum_key_exhaustion(self, run_asm, env):
+        env.registry.create_key("hklm\\software\\p2", MED)
+        cpu = run_asm(
+            '.section .rdata\nk: .asciz "software\\\\p2"\n'
+            ".section .data\nh: .dword 0\nname: .space 32\n.section .text\n"
+            "    push h\n    push 0xF003F\n    push 0\n    push k\n    push 0x80000002\n"
+            "    call @RegOpenKeyExA\n"
+            "    push 32\n    push name\n    push 0\n    push [h]\n    call @RegEnumKeyExA\n"
+            "    halt\n"
+        )
+        assert cpu.regs["eax"] == int(Win32Error.NO_MORE_ITEMS)
+
+    def test_winexec_spawns_child(self, run_asm, env):
+        env.filesystem.create("c:\\tool.exe", MED, content=b"MZ")
+        cpu = run_asm(
+            '.section .rdata\nc: .asciz "c:\\\\tool.exe"\n.section .text\n'
+            "    push 1\n    push c\n    call @WinExec\n    halt\n"
+        )
+        assert cpu.regs["eax"] >= 32
+        assert env.processes.find_by_name("tool.exe") is not None
+
+
+class TestWideVariants:
+    def test_wide_aliases_share_labels(self):
+        a, w = lookup("OpenMutexA"), lookup("OpenMutexW")
+        assert w.identifier_arg == a.identifier_arg
+        assert w.failure == a.failure
+        assert w.name == "OpenMutexW"
+
+    def test_wide_call_executes(self, run_asm, env):
+        env.mutexes.create("WideMtx", MED)
+        cpu = run_asm(
+            '.section .rdata\nm: .asciz "WideMtx"\n.section .text\n'
+            "    push m\n    push 0\n    push 0x1F0001\n    call @OpenMutexW\n    halt\n"
+        )
+        assert cpu.regs["eax"] >= 0x100
+
+    def test_hooked_count_matches_paper_scale(self):
+        """Paper hooks 89 resource-related calls; we label 85-95."""
+        assert 85 <= hooked_api_count() <= 95
+
+    def test_wide_and_ansi_distinct_alignment_keys(self, run_asm, env):
+        env.mutexes.create("M", MED)
+        cpu = run_asm(
+            '.section .rdata\nm: .asciz "M"\n.section .text\n'
+            "    push m\n    push 0\n    push 0x1F0001\n    call @OpenMutexA\n"
+            "    push m\n    push 0\n    push 0x1F0001\n    call @OpenMutexW\n    halt\n"
+        )
+        keys = {e.context_key() for e in cpu.trace.api_calls}
+        assert len(keys) == 2

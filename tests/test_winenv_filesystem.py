@@ -1,0 +1,150 @@
+"""Filesystem substrate tests."""
+
+import pytest
+
+from repro.winenv import (
+    Acl,
+    Access,
+    FileSystem,
+    IntegrityLevel,
+    ResourceFault,
+    SYSTEM32,
+    Win32Error,
+    normalize_path,
+    vaccine_acl,
+)
+from repro.winenv.filesystem import basename, dirname, expand_path
+
+MED = IntegrityLevel.MEDIUM
+LOW = IntegrityLevel.LOW
+SYS = IntegrityLevel.SYSTEM
+
+
+class TestPathNormalization:
+    def test_lowercases_and_backslashes(self):
+        assert normalize_path("C:/Windows/System32") == "c:\\windows\\system32"
+
+    def test_expands_system32_macro(self):
+        assert normalize_path("%system32%\\evil.exe") == "c:\\windows\\system32\\evil.exe"
+
+    def test_expands_temp_macro(self):
+        assert normalize_path("%temp%\\a.tmp") == "c:\\windows\\temp\\a.tmp"
+
+    def test_collapses_double_backslashes(self):
+        assert normalize_path("c:\\\\a\\\\b") == "c:\\a\\b"
+
+    def test_expand_path_case_insensitive(self):
+        assert "system32" in expand_path("%SYSTEM32%\\x")
+
+    def test_dirname_basename(self):
+        assert dirname("c:\\a\\b.exe") == "c:\\a"
+        assert basename("c:\\a\\b.exe") == "b.exe"
+
+
+class TestFileSystem:
+    def test_standard_layout_seeded(self):
+        fs = FileSystem()
+        assert fs.exists(SYSTEM32)
+        assert fs.exists("c:\\windows\\system.ini")
+
+    def test_create_and_read(self):
+        fs = FileSystem()
+        fs.create("c:\\x\\y.exe", MED, content=b"abc")
+        assert fs.read("c:\\x\\y.exe", MED) == b"abc"
+
+    def test_create_existing_raises_file_exists(self):
+        fs = FileSystem()
+        fs.create("c:\\m.dat", MED)
+        with pytest.raises(ResourceFault) as exc:
+            fs.create("c:\\m.dat", MED)
+        assert exc.value.error is Win32Error.FILE_EXISTS
+
+    def test_create_exist_ok_overwrites(self):
+        fs = FileSystem()
+        fs.create("c:\\m.dat", MED, content=b"old")
+        fs.create("c:\\m.dat", MED, content=b"new", exist_ok=True)
+        assert fs.read("c:\\m.dat", MED) == b"new"
+
+    def test_read_missing_raises_not_found(self):
+        fs = FileSystem()
+        with pytest.raises(ResourceFault) as exc:
+            fs.read("c:\\nope", MED)
+        assert exc.value.error is Win32Error.FILE_NOT_FOUND
+
+    def test_write_appends_by_default(self):
+        fs = FileSystem()
+        fs.create("c:\\log", MED, content=b"ab")
+        fs.write("c:\\log", MED, b"cd")
+        assert fs.read("c:\\log", MED) == b"abcd"
+
+    def test_write_at_offset_extends(self):
+        fs = FileSystem()
+        fs.create("c:\\f", MED)
+        fs.write("c:\\f", MED, b"xy", offset=3)
+        assert fs.read("c:\\f", MED) == b"\x00\x00\x00xy"
+
+    def test_delete(self):
+        fs = FileSystem()
+        fs.create("c:\\d", MED)
+        fs.delete("c:\\d", MED)
+        assert not fs.exists("c:\\d")
+
+    def test_read_with_offset_and_size(self):
+        fs = FileSystem()
+        fs.create("c:\\f", MED, content=b"0123456789")
+        assert fs.read("c:\\f", MED, offset=2, size=3) == b"234"
+
+    def test_listdir(self):
+        fs = FileSystem()
+        fs.create("c:\\dir\\a", MED)
+        fs.create("c:\\dir\\b", MED)
+        fs.create("c:\\dir\\sub\\c", MED)
+        assert fs.listdir("c:\\dir") == ["c:\\dir\\a", "c:\\dir\\b"]
+
+
+class TestFileAcls:
+    def test_vaccine_file_cannot_be_deleted_by_low(self):
+        fs = FileSystem()
+        fs.create("c:\\vac", SYS, acl=vaccine_acl())
+        with pytest.raises(ResourceFault) as exc:
+            fs.delete("c:\\vac", LOW)
+        assert exc.value.error is Win32Error.ACCESS_DENIED
+
+    def test_vaccine_file_cannot_be_overwritten_by_low(self):
+        fs = FileSystem()
+        fs.create("c:\\vac", SYS, acl=vaccine_acl())
+        with pytest.raises(ResourceFault):
+            fs.create("c:\\vac", LOW, exist_ok=True)
+
+    def test_vaccine_file_readable_by_low(self):
+        fs = FileSystem()
+        fs.create("c:\\vac", SYS, content=b"v", acl=vaccine_acl())
+        assert fs.read("c:\\vac", LOW) == b"v"
+
+    def test_system_can_always_write(self):
+        fs = FileSystem()
+        fs.create("c:\\vac", SYS, acl=vaccine_acl())
+        fs.write("c:\\vac", SYS, b"ok")
+
+    def test_no_access_acl_blocks_read(self):
+        fs = FileSystem()
+        locked = Acl(owner_level=SYS, everyone=frozenset())
+        fs.create("c:\\locked", SYS, acl=locked)
+        with pytest.raises(ResourceFault):
+            fs.read("c:\\locked", MED)
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        fs = FileSystem()
+        fs.create("c:\\orig", MED, content=b"1")
+        clone = fs.clone()
+        clone.write("c:\\orig", MED, b"2")
+        assert fs.read("c:\\orig", MED) == b"1"
+
+    def test_clone_preserves_acl(self):
+        fs = FileSystem()
+        fs.create("c:\\vac", SYS, acl=vaccine_acl())
+        clone = fs.clone()
+        with pytest.raises(ResourceFault):
+            clone.delete("c:\\vac", LOW)

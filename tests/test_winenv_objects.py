@@ -1,0 +1,281 @@
+"""Tests for resource base classes, handles, mutexes, processes, services,
+windows, libraries, network, ACLs, and the environment container."""
+
+import pytest
+
+from repro.winenv import (
+    Access,
+    Acl,
+    HandleKind,
+    HandleTable,
+    IntegrityLevel,
+    LibraryManager,
+    MachineIdentity,
+    MutexNamespace,
+    Network,
+    ProcessTable,
+    ResourceFault,
+    ServiceManager,
+    ServiceState,
+    SystemEnvironment,
+    Win32Error,
+    WindowManager,
+    open_acl,
+    vaccine_acl,
+)
+
+LOW = IntegrityLevel.LOW
+MED = IntegrityLevel.MEDIUM
+SYS = IntegrityLevel.SYSTEM
+
+
+class TestAcl:
+    def test_owner_level_grants_everything(self):
+        acl = vaccine_acl()
+        assert acl.allows(SYS, Access.DELETE)
+
+    def test_vaccine_acl_read_only_below_owner(self):
+        acl = vaccine_acl()
+        assert acl.allows(LOW, Access.READ)
+        assert not acl.allows(LOW, Access.WRITE)
+        assert not acl.allows(MED, Access.DELETE)
+
+    def test_open_acl_allows_all(self):
+        acl = open_acl()
+        for access in Access:
+            assert acl.allows(LOW, access)
+
+    def test_check_raises_access_denied(self):
+        with pytest.raises(ResourceFault) as exc:
+            vaccine_acl().check(LOW, Access.WRITE)
+        assert exc.value.error is Win32Error.ACCESS_DENIED
+
+
+class TestHandleTable:
+    def test_values_start_above_boolean_encodings(self):
+        table = HandleTable()
+        handle = table.allocate(HandleKind.MUTEX, None)
+        assert handle.value >= 0x100
+
+    def test_values_unique(self):
+        table = HandleTable()
+        values = {table.allocate(HandleKind.FILE, None).value for _ in range(50)}
+        assert len(values) == 50
+
+    def test_close_removes(self):
+        table = HandleTable()
+        handle = table.allocate(HandleKind.FILE, None)
+        assert table.close(handle.value)
+        assert table.get(handle.value) is None
+        assert not table.close(handle.value)
+
+
+class TestMutexNamespace:
+    def test_create_reports_already_existed(self):
+        ns = MutexNamespace()
+        _, existed1 = ns.create("m", MED)
+        _, existed2 = ns.create("m", MED)
+        assert (existed1, existed2) == (False, True)
+
+    def test_open_missing_raises_0x02(self):
+        ns = MutexNamespace()
+        with pytest.raises(ResourceFault) as exc:
+            ns.open("ghost")
+        assert exc.value.error is Win32Error.FILE_NOT_FOUND
+
+    def test_names_case_sensitive(self):
+        ns = MutexNamespace()
+        ns.create("Mutex", MED)
+        with pytest.raises(ResourceFault):
+            ns.open("mutex")
+
+    def test_clone_independent(self):
+        ns = MutexNamespace()
+        ns.create("a", MED)
+        clone = ns.clone()
+        clone.create("b", MED)
+        assert not ns.exists("b") and clone.exists("a")
+
+
+class TestProcessTable:
+    def test_standard_processes_present(self):
+        table = ProcessTable()
+        assert table.find_by_name("explorer.exe") is not None
+        assert table.find_by_name("svchost.exe") is not None
+
+    def test_spawn_assigns_unique_pids(self):
+        table = ProcessTable()
+        a, b = table.spawn("a.exe"), table.spawn("b.exe")
+        assert a.pid != b.pid
+
+    def test_open_dead_process_fails(self):
+        table = ProcessTable()
+        proc = table.spawn("x.exe")
+        proc.terminate(1)
+        with pytest.raises(ResourceFault):
+            table.open(proc.pid)
+
+    def test_was_injected_flag(self):
+        from repro.winenv.processes import RemoteWrite
+
+        table = ProcessTable()
+        target = table.find_by_name("explorer.exe")
+        assert not target.was_injected
+        target.remote_writes.append(RemoteWrite(writer_pid=1, size=64))
+        assert target.was_injected
+
+
+class TestServiceManager:
+    def test_create_and_start(self):
+        scm = ServiceManager()
+        scm.create("svc", "c:\\bin.exe", MED)
+        svc = scm.start("svc", MED)
+        assert svc.state is ServiceState.RUNNING
+
+    def test_duplicate_create_raises(self):
+        scm = ServiceManager()
+        scm.create("svc", "c:\\x", MED)
+        with pytest.raises(ResourceFault) as exc:
+            scm.create("svc", "c:\\y", MED)
+        assert exc.value.error is Win32Error.SERVICE_EXISTS
+
+    def test_low_integrity_cannot_create(self):
+        scm = ServiceManager()
+        with pytest.raises(ResourceFault):
+            scm.create("svc", "c:\\x", LOW)
+
+    def test_kernel_driver_detection(self):
+        scm = ServiceManager()
+        svc = scm.create("drv", "c:\\windows\\system32\\drivers\\k.sys", MED)
+        assert svc.is_kernel_driver
+        assert not scm.create("app", "c:\\app.exe", MED).is_kernel_driver
+
+    def test_start_running_raises(self):
+        scm = ServiceManager()
+        scm.create("s", "c:\\x", MED)
+        scm.start("s", MED)
+        with pytest.raises(ResourceFault) as exc:
+            scm.start("s", MED)
+        assert exc.value.error is Win32Error.SERVICE_ALREADY_RUNNING
+
+    def test_missing_service(self):
+        scm = ServiceManager()
+        with pytest.raises(ResourceFault) as exc:
+            scm.open("ghost")
+        assert exc.value.error is Win32Error.SERVICE_DOES_NOT_EXIST
+
+
+class TestWindowManager:
+    def test_standard_shell_windows(self):
+        wm = WindowManager()
+        assert wm.exists("Shell_TrayWnd") and wm.exists("Progman")
+
+    def test_find_missing_raises(self):
+        wm = WindowManager()
+        with pytest.raises(ResourceFault):
+            wm.find("NopeWnd")
+
+    def test_create_locked_class_denied_for_low(self):
+        wm = WindowManager()
+        wm.register("AdWnd", acl=vaccine_acl())
+        with pytest.raises(ResourceFault):
+            wm.create("AdWnd", LOW)
+
+
+class TestLibraryManager:
+    def test_standard_libraries_loadable(self):
+        lm = LibraryManager()
+        assert lm.load("uxtheme.dll", LOW).name == "uxtheme.dll"
+
+    def test_names_case_insensitive(self):
+        lm = LibraryManager()
+        assert lm.load("UXTHEME.DLL", LOW).name == "uxtheme.dll"
+
+    def test_blocked_library_fails_to_load(self):
+        lm = LibraryManager()
+        lm.block("uxtheme.dll")
+        with pytest.raises(ResourceFault):
+            lm.load("uxtheme.dll", LOW)
+
+    def test_block_unknown_registers_then_blocks(self):
+        lm = LibraryManager()
+        lm.block("evil.dll")
+        with pytest.raises(ResourceFault):
+            lm.load("evil.dll", LOW)
+
+
+class TestNetwork:
+    def test_resolve_known_host(self):
+        net = Network()
+        assert net.resolve("cc.badguy-domain.biz") == "10.6.6.6"
+
+    def test_resolve_unknown_fails(self):
+        net = Network()
+        with pytest.raises(ResourceFault):
+            net.resolve("nowhere.example")
+
+    def test_send_recv_accounting(self):
+        net = Network()
+        conn = net.connect(1, "cc.badguy-domain.biz", 80)
+        net.send(1, conn.conn_id, b"hello")
+        data = net.recv(1, conn.conn_id, 10)
+        assert data.startswith(b"HTTP/1.1")
+        assert net.bytes_sent_by(1) == 5
+
+    def test_blackhole_blocks_connect(self):
+        net = Network()
+        net.blackhole = True
+        with pytest.raises(ResourceFault):
+            net.connect(1, "cc.badguy-domain.biz", 80)
+
+    def test_connect_by_ip_allowed(self):
+        net = Network()
+        assert net.connect(1, "10.1.2.3", 443).port == 443
+
+    def test_closed_connection_rejects_send(self):
+        net = Network()
+        conn = net.connect(1, "cc.badguy-domain.biz", 80)
+        net.close(conn.conn_id)
+        with pytest.raises(ResourceFault):
+            net.send(1, conn.conn_id, b"x")
+
+
+class TestSystemEnvironment:
+    def test_tick_count_monotonic(self):
+        env = SystemEnvironment()
+        a, b = env.tick_count(), env.tick_count()
+        assert b > a
+
+    def test_same_seed_same_stream(self):
+        a = SystemEnvironment(rng_seed=1)
+        b = SystemEnvironment(rng_seed=1)
+        assert [a.tick_count() for _ in range(5)] == [b.tick_count() for _ in range(5)]
+
+    def test_different_seed_different_stream(self):
+        a = SystemEnvironment(rng_seed=1)
+        b = SystemEnvironment(rng_seed=2)
+        assert [a.tick_count() for _ in range(5)] != [b.tick_count() for _ in range(5)]
+
+    def test_clone_resets_rng(self):
+        env = SystemEnvironment(rng_seed=9)
+        first = env.tick_count()
+        clone = env.clone()
+        assert clone.tick_count() == SystemEnvironment(rng_seed=9).tick_count() == first
+
+    def test_clone_deep_copies_namespaces(self):
+        env = SystemEnvironment()
+        clone = env.clone()
+        clone.mutexes.create("only-clone", MED)
+        assert not env.mutexes.exists("only-clone")
+
+    def test_identity_propagates(self):
+        env = SystemEnvironment(identity=MachineIdentity(computer_name="BOX-9"))
+        assert env.identity.computer_name == "BOX-9"
+
+    def test_spawn_process_default_low_integrity(self):
+        env = SystemEnvironment()
+        assert env.spawn_process("m.exe").integrity is LOW
+
+    def test_temp_file_name_under_temp(self):
+        env = SystemEnvironment()
+        assert env.temp_file_name().startswith("c:\\windows\\temp\\")

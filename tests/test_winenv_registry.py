@@ -1,0 +1,114 @@
+"""Registry substrate tests."""
+
+import pytest
+
+from repro.winenv import (
+    IntegrityLevel,
+    Registry,
+    ResourceFault,
+    RUN_KEY_HKLM,
+    Win32Error,
+    WINLOGON_KEY,
+    is_persistence_key,
+    normalize_key,
+    vaccine_acl,
+)
+
+MED = IntegrityLevel.MEDIUM
+LOW = IntegrityLevel.LOW
+SYS = IntegrityLevel.SYSTEM
+
+
+class TestKeyNormalization:
+    def test_hive_alias_long_form(self):
+        assert normalize_key("HKEY_LOCAL_MACHINE\\Software\\X") == "hklm\\software\\x"
+
+    def test_hive_alias_short_form(self):
+        assert normalize_key("hkcu\\A") == "hkcu\\a"
+
+    def test_forward_slashes(self):
+        assert normalize_key("hklm/software/y") == "hklm\\software\\y"
+
+    def test_persistence_detection_run_key(self):
+        assert is_persistence_key(RUN_KEY_HKLM)
+        assert is_persistence_key(RUN_KEY_HKLM + "\\whatever")
+
+    def test_persistence_detection_winlogon(self):
+        assert is_persistence_key(WINLOGON_KEY)
+
+    def test_non_persistence_key(self):
+        assert not is_persistence_key("hklm\\software\\randomvendor")
+
+
+class TestRegistry:
+    def test_standard_keys_seeded(self):
+        reg = Registry()
+        assert reg.exists(RUN_KEY_HKLM)
+        assert reg.query_value(WINLOGON_KEY, "shell", MED) == "explorer.exe"
+
+    def test_create_and_set_value(self):
+        reg = Registry()
+        reg.create_key("hklm\\software\\acme", MED)
+        reg.set_value("hklm\\software\\acme", "installed", 1, MED)
+        assert reg.query_value("hklm\\software\\acme", "installed", MED) == 1
+
+    def test_value_names_case_insensitive(self):
+        reg = Registry()
+        reg.create_key("hklm\\software\\a", MED)
+        reg.set_value("hklm\\software\\a", "Name", "v", MED)
+        assert reg.query_value("hklm\\software\\a", "NAME", MED) == "v"
+
+    def test_query_missing_value_raises(self):
+        reg = Registry()
+        with pytest.raises(ResourceFault) as exc:
+            reg.query_value(RUN_KEY_HKLM, "ghost", MED)
+        assert exc.value.error is Win32Error.FILE_NOT_FOUND
+
+    def test_missing_key_raises(self):
+        reg = Registry()
+        with pytest.raises(ResourceFault):
+            reg.query_value("hklm\\software\\none", "x", MED)
+
+    def test_delete_value(self):
+        reg = Registry()
+        reg.create_key("hklm\\k", MED)
+        reg.set_value("hklm\\k", "v", "1", MED)
+        reg.delete_value("hklm\\k", "v", MED)
+        with pytest.raises(ResourceFault):
+            reg.query_value("hklm\\k", "v", MED)
+
+    def test_delete_key(self):
+        reg = Registry()
+        reg.create_key("hklm\\gone", MED)
+        reg.delete_key("hklm\\gone", MED)
+        assert not reg.exists("hklm\\gone")
+
+    def test_create_exist_ok_false_raises(self):
+        reg = Registry()
+        reg.create_key("hklm\\x", MED)
+        with pytest.raises(ResourceFault) as exc:
+            reg.create_key("hklm\\x", MED, exist_ok=False)
+        assert exc.value.error is Win32Error.ALREADY_EXISTS
+
+    def test_subkeys(self):
+        reg = Registry()
+        reg.create_key("hklm\\p\\a", MED)
+        reg.create_key("hklm\\p\\b", MED)
+        reg.create_key("hklm\\p\\a\\deep", MED)
+        assert reg.subkeys("hklm\\p") == ["hklm\\p\\a", "hklm\\p\\b"]
+
+    def test_locked_key_blocks_low_write(self):
+        reg = Registry()
+        key = reg.create_key("hklm\\vaccine", SYS)
+        key.acl = vaccine_acl()
+        with pytest.raises(ResourceFault) as exc:
+            reg.set_value("hklm\\vaccine", "x", 1, LOW)
+        assert exc.value.error is Win32Error.ACCESS_DENIED
+
+    def test_clone_independent(self):
+        reg = Registry()
+        reg.create_key("hklm\\c", MED)
+        reg.set_value("hklm\\c", "v", 1, MED)
+        clone = reg.clone()
+        clone.set_value("hklm\\c", "v", 2, MED)
+        assert reg.query_value("hklm\\c", "v", MED) == 1
