@@ -13,7 +13,7 @@ import time
 
 import pytest
 
-from repro import AutoVac, SystemEnvironment, VaccinePackage, deploy
+from repro import AutoVac, SystemEnvironment, VaccinePackage, deploy, obs
 from repro.core import run_sample, select_candidates
 from repro.core.determinism import analyze_determinism
 from repro.corpus import benign_suite, build_family
@@ -21,14 +21,26 @@ from repro.delivery import DirectInjector
 from repro.taint.backward import backward_slice
 from repro.taint.replay import replay_slice
 
-from benchutil import write_artifact
+from benchutil import min_wall_seconds, write_artifact
 
 
 @pytest.mark.benchmark(group="perf-generation")
 def test_perf_full_pipeline_per_sample(benchmark):
-    """Vaccine generation is a one-time analysis cost (paper: ~789 s)."""
+    """Vaccine generation is a one-time analysis cost (paper: ~789 s).
+
+    The per-phase breakdown is pulled from the pipeline's own span tree
+    (``repro.obs``) instead of re-timing each phase here."""
     result = benchmark(lambda: AutoVac().analyze(build_family("zeus")))
     assert result.vaccines
+    breakdown = "".join(
+        f"{phase:>14s}: {seconds * 1000:8.2f} ms\n"
+        for phase, seconds in result.timings.items()
+    )
+    write_artifact(
+        "perf_phases.txt",
+        "Per-phase wall time for one zeus analysis (span-derived, §VI-F)\n"
+        + breakdown,
+    )
 
 
 @pytest.mark.benchmark(group="perf-generation")
@@ -87,33 +99,106 @@ def test_perf_slice_replay(benchmark, family_analyses):
 
 def test_perf_daemon_hook_overhead(family_analyses, benign_programs):
     """Daemon interception overhead on benign workloads (paper: <4.5% for
-    119 partial-static vaccines; hooking cost dominates and stays stable)."""
+    119 partial-static vaccines).
+
+    The hook cost comes from the daemon's own accounting (time spent inside
+    ``intercept``, published through ``repro.obs``) rather than subtracting
+    two noisy wall-clock measurements of the whole workload."""
     from repro.core import DeliveryKind
 
     vaccines = [v for _, a in family_analyses.values() for v in a.vaccines
                 if v.delivery is DeliveryKind.DAEMON]
-    clean_env = SystemEnvironment()
     vaccinated = SystemEnvironment()
-    deploy(VaccinePackage(vaccines=vaccines), vaccinated)
+    deployment = deploy(VaccinePackage(vaccines=vaccines), vaccinated)
+    daemon = deployment.daemon
+    assert daemon is not None
 
-    def workload(env):
+    def workload():
         started = time.perf_counter()
         for _ in range(8):
             for program in benign_programs:
-                run_sample(program, environment=env, record_instructions=False)
+                run_sample(program, environment=vaccinated,
+                           record_instructions=False)
         return time.perf_counter() - started
 
-    workload(clean_env)  # warm-up
-    base = min(workload(clean_env) for _ in range(3))
-    hooked = min(workload(vaccinated) for _ in range(3))
-    overhead = hooked / base - 1.0
+    workload()  # warm-up
+    daemon.calls_seen = daemon.calls_matched = 0
+    daemon.seconds_intercepting = 0.0
+    wall = min(workload() for _ in range(3))
+    daemon.flush_metrics()
+
+    hook_seconds = obs.metrics.value("daemon.hook_seconds") / 3  # per pass
+    overhead = hook_seconds / wall
     write_artifact(
         "perf_daemon.txt",
         "Daemon hook overhead (paper: <4.5% for 119 partial-static vaccines)\n"
         f"daemon vaccines: {len(vaccines)}\n"
-        f"benign workload clean:     {base * 1000:.1f} ms\n"
-        f"benign workload vaccinated:{hooked * 1000:.1f} ms\n"
-        f"overhead: {overhead:+.1%}\n",
+        f"rules active:    {obs.metrics.value('daemon.rules_active'):.0f}\n"
+        f"calls hooked:    {obs.metrics.value('daemon.calls_seen'):.0f}\n"
+        f"calls matched:   {obs.metrics.value('daemon.calls_matched_total'):.0f}\n"
+        f"benign workload wall: {wall * 1000:.1f} ms/pass\n"
+        f"time inside hook:     {hook_seconds * 1000:.2f} ms/pass\n"
+        f"hook overhead: {overhead:.1%}\n",
     )
-    # Small, bounded overhead (generous bound for timer noise).
-    assert overhead < 0.60
+    assert obs.metrics.value("daemon.calls_seen") > 0
+    # The hook's share of the workload stays a small multiplier.
+    assert overhead < 0.45
+
+
+def test_obs_instrumentation_overhead():
+    """The observability layer itself must be nearly free: a full pipeline
+    run with spans+counters enabled stays within 5% of ``obs.disabled()``.
+
+    Estimator: the two modes are timed back-to-back in pairs (alternating
+    order) and the overhead is the *median* of the paired ratios — pairing
+    cancels CPU-frequency drift, the median shrugs off scheduler outliers.
+    The artifact backs the README/DESIGN claim."""
+    import gc
+    import statistics
+
+    program = build_family("zeus")
+    reps = 3      # analyses per timing sample (amortizes timer granularity)
+    pairs = 11    # paired samples; >=6 must be noisy to break the median
+
+    def run_enabled():
+        obs.reset()  # steady-state cost, not unbounded span accumulation
+        for _ in range(reps):
+            result = AutoVac().analyze(program)
+        return result
+
+    def run_disabled():
+        with obs.disabled():
+            for _ in range(reps):
+                result = AutoVac().analyze(program)
+        return result
+
+    run_enabled(), run_disabled()  # warm-up both paths
+    ratios = []
+    enabled_s = disabled_s = float("inf")
+    result = None
+    for i in range(pairs):
+        gc.collect()
+        gc.disable()  # collection pauses must not land on one mode
+        try:
+            if i % 2:
+                d, _ = min_wall_seconds(run_disabled, repeats=1)
+                e, result = min_wall_seconds(run_enabled, repeats=1)
+            else:
+                e, result = min_wall_seconds(run_enabled, repeats=1)
+                d, _ = min_wall_seconds(run_disabled, repeats=1)
+        finally:
+            gc.enable()
+        ratios.append(e / d)
+        enabled_s = min(enabled_s, e)
+        disabled_s = min(disabled_s, d)
+    assert result.vaccines
+    overhead = statistics.median(ratios) - 1.0
+    write_artifact(
+        "obs_overhead.txt",
+        "repro.obs instrumentation overhead on the full pipeline (zeus)\n"
+        f"instrumented (spans+metrics): {enabled_s * 1000:.2f} ms (best of {pairs})\n"
+        f"obs.disabled() baseline:      {disabled_s * 1000:.2f} ms (best of {pairs})\n"
+        f"overhead: {overhead:+.2%}  (median of {pairs} paired ratios; "
+        "budget: <=5%)\n",
+    )
+    assert overhead <= 0.05

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
+
+from repro import obs
 
 ARTIFACTS = Path(__file__).parent / "_artifacts"
 ARTIFACTS.mkdir(exist_ok=True)
@@ -14,6 +17,30 @@ POPULATION_SEED = 42
 
 def write_artifact(name: str, text: str) -> None:
     (ARTIFACTS / name).write_text(text)
+
+
+def metric_total(name: str) -> float:
+    """Sum of a counter family in the global ``repro.obs`` registry — benches
+    report what the instrumentation already counted instead of re-counting."""
+    return obs.metrics.total(name)
+
+
+def metric_value(name: str, **labels) -> float:
+    return obs.metrics.value(name, **labels)
+
+
+def min_wall_seconds(fn, repeats: int = 5):
+    """Best-of-N wall time for ``fn`` (min is the noise-robust estimator for
+    overhead ratios). Returns (seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best, result
 
 
 def render_table(title: str, table: dict, total_label: str = "total") -> str:

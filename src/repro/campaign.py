@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from . import obs
 from .core.runner import run_sample
 from .delivery.package import VaccinePackage, deploy
 from .vm.program import Program
@@ -103,7 +104,12 @@ def attempt_infection(worm: Program, machine: FleetMachine, max_steps: int = 200
         clone_environment=False,  # infections persist on the machine
     )
     # Terminated == bailed at a check (marker present / vaccine hit).
-    return not run.trace.terminated
+    infected = not run.trace.terminated
+    obs.metrics.counter("campaign.infection_attempts").inc()
+    obs.metrics.counter(
+        "campaign.infections" if infected else "campaign.attempts_blocked"
+    ).inc()
+    return infected
 
 
 def simulate_outbreak(
@@ -123,6 +129,14 @@ def simulate_outbreak(
     binary at the initial infection stage, quickly generate vaccines')."""
     result = CampaignResult(machines=fleet.machines)
 
+    def _record_round(stats: RoundStats) -> None:
+        result.history.append(stats)
+        # Epidemic gauges per tick — the live view of the infection curve.
+        obs.metrics.gauge("campaign.round").set(stats.round)
+        obs.metrics.gauge("campaign.infected").set(stats.infected)
+        obs.metrics.gauge("campaign.vaccinated").set(stats.vaccinated)
+        obs.metrics.counter("campaign.new_infections").inc(stats.newly_infected)
+
     seeds = fleet.rng.sample(fleet.machines, min(initial_infections, len(fleet.machines)))
     newly = 0
     for machine in seeds:
@@ -130,7 +144,7 @@ def simulate_outbreak(
             machine.infected = True
             machine.infected_round = 0
             newly += 1
-    result.history.append(RoundStats(
+    _record_round(RoundStats(
         round=0,
         infected=sum(m.infected for m in fleet.machines),
         vaccinated=sum(m.vaccinated for m in fleet.machines),
@@ -153,7 +167,7 @@ def simulate_outbreak(
                     target.infected = True
                     target.infected_round = round_index
                     newly += 1
-        result.history.append(RoundStats(
+        _record_round(RoundStats(
             round=round_index,
             infected=sum(m.infected for m in fleet.machines),
             vaccinated=sum(m.vaccinated for m in fleet.machines),

@@ -3,14 +3,19 @@
 Subcommands::
 
     python -m repro analyze  <family|asm-file> [-o pack.json] [--explore] [--minimal]
+                             [--metrics m.json]
     python -m repro deploy   <pack.json> [--computer-name NAME] [--attack FAMILY]
     python -m repro families
-    python -m repro survey   [--size N] [--seed S]
+    python -m repro survey   [--size N] [--seed S] [--metrics m.json]
+    python -m repro stats    <m.json> [--prom] [--depth N]
 
 ``analyze`` runs the full pipeline on a built-in family or an assembly file
 and optionally writes a vaccine package; ``deploy`` simulates deployment on a
 fresh machine (optionally re-attacking it with a family sample); ``survey``
-prints the population-scale tables.
+prints the population-scale tables.  ``--metrics`` captures the run's
+observability snapshot (``repro.obs``: per-phase spans, per-API counters, VM
+instruction counts) to a JSON file; ``stats`` pretty-prints such a file or
+re-emits it as Prometheus text.  Set ``REPRO_LOG=info`` for structured logs.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import obs
 from .core import AutoVac, render_report, run_sample, select_minimal
 from .corpus import FAMILIES, GeneratorConfig, build_family, generate_population
 from .delivery import VaccinePackage, deploy
@@ -37,9 +43,21 @@ def _load_program(spec: str):
     return assemble(path.read_text(), name=path.stem)
 
 
+def _write_metrics(path: Optional[str]) -> None:
+    if path:
+        try:
+            obs.export_json(path)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write metrics snapshot: {exc}")
+        print(f"wrote metrics snapshot {path}")
+
+
 def cmd_families(args: argparse.Namespace) -> int:
     for name, module in sorted(FAMILIES.items()):
-        print(f"{name:12s} {module.CATEGORY:10s} {module.__doc__.strip().splitlines()[0]}")
+        # A family module may have no (or an empty) docstring; don't crash on it.
+        doc_lines = (module.__doc__ or "").strip().splitlines()
+        summary = doc_lines[0] if doc_lines else "(no description)"
+        print(f"{name:12s} {module.CATEGORY:10s} {summary}")
     return 0
 
 
@@ -50,6 +68,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     if analysis.filtered_reason:
         print(f"{program.name}: filtered — {analysis.filtered_reason}")
+        _write_metrics(args.metrics)
         return 1
 
     phase1 = analysis.phase1
@@ -72,6 +91,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.report:
         Path(args.report).write_text(render_report(analysis))
         print(f"wrote {args.report}")
+    _write_metrics(args.metrics)
     return 0
 
 
@@ -110,6 +130,19 @@ def cmd_survey(args: argparse.Namespace) -> int:
         print(f"  {rtype:10s} {cells}")
     print("identifier kinds:", result.count_by_identifier_kind())
     print("delivery:", result.count_by_delivery())
+    _write_metrics(args.metrics)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        data = obs.load(args.snapshot)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.prom:
+        sys.stdout.write(obs.render_prometheus(data))
+    else:
+        sys.stdout.write(obs.render_stats(data, max_depth=args.depth))
     return 0
 
 
@@ -130,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--minimal", action="store_true",
                    help="reduce to the minimal covering vaccine set")
     p.add_argument("--report", help="write a markdown analysis report")
+    p.add_argument("--metrics", help="write an observability snapshot (JSON)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("deploy", help="simulate deployment on a fresh machine")
@@ -141,7 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("survey", help="population-scale pipeline statistics")
     p.add_argument("--size", type=int, default=100)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--metrics", help="write an observability snapshot (JSON)")
     p.set_defaults(func=cmd_survey)
+
+    p = sub.add_parser("stats", help="render a captured metrics snapshot")
+    p.add_argument("snapshot", help="JSON file written by --metrics")
+    p.add_argument("--prom", action="store_true",
+                   help="emit Prometheus text format instead of the summary")
+    p.add_argument("--depth", type=int, default=6,
+                   help="max span-tree depth in the summary (default 6)")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -14,11 +14,12 @@ the statistics the paper reports (Tables IV/V, Figure 3).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .. import obs
 from ..analysis.alignment import Aligner, align_lcs
+from ..obs import Span
 from ..search.engine import SearchEngine
 from ..vm.program import Program
 from ..winenv.environment import SystemEnvironment
@@ -29,6 +30,13 @@ from .exclusiveness import ExclusivenessAnalyzer, ExclusivenessDecision
 from .impact import ImpactAnalyzer, ImpactOutcome
 from .runner import DEFAULT_BUDGET
 from .vaccine import IdentifierKind, Immunization, Mechanism, Vaccine
+
+#: Every Phase I/II stage, in pipeline order.  ``analyze`` emits exactly one
+#: span per stage per sample (skipped stages carry ``skipped=True``), except
+#: ``exploration`` which only exists when enforced execution is on.
+STAGES = ("phase1", "exploration", "exclusiveness", "impact", "determinism", "clinic")
+
+_log = obs.get_logger("pipeline")
 
 
 @dataclass
@@ -43,11 +51,28 @@ class SampleAnalysis:
     vaccines: List[Vaccine] = field(default_factory=list)
     clinic: Optional[ClinicReport] = None
     filtered_reason: Optional[str] = None
-    timings: Dict[str, float] = field(default_factory=dict)
+    #: Root span of this sample's ``pipeline.analyze`` (None when tracing is
+    #: disabled); stage spans are its direct children.
+    span: Optional[Span] = None
 
     @property
     def has_vaccines(self) -> bool:
         return bool(self.vaccines)
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Per-stage wall seconds, derived from the span tree.
+
+        Backward-compatible view of the old hand-maintained dict: only
+        stages that actually executed appear (skipped spans are omitted).
+        """
+        if self.span is None:
+            return {}
+        return {
+            child.name: child.total_seconds()
+            for child in self.span.children
+            if child.name in STAGES and not child.attrs.get("skipped")
+        }
 
 
 @dataclass
@@ -170,78 +195,102 @@ class AutoVac:
     # ------------------------------------------------------------------
 
     def analyze(self, program: Program) -> SampleAnalysis:
-        analysis = SampleAnalysis(program=program)
-
-        started = time.perf_counter()
-        phase1 = select_candidates(
-            program, environment=self.environment, max_steps=self.profile_budget
+        with obs.trace.span("pipeline.analyze", sample=program.name) as root:
+            analysis = SampleAnalysis(program=program)
+            if isinstance(root, Span):
+                analysis.span = root
+            self._analyze(program, analysis)
+            root.set(
+                vaccines=len(analysis.vaccines),
+                filtered=analysis.filtered_reason is not None,
+            )
+        obs.metrics.counter("pipeline.samples").inc()
+        if analysis.filtered_reason:
+            obs.metrics.counter("pipeline.samples_filtered").inc()
+        obs.metrics.counter("pipeline.vaccines").inc(len(analysis.vaccines))
+        obs.metrics.histogram("pipeline.analyze_seconds").observe(root.total_seconds())
+        _log.info(
+            "sample analyzed",
+            sample=program.name,
+            vaccines=len(analysis.vaccines),
+            filtered=analysis.filtered_reason or "",
         )
-        analysis.phase1 = phase1
-        analysis.timings["phase1"] = time.perf_counter() - started
+        return analysis
+
+    def _analyze(self, program: Program, analysis: SampleAnalysis) -> None:
+        span = obs.trace.span  # each stage emits exactly one child span
+
+        with span("phase1"):
+            phase1 = select_candidates(
+                program, environment=self.environment, max_steps=self.profile_budget
+            )
+            analysis.phase1 = phase1
 
         if not phase1.has_vaccine_potential:
             analysis.filtered_reason = "no resource-dependent branch (Phase I filter)"
-            return analysis
+            for stage in ("exclusiveness", "impact", "determinism", "clinic"):
+                with span(stage) as s:
+                    s.set(skipped=True)
+            return
 
         candidates = [
             c for c in phase1.candidates if c.influences_control_flow or c.had_failure
         ]
 
         if self.explore_paths:
-            started = time.perf_counter()
-            from ..analysis.forced_execution import explore_resource_paths
+            with span("exploration") as s:
+                from ..analysis.forced_execution import explore_resource_paths
 
-            exploration = explore_resource_paths(
-                program, environment=self.environment, max_steps=self.profile_budget
+                exploration = explore_resource_paths(
+                    program, environment=self.environment, max_steps=self.profile_budget
+                )
+                candidates.extend(exploration.discovered)
+                s.set(discovered=len(exploration.discovered))
+
+        with span("exclusiveness") as s:
+            if self.exclusiveness_enabled:
+                analysis.exclusiveness = self.exclusiveness.filter(candidates)
+                candidates = [d.candidate for d in analysis.exclusiveness if d.exclusive]
+            s.set(kept=len(candidates))
+
+        with span("impact") as s:
+            for candidate in candidates:
+                analysis.impacts.extend(
+                    self.impact.analyze(program, candidate, phase1.trace)
+                )
+            s.set(outcomes=len(analysis.impacts))
+
+        with span("determinism"):
+            built: Dict[tuple, Vaccine] = {}
+            ordered = sorted(
+                (o for o in analysis.impacts if o.is_effective),
+                key=lambda o: o.mechanism is not Mechanism.SIMULATE_PRESENCE,
             )
-            candidates.extend(exploration.discovered)
-            analysis.timings["exploration"] = time.perf_counter() - started
+            for outcome in ordered:
+                vaccine = self._build_vaccine(program, phase1, outcome, analysis)
+                if vaccine is None:
+                    continue
+                # Both mutation directions of a create-checked resource deploy as
+                # the same artifact (a locked marker); keep one per effect.
+                key = (vaccine.resource_type, vaccine.identifier, vaccine.immunization)
+                if key not in built:
+                    built[key] = vaccine
+            analysis.vaccines = list(built.values())
 
-        started = time.perf_counter()
-        if self.exclusiveness_enabled:
-            analysis.exclusiveness = self.exclusiveness.filter(candidates)
-            candidates = [d.candidate for d in analysis.exclusiveness if d.exclusive]
-        analysis.timings["exclusiveness"] = time.perf_counter() - started
-
-        started = time.perf_counter()
-        for candidate in candidates:
-            analysis.impacts.extend(
-                self.impact.analyze(program, candidate, phase1.trace)
-            )
-        analysis.timings["impact"] = time.perf_counter() - started
-
-        started = time.perf_counter()
-        built: Dict[tuple, Vaccine] = {}
-        ordered = sorted(
-            (o for o in analysis.impacts if o.is_effective),
-            key=lambda o: o.mechanism is not Mechanism.SIMULATE_PRESENCE,
-        )
-        for outcome in ordered:
-            vaccine = self._build_vaccine(program, phase1, outcome, analysis)
-            if vaccine is None:
-                continue
-            # Both mutation directions of a create-checked resource deploy as
-            # the same artifact (a locked marker); keep one per effect.
-            key = (vaccine.resource_type, vaccine.identifier, vaccine.immunization)
-            if key not in built:
-                built[key] = vaccine
-        analysis.vaccines = list(built.values())
-        analysis.timings["determinism"] = time.perf_counter() - started
-
-        if self.run_clinic and analysis.vaccines and self.clinic_programs:
-            started = time.perf_counter()
-            analysis.clinic = clinic_test(
-                analysis.vaccines, self.clinic_programs, environment=self.environment
-            )
-            analysis.vaccines = list(analysis.clinic.passed)
-            analysis.timings["clinic"] = time.perf_counter() - started
-
-        return analysis
+        with span("clinic") as s:
+            if self.run_clinic and analysis.vaccines and self.clinic_programs:
+                analysis.clinic = clinic_test(
+                    analysis.vaccines, self.clinic_programs, environment=self.environment
+                )
+                analysis.vaccines = list(analysis.clinic.passed)
+            else:
+                s.set(skipped=True)
 
     def analyze_population(self, programs: Iterable[Program]) -> PopulationResult:
         result = PopulationResult()
         for program in programs:
             result.analyses.append(self.analyze(program))
+            obs.metrics.gauge("pipeline.population_analyzed").set(len(result.analyses))
         return result
 
     # ------------------------------------------------------------------

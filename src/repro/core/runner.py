@@ -10,8 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
+from .. import obs
 from ..tracing.trace import Trace
-from ..vm.cpu import CPU
+from ..vm.cpu import CPU, ExitStatus
 from ..vm.program import Program
 from ..winapi.dispatcher import Dispatcher, Interceptor
 from ..winenv.acl import IntegrityLevel
@@ -74,4 +75,9 @@ def run_sample(
         taint_addresses=taint_addresses,
     )
     trace = cpu.run()
+    if obs.metrics.enabled:
+        obs.metrics.counter("runner.runs", status=cpu.status.value).inc()
+        obs.metrics.counter("runner.instructions").inc(cpu.steps)
+        if cpu.status is ExitStatus.BUDGET:
+            obs.metrics.counter("runner.budget_exhausted").inc()
     return RunResult(trace=trace, cpu=cpu, environment=env)

@@ -1,0 +1,109 @@
+"""Combined metrics + span snapshot: JSON file format and text renderers.
+
+One captured file round-trips through the CLI::
+
+    python -m repro analyze conficker --metrics m.json
+    python -m repro stats m.json            # pretty text
+    python -m repro stats m.json --prom     # Prometheus exposition text
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry, prometheus_text
+from .tracer import Tracer, render_flame
+
+SNAPSHOT_VERSION = 1
+
+
+def snapshot(registry: MetricsRegistry, tracer: Tracer) -> Dict[str, object]:
+    return {
+        "version": SNAPSHOT_VERSION,
+        "generated_unix": time.time(),
+        "metrics": registry.snapshot(),
+        "spans": tracer.to_dicts(),
+    }
+
+
+def write_json(path, registry: MetricsRegistry, tracer: Tracer) -> Dict[str, object]:
+    data = snapshot(registry, tracer)
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True))
+    return data
+
+
+def load(path) -> Dict[str, object]:
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise ValueError(f"{path}: not a repro metrics snapshot")
+    return data
+
+
+# ----------------------------------------------------------------------
+# text rendering (the `stats` subcommand)
+# ----------------------------------------------------------------------
+
+
+def render_stats(data: Dict[str, object], max_depth: int = 6) -> str:
+    """Human-readable summary of a snapshot: counters/gauges table,
+    histogram summaries, then the aggregated span flame tree."""
+    metrics: Dict[str, Dict] = data.get("metrics", {})  # type: ignore[assignment]
+    lines: List[str] = []
+
+    scalars: List[str] = []
+    histograms: List[str] = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        for series in family["series"]:
+            label_text = _labels_text(series["labels"])
+            if family["kind"] == "histogram":
+                histograms.append(
+                    f"  {name}{label_text}  count={series['count']} "
+                    f"sum={_fmt_s(series['sum'])} mean={_fmt_s(_mean(series))} "
+                    f"max={_fmt_s(series['max'] or 0.0)}"
+                )
+            else:
+                value = series["value"]
+                scalars.append(f"  {name + label_text:<56s} {value:>12g}")
+
+    if scalars:
+        lines.append("== counters / gauges ==")
+        lines.extend(scalars)
+    if histograms:
+        lines.append("")
+        lines.append("== histograms ==")
+        lines.extend(histograms)
+
+    spans = data.get("spans", [])
+    if spans:
+        lines.append("")
+        lines.append("== spans ==")
+        lines.append(render_flame(spans, max_depth=max_depth).rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def render_prometheus(data: Dict[str, object]) -> str:
+    return prometheus_text(data.get("metrics", {}))  # type: ignore[arg-type]
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _mean(series: Dict[str, object]) -> float:
+    count = series.get("count") or 0
+    return (series.get("sum") or 0.0) / count if count else 0.0  # type: ignore[operator]
+
+
+def _fmt_s(seconds: Optional[float]) -> str:
+    seconds = seconds or 0.0
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1000:.2f}ms"
+    return f"{seconds * 1_000_000:.1f}us"

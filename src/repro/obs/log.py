@@ -1,0 +1,111 @@
+"""Structured logging on top of stdlib ``logging``.
+
+``get_logger("pipeline")`` returns a :class:`KVLogger` whose methods accept
+arbitrary keyword fields rendered as ``key=value`` pairs::
+
+    log = get_logger("pipeline")
+    log.info("sample analyzed", sample="zeus", vaccines=3)
+    # 2026-08-05T12:00:00 level=info logger=repro.pipeline msg="sample analyzed" sample=zeus vaccines=3
+
+Output is off by default (WARNING threshold, no handler spam): set the
+``REPRO_LOG`` environment variable to ``debug``/``info``/``warning``/
+``error`` (or ``1`` for info) to enable stderr emission.  The formatter
+quotes values containing whitespace so lines stay machine-parseable.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+import time
+from typing import Optional
+
+ENV_VAR = "REPRO_LOG"
+_ROOT = "repro"
+_configured = False
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "1": logging.INFO,
+    "true": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    if text == "" or any(c in text for c in ' "=\t\n'):
+        return '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=… level=… logger=… msg="…" key=value`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(record.created))
+        parts = [
+            f"ts={ts}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"msg={_quote(record.getMessage())}",
+        ]
+        fields = getattr(record, "kv_fields", None)
+        if fields:
+            parts.extend(f"{k}={_quote(v)}" for k, v in fields.items())
+        if record.exc_info and record.exc_info[0] is not None:
+            parts.append(f"exc={_quote(record.exc_info[0].__name__)}")
+        return " ".join(parts)
+
+
+class KVLogger:
+    """Thin wrapper turning keyword arguments into structured fields."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _log(self, level: int, msg: str, fields) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, msg, extra={"kv_fields": fields})
+
+    def debug(self, msg: str, **fields: object) -> None:
+        self._log(logging.DEBUG, msg, fields)
+
+    def info(self, msg: str, **fields: object) -> None:
+        self._log(logging.INFO, msg, fields)
+
+    def warning(self, msg: str, **fields: object) -> None:
+        self._log(logging.WARNING, msg, fields)
+
+    def error(self, msg: str, **fields: object) -> None:
+        self._log(logging.ERROR, msg, fields)
+
+    @property
+    def level(self) -> int:
+        return self._logger.getEffectiveLevel()
+
+
+def configure(level: Optional[str] = None, stream=None) -> None:
+    """(Re)configure the ``repro`` logger tree. Called lazily by
+    :func:`get_logger`; call explicitly to override ``REPRO_LOG``."""
+    global _configured
+    root = logging.getLogger(_ROOT)
+    spec = (level if level is not None else os.environ.get(ENV_VAR, "")).strip().lower()
+    root.setLevel(_LEVELS.get(spec, logging.WARNING))
+    if not root.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(KeyValueFormatter())
+        root.addHandler(handler)
+        root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> KVLogger:
+    """Structured logger namespaced under ``repro.``."""
+    if not _configured:
+        configure()
+    return KVLogger(logging.getLogger(f"{_ROOT}.{name}"))

@@ -1,0 +1,204 @@
+"""Span-based tracer: nestable timed regions with attributes.
+
+``with trace.span("impact", sample=name) as span:`` opens a span under the
+currently active one (contextvar-scoped, so threads and generators nest
+correctly), records wall time on exit — exception-safe, marking the span as
+an error and re-raising — and files finished *root* spans into the tracer
+for export as a JSON tree or a flame-style indented text summary.
+
+This is deliberately not OpenTelemetry: no ids, no sampling, no wire
+protocol — just the span tree the pipeline phases need for the paper's
+§VI-F per-phase accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional
+
+#: Keep at most this many finished root spans (oldest dropped first).
+MAX_ROOT_SPANS = 10_000
+
+
+class Span:
+    """One timed region. ``duration`` is None while the span is open."""
+
+    __slots__ = ("name", "attrs", "children", "start_unix", "duration", "status", "error")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.children: List["Span"] = []
+        self.start_unix = time.time()
+        self.duration: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes to an open (or finished) span."""
+        self.attrs.update(attrs)
+        return self
+
+    def child(self, name: str) -> Optional["Span"]:
+        """First direct child with the given name, if any."""
+        for span in self.children:
+            if span.name == name:
+                return span
+        return None
+
+    def total_seconds(self) -> float:
+        return self.duration if self.duration is not None else 0.0
+
+    def self_seconds(self) -> float:
+        """Time not accounted for by children (flame-graph 'self' column)."""
+        return max(0.0, self.total_seconds() - sum(c.total_seconds() for c in self.children))
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Span({self.name!r}, duration={self.duration}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Handed out while tracing is disabled; absorbs everything."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, object] = {}
+    children: List[Span] = []
+    duration: Optional[float] = None
+    status = "ok"
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def child(self, name: str) -> None:
+        return None
+
+    def total_seconds(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Process-local span collector. One global instance lives at ``obs.trace``."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.roots: List[Span] = []
+        self._current: ContextVar[Optional[Span]] = ContextVar("obs_span", default=None)
+
+    def current(self) -> Optional[Span]:
+        return self._current.get()
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        if not self.enabled:
+            yield NULL_SPAN  # type: ignore[misc]
+            return
+        span = Span(name, attrs)
+        parent = self._current.get()
+        token = self._current.set(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.duration = time.perf_counter() - started
+            self._current.reset(token)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+                if len(self.roots) > MAX_ROOT_SPANS:
+                    del self.roots[: len(self.roots) - MAX_ROOT_SPANS]
+
+    def reset(self) -> None:
+        self.roots = []
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [span.to_dict() for span in self.roots]
+
+    def flame(self, max_depth: int = 6) -> str:
+        """Indented per-root text summary (durations + % of root)."""
+        return render_flame(self.to_dicts(), max_depth=max_depth)
+
+
+def render_flame(spans: List[Dict[str, object]], max_depth: int = 6) -> str:
+    """Flame-style text rendering of exported span dicts.
+
+    Repeated root shapes (e.g. one ``pipeline.analyze`` per survey sample)
+    are aggregated by name with call counts so population runs stay readable.
+    """
+    grouped: Dict[str, List[Dict[str, object]]] = {}
+    for span in spans:
+        grouped.setdefault(str(span["name"]), []).append(span)
+
+    lines: List[str] = []
+    for name in sorted(grouped, key=lambda n: -_group_total(grouped[n])):
+        group = grouped[name]
+        total = _group_total(group)
+        lines.append(f"{name}  n={len(group)}  total={_fmt(total)}")
+        _merge_children(lines, group, total or 1.0, depth=1, max_depth=max_depth)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _group_total(group: List[Dict[str, object]]) -> float:
+    return sum(float(s.get("duration") or 0.0) for s in group)
+
+
+def _merge_children(lines, group, root_total, depth, max_depth) -> None:
+    if depth > max_depth:
+        return
+    children: Dict[str, List[Dict[str, object]]] = {}
+    order: List[str] = []
+    for span in group:
+        for child in span.get("children", ()):  # type: ignore[union-attr]
+            name = str(child["name"])
+            if name not in children:
+                children[name] = []
+                order.append(name)
+            children[name].append(child)
+    for name in order:
+        child_group = children[name]
+        total = _group_total(child_group)
+        share = total / root_total if root_total else 0.0
+        bar = "#" * max(1, int(share * 24)) if total else "."
+        skipped = all(c.get("attrs", {}).get("skipped") for c in child_group)
+        note = "  (skipped)" if skipped else ""
+        errors = sum(1 for c in child_group if c.get("status") == "error")
+        if errors:
+            note += f"  errors={errors}"
+        lines.append(
+            f"{'  ' * depth}{name:<20s} n={len(child_group):<5d} "
+            f"total={_fmt(total):>10s} {share:6.1%}  {bar}{note}"
+        )
+        _merge_children(lines, child_group, root_total, depth + 1, max_depth)
+
+
+def _fmt(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1000:.1f}ms"
+    return f"{seconds * 1_000_000:.0f}us"

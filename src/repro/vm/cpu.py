@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, List, Optional, Tuple
 
+from .. import obs
 from ..taint.labels import EMPTY, TagSet, union
 from ..tracing.events import ApiCallEvent, InstructionRecord, TaintedPredicateEvent
 from ..tracing.trace import Trace
@@ -32,6 +33,11 @@ class ExitStatus(enum.Enum):
 
 class CpuFault(Exception):
     """Internal faults that end the run with ``ExitStatus.FAULT``."""
+
+
+#: Counter handles reused by CPU._flush_obs across runs; invalidated when
+#: obs.reset() bumps the registry generation (the "generation" entry).
+_VM_FLUSH_CACHE: dict = {}
 
 
 class CPU:
@@ -209,7 +215,39 @@ class CPU:
         self.trace.steps = self.steps
         if self.process is not None and self.process.exit_code is not None:
             self.trace.exit_code = self.process.exit_code
+        self._flush_obs()
         return self.trace
+
+    def _flush_obs(self) -> None:
+        """Report run totals into the metrics registry.
+
+        The per-instruction loop stays uninstrumented (every added branch
+        there is ~1% interpreter overhead); counts the interpreter already
+        keeps are flushed once per run instead — the cheap-hook contract.
+        """
+        metrics = obs.metrics
+        if not metrics.enabled:
+            return
+        # Handles are cached across runs and dropped when obs.reset() bumps
+        # the registry generation (same scheme as Dispatcher.flush_obs).
+        cache = _VM_FLUSH_CACHE
+        if cache.get("generation") != metrics.generation:
+            cache.clear()
+            cache["generation"] = metrics.generation
+            cache["instructions"] = metrics.counter("vm.instructions")
+            cache["api_calls"] = metrics.counter("vm.api_calls")
+            cache["tainted_predicates"] = metrics.counter("vm.tainted_predicates")
+        status = self.status.value
+        runs = cache.get(status)
+        if runs is None:
+            runs = cache[status] = metrics.counter("vm.runs", status=status)
+        cache["instructions"].inc(self.steps)
+        runs.inc()
+        cache["api_calls"].inc(len(self.trace.api_calls))
+        cache["tainted_predicates"].inc(len(self.trace.predicates))
+        flush = getattr(self.dispatcher, "flush_obs", None)
+        if flush is not None:
+            flush(self.trace.api_calls)
 
     def terminate(self, exit_code: int = 0) -> None:
         """Called by ExitProcess-style APIs."""

@@ -12,6 +12,22 @@ class TestFamiliesCommand:
         for family in ("zeus", "conficker", "sality", "qakbot", "ibank", "poisonivy"):
             assert family in out
 
+    def test_family_module_without_docstring_does_not_crash(self, capsys, monkeypatch):
+        # Regression: an empty docstring used to raise IndexError on
+        # ``module.__doc__.strip().splitlines()[0]``.
+        import types
+
+        from repro.corpus import FAMILIES
+
+        undocumented = types.SimpleNamespace(CATEGORY="worm", __doc__="")
+        nodoc = types.SimpleNamespace(CATEGORY="trojan", __doc__=None)
+        monkeypatch.setitem(FAMILIES, "undocumented", undocumented)
+        monkeypatch.setitem(FAMILIES, "nodoc", nodoc)
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "undocumented" in out and "nodoc" in out
+        assert "(no description)" in out
+
 
 class TestAnalyzeCommand:
     def test_analyze_family(self, capsys):
