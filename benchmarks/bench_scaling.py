@@ -1,0 +1,97 @@
+"""Population-executor scaling — speedup vs worker count, cache resume.
+
+The paper's workload is 1,716 samples through Phase I–III; the executor
+fans hermetic per-sample analyses out to worker processes and caches
+results content-addressed on disk.  This bench records:
+
+* wall time and speedup for ``jobs = 1, 2, 4`` (asserting the ≥2× target at
+  4 jobs only on machines with ≥4 CPUs — correctness is asserted on every
+  machine: all jobs levels must produce identical tables);
+* cold vs warm cache wall time, and that a warm run is all cache hits.
+
+Artifact: ``_artifacts/scaling.txt``.  Scale knob: ``REPRO_SCALING_SIZE``
+(default 48 samples).
+"""
+
+import multiprocessing
+import os
+import time
+
+from repro import obs
+from repro.core.executor import PipelineConfig, analyze_population
+from repro.corpus import GeneratorConfig, generate_population
+
+from benchutil import write_artifact
+
+SCALING_SIZE = int(os.environ.get("REPRO_SCALING_SIZE", "48"))
+SCALING_SEED = 21
+
+
+def _tables(result):
+    return (
+        result.count_by_resource_and_immunization(),
+        result.count_by_identifier_kind(),
+        result.count_by_delivery(),
+        result.occurrence_stats(),
+        [v.to_dict() for v in result.vaccines],
+    )
+
+
+def test_scaling_speedup(tmp_path):
+    programs = [
+        s.program
+        for s in generate_population(GeneratorConfig(size=SCALING_SIZE, seed=SCALING_SEED))
+    ]
+    config = PipelineConfig()
+    cores = multiprocessing.cpu_count() or 1
+
+    wall = {}
+    base_tables = None
+    for jobs in (1, 2, 4):
+        obs.reset()
+        started = time.perf_counter()
+        result = analyze_population(programs, config=config, jobs=jobs)
+        wall[jobs] = time.perf_counter() - started
+        tables = _tables(result)
+        if base_tables is None:
+            base_tables = tables
+        else:
+            # Identical tables at every jobs level, on every machine.
+            assert tables == base_tables, f"jobs={jobs} diverged from jobs=1"
+        assert obs.metrics.value("pipeline.population_analyzed") == SCALING_SIZE
+
+    cache_dir = tmp_path / "cache"
+    obs.reset()
+    started = time.perf_counter()
+    cold = analyze_population(programs, config=config, jobs=1, cache=cache_dir)
+    cold_s = time.perf_counter() - started
+    cold_misses = obs.metrics.value("pipeline.cache_misses")
+
+    obs.reset()
+    started = time.perf_counter()
+    warm = analyze_population(programs, config=config, jobs=1, cache=cache_dir)
+    warm_s = time.perf_counter() - started
+    warm_hits = obs.metrics.value("pipeline.cache_hits")
+
+    lines = [
+        f"Population-executor scaling ({SCALING_SIZE} samples, "
+        f"{cores}-CPU machine)",
+        f"{'jobs':>6s}{'wall':>10s}{'speedup':>9s}",
+    ]
+    for jobs in (1, 2, 4):
+        lines.append(
+            f"{jobs:6d}{wall[jobs]:9.2f}s{wall[1] / wall[jobs]:8.2f}x"
+        )
+    lines += [
+        "",
+        f"cache cold: {cold_s:6.2f}s  ({cold_misses:.0f} misses, all analyzed + stored)",
+        f"cache warm: {warm_s:6.2f}s  ({warm_hits:.0f} hits, no analysis)",
+        f"warm speedup: {cold_s / warm_s:.1f}x",
+    ]
+    write_artifact("scaling.txt", "\n".join(lines) + "\n")
+
+    assert _tables(cold) == base_tables and _tables(warm) == base_tables
+    assert warm_hits == SCALING_SIZE and warm_s < cold_s
+    if cores >= 4:
+        # The acceptance target: >=2x at 4 jobs on a 4-core runner.
+        assert wall[1] / wall[4] >= 2.0

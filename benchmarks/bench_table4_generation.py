@@ -10,7 +10,7 @@ import pytest
 from repro import AutoVac
 from repro.corpus import build_family
 
-from benchutil import render_table, write_artifact
+from benchutil import POPULATION_CACHE, POPULATION_JOBS, render_table, write_artifact
 
 
 @pytest.mark.benchmark(group="table4")
@@ -18,7 +18,9 @@ def test_table4_vaccine_generation(benchmark, population):
     samples, result = population
     table = result.count_by_resource_and_immunization()
     write_artifact("table4.txt", render_table(
-        "Table IV reproduction — vaccines by resource x immunization", table))
+        "Table IV reproduction — vaccines by resource x immunization", table)
+        + f"(population executor: jobs={POPULATION_JOBS}, "
+          f"cache={'on' if POPULATION_CACHE else 'off'})\n")
 
     totals = {rt: sum(row.values()) for rt, row in table.items()}
     columns = {}

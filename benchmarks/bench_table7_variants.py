@@ -13,7 +13,7 @@ from repro import SystemEnvironment, VaccinePackage, deploy
 from repro.core import run_sample
 from repro.corpus import TABLE_VII_EXPECTED, build_variant_set
 
-from benchutil import write_artifact
+from benchutil import POPULATION_CACHE, POPULATION_JOBS, write_artifact
 
 VARIANTS = 5
 
@@ -59,6 +59,8 @@ def test_table7_variant_effectiveness(benchmark, variant_matrix, family_analyses
         total_verified += verified
     overall = total_verified / total_ideal
     lines.append(f"{'TOTAL':12s}{'':9s}{total_ideal:7d}{total_verified:9d}{overall:7.0%}{0.82:7.0%}")
+    lines.append(f"(family analyses via executor: jobs={POPULATION_JOBS}, "
+                 f"cache={'on' if POPULATION_CACHE else 'off'})")
     write_artifact("table7.txt", "\n".join(lines) + "\n")
 
     # Shape: overall coverage is high but below 100% (paper: 82%).

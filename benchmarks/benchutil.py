@@ -13,6 +13,10 @@ ARTIFACTS.mkdir(exist_ok=True)
 
 POPULATION_SIZE = int(os.environ.get("REPRO_POPULATION_SIZE", "240"))
 POPULATION_SEED = 42
+#: Worker processes for the shared population run (1 = sequential).
+POPULATION_JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+#: Optional result-cache directory for the shared population run.
+POPULATION_CACHE = os.environ.get("REPRO_CACHE") or None
 
 
 def write_artifact(name: str, text: str) -> None:

@@ -6,17 +6,25 @@ claims against them and use ``benchmark`` to time representative operations.
 Rendered tables land in ``benchmarks/_artifacts/`` (the numbers recorded in
 EXPERIMENTS.md regenerate from there).
 
-Scale knob: ``REPRO_POPULATION_SIZE`` (default 240; the paper used 1,716).
+Scale knobs: ``REPRO_POPULATION_SIZE`` (default 240; the paper used 1,716),
+``REPRO_JOBS`` (worker processes for the shared population run) and
+``REPRO_CACHE`` (result-cache directory, making repeated bench sessions
+resume instead of re-analyzing).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import AutoVac
+from repro.core.executor import PipelineConfig, analyze_population
 from repro.corpus import GeneratorConfig, all_families, benign_suite, generate_population
 
-from benchutil import POPULATION_SEED, POPULATION_SIZE
+from benchutil import (
+    POPULATION_CACHE,
+    POPULATION_JOBS,
+    POPULATION_SEED,
+    POPULATION_SIZE,
+)
 
 
 @pytest.fixture(scope="session")
@@ -25,15 +33,28 @@ def population():
     samples = generate_population(
         GeneratorConfig(size=POPULATION_SIZE, seed=POPULATION_SEED)
     )
-    autovac = AutoVac()
-    result = autovac.analyze_population([s.program for s in samples])
+    result = analyze_population(
+        [s.program for s in samples],
+        config=PipelineConfig(),
+        jobs=POPULATION_JOBS,
+        cache=POPULATION_CACHE,
+    )
     return samples, result
 
 
 @pytest.fixture(scope="session")
 def family_analyses():
-    autovac = AutoVac()
-    return {p.metadata["family"]: (p, autovac.analyze(p)) for p in all_families()}
+    programs = all_families()
+    result = analyze_population(
+        programs,
+        config=PipelineConfig(),
+        jobs=POPULATION_JOBS,
+        cache=POPULATION_CACHE,
+    )
+    return {
+        p.metadata["family"]: (p, analysis)
+        for p, analysis in zip(programs, result.analyses)
+    }
 
 
 @pytest.fixture(scope="session")

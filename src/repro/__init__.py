@@ -28,9 +28,11 @@ from .core import (
     IdentifierKind,
     Immunization,
     Mechanism,
+    PipelineConfig,
     PopulationResult,
     SampleAnalysis,
     Vaccine,
+    analyze_population,
     measure_bdr,
     run_sample,
     select_candidates,
@@ -47,6 +49,7 @@ __all__ = [
     "Immunization",
     "MachineIdentity",
     "Mechanism",
+    "PipelineConfig",
     "PopulationResult",
     "SampleAnalysis",
     "SystemEnvironment",
@@ -54,6 +57,7 @@ __all__ = [
     "VaccineDaemon",
     "VaccinePackage",
     "__version__",
+    "analyze_population",
     "deploy",
     "measure_bdr",
     "run_sample",

@@ -112,6 +112,28 @@ def attempt_infection(worm: Program, machine: FleetMachine, max_steps: int = 200
     return infected
 
 
+def build_fleet_package(
+    captured: Sequence[Program],
+    jobs: int = 1,
+    cache=None,
+    config=None,
+    description: str = "fleet vaccination campaign",
+) -> VaccinePackage:
+    """The paper's response loop, made fast: binaries captured at the
+    initial infection stage go through the population executor (``jobs``
+    worker processes, optional result cache) and every extracted vaccine is
+    packaged for fleet-wide rollout via :meth:`Fleet.vaccinate`."""
+    from .core.executor import PipelineConfig, analyze_population
+
+    result = analyze_population(
+        list(captured),
+        config=config if config is not None else PipelineConfig(),
+        jobs=jobs,
+        cache=cache,
+    )
+    return VaccinePackage(vaccines=result.vaccines, description=description)
+
+
 def simulate_outbreak(
     worm: Program,
     fleet: Fleet,

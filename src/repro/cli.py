@@ -6,13 +6,17 @@ Subcommands::
                              [--metrics m.json]
     python -m repro deploy   <pack.json> [--computer-name NAME] [--attack FAMILY]
     python -m repro families
-    python -m repro survey   [--size N] [--seed S] [--metrics m.json]
+    python -m repro survey   [--size N] [--seed S] [--jobs N] [--cache DIR]
+                             [--metrics m.json]
     python -m repro stats    <m.json> [--prom] [--depth N]
 
 ``analyze`` runs the full pipeline on a built-in family or an assembly file
 and optionally writes a vaccine package; ``deploy`` simulates deployment on a
 fresh machine (optionally re-attacking it with a family sample); ``survey``
-prints the population-scale tables.  ``--metrics`` captures the run's
+prints the population-scale tables — ``--jobs N`` fans the analysis out to
+worker processes and ``--cache DIR`` makes an interrupted survey resumable
+(already-analyzed samples are served from the content-addressed result
+cache).  ``--metrics`` captures the run's
 observability snapshot (``repro.obs``: per-phase spans, per-API counters, VM
 instruction counts) to a JSON file; ``stats`` pretty-prints such a file or
 re-emits it as Prometheus text.  Set ``REPRO_LOG=info`` for structured logs.
@@ -119,11 +123,20 @@ def cmd_deploy(args: argparse.Namespace) -> int:
 
 
 def cmd_survey(args: argparse.Namespace) -> int:
+    from .core.executor import PipelineConfig, analyze_population
+
     samples = generate_population(GeneratorConfig(size=args.size, seed=args.seed))
-    autovac = AutoVac()
-    result = autovac.analyze_population([s.program for s in samples])
+    result = analyze_population(
+        [s.program for s in samples],
+        config=PipelineConfig(),
+        jobs=args.jobs,
+        cache=args.cache,
+    )
     print(f"{args.size} samples -> {len(result.vaccines)} vaccines "
           f"from {result.samples_with_vaccines} samples")
+    if args.cache:
+        print(f"cache: {obs.metrics.value('pipeline.cache_hits'):.0f} hits, "
+              f"{obs.metrics.value('pipeline.cache_misses'):.0f} misses")
     print("by resource x immunization:")
     for rtype, row in sorted(result.count_by_resource_and_immunization().items()):
         cells = ", ".join(f"{k}={v}" for k, v in sorted(row.items()))
@@ -175,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("survey", help="population-scale pipeline statistics")
     p.add_argument("--size", type=int, default=100)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = in-process, sequential)")
+    p.add_argument("--cache",
+                   help="content-addressed result cache directory "
+                        "(makes interrupted surveys resumable)")
     p.add_argument("--metrics", help="write an observability snapshot (JSON)")
     p.set_defaults(func=cmd_survey)
 

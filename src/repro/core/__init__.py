@@ -5,9 +5,21 @@ from .candidate import CandidateReport, CandidateResource, select_candidates
 from .clinic import ClinicIncident, ClinicReport, clinic_test
 from .determinism import DeterminismResult, analyze_determinism, build_pattern
 from .exclusiveness import ExclusivenessAnalyzer, ExclusivenessDecision
+from .executor import PipelineConfig, ResultCache, analyze_population
 from .impact import ImpactAnalyzer, ImpactOutcome, ResourceMutation, classify_deltas
 from .pipeline import AutoVac, PopulationResult, SampleAnalysis
 from .report import render_report
+from .stages import (
+    AnalysisContext,
+    ClinicStage,
+    DeterminismStage,
+    ExclusivenessStage,
+    ExplorationStage,
+    ImpactStage,
+    Phase1Stage,
+    Stage,
+    default_stages,
+)
 from .runner import DEFAULT_BUDGET, RunResult, run_sample
 from .selection import SelectionResult, rank, score, select_minimal, select_with_backups
 from .verification import VerificationReport, VerificationResult, verify_all, verify_vaccine
@@ -21,35 +33,47 @@ from .vaccine import (
 )
 
 __all__ = [
+    "AnalysisContext",
     "AutoVac",
     "BdrResult",
     "CandidateReport",
     "CandidateResource",
     "ClinicIncident",
     "ClinicReport",
+    "ClinicStage",
     "DEFAULT_BUDGET",
     "DeliveryKind",
     "DeterminismResult",
+    "DeterminismStage",
     "EFFECT_BUDGET",
     "ExclusivenessAnalyzer",
     "ExclusivenessDecision",
+    "ExclusivenessStage",
+    "ExplorationStage",
     "IdentifierKind",
     "ImpactAnalyzer",
     "ImpactOutcome",
+    "ImpactStage",
     "Immunization",
     "Mechanism",
+    "Phase1Stage",
+    "PipelineConfig",
     "PopulationResult",
     "ResourceMutation",
+    "ResultCache",
     "RunResult",
     "SelectionResult",
     "SampleAnalysis",
+    "Stage",
     "Vaccine",
     "VerificationReport",
     "VerificationResult",
     "analyze_determinism",
+    "analyze_population",
     "build_pattern",
     "classify_deltas",
     "clinic_test",
+    "default_stages",
     "measure_bdr",
     "normalize_identifier",
     "rank",

@@ -1,0 +1,283 @@
+"""Parallel, cache-backed population executor (paper §VI scale: 1,716
+samples through Phase I–III).
+
+Per-sample analyses are hermetic — ``run_sample`` clones the pristine
+environment and the RNG reseeds per clone — so a population fans out to
+worker processes without changing any result:
+
+* :class:`PipelineConfig` is the picklable recipe each worker uses to build
+  its own :class:`~repro.core.pipeline.AutoVac`;
+* workers return ``(analysis payload, metrics snapshot)``; the parent
+  decodes payloads via the :mod:`repro.tracing.serialize` analysis codec,
+  adopts the span trees into ``obs.trace`` and folds the snapshots into
+  ``obs.metrics`` (so ``--metrics``/``stats`` stay correct under ``jobs>1``);
+* :class:`ResultCache` stores payloads content-addressed by
+  ``sha256(program text, PipelineConfig)`` — an interrupted survey restarted
+  with the same cache directory re-analyzes only the missing samples.
+
+The ``pipeline.population_analyzed`` gauge tracks *completed* samples (a
+monotone count, final value == population size) regardless of worker
+completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .. import obs
+from ..analysis.alignment import align_lcs, align_linear
+from ..tracing import serialize
+from ..vm.program import Program
+from .pipeline import AutoVac, PopulationResult, SampleAnalysis
+from .runner import DEFAULT_BUDGET
+
+_log = obs.get_logger("executor")
+
+#: Aligner registry — configs name the aligner so they stay picklable.
+ALIGNERS = {"lcs": align_lcs, "linear": align_linear}
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything needed to rebuild an equivalent :class:`AutoVac` in
+    another process.  Only named/scalar knobs belong here (picklability and
+    cache-key stability); the clinic needs shared benign programs and stays
+    a sequential-only feature.
+    """
+
+    profile_budget: int = DEFAULT_BUDGET
+    validate_replay: bool = True
+    exclusiveness_enabled: bool = True
+    explore_paths: bool = False
+    aligner: str = "lcs"
+
+    def build(self) -> AutoVac:
+        try:
+            aligner = ALIGNERS[self.aligner]
+        except KeyError:
+            raise ValueError(
+                f"unknown aligner {self.aligner!r} (have: {sorted(ALIGNERS)})"
+            ) from None
+        return AutoVac(
+            aligner=aligner,
+            profile_budget=self.profile_budget,
+            validate_replay=self.validate_replay,
+            exclusiveness_enabled=self.exclusiveness_enabled,
+            explore_paths=self.explore_paths,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable hash of the config *and* the payload format version — a
+        codec bump invalidates every cached result automatically."""
+        doc = {
+            "config": asdict(self),
+            "analysis_format": serialize.ANALYSIS_FORMAT_VERSION,
+        }
+        return hashlib.sha256(
+            json.dumps(doc, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+
+
+def config_for(autovac: AutoVac) -> PipelineConfig:
+    """Derive the worker recipe from an existing pipeline instance.
+
+    Raises :class:`ValueError` for setups a worker cannot reproduce from a
+    config alone (clinic programs, custom aligner callables, custom stage
+    lists) — those run sequentially via ``jobs=1``.
+    """
+    aligner_name = next(
+        (name for name, fn in ALIGNERS.items() if fn is autovac.impact.aligner), None
+    )
+    if aligner_name is None:
+        raise ValueError(
+            "cannot parallelize: custom aligner callable is not picklable; "
+            "use aligner='lcs'/'linear' via PipelineConfig or run with jobs=1"
+        )
+    if autovac.run_clinic or autovac.clinic_programs:
+        raise ValueError(
+            "cannot parallelize: the clinic test shares benign programs "
+            "across samples; run with jobs=1"
+        )
+    from .stages import default_stages
+
+    defaults = default_stages(exclusiveness_enabled=autovac.exclusiveness_enabled)
+    if tuple(type(s) for s in autovac.stages) != tuple(type(s) for s in defaults):
+        raise ValueError(
+            "cannot parallelize: custom stage lists do not ship to workers; "
+            "run with jobs=1"
+        )
+    return PipelineConfig(
+        profile_budget=autovac.profile_budget,
+        validate_replay=autovac.validate_replay,
+        exclusiveness_enabled=autovac.exclusiveness_enabled,
+        explore_paths=autovac.explore_paths,
+        aligner=aligner_name,
+    )
+
+
+class ResultCache:
+    """Content-addressed on-disk store of encoded analyses.
+
+    Key: sha256 of the program text (assembly source, falling back to the
+    disassembly), its name/metadata/section images, and the
+    :meth:`PipelineConfig.fingerprint`.  Layout: ``root/<k[:2]>/<key>.json``.
+    Writes are atomic (tmp + rename); a corrupt or version-skewed entry
+    reads as a miss.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def key(self, program: Program, config: PipelineConfig) -> str:
+        h = hashlib.sha256()
+        h.update(program.name.encode("utf-8", "replace"))
+        text = program.source or program.disassemble()
+        h.update(b"\x00" + text.encode("utf-8", "replace"))
+        for section in program.sections:
+            h.update(b"\x00" + section.name.encode("utf-8", "replace"))
+            h.update(str(section.base).encode())
+            h.update(section.image)
+        h.update(
+            b"\x00"
+            + json.dumps(program.metadata, sort_keys=True, default=repr).encode()
+        )
+        h.update(b"\x00" + config.fingerprint().encode())
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SampleAnalysis]:
+        """Decoded analysis on hit, ``None`` on miss (counted either way)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            analysis = serialize.analysis_from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            obs.metrics.counter("pipeline.cache_misses").inc()
+            return None
+        obs.metrics.counter("pipeline.cache_hits").inc()
+        return analysis
+
+    def store_payload(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        obs.metrics.counter("pipeline.cache_stores").inc()
+
+    def store(self, key: str, analysis: SampleAnalysis) -> None:
+        self.store_payload(key, serialize.analysis_to_dict(analysis))
+
+
+def _as_cache(cache: Union[None, str, os.PathLike, ResultCache]) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _analyze_worker(
+    program: Program, config: PipelineConfig, cache_root: Optional[str]
+) -> Tuple[dict, Dict[str, object]]:
+    """Runs in a worker process: fresh obs state, fresh AutoVac, one sample.
+
+    Returns the encoded analysis plus this task's metrics *delta* — the
+    registry is reset first so a forked worker never re-reports inherited
+    parent counts.
+    """
+    obs.reset()
+    autovac = config.build()
+    analysis = autovac.analyze(program)
+    payload = serialize.analysis_to_dict(analysis)
+    if cache_root is not None:
+        cache = ResultCache(cache_root)
+        cache.store_payload(cache.key(program, config), payload)
+    return payload, obs.metrics.snapshot()
+
+
+def analyze_population(
+    programs: Iterable[Program],
+    config: Optional[PipelineConfig] = None,
+    jobs: int = 1,
+    cache: Union[None, str, os.PathLike, ResultCache] = None,
+    autovac: Optional[AutoVac] = None,
+) -> PopulationResult:
+    """Analyze a corpus with ``jobs`` worker processes and an optional
+    result cache.  Results keep input order; tables are identical for any
+    ``jobs``/cache combination (the determinism regression test pins this).
+
+    Exactly one of ``config``/``autovac`` drives the analysis: ``jobs=1``
+    uses ``autovac`` (or ``config.build()``) in-process; ``jobs>1`` ships
+    ``config`` (derived from ``autovac`` if needed) to the workers.
+    """
+    programs = list(programs)
+    jobs = max(1, int(jobs))
+    if config is None and (jobs > 1 or cache is not None):
+        config = config_for(autovac) if autovac is not None else PipelineConfig()
+    store = _as_cache(cache)
+
+    results: List[Optional[SampleAnalysis]] = [None] * len(programs)
+    gauge = obs.metrics.gauge(
+        "pipeline.population_analyzed", help="samples completed in this run"
+    )
+    done = 0
+
+    def finish(index: int, analysis: SampleAnalysis) -> None:
+        nonlocal done
+        results[index] = analysis
+        done += 1  # completion count: monotone even when workers finish out of order
+        gauge.set(done)
+
+    pending: List[int] = []
+    for i, program in enumerate(programs):
+        hit = store.load(store.key(program, config)) if store is not None else None
+        if hit is not None:
+            finish(i, hit)
+        else:
+            pending.append(i)
+    if store is not None and pending:
+        _log.info("cache", hits=len(programs) - len(pending), misses=len(pending))
+
+    if jobs == 1 or len(pending) <= 1:
+        local = autovac if autovac is not None else config.build() if config else AutoVac()
+        for i in pending:
+            analysis = local.analyze(programs[i])
+            if store is not None:
+                store.store(store.key(programs[i], config), analysis)
+            finish(i, analysis)
+        return PopulationResult(analyses=list(results))
+
+    cache_root = str(store.root) if store is not None else None
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = {
+            pool.submit(_analyze_worker, programs[i], config, cache_root): i
+            for i in pending
+        }
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in finished:
+                payload, snapshot = future.result()
+                analysis = serialize.analysis_from_dict(payload)
+                if analysis.span is not None:
+                    obs.trace.adopt(analysis.span)
+                obs.metrics.merge(snapshot)
+                finish(futures[future], analysis)
+    return PopulationResult(analyses=list(results))
+
+
+__all__ = [
+    "ALIGNERS",
+    "PipelineConfig",
+    "ResultCache",
+    "analyze_population",
+    "config_for",
+]

@@ -15,7 +15,7 @@ the statistics the paper reports (Tables IV/V, Figure 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..analysis.alignment import Aligner, align_lcs
@@ -23,13 +23,14 @@ from ..obs import Span
 from ..search.engine import SearchEngine
 from ..vm.program import Program
 from ..winenv.environment import SystemEnvironment
-from .candidate import CandidateReport, CandidateResource, select_candidates
-from .clinic import ClinicReport, clinic_test
+from .candidate import CandidateReport, CandidateResource
+from .clinic import ClinicReport
 from .determinism import DeterminismResult, analyze_determinism
 from .exclusiveness import ExclusivenessAnalyzer, ExclusivenessDecision
 from .impact import ImpactAnalyzer, ImpactOutcome
 from .runner import DEFAULT_BUDGET
-from .vaccine import IdentifierKind, Immunization, Mechanism, Vaccine
+from .stages import AnalysisContext, Stage, default_stages, run_stages
+from .vaccine import IdentifierKind, Vaccine
 
 #: Every Phase I/II stage, in pipeline order.  ``analyze`` emits exactly one
 #: span per stage per sample (skipped stages carry ``skipped=True``), except
@@ -156,6 +157,18 @@ class PopulationResult:
                 row[key] = row.get(key, 0) + 1
         return table
 
+    def merge(self, *others: "PopulationResult") -> "PopulationResult":
+        """Combine shard results (sample order: self, then each shard).
+
+        Every stat helper is a sum over per-sample contributions, so
+        merge-then-count equals count-then-sum — the property the shard
+        tests pin down.
+        """
+        merged = PopulationResult(analyses=list(self.analyses))
+        for other in others:
+            merged.analyses.extend(other.analyses)
+        return merged
+
 
 class AutoVac:
     """The AUTOVAC analysis system.
@@ -164,6 +177,11 @@ class AutoVac:
     search engine for exclusiveness, the trace aligner, and the profiling
     budget (1-minute analogue).  ``exclusiveness_enabled`` and
     ``run_clinic`` exist for the ablation benches.
+
+    ``stages`` makes the pipeline order explicit and reorderable: pass a
+    sequence of :class:`~repro.core.stages.Stage` objects to replace the
+    default Figure-1 order (the boolean flags above remain as shims that
+    parameterize :func:`~repro.core.stages.default_stages`).
     """
 
     def __init__(
@@ -177,6 +195,7 @@ class AutoVac:
         exclusiveness_enabled: bool = True,
         run_clinic: bool = False,
         explore_paths: bool = False,
+        stages: Optional[Sequence[Stage]] = None,
     ) -> None:
         self.environment = environment if environment is not None else SystemEnvironment()
         self.exclusiveness = ExclusivenessAnalyzer(search=search_engine or SearchEngine())
@@ -191,6 +210,11 @@ class AutoVac:
         #: Enforced execution (§VIII): flip resource-check outcomes to find
         #: candidates on dormant paths before Phase II.
         self.explore_paths = explore_paths
+        self.stages: Tuple[Stage, ...] = (
+            tuple(stages)
+            if stages is not None
+            else default_stages(exclusiveness_enabled=exclusiveness_enabled)
+        )
 
     # ------------------------------------------------------------------
 
@@ -218,80 +242,21 @@ class AutoVac:
         return analysis
 
     def _analyze(self, program: Program, analysis: SampleAnalysis) -> None:
-        span = obs.trace.span  # each stage emits exactly one child span
+        ctx = AnalysisContext(program=program, analysis=analysis, pipeline=self)
+        run_stages(self.stages, ctx)
 
-        with span("phase1"):
-            phase1 = select_candidates(
-                program, environment=self.environment, max_steps=self.profile_budget
-            )
-            analysis.phase1 = phase1
+    def analyze_population(
+        self,
+        programs: Iterable[Program],
+        jobs: int = 1,
+        cache: Optional[object] = None,
+    ) -> PopulationResult:
+        """Analyze a corpus; ``jobs>1`` fans out to worker processes and
+        ``cache`` (a directory path) skips samples whose result is already
+        on disk.  See :func:`repro.core.executor.analyze_population`."""
+        from .executor import analyze_population
 
-        if not phase1.has_vaccine_potential:
-            analysis.filtered_reason = "no resource-dependent branch (Phase I filter)"
-            for stage in ("exclusiveness", "impact", "determinism", "clinic"):
-                with span(stage) as s:
-                    s.set(skipped=True)
-            return
-
-        candidates = [
-            c for c in phase1.candidates if c.influences_control_flow or c.had_failure
-        ]
-
-        if self.explore_paths:
-            with span("exploration") as s:
-                from ..analysis.forced_execution import explore_resource_paths
-
-                exploration = explore_resource_paths(
-                    program, environment=self.environment, max_steps=self.profile_budget
-                )
-                candidates.extend(exploration.discovered)
-                s.set(discovered=len(exploration.discovered))
-
-        with span("exclusiveness") as s:
-            if self.exclusiveness_enabled:
-                analysis.exclusiveness = self.exclusiveness.filter(candidates)
-                candidates = [d.candidate for d in analysis.exclusiveness if d.exclusive]
-            s.set(kept=len(candidates))
-
-        with span("impact") as s:
-            for candidate in candidates:
-                analysis.impacts.extend(
-                    self.impact.analyze(program, candidate, phase1.trace)
-                )
-            s.set(outcomes=len(analysis.impacts))
-
-        with span("determinism"):
-            built: Dict[tuple, Vaccine] = {}
-            ordered = sorted(
-                (o for o in analysis.impacts if o.is_effective),
-                key=lambda o: o.mechanism is not Mechanism.SIMULATE_PRESENCE,
-            )
-            for outcome in ordered:
-                vaccine = self._build_vaccine(program, phase1, outcome, analysis)
-                if vaccine is None:
-                    continue
-                # Both mutation directions of a create-checked resource deploy as
-                # the same artifact (a locked marker); keep one per effect.
-                key = (vaccine.resource_type, vaccine.identifier, vaccine.immunization)
-                if key not in built:
-                    built[key] = vaccine
-            analysis.vaccines = list(built.values())
-
-        with span("clinic") as s:
-            if self.run_clinic and analysis.vaccines and self.clinic_programs:
-                analysis.clinic = clinic_test(
-                    analysis.vaccines, self.clinic_programs, environment=self.environment
-                )
-                analysis.vaccines = list(analysis.clinic.passed)
-            else:
-                s.set(skipped=True)
-
-    def analyze_population(self, programs: Iterable[Program]) -> PopulationResult:
-        result = PopulationResult()
-        for program in programs:
-            result.analyses.append(self.analyze(program))
-            obs.metrics.gauge("pipeline.population_analyzed").set(len(result.analyses))
-        return result
+        return analyze_population(programs, jobs=jobs, cache=cache, autovac=self)
 
     # ------------------------------------------------------------------
 

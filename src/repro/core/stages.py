@@ -1,0 +1,250 @@
+"""Composable pipeline stages (paper Figure 1, one object per box).
+
+``AutoVac`` executes a constructor-visible sequence of :class:`Stage`
+objects over a shared :class:`AnalysisContext` instead of one monolithic
+method.  Each stage decides:
+
+* :meth:`Stage.active` — does the stage appear in this sample's span tree at
+  all?  (``exploration`` only exists when enforced execution is on);
+* :meth:`Stage.ready` — does it run, or emit a ``skipped=True`` span?
+  (everything after Phase I is skipped once the sample is filtered);
+* :meth:`Stage.run` — the actual work, reading and writing the context.
+
+The default order reproduces the paper's pipeline exactly; ablation benches
+can now pass a reduced or reordered stage list instead of boolean flags
+(the flags remain as thin shims that parameterize the default stages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from .. import obs
+from .candidate import CandidateResource, select_candidates
+from .clinic import clinic_test
+from .vaccine import Mechanism, Vaccine
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..obs import Span
+    from ..vm.program import Program
+    from .pipeline import AutoVac, SampleAnalysis
+
+
+@dataclass
+class AnalysisContext:
+    """Mutable state threaded through the stages for one sample.
+
+    ``candidates`` is the working set each Phase-II stage refines;
+    ``done`` short-circuits the remaining stages (they still emit
+    ``skipped=True`` spans so every sample's span tree has the same shape).
+    """
+
+    program: "Program"
+    analysis: "SampleAnalysis"
+    pipeline: "AutoVac"
+    candidates: List[CandidateResource] = field(default_factory=list)
+    done: bool = False
+
+
+class Stage:
+    """One pipeline step.  Subclasses override ``run`` (and optionally
+    ``active``/``ready``); ``name`` becomes the stage's span name."""
+
+    name: str = "stage"
+
+    def active(self, ctx: AnalysisContext) -> bool:
+        """Whether this stage appears in the sample's span tree at all."""
+        return True
+
+    def ready(self, ctx: AnalysisContext) -> bool:
+        """Whether the stage runs; otherwise it emits a skipped span."""
+        return not ctx.done
+
+    def run(self, ctx: AnalysisContext, span: "Span") -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Phase1Stage(Stage):
+    """Phase I — profiling + taint candidate selection; applies the
+    no-resource-dependent-branch filter."""
+
+    name = "phase1"
+
+    def ready(self, ctx: AnalysisContext) -> bool:
+        return True
+
+    def run(self, ctx: AnalysisContext, span: "Span") -> None:
+        pipeline = ctx.pipeline
+        phase1 = select_candidates(
+            ctx.program,
+            environment=pipeline.environment,
+            max_steps=pipeline.profile_budget,
+        )
+        ctx.analysis.phase1 = phase1
+        if not phase1.has_vaccine_potential:
+            ctx.analysis.filtered_reason = (
+                "no resource-dependent branch (Phase I filter)"
+            )
+            ctx.done = True
+            return
+        ctx.candidates = [
+            c for c in phase1.candidates if c.influences_control_flow or c.had_failure
+        ]
+
+
+class ExplorationStage(Stage):
+    """Enforced execution (§VIII): discover candidates on dormant paths.
+
+    Only present in the span tree when ``explore_paths`` is on and the
+    sample passed the Phase-I filter (matches the pre-stage behaviour)."""
+
+    name = "exploration"
+
+    def active(self, ctx: AnalysisContext) -> bool:
+        return ctx.pipeline.explore_paths and not ctx.done
+
+    def run(self, ctx: AnalysisContext, span: "Span") -> None:
+        from ..analysis.forced_execution import explore_resource_paths
+
+        pipeline = ctx.pipeline
+        exploration = explore_resource_paths(
+            ctx.program,
+            environment=pipeline.environment,
+            max_steps=pipeline.profile_budget,
+        )
+        ctx.candidates.extend(exploration.discovered)
+        span.set(discovered=len(exploration.discovered))
+
+
+class ExclusivenessStage(Stage):
+    """Phase II step I — drop candidates benign software also uses.
+
+    ``enforce=False`` keeps the span (with its ``kept`` attribute) but lets
+    every candidate through — the ablation shim for
+    ``exclusiveness_enabled=False``."""
+
+    name = "exclusiveness"
+
+    def __init__(self, enforce: bool = True) -> None:
+        self.enforce = enforce
+
+    def run(self, ctx: AnalysisContext, span: "Span") -> None:
+        if self.enforce:
+            ctx.analysis.exclusiveness = ctx.pipeline.exclusiveness.filter(
+                ctx.candidates
+            )
+            ctx.candidates = [
+                d.candidate for d in ctx.analysis.exclusiveness if d.exclusive
+            ]
+        span.set(kept=len(ctx.candidates))
+
+
+class ImpactStage(Stage):
+    """Phase II step II — mutated runs + trace alignment per candidate."""
+
+    name = "impact"
+
+    def run(self, ctx: AnalysisContext, span: "Span") -> None:
+        pipeline = ctx.pipeline
+        phase1 = ctx.analysis.phase1
+        for candidate in ctx.candidates:
+            ctx.analysis.impacts.extend(
+                pipeline.impact.analyze(ctx.program, candidate, phase1.trace)
+            )
+        span.set(outcomes=len(ctx.analysis.impacts))
+
+
+class DeterminismStage(Stage):
+    """Phase II step III — backward slicing / identifier classification;
+    builds the vaccine set from effective impact outcomes."""
+
+    name = "determinism"
+
+    def run(self, ctx: AnalysisContext, span: "Span") -> None:
+        pipeline = ctx.pipeline
+        analysis = ctx.analysis
+        built: Dict[tuple, Vaccine] = {}
+        ordered = sorted(
+            (o for o in analysis.impacts if o.is_effective),
+            key=lambda o: o.mechanism is not Mechanism.SIMULATE_PRESENCE,
+        )
+        for outcome in ordered:
+            vaccine = pipeline._build_vaccine(
+                ctx.program, analysis.phase1, outcome, analysis
+            )
+            if vaccine is None:
+                continue
+            # Both mutation directions of a create-checked resource deploy as
+            # the same artifact (a locked marker); keep one per effect.
+            key = (vaccine.resource_type, vaccine.identifier, vaccine.immunization)
+            if key not in built:
+                built[key] = vaccine
+        analysis.vaccines = list(built.values())
+
+
+class ClinicStage(Stage):
+    """Phase II step IV — benign-interference test; discards implicated
+    vaccines.  Skipped unless ``run_clinic`` is on and there is something
+    to test."""
+
+    name = "clinic"
+
+    def ready(self, ctx: AnalysisContext) -> bool:
+        return (
+            not ctx.done
+            and ctx.pipeline.run_clinic
+            and bool(ctx.analysis.vaccines)
+            and bool(ctx.pipeline.clinic_programs)
+        )
+
+    def run(self, ctx: AnalysisContext, span: "Span") -> None:
+        pipeline = ctx.pipeline
+        ctx.analysis.clinic = clinic_test(
+            ctx.analysis.vaccines,
+            pipeline.clinic_programs,
+            environment=pipeline.environment,
+        )
+        ctx.analysis.vaccines = list(ctx.analysis.clinic.passed)
+
+
+def default_stages(exclusiveness_enabled: bool = True) -> Tuple[Stage, ...]:
+    """The paper's pipeline order (Figure 1)."""
+    return (
+        Phase1Stage(),
+        ExplorationStage(),
+        ExclusivenessStage(enforce=exclusiveness_enabled),
+        ImpactStage(),
+        DeterminismStage(),
+        ClinicStage(),
+    )
+
+
+def run_stages(stages: Sequence[Stage], ctx: AnalysisContext) -> None:
+    """Execute a stage sequence: one span per active stage, ``skipped=True``
+    on stages that declined to run."""
+    for stage in stages:
+        if not stage.active(ctx):
+            continue
+        with obs.trace.span(stage.name) as span:
+            if stage.ready(ctx):
+                stage.run(ctx, span)
+            else:
+                span.set(skipped=True)
+
+
+__all__ = [
+    "AnalysisContext",
+    "Stage",
+    "Phase1Stage",
+    "ExplorationStage",
+    "ExclusivenessStage",
+    "ImpactStage",
+    "DeterminismStage",
+    "ClinicStage",
+    "default_stages",
+    "run_stages",
+]

@@ -107,6 +107,41 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def merge_series(self, series: Dict[str, object]) -> None:
+        """Fold one snapshot histogram series (see
+        :meth:`MetricsRegistry.snapshot`) into this histogram.
+
+        Identical bucket layouts merge element-wise; a foreign layout is
+        re-binned by upper bound (each foreign bucket's count lands in the
+        first local bucket whose bound covers it — a conservative coarsening,
+        never a loss: count/sum/min/max stay exact either way).
+        """
+        self.count += int(series.get("count", 0))
+        self.sum += float(series.get("sum", 0.0))
+        for attr in ("min", "max"):
+            other = series.get(attr)
+            if other is None:
+                continue
+            mine = getattr(self, attr)
+            pick = min if attr == "min" else max
+            setattr(self, attr, float(other) if mine is None else pick(mine, float(other)))
+        bounds = tuple(float(b) for b in series.get("buckets", ()))
+        counts = [int(c) for c in series.get("bucket_counts", ())]
+        if len(counts) != len(bounds) + 1:
+            return
+        if bounds == self.buckets:
+            for i, c in enumerate(counts):
+                self.bucket_counts[i] += c
+            return
+        for bound, c in zip(bounds, counts):
+            for i, own_bound in enumerate(self.buckets):
+                if bound <= own_bound:
+                    self.bucket_counts[i] += c
+                    break
+            else:
+                self.bucket_counts[-1] += c
+        self.bucket_counts[-1] += counts[-1]
+
 
 class Timer:
     """Context manager observing elapsed monotonic seconds into a histogram."""
@@ -265,6 +300,44 @@ class MetricsRegistry:
             self._families.clear()
             self.dropped_label_sets = 0
             self.generation += 1
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. from a worker process) into
+        this registry.
+
+        Counters and histograms add; gauges fold *additively* as well, which
+        makes "merged totals == sum of worker snapshots" hold uniformly —
+        gauges whose last-writer semantics matter (population progress) are
+        owned by the parent and never appear in worker snapshots.  No-op when
+        the registry is disabled.
+        """
+        if not self.enabled:
+            return
+        for name in sorted(snapshot):
+            family = snapshot[name]
+            kind = family.get("kind")
+            help_text = str(family.get("help", ""))
+            for series in family.get("series", ()):
+                labels = {str(k): v for k, v in series.get("labels", {}).items()}
+                if kind == "counter":
+                    self.counter(name, help=help_text, **labels).inc(
+                        float(series.get("value", 0.0))
+                    )
+                elif kind == "gauge":
+                    self.gauge(name, help=help_text, **labels).inc(
+                        float(series.get("value", 0.0))
+                    )
+                elif kind == "histogram":
+                    hist = self.histogram(
+                        name,
+                        help=help_text,
+                        buckets=tuple(series.get("buckets", DEFAULT_BUCKETS)),
+                        **labels,
+                    )
+                    if isinstance(hist, Histogram):
+                        hist.merge_series(series)
 
     # -- exporters ---------------------------------------------------------
 

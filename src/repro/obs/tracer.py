@@ -70,6 +70,20 @@ class Span:
             out["children"] = [c.to_dict() for c in self.children]
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Span":
+        """Rebuild a finished span tree from :meth:`to_dict` output — the
+        transport half of shipping worker span trees back to the parent."""
+        span = cls(str(data["name"]), data.get("attrs"))  # type: ignore[arg-type]
+        span.start_unix = float(data.get("start_unix") or 0.0)
+        duration = data.get("duration")
+        span.duration = float(duration) if duration is not None else None
+        span.status = str(data.get("status", "ok"))
+        error = data.get("error")
+        span.error = str(error) if error is not None else None
+        span.children = [cls.from_dict(c) for c in data.get("children", ())]  # type: ignore[union-attr]
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Span({self.name!r}, duration={self.duration}, children={len(self.children)})"
 
@@ -132,6 +146,15 @@ class Tracer:
                 self.roots.append(span)
                 if len(self.roots) > MAX_ROOT_SPANS:
                     del self.roots[: len(self.roots) - MAX_ROOT_SPANS]
+
+    def adopt(self, span: Span) -> None:
+        """File an already-finished span (e.g. decoded from a worker
+        process) as a root, subject to the usual cap."""
+        if not self.enabled:
+            return
+        self.roots.append(span)
+        if len(self.roots) > MAX_ROOT_SPANS:
+            del self.roots[: len(self.roots) - MAX_ROOT_SPANS]
 
     def reset(self) -> None:
         self.roots = []

@@ -1,22 +1,45 @@
-"""Trace serialization: persist Phase-I logs for offline analysis.
+"""Trace and analysis-result serialization.
 
 The paper performs differential and backward analysis "offline on logged
 traces"; this module provides the log format — JSON with enough fidelity to
 re-run alignment and statistics (instruction-level def/use records are
 intentionally omitted: they are bulky and only consumed in-process).
+
+It also provides the **analysis codec**: a versioned JSON encoding of a
+whole :class:`~repro.core.pipeline.SampleAnalysis` (candidates, impacts,
+determinism, vaccines, span-derived timings).  This is what crosses the
+process boundary in the parallel executor and what the content-addressed
+result cache stores on disk.  Hermeticity rule: anything holding live VM
+state (``RunResult``, alignments, mutated runs, backward-slice raw output)
+is dropped — a decoded analysis answers every population-level question
+(tables, stats, vaccine deployment) but cannot be re-executed.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from ..obs import Span
 from ..taint.labels import TaintClass, TaintTag
 from ..winenv.objects import Operation, ResourceType
 from .events import ApiCallEvent, TaintedPredicateEvent
 from .trace import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.candidate import CandidateReport, CandidateResource
+    from ..core.clinic import ClinicReport
+    from ..core.determinism import DeterminismResult
+    from ..core.exclusiveness import ExclusivenessDecision
+    from ..core.impact import ImpactOutcome
+    from ..core.pipeline import SampleAnalysis
+
 FORMAT_VERSION = 1
+
+#: Version of the :func:`analysis_to_dict` payload.  Bump on any change to
+#: the encoded shape; the result cache keys on it, so stale cache entries
+#: from an older layout can never be decoded by mistake.
+ANALYSIS_FORMAT_VERSION = 1
 
 
 def _tagset_to_list(tags) -> List[dict]:
@@ -105,23 +128,19 @@ def predicate_from_dict(data: dict) -> TaintedPredicateEvent:
     )
 
 
-def trace_to_json(trace: Trace, indent: Optional[int] = None) -> str:
-    return json.dumps(
-        {
-            "format_version": FORMAT_VERSION,
-            "program_name": trace.program_name,
-            "exit_status": trace.exit_status,
-            "exit_code": trace.exit_code,
-            "steps": trace.steps,
-            "api_calls": [event_to_dict(e) for e in trace.api_calls],
-            "predicates": [predicate_to_dict(p) for p in trace.predicates],
-        },
-        indent=indent,
-    )
+def trace_to_dict(trace: Trace) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "program_name": trace.program_name,
+        "exit_status": trace.exit_status,
+        "exit_code": trace.exit_code,
+        "steps": trace.steps,
+        "api_calls": [event_to_dict(e) for e in trace.api_calls],
+        "predicates": [predicate_to_dict(p) for p in trace.predicates],
+    }
 
 
-def trace_from_json(text: str) -> Trace:
-    data = json.loads(text)
+def trace_from_dict(data: dict) -> Trace:
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported trace format version {version!r}")
@@ -134,5 +153,244 @@ def trace_from_json(text: str) -> Trace:
     return trace
 
 
+def trace_to_json(trace: Trace, indent: Optional[int] = None) -> str:
+    return json.dumps(trace_to_dict(trace), indent=indent)
+
+
+def trace_from_json(text: str) -> Trace:
+    return trace_from_dict(json.loads(text))
+
+
 def _jsonable(value) -> bool:
     return isinstance(value, (str, int, float, bool, type(None)))
+
+
+# ---------------------------------------------------------------------------
+# Analysis codec (SampleAnalysis and its payload)
+#
+# Core types are imported inside the functions: ``repro.core`` imports
+# ``repro.tracing`` at module load, so top-level imports here would cycle.
+# ---------------------------------------------------------------------------
+
+
+def candidate_to_dict(candidate: "CandidateResource") -> dict:
+    return {
+        "resource_type": candidate.resource_type.value,
+        "identifier": candidate.identifier,
+        "operations": sorted(op.value for op in candidate.operations),
+        "apis": sorted(candidate.apis),
+        "event_ids": list(candidate.event_ids),
+        "influences_control_flow": candidate.influences_control_flow,
+        "had_failure": candidate.had_failure,
+    }
+
+
+def candidate_from_dict(data: dict) -> "CandidateResource":
+    from ..core.candidate import CandidateResource
+
+    return CandidateResource(
+        resource_type=ResourceType(data["resource_type"]),
+        identifier=data["identifier"],
+        operations={Operation(op) for op in data.get("operations", [])},
+        apis=set(data.get("apis", [])),
+        event_ids=list(data.get("event_ids", [])),
+        influences_control_flow=data.get("influences_control_flow", False),
+        had_failure=data.get("had_failure", False),
+    )
+
+
+def report_to_dict(report: "CandidateReport") -> dict:
+    """Phase-I report.  The live :class:`RunResult` (CPU + guest memory) is
+    deliberately dropped — it is process-local working state."""
+    return {
+        "program_name": report.program_name,
+        "trace": trace_to_dict(report.trace),
+        "candidates": [candidate_to_dict(c) for c in report.candidates],
+        "influential_occurrences": report.influential_occurrences,
+        "total_occurrences": report.total_occurrences,
+    }
+
+
+def report_from_dict(data: dict) -> "CandidateReport":
+    from ..core.candidate import CandidateReport
+
+    return CandidateReport(
+        program_name=data["program_name"],
+        trace=trace_from_dict(data["trace"]),
+        run=None,  # hermetic payload: live run state does not round-trip
+        candidates=[candidate_from_dict(c) for c in data.get("candidates", [])],
+        influential_occurrences=data.get("influential_occurrences", 0),
+        total_occurrences=data.get("total_occurrences", 0),
+    )
+
+
+def decision_to_dict(decision: "ExclusivenessDecision") -> dict:
+    return {
+        "candidate": candidate_to_dict(decision.candidate),
+        "exclusive": decision.exclusive,
+        "reason": decision.reason,
+        "hits": decision.hits,
+    }
+
+
+def decision_from_dict(data: dict) -> "ExclusivenessDecision":
+    from ..core.exclusiveness import ExclusivenessDecision
+
+    return ExclusivenessDecision(
+        candidate=candidate_from_dict(data["candidate"]),
+        exclusive=data["exclusive"],
+        reason=data.get("reason", ""),
+        hits=data.get("hits", 0),
+    )
+
+
+def impact_to_dict(outcome: "ImpactOutcome") -> dict:
+    """Alignment and the mutated run are dropped (live VM state); the
+    classification they produced is what the pipeline consumes downstream."""
+    return {
+        "candidate": candidate_to_dict(outcome.candidate),
+        "mechanism": outcome.mechanism.value,
+        "immunization": outcome.immunization.value,
+        "effects": sorted(e.value for e in outcome.effects),
+        "mutation_hits": outcome.mutation_hits,
+    }
+
+
+def impact_from_dict(data: dict) -> "ImpactOutcome":
+    from ..core.impact import ImpactOutcome
+    from ..core.vaccine import Immunization, Mechanism
+
+    return ImpactOutcome(
+        candidate=candidate_from_dict(data["candidate"]),
+        mechanism=Mechanism(data["mechanism"]),
+        immunization=Immunization(data["immunization"]),
+        effects={Immunization(e) for e in data.get("effects", [])},
+        mutation_hits=data.get("mutation_hits", 0),
+    )
+
+
+def determinism_to_dict(result: "DeterminismResult") -> dict:
+    """The raw :class:`BackwardResult` is dropped; the extracted slice (the
+    deployable artifact) survives via its own codec."""
+    return {
+        "kind": result.kind.value,
+        "pattern": result.pattern,
+        "slice": result.slice.to_dict() if result.slice else None,
+        "notes": result.notes,
+    }
+
+
+def determinism_from_dict(data: dict) -> "DeterminismResult":
+    from ..core.determinism import DeterminismResult
+    from ..core.vaccine import IdentifierKind
+    from ..taint.slicing import VaccineSlice
+
+    return DeterminismResult(
+        kind=IdentifierKind(data["kind"]),
+        pattern=data.get("pattern"),
+        slice=VaccineSlice.from_dict(data["slice"]) if data.get("slice") else None,
+        notes=data.get("notes", ""),
+    )
+
+
+def clinic_to_dict(report: "ClinicReport") -> dict:
+    return {
+        "programs_tested": report.programs_tested,
+        "incidents": [
+            {
+                "program": inc.program,
+                "api": inc.api,
+                "identifier": inc.identifier,
+                "detail": inc.detail,
+                "implicated": [v.to_dict() for v in inc.implicated],
+            }
+            for inc in report.incidents
+        ],
+        "passed": [v.to_dict() for v in report.passed],
+        "rejected": [v.to_dict() for v in report.rejected],
+    }
+
+
+def clinic_from_dict(data: dict) -> "ClinicReport":
+    from ..core.clinic import ClinicIncident, ClinicReport
+    from ..core.vaccine import Vaccine
+
+    return ClinicReport(
+        programs_tested=data.get("programs_tested", 0),
+        incidents=[
+            ClinicIncident(
+                program=inc["program"],
+                api=inc["api"],
+                identifier=inc.get("identifier"),
+                detail=inc.get("detail", ""),
+                implicated=[Vaccine.from_dict(v) for v in inc.get("implicated", [])],
+            )
+            for inc in data.get("incidents", [])
+        ],
+        passed=[Vaccine.from_dict(v) for v in data.get("passed", [])],
+        rejected=[Vaccine.from_dict(v) for v in data.get("rejected", [])],
+    )
+
+
+def analysis_to_dict(analysis: "SampleAnalysis") -> dict:
+    """Encode a full per-sample analysis as a JSON-safe (and pickle-cheap)
+    dict.  The decoded twin carries a summary :class:`Program` stub (name +
+    metadata, no instructions) — enough for every population-level helper."""
+    return {
+        "format_version": ANALYSIS_FORMAT_VERSION,
+        "program": {
+            "name": analysis.program.name,
+            "metadata": {
+                k: v for k, v in analysis.program.metadata.items() if _jsonable(v)
+            },
+        },
+        "phase1": report_to_dict(analysis.phase1) if analysis.phase1 else None,
+        "exclusiveness": [decision_to_dict(d) for d in analysis.exclusiveness],
+        "impacts": [impact_to_dict(o) for o in analysis.impacts],
+        "determinism": {
+            key: determinism_to_dict(det) for key, det in analysis.determinism.items()
+        },
+        "vaccines": [v.to_dict() for v in analysis.vaccines],
+        "clinic": clinic_to_dict(analysis.clinic) if analysis.clinic else None,
+        "filtered_reason": analysis.filtered_reason,
+        "span": analysis.span.to_dict() if analysis.span is not None else None,
+    }
+
+
+def analysis_from_dict(data: dict) -> "SampleAnalysis":
+    from ..core.pipeline import SampleAnalysis
+    from ..core.vaccine import Vaccine
+    from ..vm.program import Program
+
+    version = data.get("format_version")
+    if version != ANALYSIS_FORMAT_VERSION:
+        raise ValueError(f"unsupported analysis format version {version!r}")
+    program = data.get("program", {})
+    span = data.get("span")
+    return SampleAnalysis(
+        program=Program(
+            name=program.get("name", ""),
+            instructions=[],
+            labels={},
+            metadata=dict(program.get("metadata", {})),
+        ),
+        phase1=report_from_dict(data["phase1"]) if data.get("phase1") else None,
+        exclusiveness=[decision_from_dict(d) for d in data.get("exclusiveness", [])],
+        impacts=[impact_from_dict(o) for o in data.get("impacts", [])],
+        determinism={
+            key: determinism_from_dict(det)
+            for key, det in data.get("determinism", {}).items()
+        },
+        vaccines=[Vaccine.from_dict(v) for v in data.get("vaccines", [])],
+        clinic=clinic_from_dict(data["clinic"]) if data.get("clinic") else None,
+        filtered_reason=data.get("filtered_reason"),
+        span=Span.from_dict(span) if span is not None else None,
+    )
+
+
+def analysis_to_json(analysis: "SampleAnalysis", indent: Optional[int] = None) -> str:
+    return json.dumps(analysis_to_dict(analysis), indent=indent)
+
+
+def analysis_from_json(text: str) -> "SampleAnalysis":
+    return analysis_from_dict(json.loads(text))

@@ -1,0 +1,135 @@
+"""The versioned SampleAnalysis codec (repro.tracing.serialize).
+
+This is the payload that crosses the worker-process boundary and lives in
+the result cache, so the round-trip has to preserve everything the
+population tables, vaccine deployment, and span-derived timings consume —
+while dropping live VM state (runs, alignments, backward-slice raw output).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import AutoVac
+from repro.corpus import benign_suite, build_family
+from repro.tracing import serialize
+
+
+@pytest.fixture(scope="module")
+def zeus_analysis():
+    return AutoVac().analyze(build_family("zeus"))
+
+
+@pytest.fixture(scope="module")
+def filtered_analysis():
+    office = next(p for p in benign_suite() if p.name == "benign_office")
+    analysis = AutoVac().analyze(office)
+    assert analysis.filtered_reason  # no resource-dependent branch
+    return analysis
+
+
+class TestRoundTrip:
+    def test_vaccines_survive_exactly(self, zeus_analysis):
+        decoded = serialize.analysis_from_json(
+            serialize.analysis_to_json(zeus_analysis)
+        )
+        assert [v.to_dict() for v in decoded.vaccines] == [
+            v.to_dict() for v in zeus_analysis.vaccines
+        ]
+        assert decoded.vaccines  # zeus does yield vaccines
+
+    def test_program_summary_survives(self, zeus_analysis):
+        decoded = serialize.analysis_from_json(
+            serialize.analysis_to_json(zeus_analysis)
+        )
+        assert decoded.program.name == zeus_analysis.program.name
+        assert decoded.program.metadata["family"] == "zeus"
+        # The decoded program is a summary stub, not an executable image.
+        assert decoded.program.instructions == []
+
+    def test_phase1_stats_survive(self, zeus_analysis):
+        decoded = serialize.analysis_from_json(
+            serialize.analysis_to_json(zeus_analysis)
+        )
+        original = zeus_analysis.phase1
+        assert decoded.phase1.total_occurrences == original.total_occurrences
+        assert decoded.phase1.influential_occurrences == original.influential_occurrences
+        assert len(decoded.phase1.candidates) == len(original.candidates)
+        assert [c.key for c in decoded.phase1.candidates] == [
+            c.key for c in original.candidates
+        ]
+        assert (
+            decoded.phase1.trace.count_by_resource_operation()
+            == original.trace.count_by_resource_operation()
+        )
+        # Hermeticity: the live run (CPU + guest memory) does not round-trip.
+        assert decoded.phase1.run is None
+
+    def test_phase2_payloads_survive(self, zeus_analysis):
+        decoded = serialize.analysis_from_json(
+            serialize.analysis_to_json(zeus_analysis)
+        )
+        assert len(decoded.exclusiveness) == len(zeus_analysis.exclusiveness)
+        assert [(d.exclusive, d.reason) for d in decoded.exclusiveness] == [
+            (d.exclusive, d.reason) for d in zeus_analysis.exclusiveness
+        ]
+        assert [
+            (o.candidate.key, o.mechanism, o.immunization, o.mutation_hits)
+            for o in decoded.impacts
+        ] == [
+            (o.candidate.key, o.mechanism, o.immunization, o.mutation_hits)
+            for o in zeus_analysis.impacts
+        ]
+        assert decoded.determinism.keys() == zeus_analysis.determinism.keys()
+        for key, det in decoded.determinism.items():
+            assert det.kind is zeus_analysis.determinism[key].kind
+            assert det.pattern == zeus_analysis.determinism[key].pattern
+
+    def test_span_tree_and_timings_survive(self, zeus_analysis):
+        decoded = serialize.analysis_from_json(
+            serialize.analysis_to_json(zeus_analysis)
+        )
+        assert decoded.span is not None
+        assert decoded.span.to_dict() == zeus_analysis.span.to_dict()
+        assert decoded.timings == zeus_analysis.timings
+        assert "phase1" in decoded.timings and "impact" in decoded.timings
+
+    def test_filtered_sample_round_trips(self, filtered_analysis):
+        decoded = serialize.analysis_from_json(
+            serialize.analysis_to_json(filtered_analysis)
+        )
+        assert decoded.filtered_reason == filtered_analysis.filtered_reason
+        assert decoded.vaccines == []
+        assert decoded.phase1 is not None
+        # Skipped stage spans keep their marker, so timings stay empty of them.
+        skipped = [
+            c.name for c in decoded.span.children if c.attrs.get("skipped")
+        ]
+        assert "impact" in skipped and "determinism" in skipped
+
+    def test_encoding_is_stable(self, zeus_analysis):
+        text = serialize.analysis_to_json(zeus_analysis)
+        again = serialize.analysis_to_json(serialize.analysis_from_json(text))
+        assert again == text
+
+
+class TestVersioning:
+    def test_version_is_embedded(self, zeus_analysis):
+        data = serialize.analysis_to_dict(zeus_analysis)
+        assert data["format_version"] == serialize.ANALYSIS_FORMAT_VERSION
+
+    def test_unknown_version_rejected(self, zeus_analysis):
+        data = serialize.analysis_to_dict(zeus_analysis)
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="format version"):
+            serialize.analysis_from_dict(data)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ValueError, match="format version"):
+            serialize.analysis_from_dict({"program": {"name": "x"}})
+
+    def test_payload_is_plain_json(self, zeus_analysis):
+        text = serialize.analysis_to_json(zeus_analysis)
+        assert isinstance(json.loads(text), dict)

@@ -1,0 +1,289 @@
+"""Parallel executor, result cache, metrics merging, shard merging.
+
+The determinism regression at the heart of this module: the same seeded
+population must produce byte-identical vaccine sets and identical
+PopulationResult tables for any ``jobs`` level and for cold vs warm cache —
+that is what makes fanning the paper's 1,716-sample workload out to worker
+processes a pure speedup.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.campaign import build_fleet_package
+from repro.core import AutoVac
+from repro.core.executor import (
+    PipelineConfig,
+    ResultCache,
+    analyze_population,
+    config_for,
+)
+from repro.core.pipeline import PopulationResult
+from repro.corpus import GeneratorConfig, build_family, generate_population
+from repro.obs.metrics import MetricsRegistry
+
+SIZE = 12
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return [
+        s.program for s in generate_population(GeneratorConfig(size=SIZE, seed=SEED))
+    ]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig()
+
+
+def vaccine_bytes(result: PopulationResult) -> str:
+    """Canonical byte form of the whole vaccine set (order-sensitive)."""
+    return json.dumps([v.to_dict() for v in result.vaccines], sort_keys=True)
+
+
+def tables(result: PopulationResult) -> dict:
+    return {
+        "resource_immunization": result.count_by_resource_and_immunization(),
+        "identifier_kind": result.count_by_identifier_kind(),
+        "delivery": result.count_by_delivery(),
+        "occurrences": result.occurrence_stats(),
+        "resource_ops": result.resource_operation_stats(),
+        "category_resource": result.count_by_category_and_resource(),
+        "category_delivery": result.count_by_category_and_delivery(),
+    }
+
+
+class TestParallelDeterminism:
+    def test_jobs4_matches_jobs1(self, programs, config):
+        seq = analyze_population(programs, config=config, jobs=1)
+        par = analyze_population(programs, config=config, jobs=4)
+        assert vaccine_bytes(par) == vaccine_bytes(seq)
+        assert tables(par) == tables(seq)
+
+    def test_parallel_metrics_and_spans(self, programs, config):
+        obs.reset()
+        result = analyze_population(programs, config=config, jobs=4)
+        assert len(result.analyses) == SIZE
+        # Worker snapshots folded into the parent registry.
+        assert obs.metrics.value("pipeline.samples") == SIZE
+        assert obs.metrics.value("pipeline.vaccines") == len(result.vaccines)
+        snapshot = obs.metrics.snapshot()
+        hist = snapshot["pipeline.analyze_seconds"]["series"][0]
+        assert hist["count"] == SIZE
+        assert hist["sum"] > 0
+        # Worker span trees adopted: one pipeline.analyze root per sample.
+        roots = [s for s in obs.trace.roots if s.name == "pipeline.analyze"]
+        assert len(roots) == SIZE
+        # The progress gauge ends at the population size even though worker
+        # completion order is arbitrary.
+        assert obs.metrics.value("pipeline.population_analyzed") == SIZE
+
+    def test_parallel_results_keep_input_order(self, programs, config):
+        result = analyze_population(programs, config=config, jobs=4)
+        assert [a.program.name for a in result.analyses] == [
+            p.name for p in programs
+        ]
+
+    def test_sequential_gauge_reaches_population_size(self, programs, config):
+        obs.reset()
+        analyze_population(programs, config=config, jobs=1)
+        assert obs.metrics.value("pipeline.population_analyzed") == SIZE
+
+
+class TestResultCache:
+    def test_cold_then_warm_is_identical_and_all_hits(self, programs, config, tmp_path):
+        obs.reset()
+        cold = analyze_population(programs, config=config, jobs=1, cache=tmp_path)
+        assert obs.metrics.value("pipeline.cache_misses") == SIZE
+        assert obs.metrics.value("pipeline.cache_stores") == SIZE
+
+        obs.reset()
+        warm = analyze_population(programs, config=config, jobs=1, cache=tmp_path)
+        assert obs.metrics.value("pipeline.cache_hits") == SIZE
+        assert obs.metrics.value("pipeline.samples") == 0  # nothing re-analyzed
+        assert obs.metrics.value("pipeline.population_analyzed") == SIZE
+        assert vaccine_bytes(warm) == vaccine_bytes(cold)
+        assert tables(warm) == tables(cold)
+
+    def test_interrupted_survey_resumes_missing_samples_only(
+        self, programs, config, tmp_path
+    ):
+        # "Interrupted" run: only the first half made it into the cache.
+        analyze_population(programs[: SIZE // 2], config=config, jobs=1, cache=tmp_path)
+        obs.reset()
+        full = analyze_population(programs, config=config, jobs=2, cache=tmp_path)
+        assert obs.metrics.value("pipeline.cache_hits") == SIZE // 2
+        assert obs.metrics.value("pipeline.cache_misses") == SIZE - SIZE // 2
+        # Only the missing half went through the pipeline.
+        assert obs.metrics.value("pipeline.samples") == SIZE - SIZE // 2
+        assert len(full.analyses) == SIZE
+        reference = analyze_population(programs, config=config, jobs=1)
+        assert vaccine_bytes(full) == vaccine_bytes(reference)
+
+    def test_key_depends_on_program_and_config(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        zeus, conficker = build_family("zeus"), build_family("conficker")
+        assert cache.key(zeus, config) != cache.key(conficker, config)
+        other = PipelineConfig(explore_paths=True)
+        assert cache.key(zeus, config) != cache.key(zeus, other)
+        assert cache.key(zeus, config) == cache.key(build_family("zeus"), config)
+
+    def test_corrupt_entry_reads_as_miss(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        program = build_family("zeus")
+        key = cache.key(program, config)
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        assert cache.load(key) is None
+
+
+class TestPopulationResultMerge:
+    def test_merge_then_count_equals_count_then_sum(self, programs, config):
+        whole = analyze_population(programs, config=config, jobs=1)
+        shards = [
+            analyze_population(programs[i : i + 4], config=config, jobs=1)
+            for i in range(0, SIZE, 4)
+        ]
+        merged = shards[0].merge(*shards[1:])
+        assert len(merged.analyses) == SIZE
+        assert tables(merged) == tables(whole)
+
+        # count-then-sum over shards reproduces every merged table cell.
+        for name in ("count_by_resource_and_immunization", "resource_operation_stats"):
+            summed: dict = {}
+            for shard in shards:
+                for row_key, row in getattr(shard, name)().items():
+                    acc = summed.setdefault(row_key, {})
+                    for col, n in row.items():
+                        acc[col] = acc.get(col, 0) + n
+            assert summed == getattr(merged, name)()
+        summed_occ = {"total": 0, "influential": 0}
+        for shard in shards:
+            for key, n in shard.occurrence_stats().items():
+                summed_occ[key] += n
+        assert summed_occ == merged.occurrence_stats()
+
+    def test_merge_does_not_mutate_inputs(self, programs, config):
+        a = analyze_population(programs[:2], config=config, jobs=1)
+        b = analyze_population(programs[2:4], config=config, jobs=1)
+        merged = a.merge(b)
+        assert len(a.analyses) == 2 and len(b.analyses) == 2
+        assert len(merged.analyses) == 4
+
+
+class TestMetricsMerge:
+    def test_counters_and_gauges_add(self):
+        worker = MetricsRegistry()
+        worker.counter("c", help="h").inc(3)
+        worker.counter("c", api="X").inc(2)
+        worker.gauge("g").set(5)
+        parent = MetricsRegistry()
+        parent.counter("c").inc(1)
+        parent.merge(worker.snapshot())
+        parent.merge(worker.snapshot())
+        assert parent.value("c") == 7  # 1 + 3 + 3
+        assert parent.value("c", api="X") == 4
+        assert parent.value("g") == 10
+        assert parent.total("c") == 11
+
+    def test_histograms_merge_elementwise(self):
+        worker = MetricsRegistry()
+        for v in (0.001, 0.2, 50.0):
+            worker.histogram("h").observe(v)
+        parent = MetricsRegistry()
+        parent.histogram("h").observe(0.001)
+        parent.merge(worker.snapshot())
+        series = parent.snapshot()["h"]["series"][0]
+        assert series["count"] == 4
+        assert series["min"] == 0.001 and series["max"] == 50.0
+        assert abs(series["sum"] - 50.202) < 1e-9
+        assert sum(series["bucket_counts"]) == 4
+        assert series["bucket_counts"][-1] == 1  # the 50s overflow observation
+
+    def test_histograms_rebin_on_foreign_buckets(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(1.0, 10.0)).observe(0.5)
+        worker.histogram("h", buckets=(1.0, 10.0)).observe(5.0)
+        worker.histogram("h", buckets=(1.0, 10.0)).observe(100.0)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(2.0, 20.0)).observe(1.5)
+        parent.merge(worker.snapshot())
+        series = parent.snapshot()["h"]["series"][0]
+        assert series["count"] == 4
+        assert sum(series["bucket_counts"]) == 4
+        # 0.5 and 1.5 land <=2.0; the 1-10 bucket re-bins to <=20; 100 overflows.
+        assert series["bucket_counts"] == [2, 1, 1]
+
+    def test_merged_totals_equal_sum_of_worker_snapshots(self):
+        workers = []
+        for i in range(3):
+            reg = MetricsRegistry()
+            reg.counter("pipeline.samples").inc(i + 1)
+            reg.histogram("t").observe(0.01 * (i + 1))
+            workers.append(reg.snapshot())
+        parent = MetricsRegistry()
+        for snap in workers:
+            parent.merge(snap)
+        assert parent.value("pipeline.samples") == sum(
+            s["pipeline.samples"]["series"][0]["value"] for s in workers
+        )
+        merged_hist = parent.snapshot()["t"]["series"][0]
+        assert merged_hist["count"] == 3
+        assert abs(merged_hist["sum"] - 0.06) < 1e-12
+
+    def test_disabled_registry_ignores_merge(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc()
+        parent = MetricsRegistry()
+        parent.enabled = False
+        parent.merge(worker.snapshot())
+        parent.enabled = True
+        assert parent.value("c") == 0.0
+
+
+class TestConfigPlumbing:
+    def test_autovac_analyze_population_accepts_jobs(self, programs):
+        result = AutoVac().analyze_population(programs[:4], jobs=2)
+        reference = AutoVac().analyze_population(programs[:4])
+        assert vaccine_bytes(result) == vaccine_bytes(reference)
+
+    def test_config_for_rejects_clinic(self):
+        autovac = AutoVac(run_clinic=True, clinic_programs=[build_family("zeus")])
+        with pytest.raises(ValueError, match="clinic"):
+            config_for(autovac)
+
+    def test_config_for_rejects_custom_aligner(self):
+        autovac = AutoVac(aligner=lambda a, b: None)
+        with pytest.raises(ValueError, match="aligner"):
+            config_for(autovac)
+
+    def test_config_for_round_trips_flags(self):
+        autovac = AutoVac(explore_paths=True, exclusiveness_enabled=False,
+                          profile_budget=12_345, validate_replay=False)
+        cfg = config_for(autovac)
+        assert cfg == PipelineConfig(
+            profile_budget=12_345,
+            validate_replay=False,
+            exclusiveness_enabled=False,
+            explore_paths=True,
+        )
+
+    def test_unknown_aligner_name_raises(self):
+        with pytest.raises(ValueError, match="unknown aligner"):
+            PipelineConfig(aligner="nope").build()
+
+
+def test_build_fleet_package_matches_direct_analysis(programs):
+    package = build_fleet_package(programs[:4], jobs=2)
+    reference = analyze_population(programs[:4], config=PipelineConfig(), jobs=1)
+    assert [v.to_dict() for v in package.vaccines] == [
+        v.to_dict() for v in reference.vaccines
+    ]
+    assert package.description == "fleet vaccination campaign"

@@ -1,0 +1,147 @@
+"""Markdown analysis reports (core/report.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AutoVac
+from repro.core.clinic import ClinicReport
+from repro.core.pipeline import SampleAnalysis
+from repro.core.report import _deployment_hint, render_report
+from repro.core.vaccine import (
+    DeliveryKind,
+    IdentifierKind,
+    Immunization,
+    Mechanism,
+    Vaccine,
+)
+from repro.corpus import benign_suite, build_family
+from repro.vm.program import Program
+from repro.winenv.objects import ResourceType
+
+
+@pytest.fixture(scope="module")
+def zeus_analysis():
+    return AutoVac().analyze(build_family("zeus"))
+
+
+@pytest.fixture(scope="module")
+def zeus_report(zeus_analysis):
+    return render_report(zeus_analysis)
+
+
+class TestFullReport:
+    def test_title_defaults_to_program_name(self, zeus_analysis, zeus_report):
+        assert zeus_report.startswith(f"# AUTOVAC analysis: {zeus_analysis.program.name}")
+
+    def test_custom_title(self, zeus_analysis):
+        text = render_report(zeus_analysis, title="Case study")
+        assert text.startswith("# Case study")
+
+    def test_metadata_line_hides_markers(self, zeus_report):
+        assert "*Sample metadata:*" in zeus_report
+        assert "family=zeus" in zeus_report
+        assert "markers=" not in zeus_report
+
+    def test_phase1_summary(self, zeus_analysis, zeus_report):
+        phase1 = zeus_analysis.phase1
+        assert "## Phase I — profiling" in zeus_report
+        assert f"resource-API occurrences: {phase1.total_occurrences} " in zeus_report
+        assert f"candidate resources: {len(phase1.candidates)}" in zeus_report
+
+    def test_exclusiveness_table(self, zeus_analysis, zeus_report):
+        assert "## Phase II — exclusiveness decisions" in zeus_report
+        assert "| resource | identifier | exclusive | reason |" in zeus_report
+        for decision in zeus_analysis.exclusiveness:
+            assert f"`{decision.candidate.identifier}`" in zeus_report
+
+    def test_every_vaccine_gets_a_section(self, zeus_analysis, zeus_report):
+        assert "## Vaccines" in zeus_report
+        for vaccine in zeus_analysis.vaccines:
+            assert f"`{vaccine.identifier}`" in zeus_report
+            assert f"**{vaccine.immunization.value}**" in zeus_report
+
+    def test_timings_section_lists_executed_stages(self, zeus_analysis, zeus_report):
+        assert "## Timings" in zeus_report
+        for stage in zeus_analysis.timings:
+            assert f"* {stage}: " in zeus_report
+        assert "* clinic: " not in zeus_report  # skipped stages stay out
+
+
+class TestFilteredReport:
+    def test_filtered_sample_renders_short_report(self):
+        office = next(p for p in benign_suite() if p.name == "benign_office")
+        analysis = AutoVac().analyze(office)
+        assert analysis.filtered_reason
+        text = render_report(analysis)
+        assert "**Filtered in Phase I**" in text
+        assert analysis.filtered_reason in text
+        assert "## Vaccines" not in text
+
+
+class TestClinicSection:
+    def test_clinic_summary_rendered(self):
+        vaccine = Vaccine(
+            malware="m",
+            resource_type=ResourceType.MUTEX,
+            identifier="Global\\x",
+            identifier_kind=IdentifierKind.STATIC,
+            mechanism=Mechanism.SIMULATE_PRESENCE,
+            immunization=Immunization.FULL,
+            operations=frozenset(),
+            apis=(),
+        )
+        analysis = SampleAnalysis(
+            program=Program(name="m", instructions=[], labels={}),
+            filtered_reason=None,
+            vaccines=[vaccine],
+            clinic=ClinicReport(programs_tested=3, passed=[vaccine]),
+        )
+        # phase1 is required for an unfiltered report; fake the minimum.
+        analysis.phase1 = AutoVac().analyze(build_family("zeus")).phase1
+        text = render_report(analysis)
+        assert "## Clinic test" in text
+        assert "* benign programs: 3" in text
+        assert "* vaccines passed: 1" in text
+
+
+class TestDeploymentHints:
+    def _vaccine(self, **kw):
+        base = dict(
+            malware="m",
+            resource_type=ResourceType.MUTEX,
+            identifier="Global\\x",
+            identifier_kind=IdentifierKind.STATIC,
+            mechanism=Mechanism.SIMULATE_PRESENCE,
+            immunization=Immunization.FULL,
+            operations=frozenset(),
+            apis=(),
+        )
+        base.update(kw)
+        return Vaccine(**base)
+
+    def test_direct_injection_marker_hint(self):
+        vaccine = self._vaccine()
+        assert vaccine.delivery is DeliveryKind.DIRECT_INJECTION
+        assert "create the marker once" in _deployment_hint(vaccine)
+
+    def test_direct_injection_decoy_hint(self):
+        vaccine = self._vaccine(
+            resource_type=ResourceType.FILE,
+            identifier="c:\\x",
+            mechanism=Mechanism.ENFORCE_FAILURE,
+        )
+        assert vaccine.delivery is DeliveryKind.DIRECT_INJECTION
+        assert "locked decoy" in _deployment_hint(vaccine)
+
+    def test_slice_replay_hint(self):
+        vaccine = self._vaccine(
+            identifier_kind=IdentifierKind.ALGORITHM_DETERMINISTIC
+        )
+        assert vaccine.delivery is DeliveryKind.DAEMON
+        assert "replays the generation slice" in _deployment_hint(vaccine)
+
+    def test_daemon_interception_hint(self):
+        vaccine = self._vaccine(identifier_kind=IdentifierKind.PARTIAL_STATIC)
+        assert vaccine.delivery is DeliveryKind.DAEMON
+        assert "intercepts matching resource accesses" in _deployment_hint(vaccine)

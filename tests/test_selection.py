@@ -1,0 +1,173 @@
+"""Vaccine set selection (core/selection.py): scoring, ranking, minimal
+covering sets, and backup selection."""
+
+from __future__ import annotations
+
+from repro.core.selection import rank, score, select_minimal, select_with_backups
+from repro.core.vaccine import (
+    DeliveryKind,
+    IdentifierKind,
+    Immunization,
+    Mechanism,
+    Vaccine,
+)
+from repro.winenv.objects import ResourceType
+
+
+def make_vaccine(
+    malware: str = "zeus",
+    resource_type: ResourceType = ResourceType.MUTEX,
+    identifier: str = "Global\\marker",
+    identifier_kind: IdentifierKind = IdentifierKind.STATIC,
+    mechanism: Mechanism = Mechanism.SIMULATE_PRESENCE,
+    immunization: Immunization = Immunization.FULL,
+    bdr=None,
+) -> Vaccine:
+    return Vaccine(
+        malware=malware,
+        resource_type=resource_type,
+        identifier=identifier,
+        identifier_kind=identifier_kind,
+        mechanism=mechanism,
+        immunization=immunization,
+        operations=frozenset(),
+        apis=(),
+        bdr=bdr,
+    )
+
+
+class TestScore:
+    def test_ideal_vaccine_scores_highest(self):
+        """Paper §II-A: full immunization + one-time direct injection."""
+        ideal = make_vaccine()  # full, static, direct injection
+        assert ideal.delivery is DeliveryKind.DIRECT_INJECTION
+        partial_daemon = make_vaccine(
+            identifier_kind=IdentifierKind.PARTIAL_STATIC,
+            immunization=Immunization.TYPE_III_PERSISTENCE,
+        )
+        assert partial_daemon.delivery is DeliveryKind.DAEMON
+        assert score(ideal) > score(partial_daemon)
+
+    def test_immunization_dominates_other_axes(self):
+        full_daemon = make_vaccine(identifier_kind=IdentifierKind.PARTIAL_STATIC)
+        partial_direct = make_vaccine(immunization=Immunization.TYPE_I_KERNEL)
+        assert score(full_daemon) > score(partial_direct)
+
+    def test_bdr_is_a_tiebreaker(self):
+        plain = make_vaccine()
+        measured = make_vaccine(bdr=0.8)
+        assert score(measured) == score(plain) + 8
+
+    def test_partial_classes_ordered_by_lifecycle_impact(self):
+        kinds = [
+            Immunization.TYPE_I_KERNEL,
+            Immunization.TYPE_II_NETWORK,
+            Immunization.TYPE_III_PERSISTENCE,
+            Immunization.TYPE_IV_INJECTION,
+        ]
+        scores = [score(make_vaccine(immunization=k)) for k in kinds]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestRank:
+    def test_rank_is_best_first(self):
+        worst = make_vaccine(
+            immunization=Immunization.TYPE_IV_INJECTION,
+            identifier_kind=IdentifierKind.PARTIAL_STATIC,
+        )
+        middle = make_vaccine(immunization=Immunization.TYPE_I_KERNEL)
+        best = make_vaccine()
+        ordered = rank([worst, best, middle])
+        assert ordered == [best, middle, worst]
+
+
+class TestSelectMinimal:
+    def test_full_immunization_shadows_partials(self):
+        full = make_vaccine(identifier="full")
+        partial = make_vaccine(
+            identifier="partial", immunization=Immunization.TYPE_III_PERSISTENCE
+        )
+        result = select_minimal([partial, full])
+        assert result.selected == [full]
+        assert result.dropped == [partial]
+        assert result.coverage["zeus"] == {Immunization.FULL}
+
+    def test_one_vaccine_per_partial_class(self):
+        persist_a = make_vaccine(
+            identifier="a", immunization=Immunization.TYPE_III_PERSISTENCE, bdr=0.9
+        )
+        persist_b = make_vaccine(
+            identifier="b", immunization=Immunization.TYPE_III_PERSISTENCE
+        )
+        network = make_vaccine(
+            identifier="c", immunization=Immunization.TYPE_II_NETWORK
+        )
+        result = select_minimal([persist_b, network, persist_a])
+        assert persist_a in result.selected  # higher BDR wins the class
+        assert network in result.selected
+        assert result.dropped == [persist_b]
+        assert result.coverage["zeus"] == {
+            Immunization.TYPE_III_PERSISTENCE,
+            Immunization.TYPE_II_NETWORK,
+        }
+
+    def test_samples_are_independent(self):
+        zeus_full = make_vaccine(malware="zeus")
+        sality_partial = make_vaccine(
+            malware="sality", immunization=Immunization.TYPE_II_NETWORK
+        )
+        result = select_minimal([zeus_full, sality_partial])
+        assert sorted(v.malware for v in result.selected) == ["sality", "zeus"]
+        assert result.dropped == []
+        assert result.coverage.keys() == {"zeus", "sality"}
+
+    def test_empty_input(self):
+        result = select_minimal([])
+        assert result.selected == [] and result.dropped == []
+        assert len(result) == 0
+
+
+class TestSelectWithBackups:
+    def test_backups_come_from_the_dropped_pool(self):
+        full = make_vaccine(identifier="full")
+        backup = make_vaccine(
+            identifier="backup", immunization=Immunization.TYPE_III_PERSISTENCE
+        )
+        spare = make_vaccine(
+            identifier="spare",
+            immunization=Immunization.TYPE_IV_INJECTION,
+            identifier_kind=IdentifierKind.PARTIAL_STATIC,
+        )
+        result = select_with_backups([full, backup, spare], backups_per_sample=1)
+        assert full in result.selected
+        assert backup in result.selected  # the best-ranked dropped vaccine
+        assert result.dropped == [spare]
+
+    def test_zero_backups_equals_minimal(self):
+        vaccines = [
+            make_vaccine(identifier="full"),
+            make_vaccine(
+                identifier="extra", immunization=Immunization.TYPE_II_NETWORK
+            ),
+        ]
+        with_none = select_with_backups(vaccines, backups_per_sample=0)
+        minimal = select_minimal(vaccines)
+        assert with_none.selected == minimal.selected
+        assert with_none.dropped == minimal.dropped
+
+    def test_backup_budget_is_per_sample(self):
+        vaccines = [make_vaccine(identifier="full")]
+        vaccines += [
+            make_vaccine(
+                identifier=f"dup{i}", immunization=Immunization.TYPE_III_PERSISTENCE
+            )
+            for i in range(3)
+        ]
+        vaccines.append(
+            make_vaccine(malware="sality", identifier="s-full")
+        )
+        result = select_with_backups(vaccines, backups_per_sample=2)
+        zeus_selected = [v for v in result.selected if v.malware == "zeus"]
+        # full + first-class partial + 2 backups at most
+        assert len(zeus_selected) <= 4
+        assert len([v for v in result.selected if v.malware == "sality"]) == 1
