@@ -1,0 +1,227 @@
+"""Phase-II impact-analysis performance: snapshot-resume vs full rerun,
+plus the predecoded interpreter fast path.
+
+The dominant Phase-II cost is re-executing the sample once per candidate ×
+mechanism; snapshot-resume checkpoints the guest at each candidate's first
+interception site and replays only the divergent suffix.  This bench pins:
+
+* **equivalence** — snapshot and legacy paths produce identical outcomes on
+  a crafted sample whose compute preamble dwarfs its payload;
+* **speedup** — ≥2× end-to-end on a sample with ≥6 candidate-mechanism runs
+  (the paper-shaped case: long unpack loop, several infection markers);
+* **interpreter** — the untainted fast path beats the recording interpreter
+  by a healthy margin on straight-line compute (≥1.15× asserted; the real
+  number lands in the artifact).
+
+Artifacts: ``_artifacts/impact.txt`` (human-readable numbers) and
+``_artifacts/impact_baseline.json`` (machine-readable per-sample latency
+baseline for regression eyeballing).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro import obs
+from repro.core.candidate import select_candidates
+from repro.core.impact import ImpactAnalyzer
+from repro.core.pipeline import AutoVac
+from repro.corpus import all_families
+from repro.corpus.builder import (
+    MUTEX_ALL_ACCESS,
+    AsmBuilder,
+    frag_beacon,
+    frag_exit,
+    frag_persist_run_key,
+)
+from repro.vm import CPU, assemble
+from repro.winapi import Dispatcher
+from repro.winenv import SystemEnvironment
+
+from benchutil import min_wall_seconds, write_artifact
+
+#: 6-instruction unpack loop body → 24k-step compute preamble.
+UNPACK_ROUNDS = 4000
+
+
+def _bench_sample():
+    """Paper-shaped worst case for full reruns: a long unpacking loop, then
+    three infection-marker checks (6 candidate-mechanism runs), then a
+    beacon + persistence payload."""
+    b = AsmBuilder("impact_bench")
+    b.comment("unpack-style compute preamble")
+    b.emit(f"    mov ecx, {UNPACK_ROUNDS}")
+    loop = b.label("unpack")
+    b.emit(
+        "    mov eax, ecx",
+        "    imul eax, 13",
+        "    xor eax, 0x5a5a",
+        "    add ebx, eax",
+        "    dec ecx",
+        f"    jnz {loop}",
+    )
+    infected = "infected"
+    for i in (1, 2, 3):
+        name = b.string(f"Global\\impact-bench-{i}")
+        b.call("OpenMutexA", hex(MUTEX_ALL_ACCESS), "0", name)
+        b.emit("    test eax, eax", f"    jnz {infected}")
+        b.call("CreateMutexA", "0", "0", name)
+    frag_beacon(b, "bench.badguy-domain.biz", rounds=4, payload="SCAN")
+    frag_persist_run_key(b, "benchsvc", "c:\\windows\\system32\\bench.exe")
+    b.emit("    halt")
+    b.label(infected)
+    frag_exit(b, 0)
+    return b.build(family="bench", category="bench")
+
+
+def _outcome_fingerprint(outcomes):
+    return [
+        (
+            o.candidate.key,
+            o.mechanism.value,
+            o.immunization.value,
+            sorted(e.value for e in o.effects),
+            o.mutation_hits,
+            o.mutated_run.trace.steps,
+            [e.context_key() for e in o.mutated_run.trace.api_calls],
+        )
+        for o in outcomes
+    ]
+
+
+def test_snapshot_resume_speedup():
+    program = _bench_sample()
+    report = select_candidates(program)
+    candidates = [
+        c for c in report.candidates if c.influences_control_flow or c.had_failure
+    ]
+    assert len(candidates) >= 3, "bench sample must yield >=6 candidate-mechanisms"
+
+    with obs.disabled():
+        legacy_s, legacy = min_wall_seconds(
+            lambda: ImpactAnalyzer(snapshot_resume=False).analyze_candidates(
+                program, candidates, report.trace
+            ),
+            repeats=3,
+        )
+        snap_s, fast = min_wall_seconds(
+            lambda: ImpactAnalyzer(snapshot_resume=True).analyze_candidates(
+                program, candidates, report.trace
+            ),
+            repeats=3,
+        )
+
+    assert _outcome_fingerprint(fast) == _outcome_fingerprint(legacy)
+    speedup = legacy_s / snap_s
+    assert speedup >= 2.0, f"snapshot-resume speedup {speedup:.2f}x < 2x"
+
+    lines = [
+        "Phase-II impact analysis: snapshot-resume vs full rerun",
+        f"sample: {UNPACK_ROUNDS * 6:,}-step unpack preamble, "
+        f"{len(candidates)} candidates x 2 mechanisms",
+        f"full-rerun wall:       {legacy_s * 1e3:8.2f} ms",
+        f"snapshot-resume wall:  {snap_s * 1e3:8.2f} ms",
+        f"speedup:               {speedup:8.2f}x",
+        "",
+    ]
+    test_snapshot_resume_speedup.lines = lines
+    test_snapshot_resume_speedup.numbers = {
+        "candidates": len(candidates),
+        "legacy_seconds": legacy_s,
+        "snapshot_seconds": snap_s,
+        "speedup": speedup,
+    }
+
+
+SPIN = """
+    mov ecx, 60000
+spin:
+    mov eax, ecx
+    imul eax, 17
+    xor eax, 0x1234
+    add edx, eax
+    shr eax, 3
+    dec ecx
+    jnz spin
+    halt
+"""
+
+
+def test_interpreter_fast_path():
+    program = assemble(SPIN, name="spin")
+
+    def run(force_slow: bool):
+        env = SystemEnvironment()
+        proc = env.spawn_process("b.exe")
+        cpu = CPU(
+            program,
+            environment=env,
+            process=proc,
+            dispatcher=Dispatcher(env, proc),
+            max_steps=600_000,
+            record_instructions=False,
+        )
+        if force_slow:
+            cpu._allow_fast = cpu._fast_mode = False
+        started = time.perf_counter()
+        cpu.run()
+        elapsed = time.perf_counter() - started
+        return elapsed, cpu.steps
+
+    with obs.disabled():
+        slow_s, (_, n_steps) = min_wall_seconds(lambda: run(True), repeats=3)
+        fast_s, (_, fast_steps) = min_wall_seconds(lambda: run(False), repeats=3)
+    assert n_steps == fast_steps  # both paths executed the same instructions
+    speedup = slow_s / fast_s
+    assert speedup >= 1.15, f"fast-path speedup {speedup:.2f}x < 1.15x"
+
+    fast_rate = n_steps / fast_s / 1e6
+    slow_rate = n_steps / slow_s / 1e6
+    lines = [
+        "Predecoded interpreter: untainted fast path vs recording path",
+        f"workload: {n_steps:,} straight-line ALU steps",
+        f"recording path:  {slow_rate:8.2f} Msteps/s",
+        f"fast path:       {fast_rate:8.2f} Msteps/s",
+        f"per-step speedup:{speedup:8.2f}x",
+        "",
+    ]
+    test_interpreter_fast_path.lines = lines
+    test_interpreter_fast_path.numbers = {
+        "steps": n_steps,
+        "slow_msteps_per_s": slow_rate,
+        "fast_msteps_per_s": fast_rate,
+        "speedup": speedup,
+    }
+
+
+def test_write_artifacts(family_analyses):
+    """Render impact.txt + the per-sample latency baseline (runs last)."""
+    per_sample = {}
+    for family, (program, _analysis) in sorted(family_analyses.items()):
+        started = time.perf_counter()
+        AutoVac().analyze(program)
+        per_sample[family] = time.perf_counter() - started
+
+    snap = getattr(test_snapshot_resume_speedup, "numbers", {})
+    interp = getattr(test_interpreter_fast_path, "numbers", {})
+    lines = list(getattr(test_snapshot_resume_speedup, "lines", []))
+    lines += list(getattr(test_interpreter_fast_path, "lines", []))
+    lines.append("Per-sample end-to-end pipeline latency (snapshot-resume on):")
+    for family, seconds in per_sample.items():
+        lines.append(f"  {family:<12} {seconds * 1e3:8.2f} ms")
+    write_artifact("impact.txt", "\n".join(lines) + "\n")
+
+    write_artifact(
+        "impact_baseline.json",
+        json.dumps(
+            {
+                "snapshot_resume": snap,
+                "interpreter": interp,
+                "per_sample_seconds": per_sample,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )

@@ -1,6 +1,6 @@
 """Shared program/trace analyses: alignment, CFG, enforced execution."""
 
-from .alignment import AlignmentResult, align_lcs, align_linear
+from .alignment import AlignmentResult, align_lcs, align_linear, align_myers
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg
 from .forced_execution import ExplorationResult, explore_resource_paths
 from .stats import (
@@ -19,6 +19,7 @@ __all__ = [
     "ExplorationResult",
     "align_lcs",
     "align_linear",
+    "align_myers",
     "build_cfg",
     "explore_resource_paths",
     "chi_square_statistic",

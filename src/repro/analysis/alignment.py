@@ -4,7 +4,7 @@ Aligns two API-call traces — the natural run and a resource-mutated run — on
 the calling-context triple ``<API-name, Caller-PC, static params>`` and
 returns the unaligned difference sets Δm (mutated-only) and Δn (natural-only).
 
-Two alignment strategies are provided:
+Three alignment strategies are provided:
 
 * :func:`align_linear` — the paper's Algorithm 1: linear scan for the first
   anchor where the traces re-converge; everything before it on each side is
@@ -12,8 +12,17 @@ Two alignment strategies are provided:
 * :func:`align_lcs` — Zeller-style alignment as a longest-common-subsequence
   diff over context keys (the paper adopts the alignment idea from Zeller's
   cause-effect-chain work); more precise when traces interleave.
+* :func:`align_myers` — the same LCS-maximal alignment computed with a
+  hash-anchored Myers O(ND) greedy diff: context keys are interned to ints,
+  the common prefix/suffix (the overwhelming bulk of a mutated-vs-natural
+  pair) is stripped in linear time, and only the divergent middle pays the
+  diff cost, proportional to the edit distance D instead of ``n*m``.
 
-The pipeline uses LCS by default and keeps Algorithm 1 for the ablation bench.
+The pipeline uses the Myers aligner by default and keeps LCS and Algorithm 1
+for the ablation bench.  Note LCS-maximal alignments are not unique: when a
+delta can be attributed to either side, ``align_myers`` and ``align_lcs``
+may pick different (equally maximal) difference sets, but they always agree
+on ``is_identical`` and on the number of aligned pairs.
 """
 
 from __future__ import annotations
@@ -126,5 +135,109 @@ def align_lcs(
     return result
 
 
-#: Signature shared by both aligners.
+def align_myers(
+    mutated: Sequence[ApiCallEvent], natural: Sequence[ApiCallEvent]
+) -> AlignmentResult:
+    """LCS-maximal alignment via a Myers O(ND) greedy diff over interned
+    context keys.
+
+    Mutated traces share almost their entire prefix (and usually suffix)
+    with the natural trace, so the expected cost is ~O(n + m + D^2) with a
+    tiny D — versus the unconditional O(n*m) table of :func:`align_lcs`.
+    The ``AlignmentResult`` contract is preserved exactly: every event lands
+    in the aligned set or in exactly one difference set, and
+    ``aligned_pairs`` equals the LCS length.
+    """
+    # Intern keys to small ints: tuple equality (str cmp per element) is the
+    # hot operation of any diff; int equality is one pointer compare.
+    ids: dict = {}
+    a = [ids.setdefault(e.context_key(), len(ids)) for e in mutated]
+    b = [ids.setdefault(e.context_key(), len(ids)) for e in natural]
+    n, m = len(a), len(b)
+
+    result = AlignmentResult()
+
+    # Anchor on the common prefix and suffix in linear time.
+    pre = 0
+    while pre < n and pre < m and a[pre] == b[pre]:
+        pre += 1
+    suf = 0
+    while suf < n - pre and suf < m - pre and a[n - 1 - suf] == b[m - 1 - suf]:
+        suf += 1
+
+    result.aligned_pairs = pre + suf
+    mid_a, mid_b = a[pre:n - suf], b[pre:m - suf]
+    if mid_a or mid_b:
+        for op, index in _myers_script(mid_a, mid_b):
+            if op == 0:  # match
+                result.aligned_pairs += 1
+            elif op == 1:  # only in mutated
+                result.delta_mutated.append(mutated[pre + index])
+            else:  # only in natural
+                result.delta_natural.append(natural[pre + index])
+    return result
+
+
+def _myers_script(a: List[int], b: List[int]):
+    """Greedy Myers diff (An O(ND) Difference Algorithm, 1986).
+
+    Yields ``(op, index)`` in forward order: op 0 = match (index into
+    ``a``), 1 = delete from ``a``, 2 = insert from ``b`` (index into ``b``).
+    ``history[d]`` snapshots the furthest-x frontier *entering* round d —
+    exactly the values round d's decisions read (k±1 have opposite parity,
+    so they were last written in round d-1) — which is what the backtrack
+    replays.
+    """
+    n, m = len(a), len(b)
+    v = {1: 0}
+    history: List[dict] = []
+    d_final = None
+    for d in range(n + m + 1):
+        history.append(dict(v))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v[k - 1] < v[k + 1]):
+                x = v[k + 1]
+            else:
+                x = v[k - 1] + 1
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[k] = x
+            if x >= n and y >= m:
+                d_final = d
+                break
+        if d_final is not None:
+            break
+
+    # Backtrack from (n, m) through the per-round frontiers.
+    script: List[Tuple[int, int]] = []
+    x, y = n, m
+    for d in range(d_final, 0, -1):
+        frontier = history[d]
+        k = x - y
+        if k == -d or (k != d and frontier[k - 1] < frontier[k + 1]):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = frontier[prev_k]
+        prev_y = prev_x - prev_k
+        while x > prev_x and y > prev_y:  # snake: matched diagonal run
+            x -= 1
+            y -= 1
+            script.append((0, x))
+        if x == prev_x:
+            script.append((2, prev_y))  # vertical move: insert b[prev_y]
+        else:
+            script.append((1, prev_x))  # horizontal move: delete a[prev_x]
+        x, y = prev_x, prev_y
+    while x > 0 and y > 0:  # d == 0: leading matched run
+        x -= 1
+        y -= 1
+        script.append((0, x))
+    script.reverse()
+    return script
+
+
+#: Signature shared by all aligners.
 Aligner = Callable[[Sequence[ApiCallEvent], Sequence[ApiCallEvent]], AlignmentResult]

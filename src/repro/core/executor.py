@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .. import obs
-from ..analysis.alignment import align_lcs, align_linear
+from ..analysis.alignment import align_lcs, align_linear, align_myers
 from ..tracing import serialize
 from ..vm.program import Program
 from .pipeline import AutoVac, PopulationResult, SampleAnalysis
@@ -40,7 +40,7 @@ from .runner import DEFAULT_BUDGET
 _log = obs.get_logger("executor")
 
 #: Aligner registry — configs name the aligner so they stay picklable.
-ALIGNERS = {"lcs": align_lcs, "linear": align_linear}
+ALIGNERS = {"lcs": align_lcs, "linear": align_linear, "myers": align_myers}
 
 
 @dataclass(frozen=True)
@@ -55,7 +55,12 @@ class PipelineConfig:
     validate_replay: bool = True
     exclusiveness_enabled: bool = True
     explore_paths: bool = False
-    aligner: str = "lcs"
+    aligner: str = "myers"
+    #: Phase-II impact analysis resumes mutated runs from per-candidate
+    #: checkpoints instead of re-executing the shared prefix.  Results are
+    #: identical either way (the snapshot-equivalence tests pin this); the
+    #: flag exists for the equivalence bench and as an escape hatch.
+    snapshot_impact: bool = True
 
     def build(self) -> AutoVac:
         try:
@@ -70,6 +75,7 @@ class PipelineConfig:
             validate_replay=self.validate_replay,
             exclusiveness_enabled=self.exclusiveness_enabled,
             explore_paths=self.explore_paths,
+            snapshot_impact=self.snapshot_impact,
         )
 
     def fingerprint(self) -> str:
@@ -118,6 +124,7 @@ def config_for(autovac: AutoVac) -> PipelineConfig:
         exclusiveness_enabled=autovac.exclusiveness_enabled,
         explore_paths=autovac.explore_paths,
         aligner=aligner_name,
+        snapshot_impact=autovac.impact.snapshot_resume,
     )
 
 

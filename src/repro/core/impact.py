@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set
 
-from ..analysis.alignment import Aligner, AlignmentResult, align_lcs
+from ..analysis.alignment import Aligner, AlignmentResult, align_myers
 from ..tracing.events import ApiCallEvent
 from ..tracing.trace import Trace
 from ..vm.program import Program
@@ -25,7 +25,8 @@ from ..winenv.objects import Operation, ResourceType
 from ..winenv.processes import STANDARD_PROCESSES
 from ..winenv.registry import is_persistence_key
 from .candidate import CandidateResource
-from .runner import DEFAULT_BUDGET, RunResult, run_sample
+from .runner import DEFAULT_BUDGET, RunResult, resume_sample, run_sample
+from .snapshot import SnapshotRecorder, mutation_matches
 from .vaccine import Immunization, Mechanism, normalize_identifier
 
 
@@ -43,12 +44,10 @@ class ResourceMutation:
         self.hits = 0
 
     def matches(self, event: ApiCallEvent) -> bool:
-        if event.resource_type is not self.candidate.resource_type:
-            return False
-        if event.identifier is None:
-            return False
-        norm = normalize_identifier(event.resource_type, event.identifier)
-        return norm == self.candidate.identifier
+        # Shared with SnapshotRecorder: the snapshot is captured at the
+        # first event this predicate accepts, so a resumed run's first
+        # interception is the same event a full rerun's would be.
+        return mutation_matches(self.candidate, event)
 
     def intercept(self, apidef: ApiDef, event: ApiCallEvent) -> Interception:
         if not self.matches(event):
@@ -78,18 +77,34 @@ class ImpactOutcome:
         return self.immunization is not Immunization.NONE
 
 
+#: analyze_candidates sentinel: the candidate's resource never matched an
+#: API call at intercept time, so a mutated run would be the natural run.
+_UNMATCHED = object()
+
+
 class ImpactAnalyzer:
-    """Runs mutated executions and classifies the behavioural difference."""
+    """Runs mutated executions and classifies the behavioural difference.
+
+    ``snapshot_resume`` (default on) runs the natural trace once more with a
+    :class:`~repro.core.snapshot.SnapshotRecorder` attached, checkpoints the
+    guest at each candidate's first interception site, and resumes every
+    mutated run from its checkpoint — identical outcomes, a fraction of the
+    re-executed instructions.  ``snapshot_resume=False`` keeps the legacy
+    full-rerun path (the equivalence bench and tests pin both to the same
+    results).
+    """
 
     def __init__(
         self,
         environment: Optional[SystemEnvironment] = None,
-        aligner: Aligner = align_lcs,
+        aligner: Aligner = align_myers,
         max_steps: int = DEFAULT_BUDGET,
+        snapshot_resume: bool = True,
     ) -> None:
         self.environment = environment
         self.aligner = aligner
         self.max_steps = max_steps
+        self.snapshot_resume = snapshot_resume
 
     def analyze(
         self,
@@ -110,6 +125,7 @@ class ImpactAnalyzer:
         natural: Trace,
         mechanism: Mechanism,
     ) -> ImpactOutcome:
+        """Legacy path: one full re-execution per candidate x mechanism."""
         mutation = ResourceMutation(candidate, mechanism)
         mutated_run = run_sample(
             program,
@@ -118,6 +134,80 @@ class ImpactAnalyzer:
             max_steps=self.max_steps,
             record_instructions=False,
         )
+        return self._classify(candidate, mechanism, mutated_run, natural, mutation.hits)
+
+    def analyze_candidates(
+        self,
+        program: Program,
+        candidates: Sequence[CandidateResource],
+        natural: Trace,
+        mechanisms: Iterable[Mechanism] = (Mechanism.SIMULATE_PRESENCE, Mechanism.ENFORCE_FAILURE),
+    ) -> List[ImpactOutcome]:
+        """Analyze every candidate, sharing prefix execution when possible.
+
+        Outcome order matches the legacy loop exactly: candidate-major,
+        mechanism-minor.
+        """
+        candidates = list(candidates)
+        mechanisms = tuple(mechanisms)
+        if not candidates:
+            return []
+        if not self.snapshot_resume:
+            outcomes: List[ImpactOutcome] = []
+            for candidate in candidates:
+                outcomes.extend(self.analyze(program, candidate, natural, mechanisms))
+            return outcomes
+
+        recorder = SnapshotRecorder(candidates)
+        capture_run = run_sample(
+            program,
+            environment=self.environment,
+            interceptors=[recorder],
+            max_steps=self.max_steps,
+            record_instructions=False,
+            on_cpu=recorder.bind,
+        )
+
+        outcomes = []
+        for candidate in candidates:
+            snapshot = recorder.snapshots.get(candidate.key, _UNMATCHED)
+            for mechanism in mechanisms:
+                if snapshot is None:
+                    # Capture failed (unpicklable state): full rerun.
+                    outcomes.append(
+                        self.analyze_mechanism(program, candidate, natural, mechanism)
+                    )
+                    continue
+                if snapshot is _UNMATCHED:
+                    # No API call ever matched at intercept time, so the
+                    # mutation can never fire: the mutated run *is* the
+                    # natural run (the capture run, which saw only PASSes).
+                    outcomes.append(
+                        self._classify(candidate, mechanism, capture_run, natural, 0)
+                    )
+                    continue
+                mutation = ResourceMutation(candidate, mechanism)
+                mutated_run = resume_sample(
+                    program,
+                    snapshot,
+                    interceptors=[mutation],
+                    max_steps=self.max_steps,
+                )
+                outcomes.append(
+                    self._classify(
+                        candidate, mechanism, mutated_run, natural, mutation.hits
+                    )
+                )
+        return outcomes
+
+    def _classify(
+        self,
+        candidate: CandidateResource,
+        mechanism: Mechanism,
+        mutated_run: RunResult,
+        natural: Trace,
+        mutation_hits: int,
+    ) -> ImpactOutcome:
         mutated = mutated_run.trace
         alignment = self.aligner(mutated.api_calls, natural.api_calls)
         effects = classify_deltas(natural, mutated, alignment)
@@ -128,7 +218,7 @@ class ImpactAnalyzer:
             effects=effects,
             alignment=alignment,
             mutated_run=mutated_run,
-            mutation_hits=mutation.hits,
+            mutation_hits=mutation_hits,
         )
 
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
-from ..analysis.alignment import Aligner, align_lcs
+from ..analysis.alignment import Aligner, align_myers
 from ..obs import Span
 from ..search.engine import SearchEngine
 from ..vm.program import Program
@@ -188,7 +188,7 @@ class AutoVac:
         self,
         environment: Optional[SystemEnvironment] = None,
         search_engine: Optional[SearchEngine] = None,
-        aligner: Aligner = align_lcs,
+        aligner: Aligner = align_myers,
         profile_budget: int = DEFAULT_BUDGET,
         clinic_programs: Sequence[Program] = (),
         validate_replay: bool = True,
@@ -196,11 +196,15 @@ class AutoVac:
         run_clinic: bool = False,
         explore_paths: bool = False,
         stages: Optional[Sequence[Stage]] = None,
+        snapshot_impact: bool = True,
     ) -> None:
         self.environment = environment if environment is not None else SystemEnvironment()
         self.exclusiveness = ExclusivenessAnalyzer(search=search_engine or SearchEngine())
         self.impact = ImpactAnalyzer(
-            environment=self.environment, aligner=aligner, max_steps=profile_budget
+            environment=self.environment,
+            aligner=aligner,
+            max_steps=profile_budget,
+            snapshot_resume=snapshot_impact,
         )
         self.profile_budget = profile_budget
         self.clinic_programs = list(clinic_programs)

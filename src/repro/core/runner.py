@@ -8,7 +8,7 @@ the dispatcher (optionally with interceptors), execute under a step budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Tuple
 
 from .. import obs
 from ..tracing.trace import Trace
@@ -17,6 +17,9 @@ from ..vm.program import Program
 from ..winapi.dispatcher import Dispatcher, Interceptor
 from ..winenv.acl import IntegrityLevel
 from ..winenv.environment import SystemEnvironment
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from .snapshot import VmSnapshot
 
 #: Default per-run instruction budget (the paper's 1-minute cap analogue).
 DEFAULT_BUDGET = 100_000
@@ -44,6 +47,7 @@ def run_sample(
     integrity: IntegrityLevel = IntegrityLevel.MEDIUM,
     clone_environment: bool = True,
     taint_addresses: bool = False,
+    on_cpu: Optional[Callable[[CPU], None]] = None,
 ) -> RunResult:
     """Execute ``program`` in a fresh (or supplied) environment.
 
@@ -52,6 +56,10 @@ def run_sample(
     Malware runs at MEDIUM integrity (launched by the logged-in user at
     initial infection); vaccine resources are SYSTEM-owned, so they still
     out-rank it.
+
+    ``on_cpu`` is called with the constructed CPU before execution starts —
+    the hook interceptors that need machine state (the snapshot recorder)
+    use to bind themselves to the run.
     """
     if environment is None:
         env = SystemEnvironment()
@@ -74,6 +82,8 @@ def run_sample(
         record_instructions=record_instructions,
         taint_addresses=taint_addresses,
     )
+    if on_cpu is not None:
+        on_cpu(cpu)
     trace = cpu.run()
     if obs.metrics.enabled:
         obs.metrics.counter("runner.runs", status=cpu.status.value).inc()
@@ -81,3 +91,37 @@ def run_sample(
         if cpu.status is ExitStatus.BUDGET:
             obs.metrics.counter("runner.budget_exhausted").inc()
     return RunResult(trace=trace, cpu=cpu, environment=env)
+
+
+def resume_sample(
+    program: Program,
+    snapshot: "VmSnapshot",
+    interceptors: Optional[Iterable[Interceptor]] = None,
+    max_steps: int = DEFAULT_BUDGET,
+    record_instructions: bool = False,
+    taint_addresses: bool = False,
+) -> RunResult:
+    """Resume ``program`` from a mid-run :class:`VmSnapshot`.
+
+    The counterpart of :func:`run_sample` for Phase-II mutated runs: the
+    restored state already contains the environment evolved through the
+    shared prefix, so only the divergent suffix executes.  The returned
+    trace is a *complete* trace (prefix events + suffix events) — alignment
+    and delta classification consume it exactly like a full rerun's.
+    """
+    cpu = snapshot.build_cpu(
+        program,
+        interceptors=interceptors,
+        max_steps=max_steps,
+        record_instructions=record_instructions,
+        taint_addresses=taint_addresses,
+    )
+    trace = cpu.run()
+    if obs.metrics.enabled:
+        obs.metrics.counter("runner.runs", status=cpu.status.value).inc()
+        obs.metrics.counter("runner.resumes").inc()
+        obs.metrics.counter("runner.instructions").inc(cpu.steps - snapshot.steps)
+        obs.metrics.counter("runner.instructions_skipped").inc(snapshot.steps)
+        if cpu.status is ExitStatus.BUDGET:
+            obs.metrics.counter("runner.budget_exhausted").inc()
+    return RunResult(trace=trace, cpu=cpu, environment=cpu.environment)

@@ -1,0 +1,229 @@
+"""Snapshot-resume checkpoints for Phase-II impact analysis.
+
+The paper's dominant cost is re-executing the sample once per candidate
+mutation (§IV-B): every mutated run replays the full natural prefix up to
+the first API call that touches the mutated resource, then diverges.  A
+:class:`VmSnapshot` captures the complete guest state — VM machine state
+plus the Windows environment — at exactly that first interception site, so
+each mutated run resumes from the checkpoint and pays only for the
+divergent suffix: O(candidates × suffix) instead of O(candidates × trace).
+
+Why capture at intercept time is sound: the dispatcher resolves arguments
+and identifiers *before* consulting interceptors, and that pre-intercept
+phase only reads guest state.  Rewinding ``pc`` to the call site and the
+step/event-id counters to the call's own values therefore reproduces the
+call bit-for-bit when the resumed run re-executes it — this time with the
+mutation interceptor attached, which fires on the identical
+:func:`mutation_matches` predicate the recorder used.
+
+State is split two ways:
+
+* **VM machine state** (registers, flags, sparse memory, call stack, the
+  event log so far) is shallow-copied — dict/list copies over immutable
+  ints, frozen TagSets and already-final events.
+* **Guest environment state** (filesystem, registry, mutexes, the process
+  and its handle table, the RNG mid-sequence) is pickled in one blob so
+  every internal reference — a handle pointing at a registry key object —
+  survives with identity intact.  ``SystemEnvironment.clone()`` cannot be
+  used here: it reseeds the RNG and drops handle tables, both of which
+  only reset correctly at process spawn, not mid-run.
+
+A capture that fails to pickle (e.g. an unpicklable global interceptor)
+degrades to the legacy full-rerun path per candidate — never to a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..taint.labels import TagSet
+from ..tracing.events import ApiCallEvent, TaintedPredicateEvent
+from ..tracing.trace import Trace
+from ..vm.cpu import CPU
+from ..vm.memory import Memory
+from ..winapi.dispatcher import Interception
+from .vaccine import normalize_identifier
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..winapi.labels import ApiDef
+    from .candidate import CandidateResource
+
+_log = obs.get_logger("snapshot")
+
+
+def mutation_matches(candidate: "CandidateResource", event: ApiCallEvent) -> bool:
+    """Does this API call touch the candidate resource?
+
+    The single matching predicate shared by :class:`SnapshotRecorder` and
+    :class:`~repro.core.impact.ResourceMutation` — the snapshot is taken at
+    the first event the mutation would have intercepted, by construction.
+    Only intercept-time identifiers participate (identifiers resolved late
+    by the API implementation are invisible to interceptors on both paths).
+    """
+    if event.resource_type is not candidate.resource_type:
+        return False
+    if event.identifier is None:
+        return False
+    norm = normalize_identifier(event.resource_type, event.identifier)
+    return norm == candidate.identifier
+
+
+@dataclass
+class VmSnapshot:
+    """Complete guest state at one API interception site."""
+
+    program_name: str
+    #: Rewound to the call site: the resumed run re-executes the API call.
+    pc: int
+    steps: int
+    next_event_id: int
+    regs: Dict[str, int]
+    reg_taint: Dict[str, TagSet]
+    flags: Dict[str, int]
+    flag_taint: TagSet
+    callstack: List[int]
+    mem_bytes: Dict[int, int]
+    mem_taint: Dict[int, TagSet]
+    mem_regions: List[Tuple[int, int]]
+    mem_readonly: List[Tuple[int, int]]
+    api_calls: List[ApiCallEvent]
+    predicates: List[TaintedPredicateEvent]
+    #: ``pickle.dumps((environment, process))`` — one blob, one memo, so
+    #: handle->resource references keep their identity across the restore.
+    env_blob: bytes
+
+    @classmethod
+    def capture(cls, cpu: CPU, event: ApiCallEvent) -> "VmSnapshot":
+        """Checkpoint ``cpu`` as of the *start* of the API call ``event``.
+
+        Called from inside the dispatcher's interceptor phase, where guest
+        state is untouched since the call instruction began: only ``pc``,
+        ``steps`` and the trace's event-id counter have advanced, and all
+        three are rewound to the event's own values.
+        """
+        memory = cpu.memory
+        return cls(
+            program_name=cpu.program.name,
+            pc=event.caller_pc,
+            steps=event.seq,
+            next_event_id=event.event_id,
+            regs=dict(cpu.regs),
+            reg_taint=dict(cpu.reg_taint),
+            flags=dict(cpu.flags),
+            flag_taint=cpu.flag_taint,
+            callstack=list(cpu.callstack),
+            mem_bytes=dict(memory._bytes),
+            mem_taint=dict(memory._taint),
+            mem_regions=list(memory._regions),
+            mem_readonly=list(memory.readonly_ranges),
+            api_calls=list(cpu.trace.api_calls),
+            predicates=list(cpu.trace.predicates),
+            env_blob=pickle.dumps(
+                (cpu.environment, cpu.process), pickle.HIGHEST_PROTOCOL
+            ),
+        )
+
+    def build_cpu(
+        self,
+        program,
+        interceptors=None,
+        max_steps: int = 200_000,
+        record_instructions: bool = False,
+        taint_addresses: bool = False,
+    ) -> CPU:
+        """Reconstruct a runnable CPU from this checkpoint.
+
+        Each call restores an independent environment (the blob is
+        unpickled fresh), so one snapshot can seed both mutation mechanisms
+        without cross-contamination.
+        """
+        from ..winapi.dispatcher import Dispatcher
+
+        environment, process = pickle.loads(self.env_blob)
+        all_interceptors = list(environment.global_interceptors)
+        all_interceptors.extend(interceptors or [])
+        dispatcher = Dispatcher(environment, process, interceptors=all_interceptors)
+
+        memory = Memory.__new__(Memory)
+        memory._bytes = dict(self.mem_bytes)
+        memory._taint = dict(self.mem_taint)
+        memory._regions = list(self.mem_regions)
+        memory.readonly_ranges = list(self.mem_readonly)
+
+        trace = Trace(program_name=program.name)
+        trace.api_calls = list(self.api_calls)
+        trace.predicates = list(self.predicates)
+        trace._event_ids = itertools.count(self.next_event_id)
+
+        return CPU.resume(
+            program,
+            environment,
+            process,
+            dispatcher,
+            memory=memory,
+            regs=dict(self.regs),
+            reg_taint=dict(self.reg_taint),
+            flags=dict(self.flags),
+            flag_taint=self.flag_taint,
+            pc=self.pc,
+            steps=self.steps,
+            callstack=list(self.callstack),
+            trace=trace,
+            max_steps=max_steps,
+            record_instructions=record_instructions,
+            taint_addresses=taint_addresses,
+        )
+
+
+class SnapshotRecorder:
+    """Interceptor capturing one snapshot per candidate during a single
+    natural run.
+
+    Sits in the interceptor chain exactly where the mutation would sit (so
+    it observes the same pre-intercept event state), always PASSes, and on
+    each candidate's *first* match checkpoints the machine.  Candidates
+    sharing a first interception site share one snapshot object.
+    """
+
+    def __init__(self, candidates) -> None:
+        self.pending: Dict[tuple, "CandidateResource"] = {
+            c.key: c for c in candidates
+        }
+        #: candidate.key -> VmSnapshot (None: capture failed, use legacy).
+        self.snapshots: Dict[tuple, Optional[VmSnapshot]] = {}
+        self.cpu: Optional[CPU] = None
+
+    def bind(self, cpu: CPU) -> None:
+        self.cpu = cpu
+
+    def intercept(self, apidef: "ApiDef", event: ApiCallEvent) -> Interception:
+        if self.pending:
+            matched = [
+                key
+                for key, candidate in self.pending.items()
+                if mutation_matches(candidate, event)
+            ]
+            if matched:
+                snapshot: Optional[VmSnapshot]
+                try:
+                    snapshot = VmSnapshot.capture(self.cpu, event)
+                except Exception as exc:
+                    snapshot = None
+                    _log.warning(
+                        "snapshot capture failed; falling back to full rerun",
+                        api=event.api,
+                        error=str(exc),
+                    )
+                    obs.metrics.counter("snapshot.capture_failures").inc()
+                for key in matched:
+                    del self.pending[key]
+                    self.snapshots[key] = snapshot
+        return Interception.PASS
+
+
+__all__ = ["SnapshotRecorder", "VmSnapshot", "mutation_matches"]

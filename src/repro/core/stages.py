@@ -151,10 +151,9 @@ class ImpactStage(Stage):
     def run(self, ctx: AnalysisContext, span: "Span") -> None:
         pipeline = ctx.pipeline
         phase1 = ctx.analysis.phase1
-        for candidate in ctx.candidates:
-            ctx.analysis.impacts.extend(
-                pipeline.impact.analyze(ctx.program, candidate, phase1.trace)
-            )
+        ctx.analysis.impacts.extend(
+            pipeline.impact.analyze_candidates(ctx.program, ctx.candidates, phase1.trace)
+        )
         span.set(outcomes=len(ctx.analysis.impacts))
 
 

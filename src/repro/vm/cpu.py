@@ -17,8 +17,9 @@ from .. import obs
 from ..taint.labels import EMPTY, TagSet, union
 from ..tracing.events import ApiCallEvent, InstructionRecord, TaintedPredicateEvent
 from ..tracing.trace import Trace
+from .decode import decoded_program
 from .isa import Instruction
-from .memory import Memory, MemoryFault, STACK_TOP
+from .memory import Memory, MemoryFault, STACK_TOP, TEXT_BASE
 from .operands import ApiRef, Imm, Mem, Operand, Reg, mask32, to_signed
 from .program import Program
 
@@ -35,9 +36,38 @@ class CpuFault(Exception):
     """Internal faults that end the run with ``ExitStatus.FAULT``."""
 
 
-#: Counter handles reused by CPU._flush_obs across runs; invalidated when
-#: obs.reset() bumps the registry generation (the "generation" entry).
-_VM_FLUSH_CACHE: dict = {}
+class _VmFlushCache:
+    """Counter handles reused by ``CPU._flush_obs`` across runs.
+
+    Keyed on the obs registry generation the same way as
+    ``Dispatcher._FlushCache``: ``obs.reset()`` bumps ``metrics.generation``
+    and discards the counter families these handles point into, so a
+    generation mismatch drops every handle.  (The previous scheme stored the
+    generation as just another entry of the same dict that held the
+    per-status ``vm.runs`` handles — correctness hinged on no exit status
+    ever being named ``"generation"``/``"instructions"``/… .)
+    """
+
+    __slots__ = ("generation", "instructions", "api_calls", "tainted_predicates", "runs")
+
+    def __init__(self) -> None:
+        self.generation = -1
+        self.instructions = None
+        self.api_calls = None
+        self.tainted_predicates = None
+        #: status value -> vm.runs counter handle.
+        self.runs: dict = {}
+
+    def refresh(self, metrics) -> None:
+        if self.generation != metrics.generation:
+            self.generation = metrics.generation
+            self.instructions = metrics.counter("vm.instructions")
+            self.api_calls = metrics.counter("vm.api_calls")
+            self.tainted_predicates = metrics.counter("vm.tainted_predicates")
+            self.runs = {}
+
+
+_VM_FLUSH_CACHE = _VmFlushCache()
 
 
 class CPU:
@@ -110,6 +140,92 @@ class CPU:
         self._defs: List[Tuple] = []
         self._api_step_recorded = False
         self._last_addr_taint: TagSet = EMPTY
+
+        #: Predecoded (full, fast, text) handler per instruction.
+        self._decoded = decoded_program(program)
+        #: Steps/events already accounted before this CPU started (0 for a
+        #: fresh run; the snapshot's prefix for a resumed one) — so
+        #: ``_flush_obs`` reports only what *this* CPU executed.
+        self._steps_at_start = 0
+        self._events_at_start = len(self.trace.api_calls)
+        self._predicates_at_start = len(self.trace.predicates)
+        # The untainted fast path is legal only while nothing needs to be
+        # recorded and no live taint exists anywhere in the machine; taint
+        # can only enter through an API call, so ``_call`` rechecks after
+        # every dispatcher invoke.
+        self._allow_fast = not record_instructions
+        self._fast_mode = self._allow_fast
+
+    @classmethod
+    def resume(
+        cls,
+        program: Program,
+        environment,
+        process,
+        dispatcher,
+        *,
+        memory: Memory,
+        regs: dict,
+        reg_taint: dict,
+        flags: dict,
+        flag_taint: TagSet,
+        pc: int,
+        steps: int,
+        callstack: List[int],
+        trace: Trace,
+        max_steps: int = 200_000,
+        record_instructions: bool = False,
+        taint_addresses: bool = False,
+    ) -> "CPU":
+        """Build a CPU mid-run from restored machine state (see
+        :mod:`repro.core.snapshot`) instead of a fresh image load.
+
+        ``pc``/``steps`` name the instruction the resumed run executes
+        first; the budget check compares the *cumulative* step count against
+        ``max_steps``, so a resumed run exhausts its budget at exactly the
+        same instruction a full rerun would.
+        """
+        cpu = cls.__new__(cls)
+        cpu.program = program
+        cpu.environment = environment
+        cpu.process = process
+        cpu.dispatcher = dispatcher
+        cpu.max_steps = max_steps
+        cpu.record_instructions = record_instructions
+        cpu.taint_addresses = taint_addresses
+        cpu.memory = memory
+        cpu.regs = regs
+        cpu.reg_taint = reg_taint
+        cpu.flags = flags
+        cpu.flag_taint = flag_taint
+        cpu.pc = pc
+        cpu.steps = steps
+        cpu.status = ExitStatus.RUNNING
+        cpu.fault_reason = None
+        cpu.callstack = callstack
+        cpu.trace = trace
+        cpu.trace.program_name = program.name
+        cpu._uses = []
+        cpu._defs = []
+        cpu._api_step_recorded = False
+        cpu._last_addr_taint = EMPTY
+        cpu._decoded = decoded_program(program)
+        cpu._steps_at_start = steps
+        cpu._events_at_start = len(trace.api_calls)
+        cpu._predicates_at_start = len(trace.predicates)
+        cpu._allow_fast = not record_instructions
+        cpu._fast_mode = cpu._allow_fast and not cpu._taint_live()
+        return cpu
+
+    def _taint_live(self) -> bool:
+        """Any live taint anywhere in the machine?  Exact: ``Memory``
+        drops per-byte entries when a byte is overwritten untainted, and
+        EMPTY tag sets are falsy."""
+        return bool(
+            self.flag_taint
+            or self.memory._taint
+            or any(self.reg_taint.values())
+        )
 
     # ------------------------------------------------------------------
     # register / memory access with def-use tracking
@@ -209,7 +325,16 @@ class CPU:
 
     def run(self) -> Trace:
         """Execute until exit, fault, or budget exhaustion."""
+        if self._allow_fast:
+            # Callers may have injected taint by hand before run().
+            self._fast_mode = not self._taint_live()
         while self.status is ExitStatus.RUNNING:
+            if self._fast_mode:
+                self._run_fast()
+                if self.status is not ExitStatus.RUNNING:
+                    break
+            # Slow-path step: either fast mode is off, or the next
+            # instruction (an API call) needs the full machinery.
             self.step()
         self.trace.exit_status = self.status.value
         self.trace.steps = self.steps
@@ -217,6 +342,40 @@ class CPU:
             self.trace.exit_code = self.process.exit_code
         self._flush_obs()
         return self.trace
+
+    def _run_fast(self) -> None:
+        """Inner interpreter loop while no live taint exists.
+
+        Executes predecoded untainted handlers back to back — no def/use
+        lists, no TagSet plumbing, no InstructionRecord bookkeeping — and
+        returns to the full loop at the first instruction without a fast
+        form (an API call, or any terminal condition)."""
+        decoded = self._decoded
+        n = len(decoded)
+        base = TEXT_BASE
+        max_steps = self.max_steps
+        while True:
+            if self.steps >= max_steps:
+                self.status = ExitStatus.BUDGET
+                return
+            idx = self.pc - base
+            if not 0 <= idx < n:
+                self.status = ExitStatus.FAULT
+                self.fault_reason = f"pc 0x{self.pc:08x} outside .text"
+                return
+            fast = decoded[idx][1]
+            if fast is None:
+                return
+            self.steps += 1
+            self.pc += 1  # default fallthrough; jumps overwrite
+            try:
+                fast(self)
+            except (MemoryFault, CpuFault) as exc:
+                self.status = ExitStatus.FAULT
+                self.fault_reason = str(exc)
+                return
+            if self.status is not ExitStatus.RUNNING:
+                return
 
     def _flush_obs(self) -> None:
         """Report run totals into the metrics registry.
@@ -231,23 +390,18 @@ class CPU:
         # Handles are cached across runs and dropped when obs.reset() bumps
         # the registry generation (same scheme as Dispatcher.flush_obs).
         cache = _VM_FLUSH_CACHE
-        if cache.get("generation") != metrics.generation:
-            cache.clear()
-            cache["generation"] = metrics.generation
-            cache["instructions"] = metrics.counter("vm.instructions")
-            cache["api_calls"] = metrics.counter("vm.api_calls")
-            cache["tainted_predicates"] = metrics.counter("vm.tainted_predicates")
+        cache.refresh(metrics)
         status = self.status.value
-        runs = cache.get(status)
+        runs = cache.runs.get(status)
         if runs is None:
-            runs = cache[status] = metrics.counter("vm.runs", status=status)
-        cache["instructions"].inc(self.steps)
+            runs = cache.runs[status] = metrics.counter("vm.runs", status=status)
+        cache.instructions.inc(self.steps - self._steps_at_start)
         runs.inc()
-        cache["api_calls"].inc(len(self.trace.api_calls))
-        cache["tainted_predicates"].inc(len(self.trace.predicates))
+        cache.api_calls.inc(len(self.trace.api_calls) - self._events_at_start)
+        cache.tainted_predicates.inc(len(self.trace.predicates) - self._predicates_at_start)
         flush = getattr(self.dispatcher, "flush_obs", None)
         if flush is not None:
-            flush(self.trace.api_calls)
+            flush(self.trace.api_calls[self._events_at_start:])
 
     def terminate(self, exit_code: int = 0) -> None:
         """Called by ExitProcess-style APIs."""
@@ -261,11 +415,12 @@ class CPU:
         if self.steps >= self.max_steps:
             self.status = ExitStatus.BUDGET
             return
-        instr = self.program.instruction_at(self.pc)
-        if instr is None:
+        idx = self.pc - TEXT_BASE
+        if not 0 <= idx < len(self._decoded):
             self.status = ExitStatus.FAULT
             self.fault_reason = f"pc 0x{self.pc:08x} outside .text"
             return
+        full, _fast, text = self._decoded[idx]
         self._uses = []
         self._defs = []
         self._api_step_recorded = False
@@ -276,7 +431,7 @@ class CPU:
         self.steps += 1
         self.pc += 1  # default fallthrough; jumps overwrite
         try:
-            self._execute(instr, pc, seq)
+            full(self, pc, seq)
         except (MemoryFault, CpuFault) as exc:
             self.status = ExitStatus.FAULT
             self.fault_reason = str(exc)
@@ -286,7 +441,7 @@ class CPU:
                 InstructionRecord(
                     seq=seq,
                     pc=pc,
-                    text=str(instr),
+                    text=text,
                     defs=tuple(self._defs),
                     uses=tuple(self._uses),
                     esp=self._step_esp,
@@ -316,17 +471,7 @@ class CPU:
             self.write_operand(ops[0], value, taint)
             return
         if m == "lea":
-            mem = ops[1]
-            if not isinstance(mem, Mem):
-                raise CpuFault("lea needs a memory operand")
-            taints = []
-            if mem.base:
-                _, t = self.get_reg(mem.base)
-                taints.append(t)
-            if mem.index:
-                _, t = self.get_reg(mem.index)
-                taints.append(t)
-            self.write_operand(ops[0], self._mem_address_quiet(mem), union(*taints))
+            self._lea(ops[0], ops[1])
             return
         if m == "xchg":
             a, ta = self.read_operand(ops[0])
@@ -358,19 +503,34 @@ class CPU:
             self._call(ops[0], pc, seq, str(instr))
             return
         if m == "ret":
-            value, _ = self.pop()
-            if ops:
-                extra, _ = self.read_operand(ops[0])
-                self.set_reg("esp", mask32(self.regs["esp"] + extra), self.reg_taint["esp"])
-            if self.callstack:
-                self.callstack.pop()
-            self.pc = value
+            self._ret(ops)
             return
         raise CpuFault(f"unimplemented mnemonic {m}")
 
     def _mem_address_quiet(self, op: Mem) -> int:
         """Address computation identical to ``_mem_address`` (uses recorded)."""
         return self._mem_address(op)
+
+    def _lea(self, dst: Operand, mem: Operand) -> None:
+        if not isinstance(mem, Mem):
+            raise CpuFault("lea needs a memory operand")
+        taints = []
+        if mem.base:
+            _, t = self.get_reg(mem.base)
+            taints.append(t)
+        if mem.index:
+            _, t = self.get_reg(mem.index)
+            taints.append(t)
+        self.write_operand(dst, self._mem_address_quiet(mem), union(*taints))
+
+    def _ret(self, ops: Tuple[Operand, ...]) -> None:
+        value, _ = self.pop()
+        if ops:
+            extra, _ = self.read_operand(ops[0])
+            self.set_reg("esp", mask32(self.regs["esp"] + extra), self.reg_taint["esp"])
+        if self.callstack:
+            self.callstack.pop()
+        self.pc = value
 
     def _unary(self, m: str, dst: Operand) -> None:
         value, taint = self.read_operand(dst)
@@ -477,6 +637,12 @@ class CPU:
             if self.dispatcher is None:
                 raise CpuFault(f"no API dispatcher for {target}")
             self.dispatcher.invoke(self, target.name, caller_pc=pc, seq=seq)
+            if self._allow_fast:
+                # API calls are the only taint ingress (mint_tag via the
+                # dispatcher); an API can also *consume* the last of it
+                # (e.g. the tainted buffer is overwritten), so recheck both
+                # directions here and nowhere else.
+                self._fast_mode = not self._taint_live()
             return
         value, _ = self.read_operand(target)
         self.push(self.pc)  # return address (already points past the call)

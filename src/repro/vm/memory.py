@@ -74,6 +74,39 @@ class Memory:
         else:
             self._taint.pop(addr, None)
 
+    # -- untainted fast path (predecoded interpreter) ---------------------
+
+    def read_plain(self, addr: int, size: int) -> int:
+        """Multi-byte read without taint accounting.
+
+        Valid only while the caller guarantees no live taint is being
+        skipped (the CPU's fast-mode invariant).  Fault behaviour matches
+        the byte loop: the first unmapped byte raises."""
+        value = 0
+        data = self._bytes
+        for i in range(size):
+            a = (addr + i) & 0xFFFFFFFF
+            if not self.is_mapped(a):
+                raise MemoryFault(a)
+            value |= data.get(a, 0) << (8 * i)
+        return value
+
+    def write_plain(self, addr: int, value: int, size: int) -> None:
+        """Multi-byte untainted write without TagSet plumbing.
+
+        Equivalent to a ``write_byte`` loop with EMPTY taint: earlier bytes
+        stay written when a later byte faults, and any stale taint on the
+        touched bytes is dropped."""
+        data = self._bytes
+        taint = self._taint
+        for i in range(size):
+            a = (addr + i) & 0xFFFFFFFF
+            if not self.is_mapped(a):
+                raise MemoryFault(a)
+            data[a] = (value >> (8 * i)) & 0xFF
+            if taint:
+                taint.pop(a, None)
+
     # -- word-level -------------------------------------------------------
 
     def read_u32(self, addr: int) -> Tuple[int, TagSet]:

@@ -35,6 +35,14 @@ class Program:
     source: str = ""
     metadata: Dict[str, object] = field(default_factory=dict)
 
+    def __getstate__(self) -> Dict[str, object]:
+        # The predecoded handler table (repro.vm.decode) is a per-process
+        # closure cache — unpicklable and meaningless elsewhere; workers and
+        # snapshot resumes re-decode locally.
+        state = dict(self.__dict__)
+        state.pop("_decoded_cache", None)
+        return state
+
     @property
     def text_base(self) -> int:
         return TEXT_BASE

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import align_lcs, align_linear
+from repro.analysis import align_lcs, align_linear, align_myers
 from repro.tracing import ApiCallEvent
 
 
@@ -14,7 +14,7 @@ def seqs(calls):
     return [ev(api, pc=0x401000 + i, seq=i) for i, (api) in enumerate(calls)]
 
 
-@pytest.fixture(params=[align_lcs, align_linear], ids=["lcs", "linear"])
+@pytest.fixture(params=[align_lcs, align_linear, align_myers], ids=["lcs", "linear", "myers"])
 def aligner(request):
     return request.param
 

@@ -1,0 +1,99 @@
+"""Property tests over random trace pairs for the three aligners.
+
+LCS-maximal alignments are not unique, so the aligners may attribute a
+tied delta to different sides — but every aligner must produce a valid
+*partition* (each event lands in the aligned set or exactly one difference
+set) and all three must agree on ``is_identical``; the two LCS-maximal
+ones (``align_lcs``, ``align_myers``) must also agree on the number of
+aligned pairs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import align_lcs, align_linear, align_myers
+from repro.tracing import ApiCallEvent
+
+ALIGNERS = {"lcs": align_lcs, "linear": align_linear, "myers": align_myers}
+
+APIS = ["A", "B", "C", "D", "E"]
+
+
+def _trace(keys):
+    return [
+        ApiCallEvent(event_id=i + 1, seq=i, api=api, caller_pc=pc, args=(), identifier=None)
+        for i, (api, pc) in enumerate(keys)
+    ]
+
+
+def _random_pair(rng: random.Random):
+    """A natural trace plus a mutated variant: random edits (drop, insert,
+    substitute) over a shared backbone — the shape impact analysis sees."""
+    n = rng.randrange(0, 30)
+    natural_keys = [(rng.choice(APIS), rng.randrange(1, 6)) for _ in range(n)]
+    mutated_keys = []
+    for key in natural_keys:
+        roll = rng.random()
+        if roll < 0.15:
+            continue  # event lost under mutation
+        if roll < 0.25:
+            mutated_keys.append((rng.choice(APIS), rng.randrange(6, 12)))  # substituted
+            continue
+        if roll < 0.35:
+            mutated_keys.append((rng.choice(APIS), rng.randrange(6, 12)))  # inserted
+        mutated_keys.append(key)
+    return _trace(mutated_keys), _trace(natural_keys)
+
+
+def _check_partition(result, mutated, natural):
+    # Deltas must be actual events of their trace, in trace order, and the
+    # counts must tile the traces exactly.
+    assert len(result.delta_mutated) + result.aligned_pairs == len(mutated)
+    assert len(result.delta_natural) + result.aligned_pairs == len(natural)
+    mutated_ids = [id(e) for e in mutated]
+    natural_ids = [id(e) for e in natural]
+    delta_m = [mutated_ids.index(id(e)) for e in result.delta_mutated]
+    delta_n = [natural_ids.index(id(e)) for e in result.delta_natural]
+    assert delta_m == sorted(set(delta_m))
+    assert delta_n == sorted(set(delta_n))
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_random_pairs_agree(seed):
+    rng = random.Random(seed)
+    mutated, natural = _random_pair(rng)
+    results = {name: fn(mutated, natural) for name, fn in ALIGNERS.items()}
+    for name, result in results.items():
+        _check_partition(result, mutated, natural)
+    identical = {name: r.is_identical for name, r in results.items()}
+    assert len(set(identical.values())) == 1, identical
+    # Both LCS-maximal aligners find the same (maximal) number of pairs.
+    assert results["myers"].aligned_pairs == results["lcs"].aligned_pairs
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_identical_random_traces(seed):
+    rng = random.Random(1000 + seed)
+    keys = [(rng.choice(APIS), rng.randrange(1, 6)) for _ in range(rng.randrange(0, 40))]
+    a, b = _trace(keys), _trace(keys)
+    for name, fn in ALIGNERS.items():
+        result = fn(a, b)
+        assert result.is_identical, name
+        assert result.aligned_pairs == len(keys)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_myers_matches_lcs_on_adversarial_shapes(seed):
+    """Short alphabets + heavy repetition maximize tied alignments — the
+    regime where a buggy backtrack would over- or under-count pairs."""
+    rng = random.Random(2000 + seed)
+    a = _trace([(rng.choice("AB"), 1) for _ in range(rng.randrange(0, 18))])
+    b = _trace([(rng.choice("AB"), 1) for _ in range(rng.randrange(0, 18))])
+    lcs = align_lcs(a, b)
+    myers = align_myers(a, b)
+    _check_partition(myers, a, b)
+    assert myers.aligned_pairs == lcs.aligned_pairs
+    assert myers.is_identical == lcs.is_identical
