@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for the Phase-II impact benchmarks.
+
+Workflow (what the perf-smoke job runs):
+
+1. read the *committed* per-sample latency baseline
+   (``_artifacts/impact_baseline.json``) before the bench overwrites it;
+2. run ``bench_impact.py`` (which rewrites the artifact with this machine's
+   numbers);
+3. compare per-sample latency against the baseline and write the verdict to
+   ``BENCH_impact.json`` at the repo root; exit non-zero on a regression.
+
+CI runners are not the machine the baseline was recorded on, so raw ratios
+mix hardware speed with real regressions.  The gate divides each sample's
+ratio by the *median* ratio across samples — a uniformly slower runner
+scales every sample alike and normalizes out, while a change that slows one
+code path (one family shape) sticks out.  A sample regresses when its
+normalized ratio exceeds ``1 + TOLERANCE``; improvements are reported but
+never fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import sys
+from pathlib import Path
+
+#: Allowed per-sample slowdown after hardware normalization (±35%).
+TOLERANCE = 0.35
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+BASELINE = BENCH_DIR / "_artifacts" / "impact_baseline.json"
+VERDICT = REPO_ROOT / "BENCH_impact.json"
+
+
+def _load_per_sample(path: Path) -> dict:
+    doc = json.loads(path.read_text())
+    per_sample = doc.get("per_sample_seconds", {})
+    if not per_sample:
+        raise SystemExit(f"error: {path} has no per_sample_seconds")
+    return per_sample
+
+
+def main() -> int:
+    if not BASELINE.exists():
+        print(f"error: no committed baseline at {BASELINE}", file=sys.stderr)
+        return 1
+    baseline = _load_per_sample(BASELINE)
+
+    print("running bench_impact.py ...")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "bench_impact.py", "-q"],
+        cwd=BENCH_DIR,
+        env={
+            **__import__("os").environ,
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+        },
+    )
+    if proc.returncode != 0:
+        print("error: bench_impact.py failed", file=sys.stderr)
+        return proc.returncode
+
+    current = _load_per_sample(BASELINE)  # the bench rewrote the artifact
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: baseline and current runs share no samples", file=sys.stderr)
+        return 1
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    speed_factor = statistics.median(ratios.values())
+    rows = []
+    regressions = []
+    for name in shared:
+        normalized = ratios[name] / speed_factor if speed_factor else 1.0
+        regressed = normalized > 1.0 + TOLERANCE
+        rows.append(
+            {
+                "sample": name,
+                "baseline_seconds": baseline[name],
+                "current_seconds": current[name],
+                "ratio": round(ratios[name], 4),
+                "normalized_ratio": round(normalized, 4),
+                "regressed": regressed,
+            }
+        )
+        if regressed:
+            regressions.append(name)
+
+    verdict = {
+        "tolerance": TOLERANCE,
+        "hardware_speed_factor": round(speed_factor, 4),
+        "samples": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+    VERDICT.write_text(json.dumps(verdict, indent=2) + "\n")
+
+    width = max(len(r["sample"]) for r in rows)
+    print(f"\nper-sample latency vs baseline (speed factor {speed_factor:.2f}x, "
+          f"tolerance ±{TOLERANCE:.0%} normalized):")
+    for r in rows:
+        mark = "REGRESSED" if r["regressed"] else (
+            "improved" if r["normalized_ratio"] < 1.0 - TOLERANCE else "ok"
+        )
+        print(f"  {r['sample']:<{width}}  {r['baseline_seconds'] * 1e3:8.2f} ms "
+              f"-> {r['current_seconds'] * 1e3:8.2f} ms  "
+              f"x{r['normalized_ratio']:.2f}  {mark}")
+    print(f"wrote {VERDICT}")
+    if regressions:
+        print(f"FAIL: per-sample latency regression: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print("OK: no per-sample latency regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

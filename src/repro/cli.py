@@ -8,7 +8,8 @@ Subcommands::
     python -m repro families
     python -m repro survey   [--size N] [--seed S] [--jobs N] [--cache DIR]
                              [--metrics m.json]
-    python -m repro stats    <m.json> [--prom] [--depth N]
+    python -m repro stats    <m.json> [--prom] [--flame-depth N] [--top N]
+    python -m repro explain  <family|asm-file> [--vaccine SUBSTR] [--json FILE]
 
 ``analyze`` runs the full pipeline on a built-in family or an assembly file
 and optionally writes a vaccine package; ``deploy`` simulates deployment on a
@@ -19,7 +20,10 @@ worker processes and ``--cache DIR`` makes an interrupted survey resumable
 cache).  ``--metrics`` captures the run's
 observability snapshot (``repro.obs``: per-phase spans, per-API counters, VM
 instruction counts) to a JSON file; ``stats`` pretty-prints such a file or
-re-emits it as Prometheus text.  Set ``REPRO_LOG=info`` for structured logs.
+re-emits it as Prometheus text.  ``explain`` re-analyzes one sample with the
+flight recorder on and prints, per vaccine, the causal chain of journal
+events that led to it (mutation, divergence, verdicts, back to the original
+API interception).  Set ``REPRO_LOG=info`` for structured logs.
 """
 
 from __future__ import annotations
@@ -155,7 +159,62 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if args.prom:
         sys.stdout.write(obs.render_prometheus(data))
     else:
-        sys.stdout.write(obs.render_stats(data, max_depth=args.depth))
+        depth = args.flame_depth if args.flame_depth is not None else args.depth
+        sys.stdout.write(obs.render_stats(data, max_depth=depth, top=args.top))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    import json as _json
+
+    program = _load_program(args.sample)
+    analysis = AutoVac().analyze(program)
+    journal = analysis.journal
+    if journal is None or not len(journal):
+        print(f"{program.name}: no journal recorded (flight recorder disabled?)")
+        return 1
+
+    anchors = journal.find("vaccine")
+    if args.vaccine:
+        needle = args.vaccine.lower()
+
+        def matches(event):
+            return needle in str(event.attrs.get("identifier", "")).lower() or (
+                needle == str(event.attrs.get("resource", "")).lower()
+            )
+
+        anchors = [e for e in anchors if matches(e)]
+        if not anchors:
+            # The candidate may have been discarded before becoming a
+            # vaccine; fall back to its last recorded verdict.
+            anchors = [
+                e for e in journal.events
+                if e.kind.startswith(("vaccine.", "verdict.")) and matches(e)
+            ]
+
+    if args.json:
+        doc = {
+            "sample": journal.sample,
+            "anchors": [e.event_id for e in anchors],
+            "journal": journal.to_dict(),
+        }
+        try:
+            Path(args.json).write_text(_json.dumps(doc, indent=2))
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write journal: {exc}")
+        print(f"wrote {args.json} ({len(journal)} events, {len(anchors)} anchors)")
+
+    if not anchors:
+        what = f"matching {args.vaccine!r}" if args.vaccine else "recorded"
+        print(f"{program.name}: no vaccine or verdict events {what} "
+              f"({len(journal)} journal events)")
+        return 1
+
+    print(f"{program.name}: {len(journal)} journal events, "
+          f"{len(anchors)} decision(s) to explain")
+    for anchor in anchors:
+        print()
+        print(obs.render_chain(journal, anchor.event_id, max_depth=args.depth))
     return 0
 
 
@@ -202,7 +261,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit Prometheus text format instead of the summary")
     p.add_argument("--depth", type=int, default=6,
                    help="max span-tree depth in the summary (default 6)")
+    p.add_argument("--flame-depth", type=int, default=None,
+                   help="alias for --depth (wins when both are given)")
+    p.add_argument("--top", type=int, default=None,
+                   help="keep only the N widest entries per flame level")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("explain",
+                       help="walk a sample's provenance journal per vaccine")
+    p.add_argument("sample", help="family name or .asm file path")
+    p.add_argument("--vaccine",
+                   help="only explain vaccines/verdicts whose identifier "
+                        "contains this substring (or whose resource type "
+                        "equals it, e.g. 'mutex')")
+    p.add_argument("--json", help="also write the raw journal (JSON) here")
+    p.add_argument("--depth", type=int, default=12,
+                   help="max causal-chain depth (default 12)")
+    p.set_defaults(func=cmd_explain)
 
     return parser
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..taint.labels import TaintClass
 from ..tracing.events import ApiCallEvent
 from ..tracing.trace import Trace
@@ -138,6 +139,25 @@ def analyze_trace(program_name: str, run: RunResult) -> CandidateReport:
         influential_occurrences=influential_occurrences,
         total_occurrences=total,
     )
+    flight = obs.flight
+    if flight.enabled:
+        for cand in report.candidates:
+            causes = []
+            for event_id in cand.event_ids[:8]:
+                causes.append(flight.recall(("api", event_id)))
+                causes.append(flight.recall(("predicate_for", event_id)))
+            flight_id = flight.record(
+                "candidate",
+                causes=tuple(dict.fromkeys(c for c in causes if c is not None)),
+                resource=cand.resource_type.value,
+                identifier=cand.identifier,
+                influences_control_flow=cand.influences_control_flow,
+                had_failure=cand.had_failure,
+                apis=sorted(cand.apis),
+            )
+            flight.remember(
+                ("candidate", cand.resource_type.value, cand.identifier), flight_id
+            )
     return report
 
 

@@ -19,6 +19,7 @@ import re
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from .. import obs
 from ..taint.backward import BackwardResult, backward_slice
 from ..taint.labels import TagSet, TaintClass
 from ..taint.replay import SliceReplayError, replay_slice
@@ -41,6 +42,8 @@ class DeterminismResult:
     slice: Optional[VaccineSlice] = None
     backward: Optional[BackwardResult] = None
     notes: str = ""
+    #: Flight-recorder id of the "verdict.determinism" event (process-local).
+    flight_id: Optional[int] = None
 
 
 def _byte_class(tags: TagSet) -> str:
@@ -96,6 +99,30 @@ def analyze_determinism(
     validate_replay: bool = True,
 ) -> DeterminismResult:
     """Classify ``event``'s identifier and build its deployable artifact."""
+    result = _classify_identifier(program, run, event, validate_replay)
+    flight = obs.flight
+    if flight.enabled:
+        result.flight_id = flight.record(
+            "verdict.determinism",
+            causes=(
+                flight.recall(("api", event.event_id)),
+                result.backward.flight_id if result.backward is not None else None,
+                result.slice.flight_id if result.slice is not None else None,
+            ),
+            identifier=event.identifier,
+            identifier_kind=result.kind.value,
+            pattern=result.pattern,
+            notes=result.notes,
+        )
+    return result
+
+
+def _classify_identifier(
+    program: Program,
+    run: RunResult,
+    event: ApiCallEvent,
+    validate_replay: bool,
+) -> DeterminismResult:
     classes = byte_classes(event)
     if not classes:
         # Identifier came through the handle map (no in-memory string);

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
+from .. import obs
 from ..search.engine import SearchEngine
 from ..winenv.filesystem import STARTUP_FOLDER, SYSTEM32, SYSTEM_INI
 from ..winenv.libraries import STANDARD_LIBRARIES
@@ -76,6 +77,28 @@ class ExclusivenessAnalyzer:
         return False
 
     def check(self, candidate: CandidateResource) -> ExclusivenessDecision:
+        decision = self._decide(candidate)
+        flight = obs.flight
+        if flight.enabled:
+            flight_id = flight.record(
+                "verdict.exclusiveness",
+                causes=(
+                    flight.recall(
+                        ("candidate", candidate.resource_type.value, candidate.identifier)
+                    ),
+                ),
+                resource=candidate.resource_type.value,
+                identifier=candidate.identifier,
+                exclusive=decision.exclusive,
+                reason=decision.reason,
+            )
+            flight.remember(
+                ("exclusive", candidate.resource_type.value, candidate.identifier),
+                flight_id,
+            )
+        return decision
+
+    def _decide(self, candidate: CandidateResource) -> ExclusivenessDecision:
         identifier = candidate.identifier
         if self.is_whitelisted(identifier):
             return ExclusivenessDecision(candidate, False, reason="whitelisted platform resource")

@@ -243,11 +243,24 @@ def analyze_population(
         done += 1  # completion count: monotone even when workers finish out of order
         gauge.set(done)
 
+    # Decoded analyses (cache hits, worker payloads) carry journals recorded
+    # in another process/run; their events are re-recorded into this
+    # process's flight recorder in *input order* — not completion order — so
+    # ``obs.flight.events()`` is identical for any jobs/cache combination.
+    adopt_indices: List[int] = []
+
+    def adopt_journals() -> None:
+        for i in sorted(adopt_indices):
+            analysis = results[i]
+            if analysis is not None and analysis.journal is not None:
+                obs.flight.adopt(analysis.journal)
+
     pending: List[int] = []
     for i, program in enumerate(programs):
         hit = store.load(store.key(program, config)) if store is not None else None
         if hit is not None:
             finish(i, hit)
+            adopt_indices.append(i)
         else:
             pending.append(i)
     if store is not None and pending:
@@ -256,10 +269,13 @@ def analyze_population(
     if jobs == 1 or len(pending) <= 1:
         local = autovac if autovac is not None else config.build() if config else AutoVac()
         for i in pending:
+            # Analyzed live in this process: the recorder already holds the
+            # events, so no adoption pass is needed for these.
             analysis = local.analyze(programs[i])
             if store is not None:
                 store.store(store.key(programs[i], config), analysis)
             finish(i, analysis)
+        adopt_journals()
         return PopulationResult(analyses=list(results))
 
     cache_root = str(store.root) if store is not None else None
@@ -278,6 +294,8 @@ def analyze_population(
                     obs.trace.adopt(analysis.span)
                 obs.metrics.merge(snapshot)
                 finish(futures[future], analysis)
+                adopt_indices.append(futures[future])
+    adopt_journals()
     return PopulationResult(analyses=list(results))
 
 

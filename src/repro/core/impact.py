@@ -10,8 +10,9 @@ set: full immunization, partial Types I–IV, or none.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..analysis.alignment import Aligner, AlignmentResult, align_myers
 from ..tracing.events import ApiCallEvent
 from ..tracing.trace import Trace
@@ -42,6 +43,9 @@ class ResourceMutation:
         self.candidate = candidate
         self.mechanism = mechanism
         self.hits = 0
+        #: Flight-recorder id of this mutation's "mutation" event; the
+        #: dispatcher cites it as the cause of each "api.intercept" event.
+        self.flight_id: Optional[int] = None
 
     def matches(self, event: ApiCallEvent) -> bool:
         # Shared with SnapshotRecorder: the snapshot is captured at the
@@ -71,6 +75,9 @@ class ImpactOutcome:
     alignment: Optional[AlignmentResult] = None
     mutated_run: Optional[RunResult] = None
     mutation_hits: int = 0
+    #: Flight-recorder id of the "verdict.impact" event (process-local,
+    #: not serialized — provenance ships via the journal itself).
+    flight_id: Optional[int] = None
 
     @property
     def is_effective(self) -> bool:
@@ -80,6 +87,12 @@ class ImpactOutcome:
 #: analyze_candidates sentinel: the candidate's resource never matched an
 #: API call at intercept time, so a mutated run would be the natural run.
 _UNMATCHED = object()
+
+
+def _candidate_flight_id(candidate: CandidateResource) -> Optional[int]:
+    return obs.flight.recall(
+        ("candidate", candidate.resource_type.value, candidate.identifier)
+    )
 
 
 class ImpactAnalyzer:
@@ -127,6 +140,16 @@ class ImpactAnalyzer:
     ) -> ImpactOutcome:
         """Legacy path: one full re-execution per candidate x mechanism."""
         mutation = ResourceMutation(candidate, mechanism)
+        flight = obs.flight
+        if flight.enabled:
+            mutation.flight_id = flight.record(
+                "mutation",
+                causes=(_candidate_flight_id(candidate),),
+                resource=candidate.resource_type.value,
+                identifier=candidate.identifier,
+                mechanism=mechanism.value,
+                resumed=False,
+            )
         mutated_run = run_sample(
             program,
             environment=self.environment,
@@ -134,7 +157,14 @@ class ImpactAnalyzer:
             max_steps=self.max_steps,
             record_instructions=False,
         )
-        return self._classify(candidate, mechanism, mutated_run, natural, mutation.hits)
+        return self._classify(
+            candidate,
+            mechanism,
+            mutated_run,
+            natural,
+            mutation.hits,
+            flight_causes=(mutation.flight_id,),
+        )
 
     def analyze_candidates(
         self,
@@ -183,10 +213,35 @@ class ImpactAnalyzer:
                     # mutation can never fire: the mutated run *is* the
                     # natural run (the capture run, which saw only PASSes).
                     outcomes.append(
-                        self._classify(candidate, mechanism, capture_run, natural, 0)
+                        self._classify(
+                            candidate,
+                            mechanism,
+                            capture_run,
+                            natural,
+                            0,
+                            flight_causes=(_candidate_flight_id(candidate),),
+                        )
                     )
                     continue
                 mutation = ResourceMutation(candidate, mechanism)
+                flight = obs.flight
+                resume_id = None
+                if flight.enabled:
+                    snap_id = flight.recall(("snapshot",) + candidate.key)
+                    mutation.flight_id = flight.record(
+                        "mutation",
+                        causes=(_candidate_flight_id(candidate), snap_id),
+                        resource=candidate.resource_type.value,
+                        identifier=candidate.identifier,
+                        mechanism=mechanism.value,
+                        resumed=True,
+                    )
+                    resume_id = flight.record(
+                        "snapshot.resume",
+                        causes=(snap_id, mutation.flight_id),
+                        identifier=candidate.identifier,
+                        mechanism=mechanism.value,
+                    )
                 mutated_run = resume_sample(
                     program,
                     snapshot,
@@ -195,7 +250,12 @@ class ImpactAnalyzer:
                 )
                 outcomes.append(
                     self._classify(
-                        candidate, mechanism, mutated_run, natural, mutation.hits
+                        candidate,
+                        mechanism,
+                        mutated_run,
+                        natural,
+                        mutation.hits,
+                        flight_causes=(mutation.flight_id, resume_id),
                     )
                 )
         return outcomes
@@ -207,11 +267,12 @@ class ImpactAnalyzer:
         mutated_run: RunResult,
         natural: Trace,
         mutation_hits: int,
+        flight_causes: Tuple[Optional[int], ...] = (),
     ) -> ImpactOutcome:
         mutated = mutated_run.trace
         alignment = self.aligner(mutated.api_calls, natural.api_calls)
         effects = classify_deltas(natural, mutated, alignment)
-        return ImpactOutcome(
+        outcome = ImpactOutcome(
             candidate=candidate,
             mechanism=mechanism,
             immunization=primary_immunization(effects),
@@ -220,6 +281,33 @@ class ImpactAnalyzer:
             mutated_run=mutated_run,
             mutation_hits=mutation_hits,
         )
+        flight = obs.flight
+        if flight.enabled:
+            divergence_id = None
+            if not alignment.is_identical:
+                divergence_id = flight.record(
+                    "align.divergence",
+                    causes=flight_causes,
+                    lost=len(alignment.delta_natural),
+                    gained=len(alignment.delta_mutated),
+                    first_lost=(
+                        alignment.delta_natural[0].api if alignment.delta_natural else None
+                    ),
+                    first_gained=(
+                        alignment.delta_mutated[0].api if alignment.delta_mutated else None
+                    ),
+                )
+            outcome.flight_id = flight.record(
+                "verdict.impact",
+                causes=tuple(flight_causes) + (divergence_id,),
+                resource=candidate.resource_type.value,
+                identifier=candidate.identifier,
+                mechanism=mechanism.value,
+                immunization=outcome.immunization.value,
+                effects=sorted(e.value for e in effects),
+                hits=mutation_hits,
+            )
+        return outcome
 
 
 # ---------------------------------------------------------------------------

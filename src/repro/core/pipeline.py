@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..analysis.alignment import Aligner, align_myers
-from ..obs import Span
+from ..obs import Journal, Span
 from ..search.engine import SearchEngine
 from ..vm.program import Program
 from ..winenv.environment import SystemEnvironment
@@ -55,6 +55,9 @@ class SampleAnalysis:
     #: Root span of this sample's ``pipeline.analyze`` (None when tracing is
     #: disabled); stage spans are its direct children.
     span: Optional[Span] = None
+    #: Flight-recorder journal for this sample (None when the recorder is
+    #: disabled): the provenance DAG ``repro explain`` walks.
+    journal: Optional[Journal] = None
 
     @property
     def has_vaccines(self) -> bool:
@@ -223,6 +226,7 @@ class AutoVac:
     # ------------------------------------------------------------------
 
     def analyze(self, program: Program) -> SampleAnalysis:
+        journal_token = obs.flight.begin_sample(program.name)
         with obs.trace.span("pipeline.analyze", sample=program.name) as root:
             analysis = SampleAnalysis(program=program)
             if isinstance(root, Span):
@@ -232,6 +236,7 @@ class AutoVac:
                 vaccines=len(analysis.vaccines),
                 filtered=analysis.filtered_reason is not None,
             )
+        analysis.journal = obs.flight.end_sample(journal_token)
         obs.metrics.counter("pipeline.samples").inc()
         if analysis.filtered_reason:
             obs.metrics.counter("pipeline.samples_filtered").inc()
@@ -284,10 +289,19 @@ class AutoVac:
             )
             analysis.determinism[det_key] = det
 
+        flight = obs.flight
         if det.kind is IdentifierKind.NON_DETERMINISTIC:
+            if flight.enabled:
+                flight.record(
+                    "vaccine.rejected",
+                    causes=(outcome.flight_id, det.flight_id),
+                    resource=candidate.resource_type.value,
+                    identifier=candidate.identifier,
+                    reason=det.notes or "non-deterministic identifier",
+                )
             return None
 
-        return Vaccine(
+        vaccine = Vaccine(
             malware=program.name,
             resource_type=candidate.resource_type,
             identifier=candidate.identifier,
@@ -300,6 +314,24 @@ class AutoVac:
             apis=tuple(sorted(candidate.apis)),
             notes=det.notes,
         )
+        if flight.enabled:
+            flight.record(
+                "vaccine",
+                causes=(
+                    outcome.flight_id,
+                    det.flight_id,
+                    flight.recall(
+                        ("exclusive", candidate.resource_type.value, candidate.identifier)
+                    ),
+                ),
+                resource=candidate.resource_type.value,
+                identifier=candidate.identifier,
+                immunization=vaccine.immunization.value,
+                mechanism=vaccine.mechanism.value,
+                identifier_kind=det.kind.value,
+                pattern=det.pattern,
+            )
+        return vaccine
 
     @staticmethod
     def _representative_event(phase1: CandidateReport, candidate: CandidateResource):

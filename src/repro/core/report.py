@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs import render_chain
 from .pipeline import SampleAnalysis
 from .vaccine import DeliveryKind, IdentifierKind
 
@@ -79,6 +80,14 @@ def render_report(analysis: SampleAnalysis, title: Optional[str] = None) -> str:
         if vaccine.notes:
             push(f"* notes: {vaccine.notes}")
         push("")
+        evidence = _evidence(analysis, vaccine)
+        if evidence:
+            push("#### Evidence")
+            push("")
+            push("```")
+            push(evidence)
+            push("```")
+            push("")
 
     if analysis.clinic is not None:
         push("## Clinic test")
@@ -96,6 +105,23 @@ def render_report(analysis: SampleAnalysis, title: Optional[str] = None) -> str:
         push("")
 
     return "\n".join(lines)
+
+
+def _evidence(analysis: SampleAnalysis, vaccine) -> Optional[str]:
+    """Causal chain (flight-recorder journal) behind one vaccine, or None
+    when no journal was recorded or no matching event exists."""
+    journal = analysis.journal
+    if journal is None:
+        return None
+    events = journal.find(
+        "vaccine",
+        resource=vaccine.resource_type.value,
+        identifier=vaccine.identifier,
+        mechanism=vaccine.mechanism.value,
+    )
+    if not events:
+        return None
+    return render_chain(journal, events[0].event_id, max_depth=8, max_lines=40)
 
 
 def _deployment_hint(vaccine) -> str:

@@ -220,6 +220,18 @@ class SnapshotRecorder:
                         error=str(exc),
                     )
                     obs.metrics.counter("snapshot.capture_failures").inc()
+                flight = obs.flight
+                if flight.enabled:
+                    flight_id = flight.record(
+                        "snapshot.capture",
+                        causes=(flight.recall(("api", event.event_id)),),
+                        api=event.api,
+                        identifier=event.identifier,
+                        ok=snapshot is not None,
+                        candidates=len(matched),
+                    )
+                    for key in matched:
+                        flight.remember(("snapshot",) + key, flight_id)
                 for key in matched:
                     del self.pending[key]
                     self.snapshots[key] = snapshot

@@ -10,7 +10,10 @@ this package is the instrumentation substrate those measurements come from:
   producing a nestable span tree with a flame-style text summary
   (:mod:`repro.obs.tracer`);
 * :func:`get_logger` — structured key=value stdlib logging, enabled via the
-  ``REPRO_LOG`` environment variable (:mod:`repro.obs.log`).
+  ``REPRO_LOG`` environment variable (:mod:`repro.obs.log`);
+* :data:`flight` — bounded flight recorder journaling analysis-causal
+  events into a per-sample provenance DAG (:mod:`repro.obs.flight`),
+  rendered by ``repro explain``.
 
 Instrumented code must stay cheap when observability is off::
 
@@ -27,14 +30,24 @@ from contextlib import contextmanager
 from typing import Dict, Iterator
 
 from .export import load, render_prometheus, render_stats, snapshot, write_json
+from .flight import (
+    MAX_FLIGHT_EVENTS,
+    FlightEvent,
+    FlightRecorder,
+    Journal,
+    render_chain,
+    summarize_event,
+)
 from .log import configure as configure_logging
 from .log import get_logger
 from .metrics import DEFAULT_BUCKETS, MAX_LABEL_SETS, Counter, Gauge, Histogram, MetricsRegistry, Timer
 from .tracer import Span, Tracer, render_flame
 
-#: The process-global registry and tracer every layer reports into.
+#: The process-global registry, tracer, and flight recorder every layer
+#: reports into.
 metrics = MetricsRegistry()
 trace = Tracer()
+flight = FlightRecorder()
 
 
 def is_enabled() -> bool:
@@ -44,19 +57,22 @@ def is_enabled() -> bool:
 @contextmanager
 def disabled() -> Iterator[None]:
     """Turn all instrumentation off inside the block (overhead baseline)."""
-    saved = (metrics.enabled, trace.enabled)
+    saved = (metrics.enabled, trace.enabled, flight.enabled)
     metrics.enabled = False
     trace.enabled = False
+    flight.enabled = False
     try:
         yield
     finally:
-        metrics.enabled, trace.enabled = saved
+        metrics.enabled, trace.enabled, flight.enabled = saved
 
 
 def reset() -> None:
-    """Drop all collected metrics and spans (tests / between CLI runs)."""
+    """Drop all collected metrics, spans, and flight events (tests /
+    between CLI runs)."""
     metrics.reset()
     trace.reset()
+    flight.reset()
 
 
 def export_snapshot() -> Dict[str, object]:
@@ -72,8 +88,12 @@ def export_json(path) -> Dict[str, object]:
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "Journal",
+    "MAX_FLIGHT_EVENTS",
     "MAX_LABEL_SETS",
     "MetricsRegistry",
     "Span",
@@ -83,15 +103,18 @@ __all__ = [
     "disabled",
     "export_json",
     "export_snapshot",
+    "flight",
     "get_logger",
     "is_enabled",
     "load",
     "metrics",
+    "render_chain",
     "render_flame",
     "render_prometheus",
     "render_stats",
     "reset",
     "snapshot",
+    "summarize_event",
     "trace",
     "write_json",
 ]

@@ -47,7 +47,9 @@ def load(path) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 
 
-def render_stats(data: Dict[str, object], max_depth: int = 6) -> str:
+def render_stats(
+    data: Dict[str, object], max_depth: int = 6, top: Optional[int] = None
+) -> str:
     """Human-readable summary of a snapshot: counters/gauges table,
     histogram summaries, then the aggregated span flame tree."""
     metrics: Dict[str, Dict] = data.get("metrics", {})  # type: ignore[assignment]
@@ -81,7 +83,7 @@ def render_stats(data: Dict[str, object], max_depth: int = 6) -> str:
     if spans:
         lines.append("")
         lines.append("== spans ==")
-        lines.append(render_flame(spans, max_depth=max_depth).rstrip("\n"))
+        lines.append(render_flame(spans, max_depth=max_depth, top=top).rstrip("\n"))
     return "\n".join(lines) + "\n"
 
 

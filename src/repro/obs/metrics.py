@@ -25,8 +25,17 @@ import threading
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .log import get_logger
+
 #: Hard cap on distinct label sets per metric family (cardinality guard).
 MAX_LABEL_SETS = 512
+
+#: Side-channel counter: label sets dropped by the cap, one series per
+#: overflowing family — so a runaway-cardinality bug is visible in every
+#: snapshot instead of failing silently.
+DROPPED_LABEL_SETS_METRIC = "obs.dropped_label_sets"
+
+_log = get_logger("obs.metrics")
 
 #: Default histogram buckets — tuned for sub-second pipeline phases
 #: (seconds): 100µs … 30s, roughly log-spaced.
@@ -204,19 +213,29 @@ class Family:
         self.help = help
         self._factory = factory
         self.children: Dict[LabelKey, object] = {}
+        self._warned_overflow = False
 
     def get(self, labels: Dict[str, object], registry: "MetricsRegistry"):
         key = _label_key(labels)
         child = self.children.get(key)
         if child is None:
+            overflowed = warn = False
             with registry._lock:
                 child = self.children.get(key)
                 if child is None:
                     if len(self.children) >= MAX_LABEL_SETS:
                         registry.dropped_label_sets += 1
-                        return NULL
-                    child = self._factory()
-                    self.children[key] = child
+                        overflowed = True
+                        warn = not self._warned_overflow
+                        self._warned_overflow = True
+                        child = NULL
+                    else:
+                        child = self._factory()
+                        self.children[key] = child
+            if overflowed:
+                # Outside the lock: _note_overflow creates another family and
+                # the creation lock is non-reentrant.
+                registry._note_overflow(self.name, warn)
         return child
 
 
@@ -260,6 +279,26 @@ class MetricsRegistry:
         if not self.enabled:
             return NULL  # type: ignore[return-value]
         return Timer(self.histogram(name, help=help, **labels))
+
+    def _note_overflow(self, name: str, warn: bool) -> None:
+        """Count (and, once per family, warn about) a dropped label set.
+
+        Skips the side channel when the overflowing family *is* the overflow
+        counter itself — otherwise a pathological run with more than
+        :data:`MAX_LABEL_SETS` overflowing families would recurse.
+        """
+        if name != DROPPED_LABEL_SETS_METRIC:
+            self.counter(
+                DROPPED_LABEL_SETS_METRIC,
+                help="label sets dropped by the per-family cardinality cap",
+                metric=name,
+            ).inc()
+        if warn:
+            _log.warning(
+                "label-set cap hit; further series dropped",
+                metric=name,
+                cap=MAX_LABEL_SETS,
+            )
 
     def _family(self, name: str, kind: str, help: str, factory) -> Family:
         family = self._families.get(name)

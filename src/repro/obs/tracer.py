@@ -162,27 +162,37 @@ class Tracer:
     def to_dicts(self) -> List[Dict[str, object]]:
         return [span.to_dict() for span in self.roots]
 
-    def flame(self, max_depth: int = 6) -> str:
+    def flame(self, max_depth: int = 6, top: Optional[int] = None) -> str:
         """Indented per-root text summary (durations + % of root)."""
-        return render_flame(self.to_dicts(), max_depth=max_depth)
+        return render_flame(self.to_dicts(), max_depth=max_depth, top=top)
 
 
-def render_flame(spans: List[Dict[str, object]], max_depth: int = 6) -> str:
+def render_flame(
+    spans: List[Dict[str, object]], max_depth: int = 6, top: Optional[int] = None
+) -> str:
     """Flame-style text rendering of exported span dicts.
 
     Repeated root shapes (e.g. one ``pipeline.analyze`` per survey sample)
     are aggregated by name with call counts so population runs stay readable.
+    ``top`` keeps only the ``top`` widest entries per level (roots by total
+    time, children in recording order) with a ``+k more`` marker.
     """
     grouped: Dict[str, List[Dict[str, object]]] = {}
     for span in spans:
         grouped.setdefault(str(span["name"]), []).append(span)
 
     lines: List[str] = []
-    for name in sorted(grouped, key=lambda n: -_group_total(grouped[n])):
+    names = sorted(grouped, key=lambda n: -_group_total(grouped[n]))
+    shown = names if top is None else names[: max(1, top)]
+    for name in shown:
         group = grouped[name]
         total = _group_total(group)
         lines.append(f"{name}  n={len(group)}  total={_fmt(total)}")
-        _merge_children(lines, group, total or 1.0, depth=1, max_depth=max_depth)
+        _merge_children(
+            lines, group, total or 1.0, depth=1, max_depth=max_depth, top=top
+        )
+    if len(shown) < len(names):
+        lines.append(f"... +{len(names) - len(shown)} more root(s)")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -190,7 +200,7 @@ def _group_total(group: List[Dict[str, object]]) -> float:
     return sum(float(s.get("duration") or 0.0) for s in group)
 
 
-def _merge_children(lines, group, root_total, depth, max_depth) -> None:
+def _merge_children(lines, group, root_total, depth, max_depth, top=None) -> None:
     if depth > max_depth:
         return
     children: Dict[str, List[Dict[str, object]]] = {}
@@ -202,6 +212,10 @@ def _merge_children(lines, group, root_total, depth, max_depth) -> None:
                 children[name] = []
                 order.append(name)
             children[name].append(child)
+    hidden = 0
+    if top is not None and len(order) > top:
+        hidden = len(order) - max(1, top)
+        order = order[: max(1, top)]
     for name in order:
         child_group = children[name]
         total = _group_total(child_group)
@@ -216,7 +230,9 @@ def _merge_children(lines, group, root_total, depth, max_depth) -> None:
             f"{'  ' * depth}{name:<20s} n={len(child_group):<5d} "
             f"total={_fmt(total):>10s} {share:6.1%}  {bar}{note}"
         )
-        _merge_children(lines, child_group, root_total, depth + 1, max_depth)
+        _merge_children(lines, child_group, root_total, depth + 1, max_depth, top=top)
+    if hidden:
+        lines.append(f"{'  ' * depth}... +{hidden} more")
 
 
 def _fmt(seconds: float) -> str:

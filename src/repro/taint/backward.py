@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..tracing.events import ApiCallEvent, InstructionRecord
 from ..tracing.trace import Trace
 from ..winapi.labels import REGISTRY
@@ -47,6 +48,8 @@ class BackwardResult:
     static_terminals: int = 0
     #: Demanded locations that terminated as never-written (zero constants).
     constant_terminals: int = 0
+    #: Flight-recorder id of this walk's "slice.walk" event (process-local).
+    flight_id: Optional[int] = None
 
     @property
     def has_env_sources(self) -> bool:
@@ -95,6 +98,7 @@ def backward_slice(
             break
 
     picked: List[InstructionRecord] = []
+    source_event_ids: List[int] = []
     for record in reversed(trace.instructions[:start_idx]):
         defs = set(record.defs)
         if not (defs & workset):
@@ -106,10 +110,13 @@ def backward_slice(
             klass = _api_class(source.api if source else "")
             if klass is TaintClass.ENV_DETERMINISTIC:
                 result.env_sources.append(source.api)
+                source_event_ids.append(record.api_event_id)
             elif klass is TaintClass.RANDOM:
                 result.random_sources.append(source.api)
+                source_event_ids.append(record.api_event_id)
             elif klass is TaintClass.RESOURCE:
                 result.resource_sources.append(source.api)
+                source_event_ids.append(record.api_event_id)
         # Note: uses are added *after* removing defs so read-modify-write
         # instructions (``add dst, src``) correctly chase dst's previous def.
         for use in record.uses:
@@ -127,6 +134,24 @@ def backward_slice(
 
     picked.reverse()
     result.slice_records = picked
+
+    flight = obs.flight
+    if flight.enabled:
+        causes = [flight.recall(("api", event.event_id))]
+        causes.extend(
+            flight.recall(("api", source_id)) for source_id in source_event_ids
+        )
+        result.flight_id = flight.record(
+            "slice.walk",
+            causes=tuple(dict.fromkeys(c for c in causes if c is not None)),
+            identifier=event.identifier,
+            records=len(picked),
+            env_sources=list(dict.fromkeys(result.env_sources)),
+            random_sources=list(dict.fromkeys(result.random_sources)),
+            resource_sources=list(dict.fromkeys(result.resource_sources)),
+            static_terminals=result.static_terminals,
+            constant_terminals=result.constant_terminals,
+        )
     return result
 
 

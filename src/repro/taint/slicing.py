@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from .. import obs
 from ..tracing.events import ApiCallEvent, InstructionRecord
 from ..tracing.trace import Trace
 from ..vm.program import Program
@@ -82,6 +83,9 @@ class VaccineSlice:
     #: Resource-API outcomes recorded from the natural run, in order per call
     #: site, so forced re-execution follows the same path on any host.
     pinned_outcomes: List[PinnedOutcome] = field(default_factory=list)
+    #: Flight-recorder id of the "slice.extract" event.  Process-local
+    #: provenance only — deliberately absent from to_dict/from_dict.
+    flight_id: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -158,7 +162,7 @@ def extract_slice(
             if event.is_resource_access:
                 pinned.append(PinnedOutcome(event.api, event.caller_pc, event.success))
 
-    return VaccineSlice(
+    slice_ = VaccineSlice(
         program_source=program.source,
         program_name=program.name,
         steps=steps,
@@ -169,3 +173,15 @@ def extract_slice(
         target_occurrence=target_occurrence,
         pinned_outcomes=pinned,
     )
+    flight = obs.flight
+    if flight.enabled:
+        slice_.flight_id = flight.record(
+            "slice.extract",
+            causes=(result.flight_id,),
+            target_api=target_api,
+            steps=len(steps),
+            env_inputs=list(slice_.env_inputs),
+            requires_reexecution=slice_.requires_reexecution,
+            pinned=len(pinned),
+        )
+    return slice_

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from ..obs import Span
+from ..obs import Journal, Span
 from ..taint.labels import TaintClass, TaintTag
 from ..winenv.objects import Operation, ResourceType
 from .events import ApiCallEvent, TaintedPredicateEvent
@@ -39,7 +39,12 @@ FORMAT_VERSION = 1
 #: Version of the :func:`analysis_to_dict` payload.  Bump on any change to
 #: the encoded shape; the result cache keys on it, so stale cache entries
 #: from an older layout can never be decoded by mistake.
-ANALYSIS_FORMAT_VERSION = 1
+#: v2 added the optional flight-recorder ``journal``.
+ANALYSIS_FORMAT_VERSION = 2
+
+#: Older payload versions :func:`analysis_from_dict` still decodes (fields
+#: added since are absent and default to ``None``/empty).
+SUPPORTED_ANALYSIS_VERSIONS = frozenset({1, ANALYSIS_FORMAT_VERSION})
 
 
 def _tagset_to_list(tags) -> List[dict]:
@@ -354,6 +359,7 @@ def analysis_to_dict(analysis: "SampleAnalysis") -> dict:
         "clinic": clinic_to_dict(analysis.clinic) if analysis.clinic else None,
         "filtered_reason": analysis.filtered_reason,
         "span": analysis.span.to_dict() if analysis.span is not None else None,
+        "journal": analysis.journal.to_dict() if analysis.journal is not None else None,
     }
 
 
@@ -363,10 +369,11 @@ def analysis_from_dict(data: dict) -> "SampleAnalysis":
     from ..vm.program import Program
 
     version = data.get("format_version")
-    if version != ANALYSIS_FORMAT_VERSION:
+    if version not in SUPPORTED_ANALYSIS_VERSIONS:
         raise ValueError(f"unsupported analysis format version {version!r}")
     program = data.get("program", {})
     span = data.get("span")
+    journal = data.get("journal")
     return SampleAnalysis(
         program=Program(
             name=program.get("name", ""),
@@ -385,6 +392,7 @@ def analysis_from_dict(data: dict) -> "SampleAnalysis":
         clinic=clinic_from_dict(data["clinic"]) if data.get("clinic") else None,
         filtered_reason=data.get("filtered_reason"),
         span=Span.from_dict(span) if span is not None else None,
+        journal=Journal.from_dict(journal) if journal is not None else None,
     )
 
 

@@ -604,6 +604,28 @@ class CPU:
             self.trace.predicates.append(
                 TaintedPredicateEvent(seq=seq, pc=pc, instr_text=text, tags=taint, lhs=a, rhs=b)
             )
+            # Slow path only by construction: tainted cmp/test never runs on
+            # the predecoded fast path, so the fast loop stays journal-free.
+            flight = obs.flight
+            if flight.enabled:
+                # One journal event per (site, taint set) per sample: loop
+                # iterations and re-runs (capture, mutations, determinism)
+                # repeat the same predicate with the same causes and would
+                # only bloat the journal.
+                key = ("predicate", pc, tuple(sorted(t.event_id for t in taint)))
+                if flight.recall(key) is None:
+                    seeds = {flight.recall(("api", t.event_id)) for t in taint}
+                    flight_id = flight.record(
+                        "predicate.tainted",
+                        causes=tuple(sorted(s for s in seeds if s is not None)),
+                        pc=pc,
+                        instr=text,
+                    )
+                    flight.remember(key, flight_id)
+                    for t in taint:
+                        # First predicate consuming each API's taint: cited by
+                        # candidate events as the control-flow evidence.
+                        flight.remember(("predicate_for", t.event_id), flight_id)
 
     _CONDITIONS: dict = {}
 

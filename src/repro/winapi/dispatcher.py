@@ -110,10 +110,12 @@ class Dispatcher:
         self._resolve_identifier(ctx, apidef, event)
 
         verdict = Interception.PASS
+        hit: Optional[Interceptor] = None
         for interceptor in self.interceptors:
             verdict = interceptor.intercept(apidef, event)
             if verdict is not Interception.PASS:
                 event.mutated = True
+                hit = interceptor
                 break
 
         retval, success, error = self._execute(ctx, apidef, event, verdict)
@@ -145,7 +147,62 @@ class Dispatcher:
         if ctx.operation_override is not None:
             event.operation = ctx.operation_override
         event.extra.update(ctx.extra)
+        if obs.flight.enabled:
+            self._flight_record(event, tag, verdict, hit)
         cpu.record_api_step(seq=seq, pc=caller_pc, text=f"call @{name}", event_id=event_id)
+
+    @staticmethod
+    def _flight_record(event: ApiCallEvent, tag, verdict: Interception, hit) -> None:
+        """Journal this API call into the flight recorder (provenance roots).
+
+        Three kinds, in priority order: an interception (the event the
+        mutation/daemon acted on), a taint seed (the event whose tag can
+        reach branch predicates), or a plain identified resource access.
+        Unlabelled, untainted, uninstrumented calls stay off the journal.
+        """
+        flight = obs.flight
+        if not event.mutated and flight.recall(("api", event.event_id)) is not None:
+            # Re-runs (capture, resumed mutations, determinism) replay the
+            # same trace event ids; the first-wins binding below already
+            # journaled this call, so a duplicate would add no provenance.
+            return
+        if event.mutated:
+            flight_id = flight.record(
+                "api.intercept",
+                causes=(
+                    getattr(hit, "flight_id", None),
+                    flight.recall(("api", event.event_id)),
+                ),
+                api=event.api,
+                identifier=event.identifier,
+                verdict=verdict.value,
+                success=event.success,
+                trace_event_id=event.event_id,
+            )
+        elif tag:
+            flight_id = flight.record(
+                "api.taint_seed",
+                api=event.api,
+                identifier=event.identifier,
+                resource=event.resource_type.value if event.resource_type else None,
+                success=event.success,
+                trace_event_id=event.event_id,
+            )
+        elif event.resource_type is not None and event.identifier is not None:
+            flight_id = flight.record(
+                "api.call",
+                api=event.api,
+                identifier=event.identifier,
+                resource=event.resource_type.value,
+                operation=event.operation.value if event.operation else None,
+                success=event.success,
+                trace_event_id=event.event_id,
+            )
+        else:
+            return
+        # First-wins: the phase-1 run's binding is canonical (capture and
+        # resumed runs replay the same event ids — see repro.core.snapshot).
+        flight.remember(("api", event.event_id), flight_id)
 
     def flush_obs(self, api_calls: Iterable[ApiCallEvent]) -> None:
         """Publish per-API call counts into the metrics registry — the

@@ -20,6 +20,11 @@ from repro.tracing import serialize
 def _encoded(analysis) -> dict:
     payload = serialize.analysis_to_dict(analysis)
     payload.pop("span", None)  # wall-clock timings legitimately differ
+    # The flight journal records *how* the run executed (snapshot.capture /
+    # snapshot.resume events, resumed-vs-rerun mutations) and so differs by
+    # design between the two strategies; the equivalence contract covers the
+    # analysis results.
+    payload.pop("journal", None)
     return payload
 
 
