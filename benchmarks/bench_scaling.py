@@ -7,10 +7,12 @@ results content-addressed on disk.  This bench records:
 * wall time and speedup for ``jobs = 1, 2, 4`` (asserting the ≥2× target at
   4 jobs only on machines with ≥4 CPUs — correctness is asserted on every
   machine: all jobs levels must produce identical tables);
-* cold vs warm cache wall time, and that a warm run is all cache hits.
+* cold vs warm cache wall time, and that a warm run is all cache hits;
+* the fault-tolerance machinery's cost on an all-healthy run, and that a
+  survey with injected failures keeps every healthy analysis.
 
-Artifact: ``_artifacts/scaling.txt``.  Scale knob: ``REPRO_SCALING_SIZE``
-(default 48 samples).
+Artifacts: ``_artifacts/scaling.txt``, ``_artifacts/fault_tolerance.txt``.
+Scale knob: ``REPRO_SCALING_SIZE`` (default 48 samples).
 """
 
 import multiprocessing
@@ -19,6 +21,7 @@ import time
 
 from repro import obs
 from repro.core.executor import PipelineConfig, analyze_population
+from repro.core.faults import FaultPlan
 from repro.corpus import GeneratorConfig, generate_population
 
 from benchutil import write_artifact
@@ -95,3 +98,49 @@ def test_scaling_speedup(tmp_path):
     if cores >= 4:
         # The acceptance target: >=2x at 4 jobs on a 4-core runner.
         assert wall[1] / wall[4] >= 2.0
+
+
+def test_fault_tolerance_keeps_healthy_results():
+    """A survey with injected failures completes, quarantines exactly the
+    planned samples, and the healthy vaccine set matches a fault-free run
+    minus the quarantined samples' contributions."""
+    size = min(SCALING_SIZE, 24)
+    programs = [
+        s.program
+        for s in generate_population(GeneratorConfig(size=size, seed=SCALING_SEED))
+    ]
+    config = PipelineConfig(sample_retries=0, retry_backoff=0.0)
+
+    started = time.perf_counter()
+    clean = analyze_population(programs, config=config, jobs=2)
+    clean_s = time.perf_counter() - started
+
+    plan = FaultPlan.parse("crash:1,hang:4", hang_seconds=0.0)
+    started = time.perf_counter()
+    faulted = analyze_population(programs, config=config, jobs=2, faults=plan)
+    faulted_s = time.perf_counter() - started
+
+    assert sorted(f.index for f in faulted.failed()) == [1, 4]
+    assert len(faulted.succeeded()) == size - 2
+    failed_names = {f.sample for f in faulted.failed()}
+    expected = [
+        v.to_dict()
+        for a in clean.analyses
+        if a.program.name not in failed_names
+        for v in a.vaccines
+    ]
+    assert [v.to_dict() for v in faulted.vaccines] == expected
+
+    write_artifact(
+        "fault_tolerance.txt",
+        "\n".join(
+            [
+                f"Fault-tolerant survey ({size} samples, jobs=2)",
+                f"all-healthy run:        {clean_s:6.2f}s",
+                f"crash+hang injected:    {faulted_s:6.2f}s "
+                f"({len(faulted.failed())} quarantined, "
+                f"{len(faulted.succeeded())} healthy kept)",
+            ]
+        )
+        + "\n",
+    )

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro deploy   <pack.json> [--computer-name NAME] [--attack FAMILY]
     python -m repro families
     python -m repro survey   [--size N] [--seed S] [--jobs N] [--cache DIR]
+                             [--timeout S] [--retries N] [--failures-json f.json]
                              [--metrics m.json]
     python -m repro stats    <m.json> [--prom] [--flame-depth N] [--top N]
     python -m repro explain  <family|asm-file> [--vaccine SUBSTR] [--json FILE]
@@ -127,17 +128,38 @@ def cmd_deploy(args: argparse.Namespace) -> int:
 
 
 def cmd_survey(args: argparse.Namespace) -> int:
+    import json as _json
+
     from .core.executor import PipelineConfig, analyze_population
 
     samples = generate_population(GeneratorConfig(size=args.size, seed=args.seed))
     result = analyze_population(
         [s.program for s in samples],
-        config=PipelineConfig(),
+        config=PipelineConfig(
+            sample_timeout=args.timeout, sample_retries=args.retries
+        ),
         jobs=args.jobs,
         cache=args.cache,
     )
-    print(f"{args.size} samples -> {len(result.vaccines)} vaccines "
+    failed = result.failed()
+    print(f"{args.size} samples ({len(result.succeeded())} analyzed, "
+          f"{len(failed)} failed) -> {len(result.vaccines)} vaccines "
           f"from {result.samples_with_vaccines} samples")
+    if failed:
+        kinds: dict = {}
+        for failure in failed:
+            kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+        breakdown = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        print(f"failures: {len(failed)} sample(s) quarantined ({breakdown})")
+        for failure in failed:
+            print(f"  FAILED {failure.describe()}")
+    if args.failures_json:
+        doc = {"failures": [f.to_dict() for f in failed]}
+        try:
+            Path(args.failures_json).write_text(_json.dumps(doc, indent=2))
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write failure summary: {exc}")
+        print(f"wrote failure summary {args.failures_json}")
     if args.cache:
         print(f"cache: {obs.metrics.value('pipeline.cache_hits'):.0f} hits, "
               f"{obs.metrics.value('pipeline.cache_misses'):.0f} misses")
@@ -252,6 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache",
                    help="content-addressed result cache directory "
                         "(makes interrupted surveys resumable)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-sample wall-clock limit in seconds "
+                        "(default: off; overdue workers are killed and the "
+                        "sample retried, then quarantined)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts for a failing sample before it is "
+                        "quarantined (default 1)")
+    p.add_argument("--failures-json",
+                   help="write quarantined-sample records (JSON) here")
     p.add_argument("--metrics", help="write an observability snapshot (JSON)")
     p.set_defaults(func=cmd_survey)
 

@@ -6,9 +6,10 @@ from .clinic import ClinicIncident, ClinicReport, clinic_test
 from .determinism import DeterminismResult, analyze_determinism, build_pattern
 from .exclusiveness import ExclusivenessAnalyzer, ExclusivenessDecision
 from .executor import PipelineConfig, ResultCache, analyze_population
+from .faults import FaultPlan, FaultPlanError, FaultSpec
 from .impact import ImpactAnalyzer, ImpactOutcome, ResourceMutation, classify_deltas
-from .pipeline import AutoVac, PopulationResult, SampleAnalysis
-from .report import render_report
+from .pipeline import AutoVac, PopulationResult, SampleAnalysis, SampleFailure
+from .report import render_failure_summary, render_report
 from .stages import (
     AnalysisContext,
     ClinicStage,
@@ -50,6 +51,9 @@ __all__ = [
     "ExclusivenessDecision",
     "ExclusivenessStage",
     "ExplorationStage",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
     "IdentifierKind",
     "ImpactAnalyzer",
     "ImpactOutcome",
@@ -64,6 +68,7 @@ __all__ = [
     "RunResult",
     "SelectionResult",
     "SampleAnalysis",
+    "SampleFailure",
     "Stage",
     "Vaccine",
     "VerificationReport",
@@ -82,6 +87,7 @@ __all__ = [
     "select_with_backups",
     "run_sample",
     "select_candidates",
+    "render_failure_summary",
     "render_report",
     "verify_all",
     "verify_vaccine",

@@ -1,5 +1,5 @@
-"""Parallel, cache-backed population executor (paper §VI scale: 1,716
-samples through Phase I–III).
+"""Parallel, cache-backed, fault-tolerant population executor (paper §VI
+scale: 1,716 samples through Phase I–III).
 
 Per-sample analyses are hermetic — ``run_sample`` clones the pristine
 environment and the RNG reseeds per clone — so a population fans out to
@@ -15,9 +15,33 @@ worker processes without changing any result:
   ``sha256(program text, PipelineConfig)`` — an interrupted survey restarted
   with the same cache directory re-analyzes only the missing samples.
 
-The ``pipeline.population_analyzed`` gauge tracks *completed* samples (a
-monotone count, final value == population size) regardless of worker
-completion order.
+At population scale individual samples *will* stall, OOM a worker, or
+crash the analyzer (evasive samples do it on purpose), so one bad sample
+must never abort the survey.  Failure semantics (see DESIGN.md §10):
+
+* a worker exception yields a structured
+  :class:`~repro.core.pipeline.SampleFailure` instead of propagating;
+* ``sample_timeout`` (off by default, for determinism benches) bounds each
+  attempt's wall clock — an overdue worker is killed with its pool, the
+  innocent in-flight samples are resubmitted uncharged;
+* failed attempts retry with exponential backoff up to ``sample_retries``
+  extra attempts, then the sample is **quarantined**: recorded in
+  ``PopulationResult.failures`` and — when a cache is configured — written
+  as a *negative cache entry* so a restart does not hot re-crash on it;
+* a :class:`BrokenProcessPool` (worker died hard: OOM-kill analogue)
+  respawns the pool and re-runs the lost samples one at a time, so the
+  culprit is identified solo and innocents are never charged an attempt;
+* submissions are windowed (≈ ``2×jobs`` futures in flight) instead of
+  pickling the whole population up front.
+
+Injected failures for CI come from :mod:`repro.core.faults`
+(``REPRO_FAULT_PLAN``); the retry/timeout/quarantine machinery behaves
+identically for real and injected faults, and ``jobs=1`` vs ``jobs>1``
+produce the same tables and failure records under the same plan.
+
+The ``pipeline.population_analyzed`` gauge tracks *completed* samples
+(healthy or quarantined; a monotone count, final value == population size)
+regardless of worker completion order.
 """
 
 from __future__ import annotations
@@ -25,22 +49,32 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass
+import time
+import traceback as _tb_module
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from .. import obs
 from ..analysis.alignment import align_lcs, align_linear, align_myers
 from ..tracing import serialize
 from ..vm.program import Program
-from .pipeline import AutoVac, PopulationResult, SampleAnalysis
+from .faults import FaultPlan, InjectedHang
+from .pipeline import AutoVac, PopulationResult, SampleAnalysis, SampleFailure
 from .runner import DEFAULT_BUDGET
 
 _log = obs.get_logger("executor")
 
 #: Aligner registry — configs name the aligner so they stay picklable.
 ALIGNERS = {"lcs": align_lcs, "linear": align_linear, "myers": align_myers}
+
+#: PipelineConfig fields that change how a survey *runs*, not what a
+#: sample's analysis contains — excluded from the cache fingerprint so
+#: flipping a timeout or retry budget never invalidates cached results.
+_EXECUTION_KNOBS = frozenset({"sample_timeout", "sample_retries", "retry_backoff"})
 
 
 @dataclass(frozen=True)
@@ -61,6 +95,14 @@ class PipelineConfig:
     #: identical either way (the snapshot-equivalence tests pin this); the
     #: flag exists for the equivalence bench and as an escape hatch.
     snapshot_impact: bool = True
+    #: Per-attempt wall-clock limit in seconds (None = off, the default —
+    #: determinism benches must not depend on host speed).  Execution
+    #: policy only; excluded from the cache fingerprint.
+    sample_timeout: Optional[float] = None
+    #: Extra attempts after the first failure before quarantine.
+    sample_retries: int = 1
+    #: Base delay for exponential backoff between attempts (seconds).
+    retry_backoff: float = 0.05
 
     def build(self) -> AutoVac:
         try:
@@ -79,10 +121,14 @@ class PipelineConfig:
         )
 
     def fingerprint(self) -> str:
-        """Stable hash of the config *and* the payload format version — a
-        codec bump invalidates every cached result automatically."""
+        """Stable hash of the analysis-relevant config *and* the payload
+        format version — a codec bump invalidates every cached result
+        automatically, while execution-policy knobs (timeout/retries) are
+        excluded so they never do."""
         doc = {
-            "config": asdict(self),
+            "config": {
+                k: v for k, v in asdict(self).items() if k not in _EXECUTION_KNOBS
+            },
             "analysis_format": serialize.ANALYSIS_FORMAT_VERSION,
         }
         return hashlib.sha256(
@@ -128,19 +174,37 @@ def config_for(autovac: AutoVac) -> PipelineConfig:
     )
 
 
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM) — leave its files alone
+    return True
+
+
 class ResultCache:
     """Content-addressed on-disk store of encoded analyses.
 
     Key: sha256 of the program text (assembly source, falling back to the
     disassembly), its name/metadata/section images, and the
     :meth:`PipelineConfig.fingerprint`.  Layout: ``root/<k[:2]>/<key>.json``.
-    Writes are atomic (tmp + rename); a corrupt or version-skewed entry
-    reads as a miss.
+    Writes are atomic (tmp + rename).  A corrupt or version-skewed entry
+    reads as a miss **and is unlinked** so it cannot be re-read forever;
+    ``.tmp.<pid>`` litter from writers that died between ``write_text`` and
+    ``replace`` is swept on open (:meth:`sweep_stale`).
+
+    Quarantined samples store a *negative entry* (the encoded
+    :class:`SampleFailure`) under the same key, so a restarted survey
+    reports the failure instead of hot re-crashing on the sample.
     """
 
-    def __init__(self, root: Union[str, os.PathLike]) -> None:
+    def __init__(self, root: Union[str, os.PathLike], sweep: bool = True) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if sweep:
+            self.sweep_stale()
 
     def key(self, program: Program, config: PipelineConfig) -> str:
         h = hashlib.sha256()
@@ -161,28 +225,77 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def load(self, key: str) -> Optional[SampleAnalysis]:
-        """Decoded analysis on hit, ``None`` on miss (counted either way)."""
+    def load_entry(self, key: str) -> Union[None, SampleAnalysis, SampleFailure]:
+        """Decoded analysis on hit, :class:`SampleFailure` on a negative
+        hit, ``None`` on miss.  Undecodable entries count as a miss and are
+        evicted from disk."""
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            obs.metrics.counter("pipeline.cache_misses").inc()
+            return None
+        try:
+            payload = json.loads(text)
+            failure = serialize.failure_from_entry(payload)
+            if failure is not None:
+                obs.metrics.counter("pipeline.cache_negative_hits").inc()
+                return failure
             analysis = serialize.analysis_from_dict(payload)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            obs.metrics.counter("pipeline.cache_evictions").inc()
             obs.metrics.counter("pipeline.cache_misses").inc()
             return None
         obs.metrics.counter("pipeline.cache_hits").inc()
         return analysis
 
-    def store_payload(self, key: str, payload: dict) -> None:
-        path = self._path(key)
+    def load(self, key: str) -> Optional[SampleAnalysis]:
+        """Decoded analysis on hit, ``None`` on miss or negative entry."""
+        entry = self.load_entry(key)
+        return entry if isinstance(entry, SampleAnalysis) else None
+
+    def _write(self, path: Path, payload: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload))
         tmp.replace(path)
+
+    def store_payload(self, key: str, payload: dict) -> None:
+        self._write(self._path(key), payload)
         obs.metrics.counter("pipeline.cache_stores").inc()
 
     def store(self, key: str, analysis: SampleAnalysis) -> None:
         self.store_payload(key, serialize.analysis_to_dict(analysis))
+
+    def store_failure(self, key: str, failure: SampleFailure) -> None:
+        """Write a negative entry for a quarantined sample."""
+        self._write(self._path(key), serialize.failure_to_entry(failure))
+        obs.metrics.counter("pipeline.cache_negative_stores").inc()
+
+    def sweep_stale(self) -> int:
+        """Unlink ``<key>.tmp.<pid>`` files whose writer pid is dead (or
+        unparseable).  Files belonging to this or another live process are
+        left alone — they are writes in progress."""
+        removed = 0
+        for tmp in self.root.glob("*/*.tmp.*"):
+            pid_text = tmp.suffix[1:]
+            if pid_text.isdigit():
+                pid = int(pid_text)
+                if pid == os.getpid() or _pid_alive(pid):
+                    continue
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                continue
+        if removed:
+            obs.metrics.counter("pipeline.cache_tmp_swept").inc(removed)
+            _log.info("cache tmp sweep", removed=removed)
+        return removed
 
 
 def _as_cache(cache: Union[None, str, os.PathLike, ResultCache]) -> Optional[ResultCache]:
@@ -192,22 +305,62 @@ def _as_cache(cache: Union[None, str, os.PathLike, ResultCache]) -> Optional[Res
 
 
 def _analyze_worker(
-    program: Program, config: PipelineConfig, cache_root: Optional[str]
+    program: Program,
+    config: PipelineConfig,
+    cache_root: Optional[str],
+    index: int = 0,
+    attempt: int = 1,
+    plan: Optional[FaultPlan] = None,
 ) -> Tuple[dict, Dict[str, object]]:
     """Runs in a worker process: fresh obs state, fresh AutoVac, one sample.
 
     Returns the encoded analysis plus this task's metrics *delta* — the
     registry is reset first so a forked worker never re-reports inherited
-    parent counts.
+    parent counts.  ``plan`` (ships explicitly from the parent, never read
+    from the environment here) injects the planned fault for this
+    (sample, attempt), if any.
     """
     obs.reset()
+    if plan is not None:
+        plan.enact_in_worker(index, program.name, attempt)
     autovac = config.build()
     analysis = autovac.analyze(program)
     payload = serialize.analysis_to_dict(analysis)
     if cache_root is not None:
-        cache = ResultCache(cache_root)
+        cache = ResultCache(cache_root, sweep=False)
         cache.store_payload(cache.key(program, config), payload)
     return payload, obs.metrics.snapshot()
+
+
+def _tb_summary(exc: BaseException, limit: int = 8) -> str:
+    """Trimmed traceback (last ``limit`` lines) for a SampleFailure."""
+    lines = _tb_module.format_exception(type(exc), exc, exc.__traceback__)
+    text = "".join(lines).strip().splitlines()
+    return "\n".join(text[-limit:])
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One in-flight worker submission."""
+
+    index: int
+    attempt: int
+    deadline: Optional[float]  # monotonic; None when timeouts are off
+
+
+def _respawn_pool(pool: ProcessPoolExecutor, max_workers: int) -> ProcessPoolExecutor:
+    """Kill a pool (hung or broken workers included) and start a fresh one."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - best effort by contract
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - best effort by contract
+        pass
+    obs.metrics.counter("pipeline.pool_respawns").inc()
+    return ProcessPoolExecutor(max_workers=max_workers)
 
 
 def analyze_population(
@@ -216,22 +369,35 @@ def analyze_population(
     jobs: int = 1,
     cache: Union[None, str, os.PathLike, ResultCache] = None,
     autovac: Optional[AutoVac] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> PopulationResult:
     """Analyze a corpus with ``jobs`` worker processes and an optional
-    result cache.  Results keep input order; tables are identical for any
-    ``jobs``/cache combination (the determinism regression test pins this).
+    result cache.  Healthy results keep input order; tables are identical
+    for any ``jobs``/cache combination (the determinism regression test
+    pins this).  A failing sample is retried per ``config.sample_retries``
+    and then quarantined into ``PopulationResult.failures`` — it never
+    aborts the survey.
 
     Exactly one of ``config``/``autovac`` drives the analysis: ``jobs=1``
     uses ``autovac`` (or ``config.build()``) in-process; ``jobs>1`` ships
     ``config`` (derived from ``autovac`` if needed) to the workers.
+    ``faults`` (default: parsed from ``REPRO_FAULT_PLAN``) injects
+    deterministic failures for testing the machinery.
     """
     programs = list(programs)
     jobs = max(1, int(jobs))
     if config is None and (jobs > 1 or cache is not None):
         config = config_for(autovac) if autovac is not None else PipelineConfig()
     store = _as_cache(cache)
+    plan = faults if faults is not None else FaultPlan.from_env()
+    policy = config if config is not None else PipelineConfig()
+    retries = max(0, int(policy.sample_retries))
+    timeout = policy.sample_timeout
+    backoff = max(0.0, policy.retry_backoff)
 
-    results: List[Optional[SampleAnalysis]] = [None] * len(programs)
+    n = len(programs)
+    results: List[Optional[SampleAnalysis]] = [None] * n
+    failures_by_index: Dict[int, SampleFailure] = {}
     gauge = obs.metrics.gauge(
         "pipeline.population_analyzed", help="samples completed in this run"
     )
@@ -243,60 +409,255 @@ def analyze_population(
         done += 1  # completion count: monotone even when workers finish out of order
         gauge.set(done)
 
+    def quarantine(index: int, failure: SampleFailure, store_negative: bool = True) -> None:
+        nonlocal done
+        failures_by_index[index] = failure
+        done += 1
+        gauge.set(done)
+        obs.metrics.counter("pipeline.sample_failures").inc()
+        _log.warning(
+            "sample quarantined",
+            sample=failure.sample,
+            kind=failure.kind,
+            error=failure.error_type,
+            attempts=failure.attempts,
+        )
+        if store_negative and store is not None:
+            store.store_failure(store.key(programs[index], config), failure)
+
     # Decoded analyses (cache hits, worker payloads) carry journals recorded
     # in another process/run; their events are re-recorded into this
     # process's flight recorder in *input order* — not completion order — so
     # ``obs.flight.events()`` is identical for any jobs/cache combination.
+    # Quarantine events follow, also in input order.
     adopt_indices: List[int] = []
 
-    def adopt_journals() -> None:
+    def finalize_flight() -> None:
         for i in sorted(adopt_indices):
             analysis = results[i]
             if analysis is not None and analysis.journal is not None:
                 obs.flight.adopt(analysis.journal)
+        if obs.flight.enabled:
+            for i in sorted(failures_by_index):
+                f = failures_by_index[i]
+                obs.flight.record(
+                    "sample.failed",
+                    sample=f.sample,
+                    failure_kind=f.kind,
+                    error=f.error_type,
+                    attempts=f.attempts,
+                )
+
+    def assemble() -> PopulationResult:
+        finalize_flight()
+        return PopulationResult(
+            analyses=[a for a in results if a is not None],
+            failures=[failures_by_index[i] for i in sorted(failures_by_index)],
+        )
 
     pending: List[int] = []
     for i, program in enumerate(programs):
-        hit = store.load(store.key(program, config)) if store is not None else None
-        if hit is not None:
-            finish(i, hit)
+        entry = store.load_entry(store.key(program, config)) if store is not None else None
+        if isinstance(entry, SampleAnalysis):
+            finish(i, entry)
             adopt_indices.append(i)
+        elif isinstance(entry, SampleFailure):
+            # Negative entry from an earlier run: report the quarantine
+            # again instead of hot re-crashing on the sample.
+            quarantine(i, replace(entry, index=i), store_negative=False)
         else:
             pending.append(i)
     if store is not None and pending:
-        _log.info("cache", hits=len(programs) - len(pending), misses=len(pending))
+        _log.info("cache", hits=n - len(pending), misses=len(pending))
 
     if jobs == 1 or len(pending) <= 1:
         local = autovac if autovac is not None else config.build() if config else AutoVac()
         for i in pending:
-            # Analyzed live in this process: the recorder already holds the
-            # events, so no adoption pass is needed for these.
-            analysis = local.analyze(programs[i])
-            if store is not None:
-                store.store(store.key(programs[i], config), analysis)
-            finish(i, analysis)
-        adopt_journals()
-        return PopulationResult(analyses=list(results))
+            program = programs[i]
+            attempt = 1
+            while True:
+                try:
+                    if plan:
+                        plan.raise_inline(i, program.name, attempt)
+                    # Analyzed live in this process: the recorder already
+                    # holds the events, so no adoption pass is needed.
+                    analysis = local.analyze(program)
+                except Exception as exc:
+                    kind = "timeout" if isinstance(exc, InjectedHang) else "crash"
+                    if attempt > retries:
+                        quarantine(
+                            i,
+                            SampleFailure(
+                                sample=program.name,
+                                index=i,
+                                kind=kind,
+                                error_type=type(exc).__name__,
+                                message=str(exc),
+                                traceback=_tb_summary(exc),
+                                attempts=attempt,
+                            ),
+                        )
+                        break
+                    obs.metrics.counter("pipeline.sample_retries").inc()
+                    if backoff:
+                        time.sleep(backoff * (2 ** (attempt - 1)))
+                    attempt += 1
+                else:
+                    if store is not None:
+                        store.store(store.key(program, config), analysis)
+                    finish(i, analysis)
+                    break
+        return assemble()
 
     cache_root = str(store.root) if store is not None else None
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        futures = {
-            pool.submit(_analyze_worker, programs[i], config, cache_root): i
-            for i in pending
-        }
-        remaining = set(futures)
-        while remaining:
-            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-            for future in finished:
-                payload, snapshot = future.result()
-                analysis = serialize.analysis_from_dict(payload)
-                if analysis.span is not None:
-                    obs.trace.adopt(analysis.span)
-                obs.metrics.merge(snapshot)
-                finish(futures[future], analysis)
-                adopt_indices.append(futures[future])
-    adopt_journals()
-    return PopulationResult(analyses=list(results))
+    n_workers = min(jobs, len(pending))
+    # Bounded submit window: keep ≈2×jobs futures in flight instead of
+    # pickling every pending program up front.
+    window = max(1, 2 * n_workers)
+    queue: Deque[Tuple[int, int]] = deque((i, 1) for i in pending)
+    #: Samples implicated in a pool breakage; re-run solo (window of 1) so
+    #: a repeat breakage identifies the culprit without charging innocents.
+    suspects: Set[int] = set()
+    in_flight: Dict[Future, _Task] = {}
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+
+    def submit_ready() -> None:
+        limit = 1 if suspects else window
+        while queue and len(in_flight) < limit:
+            index, attempt = queue.popleft()
+            deadline = (time.monotonic() + timeout) if timeout is not None else None
+            future = pool.submit(
+                _analyze_worker,
+                programs[index],
+                config,
+                cache_root,
+                index=index,
+                attempt=attempt,
+                plan=plan if plan else None,
+            )
+            in_flight[future] = _Task(index, attempt, deadline)
+
+    def handle_attempt_failure(
+        task: _Task, kind: str, error_type: str, message: str, tb: str
+    ) -> None:
+        suspects.discard(task.index)
+        if task.attempt > retries:
+            quarantine(
+                task.index,
+                SampleFailure(
+                    sample=programs[task.index].name,
+                    index=task.index,
+                    kind=kind,
+                    error_type=error_type,
+                    message=message,
+                    traceback=tb,
+                    attempts=task.attempt,
+                ),
+            )
+            return
+        obs.metrics.counter("pipeline.sample_retries").inc()
+        _log.warning(
+            "sample retry",
+            sample=programs[task.index].name,
+            attempt=task.attempt,
+            kind=kind,
+            error=error_type,
+        )
+        if backoff:
+            time.sleep(backoff * (2 ** (task.attempt - 1)))
+        queue.append((task.index, task.attempt + 1))
+
+    try:
+        while in_flight or queue:
+            submit_ready()
+            wait_timeout = None
+            if timeout is not None and in_flight:
+                now = time.monotonic()
+                wait_timeout = max(
+                    0.0, min(t.deadline for t in in_flight.values()) - now
+                )
+            done_set, _ = wait(
+                set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+            broken_tasks: List[_Task] = []
+            for future in done_set:
+                task = in_flight.pop(future)
+                try:
+                    payload, snapshot = future.result()
+                except BrokenProcessPool:
+                    broken_tasks.append(task)
+                except InjectedHang as exc:
+                    # The hang outlived its nap (no/large timeout): same
+                    # classification the parent-side deadline would give.
+                    handle_attempt_failure(
+                        task, "timeout", type(exc).__name__, str(exc), _tb_summary(exc)
+                    )
+                except Exception as exc:
+                    handle_attempt_failure(
+                        task, "crash", type(exc).__name__, str(exc), _tb_summary(exc)
+                    )
+                else:
+                    analysis = serialize.analysis_from_dict(payload)
+                    if analysis.span is not None:
+                        obs.trace.adopt(analysis.span)
+                    obs.metrics.merge(snapshot)
+                    finish(task.index, analysis)
+                    adopt_indices.append(task.index)
+                    suspects.discard(task.index)
+
+            if broken_tasks:
+                # The pool is dead; every still-in-flight future is lost too.
+                lost = broken_tasks + list(in_flight.values())
+                in_flight.clear()
+                pool = _respawn_pool(pool, n_workers)
+                if len(lost) == 1:
+                    # Died running alone: definitively the culprit.
+                    task = lost[0]
+                    handle_attempt_failure(
+                        task,
+                        "pool",
+                        "BrokenProcessPool",
+                        "worker process died unexpectedly",
+                        "",
+                    )
+                else:
+                    # Culprit unknown: re-run the lost samples one at a
+                    # time (same attempt — nobody is charged yet).
+                    _log.warning(
+                        "process pool broke; re-running lost samples solo",
+                        lost=len(lost),
+                    )
+                    for task in sorted(lost, key=lambda t: t.index, reverse=True):
+                        queue.appendleft((task.index, task.attempt))
+                        suspects.add(task.index)
+                continue
+
+            if timeout is not None:
+                now = time.monotonic()
+                overdue = [
+                    future
+                    for future, task in in_flight.items()
+                    if task.deadline is not None and now >= task.deadline
+                ]
+                if overdue:
+                    for future in overdue:
+                        task = in_flight.pop(future)
+                        handle_attempt_failure(
+                            task,
+                            "timeout",
+                            "TimeoutError",
+                            f"exceeded {timeout:g}s wall clock",
+                            "",
+                        )
+                    # A hung worker cannot be cancelled individually — the
+                    # pool goes with it; innocents resubmit uncharged.
+                    for task in in_flight.values():
+                        queue.appendleft((task.index, task.attempt))
+                    in_flight.clear()
+                    pool = _respawn_pool(pool, n_workers)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return assemble()
 
 
 __all__ = [

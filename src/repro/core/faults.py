@@ -1,0 +1,194 @@
+"""Deterministic fault injection for the population executor.
+
+Evasive samples stall or crash dynamic-analysis sandboxes on purpose, and
+at the paper's population scale (1,716 samples) worker failure is a
+certainty, not an edge case.  The executor's retry/timeout/quarantine
+machinery therefore needs to be testable in CI *without* real flaky
+workers — this module provides the harness.
+
+A :class:`FaultPlan` is a small, picklable script of injected failures,
+parsed from the ``REPRO_FAULT_PLAN`` environment variable (or built
+directly in tests)::
+
+    REPRO_FAULT_PLAN="crash:3@1,hang:7"
+
+Grammar — comma/semicolon-separated directives, each::
+
+    <action>:<target>[@<attempt>]
+
+* ``action`` — ``crash`` (worker raises an exception), ``hang`` (worker
+  sleeps past any configured timeout, then raises), or ``abort`` (worker
+  hard-exits, breaking the process pool — the OOM-kill analogue);
+* ``target`` — a population index (``3``) or a program name (``zeus-12``);
+* ``@attempt`` — restrict the fault to one attempt number (1-based).
+  ``crash:3@1`` crashes sample 3 only on its first attempt, so the retry
+  succeeds; ``crash:3`` crashes every attempt, so the sample quarantines.
+
+The same plan drives both execution modes: worker processes *enact* the
+fault (sleep, raise, ``os._exit``) while the in-process ``jobs=1`` path
+raises the marker exceptions immediately — so a fault-injected survey
+produces identical :class:`~repro.core.pipeline.PopulationResult` tables
+and failure records at any jobs level.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Environment variable holding the plan (see module docstring).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: How long an injected hang sleeps in a worker before giving up and
+#: raising :class:`InjectedHang` — finite so a plan without a configured
+#: timeout degrades to a slow failure instead of deadlocking CI.
+DEFAULT_HANG_SECONDS = 30.0
+
+
+class FaultPlanError(ValueError):
+    """The ``REPRO_FAULT_PLAN`` text does not parse."""
+
+
+class FaultInjected(RuntimeError):
+    """Base class for failures raised by the harness."""
+
+
+class InjectedCrash(FaultInjected):
+    """The planned 'worker raised an exception' failure."""
+
+
+class InjectedHang(FaultInjected):
+    """The planned 'worker wedged' failure (classified as a timeout)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned failure."""
+
+    action: str  # "crash" | "hang" | "abort"
+    target: str  # population index (digits) or program name
+    attempt: Optional[int] = None  # None = every attempt
+
+    _ACTIONS = ("crash", "hang", "abort")
+
+    def applies(self, index: int, name: str, attempt: int) -> bool:
+        if self.attempt is not None and attempt != self.attempt:
+            return False
+        if self.target.isdigit():
+            return index == int(self.target)
+        return name == self.target
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        action, sep, rest = text.partition(":")
+        action = action.strip().lower()
+        if not sep or action not in cls._ACTIONS:
+            raise FaultPlanError(
+                f"bad fault directive {text!r} (want <action>:<target>[@attempt] "
+                f"with action in {cls._ACTIONS})"
+            )
+        target, sep, attempt_text = rest.partition("@")
+        target = target.strip()
+        if not target:
+            raise FaultPlanError(f"bad fault directive {text!r}: empty target")
+        attempt: Optional[int] = None
+        if sep:
+            try:
+                attempt = int(attempt_text)
+            except ValueError:
+                raise FaultPlanError(
+                    f"bad fault directive {text!r}: attempt must be an integer"
+                ) from None
+            if attempt < 1:
+                raise FaultPlanError(
+                    f"bad fault directive {text!r}: attempts are 1-based"
+                )
+        return cls(action=action, target=target, attempt=attempt)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` directives (picklable — the
+    parent ships the plan to workers explicitly, so behaviour does not
+    depend on environment inheritance or the pool start method)."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def parse(cls, text: str, hang_seconds: float = DEFAULT_HANG_SECONDS) -> "FaultPlan":
+        specs = []
+        for chunk in text.replace(";", ",").split(","):
+            chunk = chunk.strip()
+            if chunk:
+                specs.append(FaultSpec.parse(chunk))
+        return cls(specs=tuple(specs), hang_seconds=hang_seconds)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan":
+        """Plan from ``REPRO_FAULT_PLAN`` (empty plan when unset)."""
+        environ = os.environ if environ is None else environ
+        text = environ.get(FAULT_PLAN_ENV, "")
+        if not text.strip():
+            return cls()
+        plan = cls.parse(text)
+        hang = environ.get("REPRO_FAULT_HANG_SECONDS")
+        if hang:
+            plan = cls(specs=plan.specs, hang_seconds=float(hang))
+        return plan
+
+    def lookup(self, index: int, name: str, attempt: int) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.applies(index, name, attempt):
+                return spec
+        return None
+
+    # -- application -------------------------------------------------------
+
+    def raise_inline(self, index: int, name: str, attempt: int) -> None:
+        """In-process (``jobs=1``) injection: raise the marker exception
+        immediately — a hang cannot be preempted inline, so it shows up as
+        the same timeout-kind failure the parallel path records."""
+        spec = self.lookup(index, name, attempt)
+        if spec is None:
+            return
+        if spec.action == "hang":
+            raise InjectedHang(f"injected hang: sample {index} ({name}) attempt {attempt}")
+        raise InjectedCrash(
+            f"injected {spec.action}: sample {index} ({name}) attempt {attempt}"
+        )
+
+    def enact_in_worker(self, index: int, name: str, attempt: int) -> None:
+        """Worker-process injection: actually misbehave, so the parent's
+        timeout / broken-pool machinery is exercised end to end."""
+        spec = self.lookup(index, name, attempt)
+        if spec is None:
+            return
+        if spec.action == "abort":
+            os._exit(1)  # hard death: parent sees BrokenProcessPool
+        if spec.action == "hang":
+            time.sleep(self.hang_seconds)
+            raise InjectedHang(
+                f"injected hang: sample {index} ({name}) attempt {attempt} "
+                f"(outlived its {self.hang_seconds:.0f}s nap)"
+            )
+        raise InjectedCrash(
+            f"injected crash: sample {index} ({name}) attempt {attempt}"
+        )
+
+
+__all__ = [
+    "DEFAULT_HANG_SECONDS",
+    "FAULT_PLAN_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedHang",
+]

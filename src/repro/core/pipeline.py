@@ -80,10 +80,74 @@ class SampleAnalysis:
 
 
 @dataclass
+class SampleFailure:
+    """A sample the executor gave up on (quarantined after its retry
+    budget): what failed, how, and how many attempts it consumed.
+
+    Kinds: ``crash`` (the analysis raised), ``timeout`` (a per-sample
+    wall-clock deadline fired, or an injected hang surfaced), ``pool``
+    (the worker process died hard — OOM-kill analogue).
+    """
+
+    sample: str
+    index: int
+    kind: str
+    error_type: str
+    message: str = ""
+    traceback: str = ""
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "sample": self.sample,
+            "index": self.index,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SampleFailure":
+        return SampleFailure(
+            sample=str(data.get("sample", "")),
+            index=int(data.get("index", -1)),
+            kind=str(data.get("kind", "crash")),
+            error_type=str(data.get("error_type", "")),
+            message=str(data.get("message", "")),
+            traceback=str(data.get("traceback", "")),
+            attempts=int(data.get("attempts", 1)),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.sample}: {self.kind} ({self.error_type}"
+            f"{': ' + self.message if self.message else ''}) "
+            f"after {self.attempts} attempt(s)"
+        )
+
+
+@dataclass
 class PopulationResult:
-    """Aggregate over a corpus run."""
+    """Aggregate over a corpus run.
+
+    ``analyses`` holds the healthy samples in input order; ``failures``
+    holds the quarantined ones (also input order).  Every stat helper runs
+    over the healthy set only, so a survey with failures reports the same
+    numbers a fault-free survey of the surviving samples would.
+    """
 
     analyses: List[SampleAnalysis] = field(default_factory=list)
+    failures: List[SampleFailure] = field(default_factory=list)
+
+    def succeeded(self) -> List[SampleAnalysis]:
+        """The healthy analyses, in input order."""
+        return list(self.analyses)
+
+    def failed(self) -> List[SampleFailure]:
+        """The quarantined samples, in input order."""
+        return list(self.failures)
 
     @property
     def vaccines(self) -> List[Vaccine]:
@@ -165,11 +229,14 @@ class PopulationResult:
 
         Every stat helper is a sum over per-sample contributions, so
         merge-then-count equals count-then-sum — the property the shard
-        tests pin down.
+        tests pin down.  Failure lists concatenate in the same order.
         """
-        merged = PopulationResult(analyses=list(self.analyses))
+        merged = PopulationResult(
+            analyses=list(self.analyses), failures=list(self.failures)
+        )
         for other in others:
             merged.analyses.extend(other.analyses)
+            merged.failures.extend(other.failures)
         return merged
 
 

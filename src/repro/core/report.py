@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..obs import render_chain
-from .pipeline import SampleAnalysis
+from .pipeline import SampleAnalysis, SampleFailure
 from .vaccine import DeliveryKind, IdentifierKind
 
 
@@ -104,6 +104,33 @@ def render_report(analysis: SampleAnalysis, title: Optional[str] = None) -> str:
             push(f"* {phase}: {seconds * 1000:.1f} ms")
         push("")
 
+    return "\n".join(lines)
+
+
+def render_failure_summary(failures: List[SampleFailure]) -> str:
+    """Markdown summary of the samples a population survey quarantined
+    (``PopulationResult.failures``) — what failed, how, and how hard the
+    executor tried."""
+    lines: List[str] = ["# Survey failures", ""]
+    push = lines.append
+    if not failures:
+        push("_No failures: every sample analyzed successfully._")
+        return "\n".join(lines)
+    kinds: dict = {}
+    for failure in failures:
+        kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+    breakdown = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    push(f"{len(failures)} sample(s) quarantined ({breakdown}).")
+    push("")
+    push("| sample | kind | error | attempts | message |")
+    push("|---|---|---|---|---|")
+    for failure in failures:
+        message = failure.message.replace("|", "\\|").replace("\n", " ")
+        push(
+            f"| `{failure.sample}` | {failure.kind} | {failure.error_type} "
+            f"| {failure.attempts} | {message} |"
+        )
+    push("")
     return "\n".join(lines)
 
 

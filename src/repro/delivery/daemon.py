@@ -19,7 +19,10 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .injection import DirectInjector
 
 from .. import obs
 from ..core.vaccine import IdentifierKind, Mechanism, Vaccine, normalize_identifier
@@ -43,7 +46,13 @@ class _Rule:
     def matches(self, identifier: str) -> bool:
         if self.exact is not None and identifier == self.exact:
             return True
-        return self.pattern is not None and self.pattern.match(identifier) is not None
+        # fullmatch, not match: a partial-static pattern like ``[a-z]{8}``
+        # describes the whole identifier — prefix matching would intercept
+        # every benign resource that merely starts like the vaccine's.
+        return (
+            self.pattern is not None
+            and self.pattern.fullmatch(identifier) is not None
+        )
 
 
 @dataclass
@@ -67,6 +76,12 @@ class VaccineDaemon:
     environment: Optional[SystemEnvironment] = None
     #: Identity fingerprint used to detect input changes on refresh.
     _identity_seen: Optional[tuple] = None
+    #: Live simulate-presence markers, one injector per slice-derived
+    #: vaccine (keyed by its observed identifier) — so a refresh that
+    #: recomputes the identifier can retract the stale marker.
+    _marker_injectors: Dict[Tuple[object, str], "DirectInjector"] = field(
+        default_factory=dict
+    )
 
     def install(self, environment: SystemEnvironment) -> None:
         self.environment = environment
@@ -112,8 +127,22 @@ class VaccineDaemon:
                 identifier = vaccine.identifier  # fall back to observed value
             self.computed_identifiers[vaccine.identifier] = identifier
             if vaccine.mechanism is Mechanism.SIMULATE_PRESENCE:
+                key = (vaccine.resource_type, vaccine.identifier)
+                previous = self._marker_injectors.get(key)
+                if previous is not None:
+                    stale = [r.identifier for r in previous.records]
+                    if identifier not in stale:
+                        # The machine inputs changed the computed name:
+                        # retract the old marker before planting the new
+                        # one, or refreshes would accumulate stale markers.
+                        previous.uninstall_all()
+                        self._marker_injectors.pop(key, None)
+                    # Same name recomputed: the live marker stays; the
+                    # inject below is an idempotent re-create.
                 try:
-                    DirectInjector(environment).inject(vaccine, identifier=identifier)
+                    injector = DirectInjector(environment)
+                    injector.inject(vaccine, identifier=identifier)
+                    self._marker_injectors[key] = injector
                     return
                 except InjectionError:
                     pass

@@ -319,6 +319,11 @@ def summarize_event(event: FlightEvent) -> str:
         )
     if kind == "vaccine.rejected":
         return f"candidate {a.get('identifier')!r} rejected: {a.get('reason')}"
+    if kind == "sample.failed":
+        return (
+            f"sample {a.get('sample')!r} quarantined: {a.get('failure_kind')} "
+            f"({a.get('error')}) after {a.get('attempts')} attempt(s)"
+        )
     detail = ", ".join(f"{k}={v}" for k, v in sorted(a.items()))
     return f"{kind}" + (f" ({detail})" if detail else "")
 

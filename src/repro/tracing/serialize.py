@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..core.determinism import DeterminismResult
     from ..core.exclusiveness import ExclusivenessDecision
     from ..core.impact import ImpactOutcome
-    from ..core.pipeline import SampleAnalysis
+    from ..core.pipeline import SampleAnalysis, SampleFailure
 
 FORMAT_VERSION = 1
 
@@ -402,3 +402,26 @@ def analysis_to_json(analysis: "SampleAnalysis", indent: Optional[int] = None) -
 
 def analysis_from_json(text: str) -> "SampleAnalysis":
     return analysis_from_dict(json.loads(text))
+
+
+def failure_to_entry(failure: "SampleFailure") -> dict:
+    """Encode a quarantined sample as a *negative* cache entry — stored at
+    the same content-addressed key its healthy analysis would use, so a
+    restarted survey reports the failure instead of re-crashing on the
+    sample.  Versioned like the analysis payload: a codec bump (which also
+    changes every cache key) orphans stale negatives along with stale
+    analyses."""
+    return {
+        "negative": True,
+        "format_version": ANALYSIS_FORMAT_VERSION,
+        "failure": failure.to_dict(),
+    }
+
+
+def failure_from_entry(data: dict) -> Optional["SampleFailure"]:
+    """Decode a negative cache entry; ``None`` when ``data`` is not one."""
+    if not (isinstance(data, dict) and data.get("negative")):
+        return None
+    from ..core.pipeline import SampleFailure
+
+    return SampleFailure.from_dict(data.get("failure", {}))

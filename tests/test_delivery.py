@@ -200,6 +200,102 @@ class TestDaemon:
         env.identity = MachineIdentity(computer_name="RENAMED")
         assert daemon.refresh() is True
 
+    def test_pattern_matches_whole_identifier_only(self, run_asm):
+        # Regression: a prefix-only match ([a-z]{8} matching any identifier
+        # with an 8-char lowercase prefix) falsely blocked benign resources.
+        env = SystemEnvironment()
+        vaccine = make_vaccine(
+            ResourceType.MUTEX, "abcdefgh",
+            mechanism=Mechanism.ENFORCE_FAILURE,
+            kind=IdentifierKind.PARTIAL_STATIC, pattern="[a-z]{8}",
+        )
+        daemon = VaccineDaemon(vaccines=[vaccine])
+        daemon.install(env)
+        cpu = run_asm(
+            '.section .rdata\nm: .asciz "abcdefgh_benign_service"\n.section .text\n'
+            "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n    halt\n",
+            environment=env,
+        )
+        assert cpu.regs["eax"] >= 0x100  # benign creation succeeds
+        assert daemon.calls_matched == 0
+        cpu = run_asm(
+            '.section .rdata\nm: .asciz "qwertyui"\n.section .text\n'
+            "    push m\n    push 0\n    push 0\n    call @CreateMutexA\n    halt\n",
+            environment=env,
+        )
+        assert cpu.regs["eax"] == 0  # the full-length malware name still blocks
+        assert daemon.calls_matched == 1
+
+    def _slice_vaccine(self):
+        """An algorithm-deterministic vaccine whose generation slice
+        replays ``pipe\\<COMPUTERNAME>`` on any host."""
+        from repro.taint.backward import backward_slice
+        from repro.taint.slicing import extract_slice
+        from repro.vm import CPU, assemble
+        from repro.winapi import Dispatcher
+
+        src = (
+            '.section .rdata\nfmt: .asciz "pipe\\\\%s"\n'
+            ".section .data\nbuf: .space 64\nname: .space 64\n"
+            ".section .text\n"
+            "    push 0\n    push name\n    call @GetComputerNameA\n"
+            "    push name\n    push fmt\n    push buf\n    call @wsprintfA\n"
+            "    add esp, 12\n"
+            "    push buf\n    push 0\n    push 0\n    call @CreateMutexA\n"
+            "    halt\n"
+        )
+        lab = SystemEnvironment()
+        prog = assemble(src, name="gen")
+        proc = lab.spawn_process("gen.exe")
+        cpu = CPU(prog, environment=lab, process=proc, dispatcher=Dispatcher(lab, proc))
+        cpu.run()
+        event = cpu.trace.events_for_api("CreateMutexA")[0]
+        result = backward_slice(cpu.trace, event, memory=cpu.memory)
+        slice_ = extract_slice(
+            prog, cpu.trace, result, event.extra["identifier_addr"],
+            target_event=event,
+        )
+        return make_vaccine(
+            ResourceType.MUTEX, event.identifier,
+            kind=IdentifierKind.ALGORITHM_DETERMINISTIC, slice_=slice_,
+        )
+
+    @staticmethod
+    def _markers(environment):
+        return sorted(
+            m.name for m in environment.mutexes if m.name.startswith("pipe\\")
+        )
+
+    def test_refresh_retracts_stale_computed_marker(self):
+        # Regression: each refresh after an identity change injected the new
+        # computed marker without removing the old one, accumulating stale
+        # markers across refreshes.
+        host = SystemEnvironment(identity=MachineIdentity(computer_name="HOST-A"))
+        daemon = VaccineDaemon(vaccines=[self._slice_vaccine()])
+        daemon.install(host)
+        assert self._markers(host) == ["pipe\\HOST-A"]
+
+        host.identity = MachineIdentity(computer_name="HOST-B")
+        assert daemon.refresh() is True
+        assert self._markers(host) == ["pipe\\HOST-B"]
+
+        host.identity = MachineIdentity(computer_name="HOST-C")
+        assert daemon.refresh() is True
+        # exactly one live marker after two identity changes
+        assert self._markers(host) == ["pipe\\HOST-C"]
+
+    def test_refresh_with_unchanged_computed_name_keeps_marker(self):
+        # An identity facet the slice does not consume changes: the
+        # recomputed identifier is the same, and the marker must survive
+        # the reinstall instead of being retracted with nothing replacing it.
+        host = SystemEnvironment(identity=MachineIdentity(computer_name="SAME"))
+        daemon = VaccineDaemon(vaccines=[self._slice_vaccine()])
+        daemon.install(host)
+        assert self._markers(host) == ["pipe\\SAME"]
+        host.identity = MachineIdentity(computer_name="SAME", user_name="other")
+        assert daemon.refresh() is True
+        assert self._markers(host) == ["pipe\\SAME"]
+
 
 class TestPackage:
     def _vaccines(self):

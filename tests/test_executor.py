@@ -10,6 +10,7 @@ processes a pure speedup.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -134,7 +135,8 @@ class TestResultCache:
         assert cache.key(zeus, config) != cache.key(zeus, other)
         assert cache.key(zeus, config) == cache.key(build_family("zeus"), config)
 
-    def test_corrupt_entry_reads_as_miss(self, config, tmp_path):
+    def test_corrupt_entry_reads_as_miss_and_is_evicted(self, config, tmp_path):
+        obs.reset()
         cache = ResultCache(tmp_path)
         program = build_family("zeus")
         key = cache.key(program, config)
@@ -142,6 +144,54 @@ class TestResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text("{not json")
         assert cache.load(key) is None
+        # The undecodable file is unlinked, not left to be re-read forever.
+        assert not path.exists()
+        assert obs.metrics.value("pipeline.cache_evictions") == 1
+        # A second probe is a plain miss on an absent file: no double-evict.
+        assert cache.load(key) is None
+        assert obs.metrics.value("pipeline.cache_evictions") == 1
+
+    def test_version_skewed_entry_is_evicted(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        program = build_family("zeus")
+        key = cache.key(program, config)
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Valid JSON, but not a decodable analysis payload.
+        path.write_text(json.dumps({"format_version": 99}))
+        assert cache.load(key) is None
+        assert not path.exists()
+
+    def test_stale_tmp_litter_swept_on_open(self, config, tmp_path):
+        obs.reset()
+        cache = ResultCache(tmp_path)
+        program = build_family("zeus")
+        key = cache.key(program, config)
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Orphan left by a writer that died between write_text and replace
+        # (a pid far above any kernel pid_max, so definitely not running).
+        dead = path.with_suffix(".tmp.999999999")
+        dead.write_text("{partial")
+        # A live writer's tmp (our own pid) must be left alone.
+        ours = path.with_suffix(f".tmp.{os.getpid()}")
+        ours.write_text("{in progress")
+        removed = cache.sweep_stale()
+        assert removed == 1
+        assert not dead.exists()
+        assert ours.exists()
+        assert obs.metrics.value("pipeline.cache_tmp_swept") == 1
+        ours.unlink()
+
+    def test_sweep_runs_on_cache_open(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        program = build_family("zeus")
+        path = cache._path(cache.key(program, config))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        orphan = path.with_suffix(".tmp.999999999")
+        orphan.write_text("{partial")
+        ResultCache(tmp_path)  # re-open sweeps
+        assert not orphan.exists()
 
 
 class TestPopulationResultMerge:
