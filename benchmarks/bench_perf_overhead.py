@@ -212,6 +212,77 @@ def test_obs_instrumentation_overhead():
     assert overhead <= 0.05
 
 
+def test_run_telemetry_overhead(tmp_path):
+    """The run-telemetry stream must honor the same cheap-hook contract:
+    a full pipeline run with a spool emitter installed (every lifecycle
+    event written and flushed to ``spool/events-<pid>.jsonl``) stays within
+    5% of telemetry-off, where the hooks in ``analyze``/``run_stages``
+    reduce to one global load and an ``is None`` test.
+
+    Same estimator as :func:`test_flight_recorder_overhead`: paired
+    alternating-order timings, median of the ratios."""
+    import gc
+    import os
+    import statistics
+
+    from repro.obs import stream
+
+    program = build_family("zeus")
+    spool = tmp_path / "spool"
+    reps = 6
+    pairs = 11
+
+    def run_stream_on():
+        obs.reset()  # also uninstalls any emitter
+        stream.install(spool)
+        try:
+            for _ in range(reps):
+                result = AutoVac().analyze(program)
+        finally:
+            stream.uninstall()
+        return result
+
+    def run_stream_off():
+        obs.reset()
+        for _ in range(reps):
+            result = AutoVac().analyze(program)
+        return result
+
+    run_stream_on(), run_stream_off()  # warm-up both paths
+    ratios = []
+    on_s = off_s = float("inf")
+    result = None
+    for i in range(pairs):
+        gc.collect()
+        gc.disable()
+        try:
+            if i % 2:
+                off, _ = min_wall_seconds(run_stream_off, repeats=1)
+                on, result = min_wall_seconds(run_stream_on, repeats=1)
+            else:
+                on, result = min_wall_seconds(run_stream_on, repeats=1)
+                off, _ = min_wall_seconds(run_stream_off, repeats=1)
+        finally:
+            gc.enable()
+        ratios.append(on / off)
+        on_s = min(on_s, on)
+        off_s = min(off_s, off)
+    assert result.vaccines
+    spooled = sum(1 for _ in (spool / f"events-{os.getpid()}.jsonl").open())
+    assert spooled > 0  # the instrumented mode really spooled events
+    overhead = statistics.median(ratios) - 1.0
+    write_artifact(
+        "telemetry_overhead.txt",
+        "run-telemetry spool overhead on the full pipeline (zeus)\n"
+        f"emitter installed: {on_s * 1000:.2f} ms (best of {pairs})\n"
+        f"telemetry off:     {off_s * 1000:.2f} ms (best of {pairs})\n"
+        f"events spooled: {spooled}\n"
+        f"overhead: {overhead:+.2%}  (median of {pairs} paired ratios; "
+        "budget: <=5%)\n",
+    )
+    assert overhead <= 0.05
+
+
 def test_flight_recorder_overhead():
     """The flight recorder alone must also be nearly free: a full pipeline
     run with the journal on stays within 5% of ``flight.enabled = False``

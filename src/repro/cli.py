@@ -8,9 +8,11 @@ Subcommands::
     python -m repro families
     python -m repro survey   [--size N] [--seed S] [--jobs N] [--cache DIR]
                              [--timeout S] [--retries N] [--failures-json f.json]
-                             [--metrics m.json]
+                             [--metrics m.json] [--run-dir DIR] [--progress]
     python -m repro stats    <m.json> [--prom] [--flame-depth N] [--top N]
     python -m repro explain  <family|asm-file> [--vaccine SUBSTR] [--json FILE]
+    python -m repro tail     <run-dir> [--follow] [--json]
+    python -m repro runs     <dir>
 
 ``analyze`` runs the full pipeline on a built-in family or an assembly file
 and optionally writes a vaccine package; ``deploy`` simulates deployment on a
@@ -25,6 +27,13 @@ re-emits it as Prometheus text.  ``explain`` re-analyzes one sample with the
 flight recorder on and prints, per vaccine, the causal chain of journal
 events that led to it (mutation, divergence, verdicts, back to the original
 API interception).  Set ``REPRO_LOG=info`` for structured logs.
+
+``survey --run-dir DIR`` records live run telemetry (DESIGN.md §11): a
+persistent ledger of per-sample lifecycle events plus a manifest; add
+``--progress`` for a live progress line.  ``tail`` replays (or, with
+``--follow``, streams) a run directory's ledger — attachable while the
+survey is still running from another terminal; ``runs`` lists the run
+directories under a parent directory with their outcomes.
 """
 
 from __future__ import annotations
@@ -132,6 +141,17 @@ def cmd_survey(args: argparse.Namespace) -> int:
 
     from .core.executor import PipelineConfig, analyze_population
 
+    run_dir = args.run_dir
+    progress = None
+    if args.progress:
+        if run_dir is None:
+            import tempfile
+
+            run_dir = tempfile.mkdtemp(prefix="repro-run-")
+        progress = obs.ProgressView()
+    if run_dir is not None:
+        print(f"run dir: {run_dir} (watch with: repro tail {run_dir} --follow)")
+
     samples = generate_population(GeneratorConfig(size=args.size, seed=args.seed))
     result = analyze_population(
         [s.program for s in samples],
@@ -140,6 +160,8 @@ def cmd_survey(args: argparse.Namespace) -> int:
         ),
         jobs=args.jobs,
         cache=args.cache,
+        run_dir=run_dir,
+        progress=progress,
     )
     failed = result.failed()
     print(f"{args.size} samples ({len(result.succeeded())} analyzed, "
@@ -186,11 +208,62 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain_failure(args, program, exc) -> int:
+    """``repro explain`` on a sample whose analysis died (the executor
+    would have quarantined it as a :class:`SampleFailure`): print the
+    failure record and whatever partial journal the flight recorder holds
+    instead of an unhandled traceback."""
+    import json as _json
+
+    from .core.faults import InjectedHang
+    from .core.pipeline import SampleFailure
+
+    failure = SampleFailure(
+        sample=program.name,
+        index=0,
+        kind="timeout" if isinstance(exc, InjectedHang) else "crash",
+        error_type=type(exc).__name__,
+        message=str(exc),
+    )
+    partial = obs.flight.events()
+    print(f"{program.name}: analysis failed — no SampleAnalysis to explain")
+    print(f"  {failure.describe()}")
+    if partial:
+        print(f"  partial journal ({len(partial)} events recorded before the failure):")
+        for event in partial[-12:]:
+            print(f"    [e{event.event_id}] {obs.summarize_event(event)}")
+    else:
+        print("  no journal events were recorded before the failure")
+    if args.json:
+        doc = {
+            "sample": program.name,
+            "failure": failure.to_dict(),
+            "journal": {
+                "sample": program.name,
+                "events": [e.to_dict() for e in partial],
+            },
+        }
+        try:
+            Path(args.json).write_text(_json.dumps(doc, indent=2))
+        except OSError as write_exc:
+            raise SystemExit(f"error: cannot write journal: {write_exc}")
+        print(f"wrote {args.json} (failure record + {len(partial)} partial events)")
+    return 1
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     import json as _json
 
+    from .core.faults import FaultPlan
+
     program = _load_program(args.sample)
-    analysis = AutoVac().analyze(program)
+    try:
+        # The fault plan applies here too, so an injected failure can be
+        # explained the same way a real analyzer crash would be.
+        FaultPlan.from_env().raise_inline(0, program.name, 1)
+        analysis = AutoVac().analyze(program)
+    except Exception as exc:  # noqa: BLE001 - report, don't traceback
+        return _explain_failure(args, program, exc)
     journal = analysis.journal
     if journal is None or not len(journal):
         print(f"{program.name}: no journal recorded (flight recorder disabled?)")
@@ -240,6 +313,63 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tail(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs import ledger
+
+    try:
+        manifest = ledger.read_manifest(args.run_dir)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    started = manifest.get("started_unix")
+    count = 0
+    try:
+        for event in ledger.iter_ledger(args.run_dir, follow=args.follow):
+            count += 1
+            if args.json:
+                print(_json.dumps(event))
+            else:
+                print(ledger.render_event(event, started))
+    except KeyboardInterrupt:  # pragma: no cover - interactive detach
+        pass
+    except BrokenPipeError:  # piped into `head` and the reader left
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    try:
+        manifest = ledger.read_manifest(args.run_dir)
+    except ValueError:
+        pass
+    if not args.json:
+        print(f"-- {count} event(s) | {ledger.describe_manifest(manifest)}")
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    from .core import render_run_manifest
+    from .obs import ledger
+
+    root = Path(args.dir)
+    if (root / ledger.MANIFEST_NAME).is_file():
+        # Pointed at a single run: render its manifest summary.
+        try:
+            manifest = ledger.read_manifest(root)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        sys.stdout.write(render_run_manifest(manifest))
+        return 0
+    runs = ledger.list_runs(root)
+    if not runs:
+        print(f"no runs under {root}")
+        return 1
+    for manifest in runs:
+        print(ledger.describe_manifest(manifest))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AUTOVAC reproduction command line"
@@ -284,6 +414,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--failures-json",
                    help="write quarantined-sample records (JSON) here")
     p.add_argument("--metrics", help="write an observability snapshot (JSON)")
+    p.add_argument("--run-dir",
+                   help="record live run telemetry (event ledger + manifest) "
+                        "into this directory; watch with `repro tail`")
+    p.add_argument("--progress", action="store_true",
+                   help="render live progress (TTY status line, or periodic "
+                        "log lines when stdout is not a TTY); implies a "
+                        "temporary --run-dir when none is given")
     p.set_defaults(func=cmd_survey)
 
     p = sub.add_parser("stats", help="render a captured metrics snapshot")
@@ -309,6 +446,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depth", type=int, default=12,
                    help="max causal-chain depth (default 12)")
     p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("tail",
+                       help="replay or stream a run directory's telemetry ledger")
+    p.add_argument("run_dir", help="directory written by `survey --run-dir`")
+    p.add_argument("-f", "--follow", action="store_true",
+                   help="keep streaming until the run finishes (attach to an "
+                        "in-flight survey)")
+    p.add_argument("--json", action="store_true",
+                   help="emit raw JSONL events instead of rendered lines")
+    p.set_defaults(func=cmd_tail)
+
+    p = sub.add_parser("runs",
+                       help="list historical runs (and their outcomes) under a directory")
+    p.add_argument("dir", help="parent directory of run dirs, or one run dir")
+    p.set_defaults(func=cmd_runs)
 
     return parser
 

@@ -9,7 +9,7 @@ from .executor import PipelineConfig, ResultCache, analyze_population
 from .faults import FaultPlan, FaultPlanError, FaultSpec
 from .impact import ImpactAnalyzer, ImpactOutcome, ResourceMutation, classify_deltas
 from .pipeline import AutoVac, PopulationResult, SampleAnalysis, SampleFailure
-from .report import render_failure_summary, render_report
+from .report import render_failure_summary, render_report, render_run_manifest
 from .stages import (
     AnalysisContext,
     ClinicStage,
@@ -89,6 +89,7 @@ __all__ = [
     "select_candidates",
     "render_failure_summary",
     "render_report",
+    "render_run_manifest",
     "verify_all",
     "verify_vaccine",
 ]

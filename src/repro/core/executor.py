@@ -42,6 +42,15 @@ produce the same tables and failure records under the same plan.
 The ``pipeline.population_analyzed`` gauge tracks *completed* samples
 (healthy or quarantined; a monotone count, final value == population size)
 regardless of worker completion order.
+
+``run_dir`` adds cross-process run telemetry (DESIGN.md §11): workers
+spool per-sample lifecycle events (:mod:`repro.obs.stream`), the parent
+tails and folds them into a persistent ledger + manifest
+(:mod:`repro.obs.ledger`) that ``repro tail`` / ``repro runs`` read and
+``survey --progress`` renders live.  Terminal completed/failed events are
+emitted only by the parent, inside the same ``finish``/``quarantine``
+choke points that build :class:`PopulationResult`, so ledger and result
+can never disagree.
 """
 
 from __future__ import annotations
@@ -60,6 +69,8 @@ from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from .. import obs
 from ..analysis.alignment import align_lcs, align_linear, align_myers
+from ..obs import stream
+from ..obs.ledger import ProgressView, RunTelemetry
 from ..tracing import serialize
 from ..vm.program import Program
 from .faults import FaultPlan, InjectedHang
@@ -311,6 +322,7 @@ def _analyze_worker(
     index: int = 0,
     attempt: int = 1,
     plan: Optional[FaultPlan] = None,
+    spool_dir: Optional[str] = None,
 ) -> Tuple[dict, Dict[str, object]]:
     """Runs in a worker process: fresh obs state, fresh AutoVac, one sample.
 
@@ -318,9 +330,13 @@ def _analyze_worker(
     registry is reset first so a forked worker never re-reports inherited
     parent counts.  ``plan`` (ships explicitly from the parent, never read
     from the environment here) injects the planned fault for this
-    (sample, attempt), if any.
+    (sample, attempt), if any.  ``spool_dir`` (set when the survey has a
+    ``--run-dir``) points the worker's telemetry emitter at the run's spool
+    so ``sample.started`` / ``sample.phase`` events stream out live.
     """
     obs.reset()
+    if spool_dir is not None:
+        stream.install(spool_dir).set_context(index=index, attempt=attempt)
     if plan is not None:
         plan.enact_in_worker(index, program.name, attempt)
     autovac = config.build()
@@ -370,6 +386,8 @@ def analyze_population(
     cache: Union[None, str, os.PathLike, ResultCache] = None,
     autovac: Optional[AutoVac] = None,
     faults: Optional[FaultPlan] = None,
+    run_dir: Union[None, str, os.PathLike] = None,
+    progress: Optional[ProgressView] = None,
 ) -> PopulationResult:
     """Analyze a corpus with ``jobs`` worker processes and an optional
     result cache.  Healthy results keep input order; tables are identical
@@ -383,6 +401,16 @@ def analyze_population(
     ``config`` (derived from ``autovac`` if needed) to the workers.
     ``faults`` (default: parsed from ``REPRO_FAULT_PLAN``) injects
     deterministic failures for testing the machinery.
+
+    ``run_dir`` turns on run telemetry (:mod:`repro.obs.ledger`): workers
+    spool per-sample lifecycle events, the parent folds them into a
+    persistent ledger + manifest under ``run_dir``, watchable live with
+    ``repro tail`` and summarized by ``repro runs``.  The parent is the
+    only emitter of terminal ``sample.completed``/``sample.failed`` events,
+    so the ledger's terminal set always matches the returned
+    :class:`PopulationResult` — even when workers die mid-sample.
+    ``progress`` (a :class:`~repro.obs.ledger.ProgressView`) additionally
+    renders the fold live; it requires ``run_dir``.
     """
     programs = list(programs)
     jobs = max(1, int(jobs))
@@ -396,6 +424,14 @@ def analyze_population(
     backoff = max(0.0, policy.retry_backoff)
 
     n = len(programs)
+    telemetry: Optional[RunTelemetry] = None
+    if run_dir is not None:
+        telemetry = RunTelemetry.begin(
+            run_dir,
+            population=n,
+            config_fingerprint=policy.fingerprint(),
+            progress=progress,
+        )
     results: List[Optional[SampleAnalysis]] = [None] * n
     failures_by_index: Dict[int, SampleFailure] = {}
     gauge = obs.metrics.gauge(
@@ -403,11 +439,18 @@ def analyze_population(
     )
     done = 0
 
-    def finish(index: int, analysis: SampleAnalysis) -> None:
+    def finish(index: int, analysis: SampleAnalysis, cached: bool = False) -> None:
         nonlocal done
         results[index] = analysis
         done += 1  # completion count: monotone even when workers finish out of order
         gauge.set(done)
+        stream.emit(
+            "sample.completed",
+            sample=programs[index].name,
+            index=index,
+            vaccines=len(analysis.vaccines),
+            cached=cached,
+        )
 
     def quarantine(index: int, failure: SampleFailure, store_negative: bool = True) -> None:
         nonlocal done
@@ -415,6 +458,15 @@ def analyze_population(
         done += 1
         gauge.set(done)
         obs.metrics.counter("pipeline.sample_failures").inc()
+        stream.emit(
+            "sample.failed",
+            sample=failure.sample,
+            index=index,
+            failure_kind=failure.kind,
+            error=failure.error_type,
+            attempts=failure.attempts,
+            cached=not store_negative,
+        )
         _log.warning(
             "sample quarantined",
             sample=failure.sample,
@@ -450,25 +502,37 @@ def analyze_population(
 
     def assemble() -> PopulationResult:
         finalize_flight()
-        return PopulationResult(
+        result = PopulationResult(
             analyses=[a for a in results if a is not None],
             failures=[failures_by_index[i] for i in sorted(failures_by_index)],
         )
+        if telemetry is not None:
+            telemetry.finish(
+                outcomes={
+                    "completed": len(result.analyses),
+                    "failed": len(result.failures),
+                }
+            )
+        return result
 
     pending: List[int] = []
     for i, program in enumerate(programs):
         entry = store.load_entry(store.key(program, config)) if store is not None else None
         if isinstance(entry, SampleAnalysis):
-            finish(i, entry)
+            stream.emit("cache.hit", sample=program.name, index=i, negative=False)
+            finish(i, entry, cached=True)
             adopt_indices.append(i)
         elif isinstance(entry, SampleFailure):
             # Negative entry from an earlier run: report the quarantine
             # again instead of hot re-crashing on the sample.
+            stream.emit("cache.hit", sample=program.name, index=i, negative=True)
             quarantine(i, replace(entry, index=i), store_negative=False)
         else:
             pending.append(i)
     if store is not None and pending:
         _log.info("cache", hits=n - len(pending), misses=len(pending))
+    if telemetry is not None:
+        telemetry.drain()
 
     if jobs == 1 or len(pending) <= 1:
         local = autovac if autovac is not None else config.build() if config else AutoVac()
@@ -476,6 +540,7 @@ def analyze_population(
             program = programs[i]
             attempt = 1
             while True:
+                stream.set_context(index=i, attempt=attempt)
                 try:
                     if plan:
                         plan.raise_inline(i, program.name, attempt)
@@ -484,6 +549,13 @@ def analyze_population(
                     analysis = local.analyze(program)
                 except Exception as exc:
                     kind = "timeout" if isinstance(exc, InjectedHang) else "crash"
+                    if kind == "timeout":
+                        stream.emit(
+                            "sample.timeout",
+                            sample=program.name,
+                            index=i,
+                            attempt=attempt,
+                        )
                     if attempt > retries:
                         quarantine(
                             i,
@@ -499,6 +571,14 @@ def analyze_population(
                         )
                         break
                     obs.metrics.counter("pipeline.sample_retries").inc()
+                    stream.emit(
+                        "sample.retry",
+                        sample=program.name,
+                        index=i,
+                        attempt=attempt,
+                        failure_kind=kind,
+                        error=type(exc).__name__,
+                    )
                     if backoff:
                         time.sleep(backoff * (2 ** (attempt - 1)))
                     attempt += 1
@@ -507,9 +587,13 @@ def analyze_population(
                         store.store(store.key(program, config), analysis)
                     finish(i, analysis)
                     break
+            if telemetry is not None:
+                telemetry.drain()
+        stream.clear_context()
         return assemble()
 
     cache_root = str(store.root) if store is not None else None
+    spool_dir = str(telemetry.spool_dir) if telemetry is not None else None
     n_workers = min(jobs, len(pending))
     # Bounded submit window: keep ≈2×jobs futures in flight instead of
     # pickling every pending program up front.
@@ -534,6 +618,7 @@ def analyze_population(
                 index=index,
                 attempt=attempt,
                 plan=plan if plan else None,
+                spool_dir=spool_dir,
             )
             in_flight[future] = _Task(index, attempt, deadline)
 
@@ -541,6 +626,13 @@ def analyze_population(
         task: _Task, kind: str, error_type: str, message: str, tb: str
     ) -> None:
         suspects.discard(task.index)
+        if kind == "timeout":
+            stream.emit(
+                "sample.timeout",
+                sample=programs[task.index].name,
+                index=task.index,
+                attempt=task.attempt,
+            )
         if task.attempt > retries:
             quarantine(
                 task.index,
@@ -556,6 +648,14 @@ def analyze_population(
             )
             return
         obs.metrics.counter("pipeline.sample_retries").inc()
+        stream.emit(
+            "sample.retry",
+            sample=programs[task.index].name,
+            index=task.index,
+            attempt=task.attempt,
+            failure_kind=kind,
+            error=error_type,
+        )
         _log.warning(
             "sample retry",
             sample=programs[task.index].name,
@@ -576,6 +676,14 @@ def analyze_population(
                 wait_timeout = max(
                     0.0, min(t.deadline for t in in_flight.values()) - now
                 )
+            if telemetry is not None:
+                # Fold whatever the workers have spooled so far — this is
+                # what makes `repro tail` / `--progress` live rather than
+                # post-hoc.  Bound the wait so a long-running sample does
+                # not freeze the view.
+                telemetry.drain()
+                if wait_timeout is None or wait_timeout > 0.5:
+                    wait_timeout = 0.5
             done_set, _ = wait(
                 set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
             )

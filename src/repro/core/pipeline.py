@@ -293,6 +293,7 @@ class AutoVac:
     # ------------------------------------------------------------------
 
     def analyze(self, program: Program) -> SampleAnalysis:
+        obs.stream.emit("sample.started", sample=program.name)
         journal_token = obs.flight.begin_sample(program.name)
         with obs.trace.span("pipeline.analyze", sample=program.name) as root:
             analysis = SampleAnalysis(program=program)

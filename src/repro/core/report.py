@@ -134,6 +134,39 @@ def render_failure_summary(failures: List[SampleFailure]) -> str:
     return "\n".join(lines)
 
 
+def render_run_manifest(manifest: dict) -> str:
+    """Markdown summary of one run directory's manifest (``repro runs``
+    pointed at a single run): identity, status, and outcome counts."""
+    from ..obs.ledger import manifest_status
+
+    lines: List[str] = [f"# Run {manifest.get('run_id', '(unknown)')}", ""]
+    push = lines.append
+    push(f"* status: **{manifest_status(manifest)}**")
+    push(f"* population: {manifest.get('population', '?')} samples")
+    fingerprint = str(manifest.get("config_fingerprint", ""))
+    if fingerprint:
+        push(f"* config fingerprint: `{fingerprint[:16]}`")
+    started = manifest.get("started_unix")
+    if started is not None:
+        import time as _time
+
+        push(
+            "* started: "
+            + _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(float(started)))
+        )
+    if "duration_seconds" in manifest:
+        push(f"* duration: {float(manifest['duration_seconds']):.1f}s")
+    outcomes = manifest.get("outcomes") or {}
+    if outcomes:
+        push("")
+        push("| outcome | count |")
+        push("|---|---|")
+        for key in sorted(outcomes):
+            push(f"| {key} | {outcomes[key]} |")
+    push("")
+    return "\n".join(lines)
+
+
 def _evidence(analysis: SampleAnalysis, vaccine) -> Optional[str]:
     """Causal chain (flight-recorder journal) behind one vaccine, or None
     when no journal was recorded or no matching event exists."""

@@ -224,15 +224,27 @@ def default_stages(exclusiveness_enabled: bool = True) -> Tuple[Stage, ...]:
 
 def run_stages(stages: Sequence[Stage], ctx: AnalysisContext) -> None:
     """Execute a stage sequence: one span per active stage, ``skipped=True``
-    on stages that declined to run."""
+    on stages that declined to run.  When a run-telemetry emitter is
+    installed (``survey --run-dir``), each executed stage also spools a
+    ``sample.phase`` transition event — the ``stream.enabled()`` guard
+    keeps the telemetry-off path within the cheap-hook budget."""
     for stage in stages:
         if not stage.active(ctx):
             continue
+        ran = False
         with obs.trace.span(stage.name) as span:
             if stage.ready(ctx):
                 stage.run(ctx, span)
+                ran = True
             else:
                 span.set(skipped=True)
+        if ran and obs.stream.enabled():
+            obs.stream.emit(
+                "sample.phase",
+                sample=ctx.program.name,
+                phase=stage.name,
+                seconds=span.total_seconds(),
+            )
 
 
 __all__ = [

@@ -13,7 +13,12 @@ this package is the instrumentation substrate those measurements come from:
   ``REPRO_LOG`` environment variable (:mod:`repro.obs.log`);
 * :data:`flight` — bounded flight recorder journaling analysis-causal
   events into a per-sample provenance DAG (:mod:`repro.obs.flight`),
-  rendered by ``repro explain``.
+  rendered by ``repro explain``;
+* :mod:`~repro.obs.stream` / :mod:`~repro.obs.ledger` — cross-process run
+  telemetry: workers spool per-sample lifecycle events as JSONL, the
+  executor parent folds them into a persistent run ledger (``--run-dir``),
+  watched live via ``survey --progress`` / ``repro tail`` and listed by
+  ``repro runs``.
 
 Instrumented code must stay cheap when observability is off::
 
@@ -29,6 +34,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
+from . import ledger, stream
 from .export import load, render_prometheus, render_stats, snapshot, write_json
 from .flight import (
     MAX_FLIGHT_EVENTS,
@@ -38,6 +44,7 @@ from .flight import (
     render_chain,
     summarize_event,
 )
+from .ledger import LedgerFold, ProgressView, RunTelemetry
 from .log import configure as configure_logging
 from .log import get_logger
 from .metrics import DEFAULT_BUCKETS, MAX_LABEL_SETS, Counter, Gauge, Histogram, MetricsRegistry, Timer
@@ -68,11 +75,12 @@ def disabled() -> Iterator[None]:
 
 
 def reset() -> None:
-    """Drop all collected metrics, spans, and flight events (tests /
-    between CLI runs)."""
+    """Drop all collected metrics, spans, and flight events and detach any
+    run-telemetry emitter (tests / between CLI runs / worker start)."""
     metrics.reset()
     trace.reset()
     flight.reset()
+    stream.uninstall()
 
 
 def export_snapshot() -> Dict[str, object]:
@@ -93,9 +101,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Journal",
+    "LedgerFold",
     "MAX_FLIGHT_EVENTS",
     "MAX_LABEL_SETS",
     "MetricsRegistry",
+    "ProgressView",
+    "RunTelemetry",
     "Span",
     "Timer",
     "Tracer",
@@ -106,6 +117,7 @@ __all__ = [
     "flight",
     "get_logger",
     "is_enabled",
+    "ledger",
     "load",
     "metrics",
     "render_chain",
@@ -114,6 +126,7 @@ __all__ = [
     "render_stats",
     "reset",
     "snapshot",
+    "stream",
     "summarize_event",
     "trace",
     "write_json",

@@ -36,7 +36,17 @@ def write_json(path, registry: MetricsRegistry, tracer: Tracer) -> Dict[str, obj
 
 
 def load(path) -> Dict[str, object]:
-    data = json.loads(Path(path).read_text())
+    """Parse a snapshot file; raises :class:`ValueError` naming the file
+    and the reason on truncated/corrupt JSON (``SystemExit``-friendly for
+    ``repro stats``) instead of leaking a bare ``json.JSONDecodeError``."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        reason = "file is empty" if not text.strip() else f"{exc.msg} at line {exc.lineno}"
+        raise ValueError(
+            f"{path}: corrupt or truncated metrics snapshot ({reason})"
+        ) from None
     if not isinstance(data, dict) or "metrics" not in data:
         raise ValueError(f"{path}: not a repro metrics snapshot")
     return data

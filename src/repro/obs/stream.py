@@ -1,0 +1,177 @@
+"""Cross-process run telemetry: append-only JSONL event spools.
+
+The population executor runs samples in worker processes; nothing those
+workers print is visible live, and the parent only learns outcomes when a
+future resolves.  This module is the *emission* half of the run-telemetry
+layer (the folding half is :mod:`repro.obs.ledger`):
+
+* every process that takes part in a run — the executor parent and each
+  pool worker — installs a :class:`SpoolEmitter` pointed at the run
+  directory's ``spool/``;
+* the emitter appends one JSON object per line to its own
+  ``events-<pid>.jsonl`` file (one writer per file, no locking needed) and
+  flushes per event, so a worker that is later OOM-killed leaves at most
+  one partial trailing line behind;
+* the parent's collector tails the spool files and folds the events into
+  the persistent run ledger.
+
+Event grammar (see DESIGN.md §11): ``run.started`` / ``run.finished``
+bracket the run; per sample the lifecycle is ``cache.hit`` *or*
+``sample.started`` → ``sample.phase``\\* → optionally ``sample.timeout`` /
+``sample.retry`` → exactly one terminal ``sample.completed`` or
+``sample.failed``.  Terminal events are emitted only by the parent (the
+single authority on retries and quarantine), so they match
+``PopulationResult`` even when a worker died mid-sample.
+
+Cheap-hook contract: with no emitter installed (the default — telemetry is
+opt-in via ``--run-dir``), :func:`emit` is one module-global load and an
+``is None`` test; the pipeline hooks stay within the same ≤5% budget the
+flight recorder is held to (``bench_perf_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Spool file pattern inside a run directory's ``spool/``; one file per
+#: emitting process.
+SPOOL_GLOB = "events-*.jsonl"
+
+#: Every event kind the pipeline emits, for reference and validation.
+EVENT_KINDS = (
+    "run.started",
+    "run.finished",
+    "cache.hit",
+    "sample.started",
+    "sample.phase",
+    "sample.timeout",
+    "sample.retry",
+    "sample.completed",
+    "sample.failed",
+)
+
+#: Terminal per-sample kinds — exactly one per sample per run.
+TERMINAL_KINDS = ("sample.completed", "sample.failed")
+
+
+class SpoolEmitter:
+    """Appends one JSON event per line to this process's spool file.
+
+    ``context`` attrs (sample index, attempt) are stamped onto every event
+    until changed — the worker sets them once per task instead of threading
+    them through every pipeline hook.
+    """
+
+    __slots__ = ("spool_dir", "pid", "path", "_fh", "_seq", "_context")
+
+    def __init__(self, spool_dir: Union[str, os.PathLike]) -> None:
+        self.spool_dir = Path(spool_dir)
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self.pid = os.getpid()
+        self.path = self.spool_dir / f"events-{self.pid}.jsonl"
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._seq = 0
+        self._context: Dict[str, object] = {}
+
+    def emit(self, kind: str, **attrs: object) -> None:
+        if os.getpid() != self.pid:
+            # A forked worker inherited the parent's emitter: reopen as our
+            # own spool file so two processes never share one writer.
+            self.__init__(self.spool_dir)
+        event: Dict[str, object] = {
+            "t": time.time(),
+            "pid": self.pid,
+            "seq": self._seq,
+            "kind": kind,
+        }
+        if self._context:
+            event.update(self._context)
+        event.update(attrs)
+        self._seq += 1
+        try:
+            # One write + flush per event: crash tolerance beats batching
+            # here (a dead worker must not take its buffered events along).
+            self._fh.write(json.dumps(event, default=repr) + "\n")
+            self._fh.flush()
+        except (OSError, ValueError):
+            # Telemetry must never kill an analysis (full disk, closed fd).
+            pass
+
+    def set_context(self, **attrs: object) -> None:
+        self._context.update(attrs)
+
+    def clear_context(self) -> None:
+        self._context.clear()
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - best effort by contract
+            pass
+
+
+#: The process-global emitter; ``None`` = telemetry off (the default).
+_emitter: Optional[SpoolEmitter] = None
+
+
+def install(spool_dir: Union[str, os.PathLike]) -> SpoolEmitter:
+    """Point this process's telemetry at ``spool_dir`` (idempotent for the
+    same directory; replaces any previous emitter otherwise)."""
+    global _emitter
+    spool_dir = Path(spool_dir)
+    if (
+        _emitter is not None
+        and _emitter.pid == os.getpid()
+        and _emitter.spool_dir == spool_dir
+    ):
+        return _emitter
+    if _emitter is not None and _emitter.pid == os.getpid():
+        _emitter.close()
+    _emitter = SpoolEmitter(spool_dir)
+    return _emitter
+
+
+def uninstall() -> None:
+    """Turn telemetry off for this process (closes the spool file)."""
+    global _emitter
+    if _emitter is not None and _emitter.pid == os.getpid():
+        _emitter.close()
+    _emitter = None
+
+
+def enabled() -> bool:
+    return _emitter is not None
+
+
+def emit(kind: str, **attrs: object) -> None:
+    """Journal one event, or do (almost) nothing when telemetry is off."""
+    if _emitter is not None:
+        _emitter.emit(kind, **attrs)
+
+
+def set_context(**attrs: object) -> None:
+    if _emitter is not None:
+        _emitter.set_context(**attrs)
+
+
+def clear_context() -> None:
+    if _emitter is not None:
+        _emitter.clear_context()
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "SPOOL_GLOB",
+    "TERMINAL_KINDS",
+    "SpoolEmitter",
+    "clear_context",
+    "emit",
+    "enabled",
+    "install",
+    "set_context",
+    "uninstall",
+]

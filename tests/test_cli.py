@@ -93,3 +93,51 @@ class TestSurveyCommand:
         assert main(["survey", "--size", "12", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "12 samples" in out and "identifier kinds" in out
+
+
+class TestExplainCommand:
+    def test_explain_failed_analysis_prints_failure_record(
+        self, capsys, monkeypatch
+    ):
+        # Regression: `repro explain` on a sample whose analysis dies used
+        # to escape as an unhandled traceback. It now prints the failure
+        # record (plus any partial journal) and exits 1.
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "crash:conficker")
+        assert main(["explain", "conficker"]) == 1
+        out = capsys.readouterr().out
+        assert "analysis failed — no SampleAnalysis to explain" in out
+        assert "crash" in out and "InjectedCrash" in out
+
+    def test_explain_failure_json_document(self, capsys, monkeypatch, tmp_path):
+        path = tmp_path / "journal.json"
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "hang:zeus")
+        assert main(["explain", "zeus", "--json", str(path)]) == 1
+        capsys.readouterr()
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["failure"]["kind"] == "timeout"
+        assert doc["failure"]["error_type"] == "InjectedHang"
+        assert "events" in doc["journal"]
+
+    def test_explain_still_works_without_faults(self, capsys):
+        assert main(["explain", "zeus"]) == 0
+        out = capsys.readouterr().out
+        assert "decision(s) to explain" in out
+
+
+class TestStatsCommand:
+    def test_corrupt_snapshot_names_file_and_reason(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text('{"counters": {"a"')
+        with pytest.raises(SystemExit) as exc_info:
+            main(["stats", str(path)])
+        message = str(exc_info.value)
+        assert str(path) in message
+        assert "corrupt or truncated metrics snapshot" in message
+
+    def test_empty_snapshot_reports_empty(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text("")
+        with pytest.raises(SystemExit, match="file is empty"):
+            main(["stats", str(path)])

@@ -1,0 +1,401 @@
+"""Run-telemetry layer: spool emitter, collector/ledger, tail readers.
+
+The invariants pinned here (DESIGN.md §11): the ledger's terminal events
+exactly mirror ``PopulationResult`` — one ``sample.completed`` or
+``sample.failed`` per sample, no losses and no duplicates, even under
+injected worker crashes and pool deaths; readers tolerate a partial
+trailing line from an in-flight (or killed) writer; and a finished run
+round-trips through ``repro tail`` / ``repro runs``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.executor import PipelineConfig, analyze_population
+from repro.core.faults import FaultPlan
+from repro.corpus import GeneratorConfig, generate_population
+from repro.obs import ledger, stream
+from repro.obs.ledger import (
+    LedgerFold,
+    ProgressView,
+    RunTelemetry,
+    describe_manifest,
+    iter_ledger,
+    list_runs,
+    manifest_status,
+    read_ledger,
+    read_manifest,
+    render_event,
+)
+
+SIZE = 8
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return [
+        s.program for s in generate_population(GeneratorConfig(size=SIZE, seed=SEED))
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _clean_stream():
+    yield
+    stream.uninstall()
+
+
+def fast_config(**kw) -> PipelineConfig:
+    kw.setdefault("retry_backoff", 0.0)
+    return PipelineConfig(**kw)
+
+
+def terminal_events(events):
+    return [e for e in events if e["kind"] in stream.TERMINAL_KINDS]
+
+
+class TestStreamEmitter:
+    def test_off_by_default_and_emit_is_noop(self):
+        assert not stream.enabled()
+        stream.emit("sample.started", sample="x")  # must not raise
+
+    def test_install_emit_uninstall(self, tmp_path):
+        emitter = stream.install(tmp_path)
+        assert stream.enabled()
+        stream.set_context(index=3, attempt=2)
+        stream.emit("sample.started", sample="zeus")
+        stream.uninstall()
+        assert not stream.enabled()
+        lines = emitter.path.read_text().splitlines()
+        assert len(lines) == 1
+        event = json.loads(lines[0])
+        assert event["kind"] == "sample.started"
+        assert event["sample"] == "zeus"
+        assert event["index"] == 3 and event["attempt"] == 2
+        assert event["pid"] == os.getpid()
+
+    def test_install_same_dir_is_idempotent(self, tmp_path):
+        first = stream.install(tmp_path)
+        assert stream.install(tmp_path) is first
+
+    def test_explicit_attrs_beat_context(self, tmp_path):
+        emitter = stream.install(tmp_path)
+        stream.set_context(index=1)
+        stream.emit("sample.completed", index=7)
+        stream.uninstall()
+        assert json.loads(emitter.path.read_text())["index"] == 7
+
+
+class TestPartialLineTolerance:
+    def test_tail_while_writing_partial_trailing_line(self, tmp_path):
+        path = tmp_path / ledger.LEDGER_NAME
+        whole = json.dumps({"t": 1.0, "kind": "sample.started", "sample": "a"})
+        partial = '{"t": 2.0, "kind": "sample.comp'
+        path.write_text(whole + "\n" + partial)
+
+        events = read_ledger(tmp_path)
+        assert [e["kind"] for e in events] == ["sample.started"]
+
+        # The writer finishes the line: a re-read sees both events — the
+        # partial tail was never consumed or half-parsed.
+        path.write_text(whole + "\n" + partial + 'leted", "sample": "a"}\n')
+        events = read_ledger(tmp_path)
+        assert [e["kind"] for e in events] == ["sample.started", "sample.completed"]
+
+    def test_collector_skips_malformed_complete_line(self, tmp_path):
+        fold = LedgerFold(population=1)
+        collector = ledger.Collector(tmp_path, fold)
+        spool = tmp_path / ledger.SPOOL_DIR
+        spool.mkdir()
+        (spool / "events-1.jsonl").write_text(
+            json.dumps({"t": 1.0, "kind": "sample.started", "sample": "a"})
+            + "\n:::garbage:::\n"
+        )
+        batch = collector.drain()
+        collector.close()
+        assert [e["kind"] for e in batch] == ["sample.started"]
+        assert fold.malformed == 1
+
+    def test_iter_ledger_follow_stops_when_run_finishes(self, tmp_path, programs):
+        analyze_population(programs[:2], config=fast_config(), jobs=1, run_dir=tmp_path)
+        events = list(iter_ledger(tmp_path, follow=True, timeout=5.0))
+        assert events[0]["kind"] == "run.started"
+        assert events[-1]["kind"] == "run.finished"
+
+
+class TestLedgerRoundTrip:
+    def test_survey_writes_ledger_manifest_and_metrics(self, tmp_path, programs):
+        result = analyze_population(
+            programs, config=fast_config(), jobs=1, run_dir=tmp_path
+        )
+        events = read_ledger(tmp_path)
+        terminals = terminal_events(events)
+        assert len(terminals) == SIZE
+        assert {e["sample"] for e in terminals} == {p.name for p in programs}
+        assert all(e["kind"] == "sample.completed" for e in terminals)
+        # every analyzed sample also started and ran its phases
+        started = [e for e in events if e["kind"] == "sample.started"]
+        assert {e["sample"] for e in started} == {p.name for p in programs}
+        assert any(e["kind"] == "sample.phase" for e in events)
+
+        manifest = read_manifest(tmp_path)
+        assert manifest["status"] == "finished"
+        assert manifest["population"] == SIZE
+        assert manifest["config_fingerprint"] == fast_config().fingerprint()
+        assert manifest["outcomes"]["completed"] == len(result.succeeded())
+        assert manifest["outcomes"]["failed"] == 0
+
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / ledger.METRICS_NAME).read_text().splitlines()
+        ]
+        assert rows and rows[-1]["done"] == SIZE
+
+    def test_terminal_order_follows_completion(self, tmp_path, programs):
+        # `repro tail` replays terminal events in the order the parent
+        # finalized them — the ledger file itself is the order authority.
+        analyze_population(programs[:4], config=fast_config(), jobs=1, run_dir=tmp_path)
+        terminals = terminal_events(read_ledger(tmp_path))
+        assert [e["index"] for e in terminals] == sorted(e["index"] for e in terminals)
+
+    def test_cache_hits_are_terminal_too(self, tmp_path, programs):
+        cache = tmp_path / "cache"
+        analyze_population(programs[:3], config=fast_config(), jobs=1, cache=cache)
+        run_dir = tmp_path / "run"
+        result = analyze_population(
+            programs[:3], config=fast_config(), jobs=1, cache=cache, run_dir=run_dir
+        )
+        events = read_ledger(run_dir)
+        assert len([e for e in events if e["kind"] == "cache.hit"]) == 3
+        terminals = terminal_events(events)
+        assert len(terminals) == len(result.succeeded()) == 3
+        assert all(e["cached"] for e in terminals)
+
+
+class TestCollectorUnderFaults:
+    def test_no_lost_failed_and_no_duplicate_completed_events(
+        self, tmp_path, programs
+    ):
+        """Worker crash + hard pool death: the ledger's terminal events
+        still match ``PopulationResult.succeeded()/failed()`` exactly."""
+        plan = FaultPlan.parse("crash:3,abort:5")
+        result = analyze_population(
+            programs,
+            config=fast_config(sample_retries=0),
+            jobs=2,
+            faults=plan,
+            run_dir=tmp_path,
+        )
+        events = read_ledger(tmp_path)
+        completed = [e for e in events if e["kind"] == "sample.completed"]
+        failed = [e for e in events if e["kind"] == "sample.failed"]
+        assert sorted(e["sample"] for e in completed) == sorted(
+            a.program.name for a in result.succeeded()
+        )
+        assert sorted(e["sample"] for e in failed) == sorted(
+            f.sample for f in result.failed()
+        )
+        # exactly one terminal event per sample — no duplicates
+        terminal_samples = [e["sample"] for e in completed + failed]
+        assert len(terminal_samples) == len(set(terminal_samples)) == SIZE
+        manifest = read_manifest(tmp_path)
+        assert manifest["outcomes"]["completed"] == SIZE - 2
+        assert manifest["outcomes"]["failed"] == 2
+
+    def test_retry_events_recorded(self, tmp_path, programs):
+        plan = FaultPlan.parse("crash:2@1")
+        result = analyze_population(
+            programs,
+            config=fast_config(sample_retries=1),
+            jobs=2,
+            faults=plan,
+            run_dir=tmp_path,
+        )
+        assert not result.failed()
+        events = read_ledger(tmp_path)
+        retries = [e for e in events if e["kind"] == "sample.retry"]
+        assert len(retries) == 1
+        assert retries[0]["sample"] == programs[2].name
+        assert len(terminal_events(events)) == SIZE
+
+    def test_jobs_parity_of_terminal_events(self, tmp_path, programs):
+        plan = FaultPlan.parse("crash:3,hang:5", hang_seconds=0.0)
+        config = fast_config(sample_retries=0)
+        seq_dir, par_dir = tmp_path / "seq", tmp_path / "par"
+        analyze_population(programs, config=config, jobs=1, faults=plan, run_dir=seq_dir)
+        analyze_population(programs, config=config, jobs=2, faults=plan, run_dir=par_dir)
+
+        def terminal_table(run_dir):
+            return sorted(
+                (e["sample"], e["kind"]) for e in terminal_events(read_ledger(run_dir))
+            )
+
+        assert terminal_table(seq_dir) == terminal_table(par_dir)
+
+
+class TestFold:
+    def test_duplicate_terminal_events_counted_once(self):
+        fold = LedgerFold(population=2)
+        fold.apply({"kind": "sample.completed", "index": 0})
+        fold.apply({"kind": "sample.completed", "index": 0})
+        fold.apply({"kind": "sample.failed", "index": 1})
+        assert fold.completed == 1 and fold.failed == 1
+        assert fold.done == 2 and fold.queued == 0
+
+    def test_lifecycle_counts(self):
+        fold = LedgerFold(population=3, started_unix=0.0)
+        fold.apply({"kind": "sample.started", "index": 0})
+        assert len(fold.active) == 1 and fold.queued == 2
+        fold.apply({"kind": "sample.phase", "phase": "impact", "seconds": 0.5})
+        fold.apply({"kind": "sample.retry", "index": 0, "attempt": 1})
+        assert fold.retries == 1 and len(fold.retrying) == 1 and not fold.active
+        fold.apply({"kind": "sample.started", "index": 0})
+        assert not fold.retrying and len(fold.active) == 1
+        fold.apply({"kind": "sample.completed", "index": 0})
+        assert fold.completed == 1 and not fold.active
+        assert "impact" in fold.phase_summary()
+        line = fold.progress_line(now=10.0)
+        assert "1/3 done" in line and "impact" in line
+
+    def test_progress_view_non_tty(self):
+        import io
+
+        out = io.StringIO()
+        view = ProgressView(out=out, interval=0.0)
+        fold = LedgerFold(population=2, started_unix=0.0)
+        view.update(fold, force=True)
+        fold.apply({"kind": "sample.completed", "index": 0})
+        view.close(fold)
+        lines = out.getvalue().splitlines()
+        assert lines[0].startswith("0/2 done")
+        assert lines[-1].startswith("1/2 done")
+
+
+class TestManifest:
+    def test_read_manifest_errors_are_clear(self, tmp_path):
+        with pytest.raises(ValueError, match="not a run directory"):
+            read_manifest(tmp_path)
+        (tmp_path / ledger.MANIFEST_NAME).write_text("{half")
+        with pytest.raises(ValueError, match="corrupt run manifest"):
+            read_manifest(tmp_path)
+        (tmp_path / ledger.MANIFEST_NAME).write_text('{"no": "run id"}')
+        with pytest.raises(ValueError, match="not a repro run manifest"):
+            read_manifest(tmp_path)
+
+    def test_stale_run_detected_by_dead_pid(self, tmp_path):
+        telemetry = RunTelemetry.begin(tmp_path, population=1)
+        manifest = read_manifest(tmp_path)
+        assert manifest_status(manifest) == "running"  # we are alive
+        manifest["pid"] = 2**30  # certainly not a live pid
+        assert manifest_status(manifest) == "stale"
+        telemetry.finish()
+        assert manifest_status(read_manifest(tmp_path)) == "finished"
+
+    def test_finish_is_idempotent(self, tmp_path):
+        telemetry = RunTelemetry.begin(tmp_path, population=0)
+        first = telemetry.finish()
+        assert telemetry.finish() is first
+
+    def test_list_runs_skips_corrupt_manifests(self, tmp_path, programs):
+        analyze_population(
+            programs[:1], config=fast_config(), jobs=1, run_dir=tmp_path / "good"
+        )
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / ledger.MANIFEST_NAME).write_text("{nope")
+        runs = list_runs(tmp_path)
+        assert len(runs) == 1
+        assert runs[0]["status"] == "finished"
+        assert "finished" in describe_manifest(runs[0])
+
+
+class TestRenderEvent:
+    def test_known_kinds_render_compactly(self):
+        events = [
+            {"t": 1.5, "kind": "run.started", "run_id": "r", "population": 4},
+            {"t": 2.0, "kind": "sample.started", "sample": "zeus", "attempt": 1},
+            {"t": 2.1, "kind": "sample.phase", "sample": "zeus", "phase": "impact",
+             "seconds": 0.034},
+            {"t": 2.2, "kind": "sample.timeout", "sample": "zeus", "attempt": 1},
+            {"t": 2.3, "kind": "sample.retry", "sample": "zeus", "attempt": 1,
+             "failure_kind": "timeout", "error": "TimeoutError"},
+            {"t": 2.4, "kind": "cache.hit", "sample": "zeus", "negative": True},
+            {"t": 2.5, "kind": "sample.completed", "sample": "zeus", "vaccines": 2,
+             "cached": True},
+            {"t": 2.6, "kind": "sample.failed", "sample": "zeus",
+             "failure_kind": "crash", "error": "ValueError", "attempts": 2},
+            {"t": 2.7, "kind": "run.finished", "completed": 3, "failed": 1},
+            {"t": 2.8, "kind": "mystery.kind", "detail": 1},
+        ]
+        lines = [render_event(e, started_unix=1.0) for e in events]
+        assert "over 4 samples" in lines[0]
+        assert "impact" in lines[2] and "34.0ms" in lines[2]
+        assert "negative cache" in lines[5]
+        assert "[cached]" in lines[6]
+        assert "after 2 attempt(s)" in lines[7]
+        assert "mystery.kind" in lines[9] and "detail=1" in lines[9]
+
+
+class TestCliIntegration:
+    def test_survey_run_dir_then_tail_and_runs(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert (
+            main(
+                ["survey", "--size", "6", "--seed", "3", "--jobs", "2",
+                 "--run-dir", str(run_dir)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "run dir:" in out
+
+        assert main(["tail", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run.started" in out
+        assert out.count("sample.completed") == 6
+        assert "run.finished" in out
+        assert "finished" in out.splitlines()[-1]
+
+        assert main(["tail", str(run_dir), "--json"]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()]
+        assert events[0]["kind"] == "run.started"
+
+        assert main(["runs", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "finished" in out and "samples=6" in out
+
+        assert main(["runs", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Run ") and "| completed | 6 |" in out
+
+    def test_tail_rejects_non_run_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a run directory"):
+            main(["tail", str(tmp_path)])
+
+    def test_runs_empty_dir(self, tmp_path, capsys):
+        assert main(["runs", str(tmp_path)]) == 1
+        assert "no runs under" in capsys.readouterr().out
+
+    def test_survey_progress_without_run_dir_uses_tempdir(self, capsys, monkeypatch):
+        import tempfile
+
+        made = {}
+        real = tempfile.mkdtemp
+
+        def tracking_mkdtemp(**kw):
+            made["dir"] = real(**kw)
+            return made["dir"]
+
+        monkeypatch.setattr(tempfile, "mkdtemp", tracking_mkdtemp)
+        assert main(["survey", "--size", "4", "--seed", "3", "--progress"]) == 0
+        assert "run dir:" in capsys.readouterr().out
+        manifest = read_manifest(made["dir"])
+        assert manifest["status"] == "finished"
+        assert manifest["outcomes"]["completed"] == 4
