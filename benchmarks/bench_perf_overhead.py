@@ -145,6 +145,101 @@ def test_perf_daemon_hook_overhead(family_analyses, benign_programs):
     assert overhead < 0.45
 
 
+def test_perf_rule_engine_matching():
+    """Rule-engine matching micro-bench (the daemon hot path).
+
+    One synthetic engine — 100 exact rules, 20 pattern rules, one
+    operation-restricted policy rule — probed with the four match shapes
+    that exercise its structure: exact-map hit, exact-map miss, pattern
+    hit (alternation gate + attribution scan), and a pattern *prefix*
+    miss (the alternation gate rejecting in one regex test).  Per-case
+    batch times land in ``engine_baseline.json`` with the same
+    ``per_sample_seconds`` schema as the impact baseline, so
+    ``check_bench_regression.py`` gates both with one comparator."""
+    import json
+
+    from repro.core.policy import PolicyRule, TemporalApiPolicy
+    from repro.core.vaccine import (
+        IdentifierKind,
+        Immunization,
+        Mechanism,
+        Vaccine,
+    )
+    from repro.delivery.engine import RuleEngine
+    from repro.winenv.objects import Operation, ResourceType
+
+    from benchutil import ARTIFACTS
+
+    def vaccine(i, kind=IdentifierKind.STATIC, pattern=None):
+        return Vaccine(
+            malware="bench",
+            resource_type=ResourceType.MUTEX,
+            identifier=f"BenchMutex{i:04d}",
+            identifier_kind=kind,
+            mechanism=Mechanism.SIMULATE_PRESENCE,
+            immunization=Immunization.FULL,
+            pattern=pattern,
+        )
+
+    vaccines = [vaccine(i) for i in range(100)]
+    vaccines += [
+        vaccine(100 + i, IdentifierKind.PARTIAL_STATIC, rf"bm{i:02d}[a-f0-9]{{8}}")
+        for i in range(20)
+    ]
+    policy = TemporalApiPolicy(
+        sample="bench",
+        boundary_seq=0,
+        deny=[
+            PolicyRule(
+                ResourceType.SERVICE,
+                "benchsvc",
+                operations=frozenset({Operation.CREATE}),
+            )
+        ],
+    )
+    engine = RuleEngine.compile(vaccines=vaccines, policies=[policy])
+    assert len(engine) == 121
+
+    matches = 20_000
+    probes = {
+        "exact_hit": (ResourceType.MUTEX, "BenchMutex0042", Operation.CHECK, True),
+        "exact_miss": (ResourceType.MUTEX, "NoSuchMutex9999", Operation.CHECK, False),
+        "pattern_hit": (ResourceType.MUTEX, "bm07deadbeef", Operation.CHECK, True),
+        "pattern_prefix_miss": (
+            ResourceType.MUTEX, "bm07deadbeef00", Operation.CHECK, False,
+        ),
+    }
+
+    per_case = {}
+    for case, (rtype, identifier, operation, should_hit) in probes.items():
+        assert (engine.match(rtype, identifier, operation) is not None) == should_hit
+
+        def batch(rtype=rtype, identifier=identifier, operation=operation):
+            match = engine.match
+            for _ in range(matches):
+                match(rtype, identifier, operation)
+
+        per_case[case], _ = min_wall_seconds(batch, repeats=5)
+
+    (ARTIFACTS / "engine_baseline.json").write_text(
+        json.dumps(
+            {"matches_per_case": matches, "per_sample_seconds": per_case},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    lines = [
+        f"RuleEngine matching micro-bench ({len(engine)} rules, "
+        f"{matches} matches/case, best of 5)"
+    ]
+    for case, seconds in per_case.items():
+        lines.append(f"  {case:<20s} {seconds / matches * 1e9:8.0f} ns/match")
+    write_artifact("engine.txt", "\n".join(lines) + "\n")
+    # structural sanity: the exact map must stay cheaper than the pattern scan
+    assert per_case["exact_hit"] < per_case["pattern_hit"] * 3
+
+
 def test_obs_instrumentation_overhead():
     """The observability layer itself must be nearly free: a full pipeline
     run with spans+counters enabled stays within 5% of ``obs.disabled()``.

@@ -1,22 +1,27 @@
 #!/usr/bin/env python3
-"""CI bench-regression gate for the Phase-II impact benchmarks.
+"""CI bench-regression gate for the committed latency baselines.
 
-Workflow (what the perf-smoke job runs):
+Workflow (what the perf-smoke job runs), once per gated bench:
 
-1. read the *committed* per-sample latency baseline
-   (``_artifacts/impact_baseline.json``) before the bench overwrites it;
-2. run ``bench_impact.py`` (which rewrites the artifact with this machine's
+1. read the *committed* per-case latency baseline from ``_artifacts/``
+   before the bench overwrites it;
+2. run the bench (which rewrites the artifact with this machine's
    numbers);
-3. compare per-sample latency against the baseline and write the verdict to
-   ``BENCH_impact.json`` at the repo root; exit non-zero on a regression.
+3. compare per-case latency against the baseline and write the verdict to
+   ``BENCH_<name>.json`` at the repo root; exit non-zero on a regression.
+
+Gated benches: ``bench_impact.py`` (Phase-II per-sample latency,
+``impact_baseline.json``) and the rule-engine matching micro-bench in
+``bench_perf_overhead.py`` (``engine_baseline.json``) — both write the
+same ``per_sample_seconds`` schema, so one comparator gates both.
 
 CI runners are not the machine the baseline was recorded on, so raw ratios
-mix hardware speed with real regressions.  The gate divides each sample's
-ratio by the *median* ratio across samples — a uniformly slower runner
-scales every sample alike and normalizes out, while a change that slows one
-code path (one family shape) sticks out.  A sample regresses when its
-normalized ratio exceeds ``1 + TOLERANCE``; improvements are reported but
-never fail the gate.
+mix hardware speed with real regressions.  The gate divides each case's
+ratio by the *median* ratio across cases — a uniformly slower runner
+scales every case alike and normalizes out, while a change that slows one
+code path (one family shape, one match shape) sticks out.  A case
+regresses when its normalized ratio exceeds ``1 + TOLERANCE``;
+improvements are reported but never fail the gate.
 """
 
 from __future__ import annotations
@@ -27,32 +32,42 @@ import subprocess
 import sys
 from pathlib import Path
 
-#: Allowed per-sample slowdown after hardware normalization (±35%).
+#: Allowed per-case slowdown after hardware normalization (±35%).
 TOLERANCE = 0.35
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-BASELINE = BENCH_DIR / "_artifacts" / "impact_baseline.json"
-VERDICT = REPO_ROOT / "BENCH_impact.json"
+
+#: (gate name, pytest target, committed baseline artifact).
+GATES = (
+    ("impact", "bench_impact.py", "impact_baseline.json"),
+    (
+        "engine",
+        "bench_perf_overhead.py::test_perf_rule_engine_matching",
+        "engine_baseline.json",
+    ),
+)
 
 
-def _load_per_sample(path: Path) -> dict:
+def _load_per_case(path: Path) -> dict:
     doc = json.loads(path.read_text())
-    per_sample = doc.get("per_sample_seconds", {})
-    if not per_sample:
+    per_case = doc.get("per_sample_seconds", {})
+    if not per_case:
         raise SystemExit(f"error: {path} has no per_sample_seconds")
-    return per_sample
+    return per_case
 
 
-def main() -> int:
-    if not BASELINE.exists():
-        print(f"error: no committed baseline at {BASELINE}", file=sys.stderr)
+def run_gate(name: str, target: str, baseline_name: str) -> int:
+    baseline_path = BENCH_DIR / "_artifacts" / baseline_name
+    verdict_path = REPO_ROOT / f"BENCH_{name}.json"
+    if not baseline_path.exists():
+        print(f"error: no committed baseline at {baseline_path}", file=sys.stderr)
         return 1
-    baseline = _load_per_sample(BASELINE)
+    baseline = _load_per_case(baseline_path)
 
-    print("running bench_impact.py ...")
+    print(f"running {target} ...")
     proc = subprocess.run(
-        [sys.executable, "-m", "pytest", "bench_impact.py", "-q"],
+        [sys.executable, "-m", "pytest", target, "-q"],
         cwd=BENCH_DIR,
         env={
             **__import__("os").environ,
@@ -60,47 +75,48 @@ def main() -> int:
         },
     )
     if proc.returncode != 0:
-        print("error: bench_impact.py failed", file=sys.stderr)
+        print(f"error: {target} failed", file=sys.stderr)
         return proc.returncode
 
-    current = _load_per_sample(BASELINE)  # the bench rewrote the artifact
+    current = _load_per_case(baseline_path)  # the bench rewrote the artifact
     shared = sorted(set(baseline) & set(current))
     if not shared:
-        print("error: baseline and current runs share no samples", file=sys.stderr)
+        print("error: baseline and current runs share no cases", file=sys.stderr)
         return 1
 
-    ratios = {name: current[name] / baseline[name] for name in shared}
+    ratios = {case: current[case] / baseline[case] for case in shared}
     speed_factor = statistics.median(ratios.values())
     rows = []
     regressions = []
-    for name in shared:
-        normalized = ratios[name] / speed_factor if speed_factor else 1.0
+    for case in shared:
+        normalized = ratios[case] / speed_factor if speed_factor else 1.0
         regressed = normalized > 1.0 + TOLERANCE
         rows.append(
             {
-                "sample": name,
-                "baseline_seconds": baseline[name],
-                "current_seconds": current[name],
-                "ratio": round(ratios[name], 4),
+                "sample": case,
+                "baseline_seconds": baseline[case],
+                "current_seconds": current[case],
+                "ratio": round(ratios[case], 4),
                 "normalized_ratio": round(normalized, 4),
                 "regressed": regressed,
             }
         )
         if regressed:
-            regressions.append(name)
+            regressions.append(case)
 
     verdict = {
+        "bench": target,
         "tolerance": TOLERANCE,
         "hardware_speed_factor": round(speed_factor, 4),
         "samples": rows,
         "regressions": regressions,
         "ok": not regressions,
     }
-    VERDICT.write_text(json.dumps(verdict, indent=2) + "\n")
+    verdict_path.write_text(json.dumps(verdict, indent=2) + "\n")
 
     width = max(len(r["sample"]) for r in rows)
-    print(f"\nper-sample latency vs baseline (speed factor {speed_factor:.2f}x, "
-          f"tolerance ±{TOLERANCE:.0%} normalized):")
+    print(f"\n[{name}] per-case latency vs baseline (speed factor "
+          f"{speed_factor:.2f}x, tolerance ±{TOLERANCE:.0%} normalized):")
     for r in rows:
         mark = "REGRESSED" if r["regressed"] else (
             "improved" if r["normalized_ratio"] < 1.0 - TOLERANCE else "ok"
@@ -108,13 +124,20 @@ def main() -> int:
         print(f"  {r['sample']:<{width}}  {r['baseline_seconds'] * 1e3:8.2f} ms "
               f"-> {r['current_seconds'] * 1e3:8.2f} ms  "
               f"x{r['normalized_ratio']:.2f}  {mark}")
-    print(f"wrote {VERDICT}")
+    print(f"wrote {verdict_path}")
     if regressions:
-        print(f"FAIL: per-sample latency regression: {', '.join(regressions)}",
-              file=sys.stderr)
+        print(f"FAIL [{name}]: per-case latency regression: "
+              f"{', '.join(regressions)}", file=sys.stderr)
         return 1
-    print("OK: no per-sample latency regressions")
+    print(f"OK [{name}]: no per-case latency regressions")
     return 0
+
+
+def main() -> int:
+    status = 0
+    for name, target, baseline_name in GATES:
+        status = run_gate(name, target, baseline_name) or status
+    return status
 
 
 if __name__ == "__main__":

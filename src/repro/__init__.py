@@ -31,13 +31,16 @@ from .core import (
     PipelineConfig,
     PopulationResult,
     SampleAnalysis,
+    TemporalApiPolicy,
     Vaccine,
     analyze_population,
     measure_bdr,
     run_sample,
     select_candidates,
+    synthesize_policy,
+    validate_policy,
 )
-from .delivery import VaccineDaemon, VaccinePackage, deploy
+from .delivery import RuleEngine, VaccineDaemon, VaccinePackage, deploy
 from .winenv import MachineIdentity, SystemEnvironment
 
 __version__ = "1.0.0"
@@ -51,8 +54,10 @@ __all__ = [
     "Mechanism",
     "PipelineConfig",
     "PopulationResult",
+    "RuleEngine",
     "SampleAnalysis",
     "SystemEnvironment",
+    "TemporalApiPolicy",
     "Vaccine",
     "VaccineDaemon",
     "VaccinePackage",
@@ -62,4 +67,6 @@ __all__ = [
     "measure_bdr",
     "run_sample",
     "select_candidates",
+    "synthesize_policy",
+    "validate_policy",
 ]

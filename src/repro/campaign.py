@@ -17,10 +17,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core.policy import TemporalApiPolicy
 
 from . import obs
 from .core.runner import run_sample
+from .delivery.engine import RuleEngine
 from .delivery.package import VaccinePackage, deploy
 from .vm.program import Program
 from .winenv.environment import MachineIdentity, SystemEnvironment
@@ -35,6 +39,10 @@ class FleetMachine:
     infected: bool = False
     vaccinated: bool = False
     infected_round: Optional[int] = None
+    #: The shared rule engine the machine's protection was compiled from —
+    #: campaign accounting attributes blocked attempts through it, with the
+    #: exact matching semantics the daemon enforced.
+    enforcement: Optional[RuleEngine] = None
 
 
 @dataclass
@@ -79,17 +87,22 @@ class Fleet:
             self.machines.append(FleetMachine(name=identity.computer_name, environment=env))
 
     def vaccinate(self, package: VaccinePackage, coverage: float = 1.0,
-                  only_uninfected: bool = True) -> int:
+                  only_uninfected: bool = True,
+                  policies: Sequence["TemporalApiPolicy"] = ()) -> int:
         """Deploy the package to a fraction of the fleet (uninfected hosts
-        first — the paper's 'protect our uninfected machines' scenario)."""
+        first — the paper's 'protect our uninfected machines' scenario).
+        ``policies`` ride along in each host's daemon; the fleet shares one
+        compiled attribution engine."""
         eligible = [
             m for m in self.machines
             if not m.vaccinated and (not m.infected or not only_uninfected)
         ]
+        engine = RuleEngine.compile(vaccines=package.vaccines, policies=policies)
         count = int(round(coverage * len(eligible)))
         for machine in self.rng.sample(eligible, min(count, len(eligible))):
-            deploy(package, machine.environment)
+            deploy(package, machine.environment, policies=policies)
             machine.vaccinated = True
+            machine.enforcement = engine
         return count
 
 
@@ -109,6 +122,21 @@ def attempt_infection(worm: Program, machine: FleetMachine, max_steps: int = 200
     obs.metrics.counter(
         "campaign.infections" if infected else "campaign.attempts_blocked"
     ).inc()
+    if not infected and machine.enforcement is not None:
+        # Attribute the block through the same engine the daemon enforced:
+        # the first worm access a rule matches names the artifact that
+        # stopped the infection (vaccine vs policy, per resource type).
+        for event in run.trace.api_calls:
+            rule = machine.enforcement.match(
+                event.resource_type, event.identifier, event.operation
+            )
+            if rule is not None:
+                obs.metrics.counter(
+                    "campaign.blocked_by",
+                    origin=rule.origin,
+                    resource=rule.resource_type.value,
+                ).inc()
+                break
     return infected
 
 

@@ -11,6 +11,7 @@ Subcommands::
                              [--metrics m.json] [--run-dir DIR] [--progress]
     python -m repro stats    <m.json> [--prom] [--flame-depth N] [--top N]
     python -m repro explain  <family|asm-file> [--vaccine SUBSTR] [--json FILE]
+    python -m repro policy   <family|asm-file> [--json FILE] [--enforce]
     python -m repro tail     <run-dir> [--follow] [--json]
     python -m repro runs     <dir>
 
@@ -26,7 +27,11 @@ instruction counts) to a JSON file; ``stats`` pretty-prints such a file or
 re-emits it as Prometheus text.  ``explain`` re-analyzes one sample with the
 flight recorder on and prints, per vaccine, the causal chain of journal
 events that led to it (mutation, divergence, verdicts, back to the original
-API interception).  Set ``REPRO_LOG=info`` for structured logs.
+API interception).  ``policy`` synthesizes a sample's temporal API policy
+(init-phase vs steady-state allowlists plus benign-subtracted steady-state
+deny rules); ``--enforce`` clinic-certifies it against the benign suite and
+re-attacks a policy-enforcing host with the sample.  Set ``REPRO_LOG=info``
+for structured logs.
 
 ``survey --run-dir DIR`` records live run telemetry (DESIGN.md §11): a
 persistent ledger of per-sample lifecycle events plus a manifest; add
@@ -193,6 +198,68 @@ def cmd_survey(args: argparse.Namespace) -> int:
     print("delivery:", result.count_by_delivery())
     _write_metrics(args.metrics)
     return 0
+
+
+def cmd_policy(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .core.policy import validate_policy
+    from .corpus.benign import benign_suite
+    from .delivery.daemon import VaccineDaemon
+
+    program = _load_program(args.sample)
+    analysis = AutoVac().analyze(program)
+    if analysis.filtered_reason:
+        print(f"{program.name}: filtered — {analysis.filtered_reason}")
+        return 1
+    policy = analysis.policy
+    if policy is None:
+        print(f"{program.name}: no temporal policy — no effective impact "
+              f"gave the synthesizer a boundary")
+        return 1
+
+    print(policy.describe())
+    for phase, allow in (("init", policy.init_allow), ("steady", policy.steady_allow)):
+        for (rtype, op), identifiers in allow.items():
+            names = ", ".join(identifiers)
+            print(f"  allow [{phase:6s}] {rtype.value}:{op.value} -> {names}")
+    for rule in policy.deny:
+        print(f"  {rule.describe()} via {', '.join(rule.apis)}")
+    for sub in policy.subtracted:
+        print(f"  subtracted {sub.resource_type.value}:{sub.identifier!r} — {sub.reason}")
+
+    status = 0
+    if args.enforce:
+        benign = benign_suite()
+        validation = validate_policy(policy, benign)
+        verdict = (
+            "clean"
+            if validation.clean
+            else f"{len(validation.incidents)} incident(s), "
+                 f"{len(validation.removed)} deny rule(s) removed"
+        )
+        print(f"clinic: {len(benign)} benign programs -> {verdict} "
+              f"(certified={policy.certified})")
+        host = SystemEnvironment()
+        daemon = VaccineDaemon(policies=[policy])
+        daemon.install(host)
+        run = run_sample(program, environment=host, record_instructions=False)
+        denied = daemon.policy_violations
+        protected = denied > 0
+        print(f"attack with {program.name}: exit={run.trace.exit_status}, "
+              f"{denied} steady-state acquisition(s) denied -> "
+              f"{'PROTECTED' if protected else 'check manually'}")
+        if not policy.certified or not protected:
+            status = 2
+
+    if args.json:
+        doc = {"sample": program.name, "policy": policy.to_dict()}
+        try:
+            Path(args.json).write_text(_json.dumps(doc, indent=2))
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write policy: {exc}")
+        print(f"wrote {args.json} ({len(policy.deny)} deny rules)")
+    return status
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -422,6 +489,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "log lines when stdout is not a TTY); implies a "
                         "temporary --run-dir when none is given")
     p.set_defaults(func=cmd_survey)
+
+    p = sub.add_parser("policy",
+                       help="synthesize (and optionally enforce) a temporal "
+                            "API policy for a sample")
+    p.add_argument("sample", help="family name or .asm file path")
+    p.add_argument("--json", help="write the policy document (JSON) here")
+    p.add_argument("--enforce", action="store_true",
+                   help="clinic-certify against the benign suite, then "
+                        "re-attack a policy-enforcing host with the sample")
+    p.set_defaults(func=cmd_policy)
 
     p = sub.add_parser("stats", help="render a captured metrics snapshot")
     p.add_argument("snapshot", help="JSON file written by --metrics")

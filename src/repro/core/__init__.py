@@ -9,6 +9,14 @@ from .executor import PipelineConfig, ResultCache, analyze_population
 from .faults import FaultPlan, FaultPlanError, FaultSpec
 from .impact import ImpactAnalyzer, ImpactOutcome, ResourceMutation, classify_deltas
 from .pipeline import AutoVac, PopulationResult, SampleAnalysis, SampleFailure
+from .policy import (
+    PolicyRule,
+    PolicySubtraction,
+    PolicyValidation,
+    TemporalApiPolicy,
+    synthesize_policy,
+    validate_policy,
+)
 from .report import render_failure_summary, render_report, render_run_manifest
 from .stages import (
     AnalysisContext,
@@ -18,6 +26,7 @@ from .stages import (
     ExplorationStage,
     ImpactStage,
     Phase1Stage,
+    PolicyStage,
     Stage,
     default_stages,
 )
@@ -61,6 +70,10 @@ __all__ = [
     "Immunization",
     "Mechanism",
     "Phase1Stage",
+    "PolicyRule",
+    "PolicyStage",
+    "PolicySubtraction",
+    "PolicyValidation",
     "PipelineConfig",
     "PopulationResult",
     "ResourceMutation",
@@ -70,6 +83,7 @@ __all__ = [
     "SampleAnalysis",
     "SampleFailure",
     "Stage",
+    "TemporalApiPolicy",
     "Vaccine",
     "VerificationReport",
     "VerificationResult",
@@ -87,9 +101,11 @@ __all__ = [
     "select_with_backups",
     "run_sample",
     "select_candidates",
+    "synthesize_policy",
     "render_failure_summary",
     "render_report",
     "render_run_manifest",
+    "validate_policy",
     "verify_all",
     "verify_vaccine",
 ]

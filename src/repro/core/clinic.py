@@ -3,19 +3,27 @@
 Deploy candidate vaccines into a test machine running benign software and
 check they cause no interference: every benign program must behave exactly as
 in a clean machine.  Vaccines implicated in incidents are discarded.
+
+Incident attribution goes through the shared
+:class:`~repro.delivery.engine.RuleEngine` — the *same* matching structure
+the daemon intercepts with, so the clinic judges exactly what deployment
+enforces.  (The previous ad-hoc ``_matches`` used prefix ``re.match`` while
+the daemon used ``fullmatch``; a partial-static pattern could implicate
+benign identifiers that merely shared a prefix.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
+from ..delivery.engine import RuleEngine
 from ..delivery.package import VaccinePackage, deploy
 from ..vm.program import Program
 from ..winenv.acl import IntegrityLevel
 from ..winenv.environment import SystemEnvironment
 from .runner import DEFAULT_BUDGET, run_sample
-from .vaccine import Vaccine, normalize_identifier
+from .vaccine import Vaccine
 
 
 @dataclass
@@ -26,8 +34,9 @@ class ClinicIncident:
     api: str
     identifier: Optional[str]
     detail: str
-    #: The vaccine(s) whose identifier/pattern matched the failing access.
-    implicated: List[Vaccine] = field(default_factory=list)
+    #: The artifacts (vaccines or policy deny rules) whose identifier /
+    #: pattern matched the failing access.
+    implicated: List[object] = field(default_factory=list)
 
 
 @dataclass
@@ -54,7 +63,19 @@ def clinic_test(
     base = environment if environment is not None else SystemEnvironment()
 
     vaccinated = base.clone()
-    deploy(VaccinePackage(vaccines=list(vaccines)), vaccinated)
+    deployment = deploy(VaccinePackage(vaccines=list(vaccines)), vaccinated)
+
+    # Attribution engine: every vaccine by its observed identifier/pattern,
+    # plus the per-host identifiers the deployed daemon computed from
+    # slices — so a slice-derived rule implicates its source vaccine too.
+    engine = RuleEngine.compile(vaccines=vaccines)
+    daemon = deployment.daemon
+    if daemon is not None:
+        by_observed = {v.identifier: v for v in vaccines}
+        for observed, computed in daemon.computed_identifiers.items():
+            vaccine = by_observed.get(observed)
+            if vaccine is not None and computed != observed:
+                engine.add_vaccine(vaccine, identifier=computed)
 
     report = ClinicReport(programs_tested=len(benign_programs))
     incidents: List[ClinicIncident] = []
@@ -73,7 +94,7 @@ def clinic_test(
             record_instructions=False,
             integrity=IntegrityLevel.MEDIUM,
         )
-        incidents.extend(_compare_runs(program.name, clean_run, vacc_run, vaccines))
+        incidents.extend(_compare_runs(program.name, clean_run, vacc_run, engine))
     report.incidents = incidents
 
     implicated = {id(v) for inc in incidents for v in inc.implicated}
@@ -87,7 +108,7 @@ def clinic_test(
     return report
 
 
-def _compare_runs(name, clean_run, vacc_run, vaccines) -> List[ClinicIncident]:
+def _compare_runs(name, clean_run, vacc_run, engine: RuleEngine) -> List[ClinicIncident]:
     incidents: List[ClinicIncident] = []
 
     clean_trace, vacc_trace = clean_run.trace, vacc_run.trace
@@ -122,7 +143,13 @@ def _compare_runs(name, clean_run, vacc_run, vaccines) -> List[ClinicIncident]:
             # The call site legitimately fails too on a clean machine
             # (e.g. an enumeration loop ending in ERROR_NO_MORE_ITEMS).
             continue
-        implicated = [v for v in vaccines if _matches(v, event)]
+        matched = engine.match_all(event.resource_type, event.identifier, event.operation)
+        implicated: List[object] = []
+        for rule in matched:
+            # A vaccine can contribute several rules (observed + computed
+            # identifier); implicate the source artifact once.
+            if not any(rule.source is seen for seen in implicated):
+                implicated.append(rule.source)
         incidents.append(
             ClinicIncident(
                 program=name,
@@ -133,16 +160,3 @@ def _compare_runs(name, clean_run, vacc_run, vaccines) -> List[ClinicIncident]:
             )
         )
     return incidents
-
-
-def _matches(vaccine: Vaccine, event) -> bool:
-    if event.resource_type is not vaccine.resource_type or event.identifier is None:
-        return False
-    identifier = normalize_identifier(event.resource_type, event.identifier)
-    if identifier == vaccine.identifier:
-        return True
-    if vaccine.pattern:
-        import re
-
-        return re.match(vaccine.pattern, identifier) is not None
-    return False

@@ -28,6 +28,7 @@ from .clinic import ClinicReport
 from .determinism import DeterminismResult, analyze_determinism
 from .exclusiveness import ExclusivenessAnalyzer, ExclusivenessDecision
 from .impact import ImpactAnalyzer, ImpactOutcome
+from .policy import TemporalApiPolicy
 from .runner import DEFAULT_BUDGET
 from .stages import AnalysisContext, Stage, default_stages, run_stages
 from .vaccine import IdentifierKind, Vaccine
@@ -35,7 +36,15 @@ from .vaccine import IdentifierKind, Vaccine
 #: Every Phase I/II stage, in pipeline order.  ``analyze`` emits exactly one
 #: span per stage per sample (skipped stages carry ``skipped=True``), except
 #: ``exploration`` which only exists when enforced execution is on.
-STAGES = ("phase1", "exploration", "exclusiveness", "impact", "determinism", "clinic")
+STAGES = (
+    "phase1",
+    "exploration",
+    "exclusiveness",
+    "impact",
+    "determinism",
+    "policy",
+    "clinic",
+)
 
 _log = obs.get_logger("pipeline")
 
@@ -51,6 +60,9 @@ class SampleAnalysis:
     determinism: Dict[str, DeterminismResult] = field(default_factory=dict)
     vaccines: List[Vaccine] = field(default_factory=list)
     clinic: Optional[ClinicReport] = None
+    #: Temporal API policy (second deliverable); ``None`` when no effective
+    #: impact gave the synthesizer a boundary.
+    policy: Optional[TemporalApiPolicy] = None
     filtered_reason: Optional[str] = None
     #: Root span of this sample's ``pipeline.analyze`` (None when tracing is
     #: disabled); stage spans are its direct children.
@@ -156,6 +168,10 @@ class PopulationResult:
     @property
     def samples_with_vaccines(self) -> int:
         return sum(1 for a in self.analyses if a.has_vaccines)
+
+    @property
+    def policies(self) -> List[TemporalApiPolicy]:
+        return [a.policy for a in self.analyses if a.policy is not None]
 
     def count_by_resource_and_immunization(self) -> Dict[str, Dict[str, int]]:
         """Paper Table IV: rows = resource type, columns = Full/Type I-IV."""

@@ -1,0 +1,433 @@
+"""Temporal API-policy synthesis — the second deliverable (ROADMAP item 4).
+
+A vaccine immunizes against one resource check; the same Phase I/II data
+supports a broader artifact in the SYSPART/DroidGen style: a *temporal
+per-binary API policy*.  The Phase I API log is split at the
+**first-interception boundary** — the earliest call the impact analysis
+would have intercepted (the exact site :class:`~repro.core.snapshot`
+checkpoints, and where trace alignment starts diverging).  Everything
+before it is the sample's **init phase** (loading libraries, reading its
+own configuration); everything from it on is **steady state** (the
+infection logic the vaccine suppresses).
+
+From that split the synthesizer derives:
+
+* per ``(ResourceType, Operation)`` **allowlists** for each phase — the
+  observed behavioural envelope, reported and shipped with the analysis;
+* **deny rules**: steady-state resource *acquisitions* (create / write /
+  delete / execute) whose identifiers never appear in the init phase and
+  survive **benign-baseline subtraction** (DroidGen: subtract anything the
+  whitelist or the offline search engine associates with benign software).
+
+Deny rules compile into the shared
+:class:`~repro.delivery.engine.RuleEngine` next to vaccine rules and are
+enforced as failures, restricted to the observed operations.  Because a
+denied identifier is by construction absent from the init-phase allowlist
+and from the benign baseline, enforcing the policy is a no-op for benign
+programs — which the clinic certifies (:func:`validate_policy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..winenv.objects import Operation, ResourceType
+from .exclusiveness import ExclusivenessAnalyzer
+from .snapshot import mutation_matches
+from .vaccine import normalize_identifier
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..tracing.trace import Trace
+    from ..vm.program import Program
+    from ..winenv.environment import SystemEnvironment
+    from .clinic import ClinicIncident
+    from .impact import ImpactOutcome
+    from .pipeline import SampleAnalysis
+
+#: Steady-state operations that count as *acquiring* a resource — the
+#: actions a policy denies.  CHECK/READ stay observable: denying probes
+#: would flip the malware's own vaccine-style checks into "marker absent".
+ACQUISITION_OPERATIONS: Tuple[Operation, ...] = (
+    Operation.CREATE,
+    Operation.WRITE,
+    Operation.DELETE,
+    Operation.EXECUTE,
+)
+
+#: Allowlists: ``(resource type, operation) -> sorted identifiers``.
+Allowlist = Dict[Tuple[ResourceType, Operation], Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One steady-state denial: identifier + the operations it covers."""
+
+    resource_type: ResourceType
+    identifier: str
+    operations: FrozenSet[Operation] = frozenset()
+    apis: Tuple[str, ...] = ()
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "resource_type": self.resource_type.value,
+            "identifier": self.identifier,
+            "operations": sorted(op.value for op in self.operations),
+            "apis": list(self.apis),
+            "reason": self.reason,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PolicyRule":
+        return PolicyRule(
+            resource_type=ResourceType(data["resource_type"]),
+            identifier=data["identifier"],
+            operations=frozenset(Operation(o) for o in data.get("operations", [])),
+            apis=tuple(data.get("apis", ())),
+            reason=data.get("reason", ""),
+        )
+
+    def describe(self) -> str:
+        ops = ",".join(sorted(op.value for op in self.operations)) or "any"
+        return f"deny {self.resource_type.value}:{self.identifier!r} [{ops}]"
+
+
+@dataclass(frozen=True)
+class PolicySubtraction:
+    """An identifier the synthesizer (or the clinic) removed, and why —
+    kept for the report so subtraction is auditable, not silent."""
+
+    resource_type: ResourceType
+    identifier: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "resource_type": self.resource_type.value,
+            "identifier": self.identifier,
+            "reason": self.reason,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PolicySubtraction":
+        return PolicySubtraction(
+            resource_type=ResourceType(data["resource_type"]),
+            identifier=data["identifier"],
+            reason=data.get("reason", ""),
+        )
+
+
+@dataclass
+class TemporalApiPolicy:
+    """Init-phase vs steady-state behavioural envelope for one sample,
+    plus the enforceable steady-state deny rules."""
+
+    sample: str
+    #: Trace ``seq`` of the first call impact analysis would intercept;
+    #: events with ``seq < boundary_seq`` are init phase.
+    boundary_seq: int
+    #: API name at the boundary (human anchor for reports).
+    boundary_api: str = ""
+    init_allow: Allowlist = field(default_factory=dict)
+    steady_allow: Allowlist = field(default_factory=dict)
+    deny: List[PolicyRule] = field(default_factory=list)
+    subtracted: List[PolicySubtraction] = field(default_factory=list)
+    #: Clinic verdict: ``None`` until validated, then whether enforcement
+    #: broke no benign program.
+    certified: Optional[bool] = None
+    notes: str = ""
+
+    # -- queries -----------------------------------------------------------
+
+    def phase_of(self, seq: int) -> str:
+        return "init" if seq < self.boundary_seq else "steady"
+
+    def denies(
+        self, resource_type: ResourceType, operation: Operation, identifier: str
+    ) -> bool:
+        normalized = normalize_identifier(resource_type, identifier)
+        return any(
+            rule.resource_type is resource_type
+            and rule.identifier == normalized
+            and (not rule.operations or operation in rule.operations)
+            for rule in self.deny
+        )
+
+    @property
+    def init_identifiers(self) -> int:
+        return len({i for ids in self.init_allow.values() for i in ids})
+
+    @property
+    def steady_identifiers(self) -> int:
+        return len({i for ids in self.steady_allow.values() for i in ids})
+
+    def describe(self) -> str:
+        return (
+            f"[{self.sample}] boundary seq={self.boundary_seq} ({self.boundary_api}); "
+            f"init allow={self.init_identifiers} ids, "
+            f"steady allow={self.steady_identifiers} ids, "
+            f"deny={len(self.deny)} rule(s)"
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "sample": self.sample,
+            "boundary_seq": self.boundary_seq,
+            "boundary_api": self.boundary_api,
+            "init_allow": _allowlist_to_dict(self.init_allow),
+            "steady_allow": _allowlist_to_dict(self.steady_allow),
+            "deny": [r.to_dict() for r in self.deny],
+            "subtracted": [s.to_dict() for s in self.subtracted],
+            "certified": self.certified,
+            "notes": self.notes,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TemporalApiPolicy":
+        return TemporalApiPolicy(
+            sample=data["sample"],
+            boundary_seq=data["boundary_seq"],
+            boundary_api=data.get("boundary_api", ""),
+            init_allow=_allowlist_from_dict(data.get("init_allow", {})),
+            steady_allow=_allowlist_from_dict(data.get("steady_allow", {})),
+            deny=[PolicyRule.from_dict(r) for r in data.get("deny", [])],
+            subtracted=[
+                PolicySubtraction.from_dict(s) for s in data.get("subtracted", [])
+            ],
+            certified=data.get("certified"),
+            notes=data.get("notes", ""),
+        )
+
+
+def _allowlist_to_dict(allow: Allowlist) -> dict:
+    out: Dict[str, Dict[str, List[str]]] = {}
+    for (rtype, op) in sorted(allow, key=lambda k: (k[0].value, k[1].value)):
+        out.setdefault(rtype.value, {})[op.value] = list(allow[(rtype, op)])
+    return out
+
+
+def _allowlist_from_dict(data: dict) -> Allowlist:
+    allow: Allowlist = {}
+    for rtype_value, per_op in data.items():
+        for op_value, identifiers in per_op.items():
+            allow[(ResourceType(rtype_value), Operation(op_value))] = tuple(identifiers)
+    return allow
+
+
+# ---------------------------------------------------------------------------
+# Synthesis
+# ---------------------------------------------------------------------------
+
+
+def synthesize_policy(
+    sample: str,
+    trace: "Trace",
+    impacts: Sequence["ImpactOutcome"],
+    exclusiveness: Optional[ExclusivenessAnalyzer] = None,
+) -> Optional[TemporalApiPolicy]:
+    """Derive a :class:`TemporalApiPolicy` from one sample's Phase I log
+    and Phase II impact outcomes.  Returns ``None`` when no effective
+    impact exists — without an interception site there is no boundary."""
+    analyzer = exclusiveness if exclusiveness is not None else ExclusivenessAnalyzer()
+    effective = [o.candidate for o in impacts if o.is_effective]
+    if not effective:
+        return None
+
+    boundary_event = None
+    for event in trace.api_calls:
+        if any(mutation_matches(candidate, event) for candidate in effective):
+            boundary_event = event
+            break
+    if boundary_event is None:
+        return None
+
+    boundary_seq = boundary_event.seq
+    init: Dict[Tuple[ResourceType, Operation], set] = {}
+    steady: Dict[Tuple[ResourceType, Operation], set] = {}
+    init_identifiers: Dict[ResourceType, set] = {}
+    steady_apis: Dict[Tuple[ResourceType, str], set] = {}
+    steady_ops: Dict[Tuple[ResourceType, str], set] = {}
+    for event in trace.api_calls:
+        if event.resource_type is None or event.identifier is None or event.operation is None:
+            continue
+        rtype = event.resource_type
+        identifier = normalize_identifier(rtype, event.identifier)
+        if event.seq < boundary_seq:
+            init.setdefault((rtype, event.operation), set()).add(identifier)
+            init_identifiers.setdefault(rtype, set()).add(identifier)
+        else:
+            steady.setdefault((rtype, event.operation), set()).add(identifier)
+            if event.operation in ACQUISITION_OPERATIONS:
+                steady_apis.setdefault((rtype, identifier), set()).add(event.api)
+                steady_ops.setdefault((rtype, identifier), set()).add(event.operation)
+
+    deny: List[PolicyRule] = []
+    subtracted: List[PolicySubtraction] = []
+    for (rtype, identifier) in sorted(
+        steady_ops, key=lambda k: (k[0].value, k[1])
+    ):
+        if identifier in init_identifiers.get(rtype, ()):
+            subtracted.append(
+                PolicySubtraction(rtype, identifier, "also acquired in init phase")
+            )
+            continue
+        if _benign_associated(analyzer, rtype, identifier):
+            subtracted.append(
+                PolicySubtraction(rtype, identifier, "benign baseline (DroidGen subtraction)")
+            )
+            continue
+        deny.append(
+            PolicyRule(
+                resource_type=rtype,
+                identifier=identifier,
+                operations=frozenset(steady_ops[(rtype, identifier)]),
+                apis=tuple(sorted(steady_apis[(rtype, identifier)])),
+                reason="steady-state acquisition, no benign association",
+            )
+        )
+
+    policy = TemporalApiPolicy(
+        sample=sample,
+        boundary_seq=boundary_seq,
+        boundary_api=boundary_event.api,
+        init_allow={k: tuple(sorted(v)) for k, v in sorted(
+            init.items(), key=lambda kv: (kv[0][0].value, kv[0][1].value)
+        )},
+        steady_allow={k: tuple(sorted(v)) for k, v in sorted(
+            steady.items(), key=lambda kv: (kv[0][0].value, kv[0][1].value)
+        )},
+        deny=deny,
+        subtracted=subtracted,
+    )
+
+    flight = obs.flight
+    if flight.enabled:
+        causes = tuple(o.flight_id for o in impacts if o.is_effective)
+        flight_id = flight.record(
+            "policy.synthesized",
+            causes=causes,
+            sample=sample,
+            boundary_seq=boundary_seq,
+            boundary_api=boundary_event.api,
+            init_identifiers=policy.init_identifiers,
+            steady_identifiers=policy.steady_identifiers,
+            deny=len(deny),
+            subtracted=len(subtracted),
+        )
+        flight.remember(("policy", sample), flight_id)
+    return policy
+
+
+def _benign_associated(
+    analyzer: ExclusivenessAnalyzer, rtype: ResourceType, identifier: str
+) -> bool:
+    """DroidGen-style baseline membership: whitelist or search-engine
+    association with benign software (same probes as the exclusiveness
+    decision, including the basename fragment for path-like resources)."""
+    if analyzer.is_whitelisted(identifier):
+        return True
+    probes = [identifier]
+    if rtype in (ResourceType.FILE, ResourceType.LIBRARY):
+        probes.append(identifier.rsplit("\\", 1)[-1])
+    return any(analyzer.search.query(probe) for probe in probes)
+
+
+# ---------------------------------------------------------------------------
+# Clinic certification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PolicyValidation:
+    """Outcome of enforcing a policy against the benign suite."""
+
+    programs_tested: int = 0
+    incidents: List["ClinicIncident"] = field(default_factory=list)
+    #: Deny rules the clinic removed (implicated in an incident).
+    removed: List[PolicyRule] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.incidents
+
+
+def validate_policy(
+    policy: TemporalApiPolicy,
+    benign_programs: Sequence["Program"],
+    environment: Optional["SystemEnvironment"] = None,
+    max_steps: Optional[int] = None,
+    refine: bool = True,
+) -> PolicyValidation:
+    """Clinic certification for a policy: run the benign suite on a clean
+    vs a policy-enforcing machine and compare.  With ``refine=True``
+    (DroidGen's iterative subtraction) implicated deny rules are removed
+    from the policy and logged in ``policy.subtracted``; ``certified``
+    ends up True only when the surviving rules break nothing and every
+    incident was attributable."""
+    from ..delivery.daemon import VaccineDaemon
+    from ..delivery.engine import RuleEngine
+    from ..winenv.acl import IntegrityLevel
+    from ..winenv.environment import SystemEnvironment
+    from .clinic import _compare_runs
+    from .runner import DEFAULT_BUDGET, run_sample
+
+    budget = max_steps if max_steps is not None else DEFAULT_BUDGET
+    base = environment if environment is not None else SystemEnvironment()
+    enforced = base.clone()
+    daemon = VaccineDaemon(policies=[policy])
+    daemon.install(enforced)
+
+    engine = RuleEngine.compile(policies=[policy])
+    validation = PolicyValidation(programs_tested=len(benign_programs))
+    for program in benign_programs:
+        clean_run = run_sample(
+            program,
+            environment=base,
+            max_steps=budget,
+            record_instructions=False,
+            integrity=IntegrityLevel.MEDIUM,
+        )
+        enforced_run = run_sample(
+            program,
+            environment=enforced,
+            max_steps=budget,
+            record_instructions=False,
+            integrity=IntegrityLevel.MEDIUM,
+        )
+        validation.incidents.extend(
+            _compare_runs(program.name, clean_run, enforced_run, engine)
+        )
+
+    implicated = {
+        rule
+        for incident in validation.incidents
+        for rule in incident.implicated
+        if isinstance(rule, PolicyRule)
+    }
+    unattributed = any(not incident.implicated for incident in validation.incidents)
+    if refine and implicated:
+        validation.removed = [r for r in policy.deny if r in implicated]
+        policy.deny = [r for r in policy.deny if r not in implicated]
+        policy.subtracted.extend(
+            PolicySubtraction(r.resource_type, r.identifier, "clinic incident")
+            for r in validation.removed
+        )
+    policy.certified = not unattributed and (
+        not validation.incidents or (refine and bool(implicated))
+    )
+    return validation
+
+
+__all__ = [
+    "ACQUISITION_OPERATIONS",
+    "PolicyRule",
+    "PolicySubtraction",
+    "PolicyValidation",
+    "TemporalApiPolicy",
+    "synthesize_policy",
+    "validate_policy",
+]

@@ -89,6 +89,56 @@ def render_report(analysis: SampleAnalysis, title: Optional[str] = None) -> str:
             push("```")
             push("")
 
+    if analysis.policy is not None:
+        policy = analysis.policy
+        push("## Temporal API policy")
+        push("")
+        push(
+            f"* boundary: first interception at `{policy.boundary_api}` "
+            f"(trace seq {policy.boundary_seq})"
+        )
+        push(
+            f"* init phase: {policy.init_identifiers} identifier(s) allowed; "
+            f"steady state: {policy.steady_identifiers} observed"
+        )
+        if policy.certified is None:
+            push("* clinic certification: not run")
+        else:
+            push(
+                "* clinic certification: "
+                + ("**clean**" if policy.certified else "**failed**")
+            )
+        push("")
+        if policy.deny:
+            push("| deny | identifier | operations | via |")
+            push("|---|---|---|---|")
+            for rule in policy.deny:
+                ops = ", ".join(sorted(o.value for o in rule.operations)) or "any"
+                apis = ", ".join(rule.apis)
+                push(
+                    f"| {rule.resource_type.value} | `{rule.identifier}` "
+                    f"| {ops} | {apis} |"
+                )
+            push("")
+        else:
+            push("_No enforceable deny rules survived subtraction._")
+            push("")
+        for sub in policy.subtracted:
+            push(
+                f"* subtracted {sub.resource_type.value} `{sub.identifier}` "
+                f"— {sub.reason}"
+            )
+        if policy.subtracted:
+            push("")
+        evidence = _policy_evidence(analysis)
+        if evidence:
+            push("#### Evidence")
+            push("")
+            push("```")
+            push(evidence)
+            push("```")
+            push("")
+
     if analysis.clinic is not None:
         push("## Clinic test")
         push("")
@@ -179,6 +229,18 @@ def _evidence(analysis: SampleAnalysis, vaccine) -> Optional[str]:
         identifier=vaccine.identifier,
         mechanism=vaccine.mechanism.value,
     )
+    if not events:
+        return None
+    return render_chain(journal, events[0].event_id, max_depth=8, max_lines=40)
+
+
+def _policy_evidence(analysis: SampleAnalysis) -> Optional[str]:
+    """Causal chain behind the synthesized policy, mirroring vaccine
+    evidence blocks."""
+    journal = analysis.journal
+    if journal is None:
+        return None
+    events = journal.find("policy.synthesized")
     if not events:
         return None
     return render_chain(journal, events[0].event_id, max_depth=8, max_lines=40)

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 from .. import obs
 from .candidate import CandidateResource, select_candidates
 from .clinic import clinic_test
+from .policy import synthesize_policy, validate_policy
 from .vaccine import Mechanism, Vaccine
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -185,10 +186,42 @@ class DeterminismStage(Stage):
         analysis.vaccines = list(built.values())
 
 
+class PolicyStage(Stage):
+    """Temporal API-policy synthesis — the second deliverable.  Splits the
+    Phase I log at the first-interception boundary, derives init vs
+    steady-state allowlists, and distils benign-subtracted steady-state
+    deny rules (see :mod:`repro.core.policy`).  Pure trace analysis: no
+    extra executions, so it is cheap enough to always run."""
+
+    name = "policy"
+
+    def ready(self, ctx: AnalysisContext) -> bool:
+        return not ctx.done and any(o.is_effective for o in ctx.analysis.impacts)
+
+    def run(self, ctx: AnalysisContext, span: "Span") -> None:
+        analysis = ctx.analysis
+        policy = synthesize_policy(
+            ctx.program.name,
+            analysis.phase1.trace,
+            analysis.impacts,
+            exclusiveness=ctx.pipeline.exclusiveness,
+        )
+        analysis.policy = policy
+        if policy is None:
+            span.set(synthesized=False)
+            return
+        obs.metrics.counter("pipeline.policies").inc()
+        span.set(
+            boundary_seq=policy.boundary_seq,
+            deny=len(policy.deny),
+            subtracted=len(policy.subtracted),
+        )
+
+
 class ClinicStage(Stage):
     """Phase II step IV — benign-interference test; discards implicated
-    vaccines.  Skipped unless ``run_clinic`` is on and there is something
-    to test."""
+    vaccines and clinic-certifies the temporal policy.  Skipped unless
+    ``run_clinic`` is on and there is something to test."""
 
     name = "clinic"
 
@@ -196,28 +229,41 @@ class ClinicStage(Stage):
         return (
             not ctx.done
             and ctx.pipeline.run_clinic
-            and bool(ctx.analysis.vaccines)
+            and bool(ctx.analysis.vaccines or ctx.analysis.policy)
             and bool(ctx.pipeline.clinic_programs)
         )
 
     def run(self, ctx: AnalysisContext, span: "Span") -> None:
         pipeline = ctx.pipeline
-        ctx.analysis.clinic = clinic_test(
-            ctx.analysis.vaccines,
-            pipeline.clinic_programs,
-            environment=pipeline.environment,
-        )
-        ctx.analysis.vaccines = list(ctx.analysis.clinic.passed)
+        if ctx.analysis.vaccines:
+            ctx.analysis.clinic = clinic_test(
+                ctx.analysis.vaccines,
+                pipeline.clinic_programs,
+                environment=pipeline.environment,
+            )
+            ctx.analysis.vaccines = list(ctx.analysis.clinic.passed)
+        if ctx.analysis.policy is not None:
+            validation = validate_policy(
+                ctx.analysis.policy,
+                pipeline.clinic_programs,
+                environment=pipeline.environment,
+            )
+            span.set(
+                policy_certified=bool(ctx.analysis.policy.certified),
+                policy_rules_removed=len(validation.removed),
+            )
 
 
 def default_stages(exclusiveness_enabled: bool = True) -> Tuple[Stage, ...]:
-    """The paper's pipeline order (Figure 1)."""
+    """The paper's pipeline order (Figure 1), plus policy synthesis after
+    determinism — both deliverables come out of one pass."""
     return (
         Phase1Stage(),
         ExplorationStage(),
         ExclusivenessStage(enforce=exclusiveness_enabled),
         ImpactStage(),
         DeterminismStage(),
+        PolicyStage(),
         ClinicStage(),
     )
 
@@ -255,6 +301,7 @@ __all__ = [
     "ExclusivenessStage",
     "ImpactStage",
     "DeterminismStage",
+    "PolicyStage",
     "ClinicStage",
     "default_stages",
     "run_stages",

@@ -134,14 +134,36 @@ class Vaccine:
 
     @staticmethod
     def from_dict(data: dict) -> "Vaccine":
+        """Decode a vaccine payload.  Raises :class:`ValueError` naming the
+        offending field on missing keys or unknown enum values — a corrupt
+        package should say *what* is corrupt, not dump a ``KeyError``."""
+
+        def _required(key: str):
+            try:
+                return data[key]
+            except KeyError:
+                raise ValueError(f"vaccine payload missing field {key!r}") from None
+
+        def _enum(enum_cls, key: str, value):
+            try:
+                return enum_cls(value)
+            except ValueError:
+                raise ValueError(
+                    f"vaccine field {key!r} has unknown value {value!r}"
+                ) from None
+
         return Vaccine(
-            malware=data["malware"],
-            resource_type=ResourceType(data["resource_type"]),
-            identifier=data["identifier"],
-            identifier_kind=IdentifierKind(data["identifier_kind"]),
-            mechanism=Mechanism(data["mechanism"]),
-            immunization=Immunization(data["immunization"]),
-            operations=frozenset(Operation(o) for o in data.get("operations", [])),
+            malware=_required("malware"),
+            resource_type=_enum(ResourceType, "resource_type", _required("resource_type")),
+            identifier=_required("identifier"),
+            identifier_kind=_enum(
+                IdentifierKind, "identifier_kind", _required("identifier_kind")
+            ),
+            mechanism=_enum(Mechanism, "mechanism", _required("mechanism")),
+            immunization=_enum(Immunization, "immunization", _required("immunization")),
+            operations=frozenset(
+                _enum(Operation, "operations", o) for o in data.get("operations", [])
+            ),
             pattern=data.get("pattern"),
             slice=VaccineSlice.from_dict(data["slice"]) if data.get("slice") else None,
             apis=tuple(data.get("apis", ())),

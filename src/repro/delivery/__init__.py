@@ -1,14 +1,17 @@
 """Phase III: vaccine delivery and deployment."""
 
 from .daemon import VaccineDaemon
+from .engine import CompiledRule, RuleEngine
 from .injection import DirectInjector, InjectionError, InjectionRecord
 from .package import Deployment, VaccinePackage, deploy
 
 __all__ = [
+    "CompiledRule",
     "Deployment",
     "DirectInjector",
     "InjectionError",
     "InjectionRecord",
+    "RuleEngine",
     "VaccineDaemon",
     "VaccinePackage",
     "deploy",

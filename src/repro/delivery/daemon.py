@@ -12,47 +12,34 @@ Handles everything direct injection cannot:
   result.
 * **static enforce-failure** on resources without lockable ACL semantics
   (mutex, window, service, process): runtime interception by exact name.
+* **temporal API policies**: steady-state deny rules from a
+  :class:`~repro.core.policy.TemporalApiPolicy` enforce failure on the
+  malware's post-boundary resource acquisitions.
+
+Matching itself lives in the shared :class:`~repro.delivery.engine.RuleEngine`
+— the daemon only *builds* rules (slice replay, marker injection) and keeps
+the hook-overhead accounting; the clinic and campaign consult the same
+engine, so interception semantics cannot drift between consumers again.
 """
 
 from __future__ import annotations
 
-import re
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.policy import TemporalApiPolicy
     from .injection import DirectInjector
 
 from .. import obs
-from ..core.vaccine import IdentifierKind, Mechanism, Vaccine, normalize_identifier
+from ..core.vaccine import IdentifierKind, Mechanism, Vaccine
 from ..taint.replay import SliceReplayError, replay_slice
 from ..tracing.events import ApiCallEvent
 from ..winapi.dispatcher import Interception
 from ..winapi.labels import ApiDef
 from ..winenv.environment import SystemEnvironment
-from ..winenv.objects import Operation
-
-
-@dataclass
-class _Rule:
-    """One active interception rule."""
-
-    vaccine: Vaccine
-    mechanism: Mechanism
-    exact: Optional[str] = None
-    pattern: Optional["re.Pattern[str]"] = None
-
-    def matches(self, identifier: str) -> bool:
-        if self.exact is not None and identifier == self.exact:
-            return True
-        # fullmatch, not match: a partial-static pattern like ``[a-z]{8}``
-        # describes the whole identifier — prefix matching would intercept
-        # every benign resource that merely starts like the vaccine's.
-        return (
-            self.pattern is not None
-            and self.pattern.fullmatch(identifier) is not None
-        )
+from .engine import CompiledRule, RuleEngine
 
 
 @dataclass
@@ -64,12 +51,17 @@ class VaccineDaemon:
     """
 
     vaccines: List[Vaccine] = field(default_factory=list)
-    rules: List[_Rule] = field(default_factory=list)
+    #: Temporal policies enforced alongside the vaccines (deny rules only).
+    policies: List["TemporalApiPolicy"] = field(default_factory=list)
+    #: The shared matching structure; rebuilt on install/refresh.
+    engine: RuleEngine = field(default_factory=RuleEngine)
     #: Per-host identifiers computed from slices at install time.
     computed_identifiers: Dict[str, str] = field(default_factory=dict)
     #: Interception counters (perf-overhead bench, §VI-F).
     calls_seen: int = 0
     calls_matched: int = 0
+    #: Policy-rule hits within ``calls_matched`` (violation accounting).
+    policy_violations: int = 0
     #: Total wall seconds spent inside :meth:`intercept` — the hook-overhead
     #: numerator for the paper's <4.5% claim.
     seconds_intercepting: float = 0.0
@@ -83,12 +75,19 @@ class VaccineDaemon:
         default_factory=dict
     )
 
+    @property
+    def rules(self) -> List[CompiledRule]:
+        """Active interception rules (compiled, insertion order)."""
+        return self.engine.rules
+
     def install(self, environment: SystemEnvironment) -> None:
         self.environment = environment
         self._identity_seen = self._fingerprint(environment)
-        self.rules = []
+        self.engine = RuleEngine()
         for vaccine in self.vaccines:
             self._activate(vaccine, environment)
+        for policy in self.policies:
+            self.engine.add_policy(policy)
         if self not in environment.global_interceptors:
             environment.global_interceptors.append(self)
 
@@ -97,11 +96,16 @@ class VaccineDaemon:
         if self.environment is not None:
             self._activate(vaccine, self.environment)
 
+    def add_policy(self, policy: "TemporalApiPolicy") -> None:
+        self.policies.append(policy)
+        if self.environment is not None:
+            self.engine.add_policy(policy)
+
     def uninstall(self) -> None:
         """Detach from the environment and drop all interception rules."""
         if self.environment is not None and self in self.environment.global_interceptors:
             self.environment.global_interceptors.remove(self)
-        self.rules = []
+        self.engine = RuleEngine()
 
     def refresh(self) -> bool:
         """Periodic check: regenerate slice-derived vaccines if the machine
@@ -146,17 +150,12 @@ class VaccineDaemon:
                     return
                 except InjectionError:
                     pass
-            self.rules.append(_Rule(vaccine, vaccine.mechanism, exact=identifier))
+            self.engine.add_vaccine(vaccine, identifier=identifier)
             return
 
-        if kind is IdentifierKind.PARTIAL_STATIC and vaccine.pattern:
-            self.rules.append(
-                _Rule(vaccine, vaccine.mechanism, pattern=re.compile(vaccine.pattern))
-            )
-            return
-
-        # Static identifiers that reached the daemon (non-lockable resources).
-        self.rules.append(_Rule(vaccine, vaccine.mechanism, exact=vaccine.identifier))
+        # Partial-static patterns and static identifiers that reached the
+        # daemon (non-lockable resources) compile as-is.
+        self.engine.add_vaccine(vaccine)
 
     # -- interception (hot path) ---------------------------------------------
 
@@ -169,27 +168,30 @@ class VaccineDaemon:
 
     def _intercept(self, event: ApiCallEvent) -> Interception:
         self.calls_seen += 1
-        if event.identifier is None or event.resource_type is None:
+        verdict, rule = self.engine.decide(event)
+        if rule is None:
             return Interception.PASS
-        identifier = normalize_identifier(event.resource_type, event.identifier)
-        for rule in self.rules:
-            if rule.vaccine.resource_type is not event.resource_type:
-                continue
-            if not rule.matches(identifier):
-                continue
-            self.calls_matched += 1
-            if obs.metrics.enabled:
-                obs.metrics.counter(
-                    "daemon.calls_matched",
+        self.calls_matched += 1
+        if obs.metrics.enabled:
+            obs.metrics.counter(
+                "daemon.calls_matched",
+                resource=event.resource_type.value,
+                mechanism=rule.mechanism.value,
+            ).inc()
+        if rule.origin == "policy":
+            self.policy_violations += 1
+            flight = obs.flight
+            if flight.enabled:
+                flight.record(
+                    "policy.violation",
+                    causes=(),
+                    api=event.api,
                     resource=event.resource_type.value,
-                    mechanism=rule.mechanism.value,
-                ).inc()
-            if rule.mechanism is Mechanism.ENFORCE_FAILURE:
-                return Interception.FORCE_FAIL
-            if event.operation is Operation.CREATE:
-                return Interception.FORCE_FAIL_EXISTS
-            return Interception.FORCE_SUCCESS
-        return Interception.PASS
+                    identifier=event.identifier,
+                    operation=event.operation.value if event.operation else None,
+                    rule=rule.describe(),
+                )
+        return verdict
 
     def flush_metrics(self) -> None:
         """Publish cumulative hook accounting into the metrics registry.
@@ -199,8 +201,9 @@ class VaccineDaemon:
         """
         obs.metrics.gauge("daemon.calls_seen").set(self.calls_seen)
         obs.metrics.gauge("daemon.calls_matched_total").set(self.calls_matched)
+        obs.metrics.gauge("daemon.policy_violations").set(self.policy_violations)
         obs.metrics.gauge("daemon.hook_seconds").set(self.seconds_intercepting)
-        obs.metrics.gauge("daemon.rules_active").set(len(self.rules))
+        obs.metrics.gauge("daemon.rules_active").set(len(self.engine))
 
     @staticmethod
     def _fingerprint(environment: SystemEnvironment) -> tuple:

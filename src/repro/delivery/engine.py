@@ -1,0 +1,272 @@
+"""Unified enforcement engine — one matching structure for every consumer.
+
+Vaccine matching used to live in three places (the daemon's ``_Rule``, the
+clinic's ``_matches``, campaign fleet accounting) and they drifted: PR 5
+fixed prefix-vs-fullmatch in the daemon only.  :class:`RuleEngine` is now
+the *only* implementation of "does this resource access hit a rule":
+
+* an **exact map** keyed by ``(resource_type, normalized identifier)`` for
+  static and computed identifiers — O(1) on the daemon hot path;
+* a per-resource-type **compiled fullmatch alternation** over every
+  pattern rule — one regex test answers "could any pattern match" before
+  the (rare) per-rule scan that attributes the hit.
+
+The engine compiles two rule sources into that structure:
+
+* **vaccine rules** (:meth:`add_vaccine`) — the daemon's interception
+  rules and the clinic's attribution rules are the same objects now;
+* **policy deny rules** (:meth:`add_policy`) — a
+  :class:`~repro.core.policy.TemporalApiPolicy`'s steady-state denials,
+  operation-restricted and enforced as failures.
+
+Matching semantics are those the daemon always had: first rule in
+insertion order wins, exact before nothing, patterns are ``fullmatch``
+(a partial-static pattern describes the *whole* identifier — prefix
+matching would intercept every benign resource that merely starts like
+the vaccine's).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.vaccine import IdentifierKind, Mechanism, Vaccine, normalize_identifier
+from ..winapi.dispatcher import Interception
+from ..winenv.objects import Operation, ResourceType
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.policy import PolicyRule, TemporalApiPolicy
+    from ..tracing.events import ApiCallEvent
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """One enforcement rule, compiled: where it came from, what it matches,
+    and what happens on a hit."""
+
+    #: The originating artifact: a :class:`Vaccine` or a policy's deny rule.
+    source: object
+    #: ``"vaccine"`` or ``"policy"`` — consumers key metrics/flight on this.
+    origin: str
+    resource_type: ResourceType
+    mechanism: Mechanism
+    index: int
+    exact: Optional[str] = None
+    pattern: Optional[str] = None
+    #: Empty = any operation (vaccine rules); policy denials are restricted.
+    operations: FrozenSet[Operation] = frozenset()
+    compiled: Optional["re.Pattern[str]"] = None
+
+    def allows_operation(self, operation: Optional[Operation]) -> bool:
+        return not self.operations or operation is None or operation in self.operations
+
+    def matches(self, identifier: str, operation: Optional[Operation] = None) -> bool:
+        """Identifier must be normalized already (see ``RuleEngine.match``)."""
+        if not self.allows_operation(operation):
+            return False
+        if self.exact is not None and identifier == self.exact:
+            return True
+        return self.compiled is not None and self.compiled.fullmatch(identifier) is not None
+
+    def describe(self) -> str:
+        what = self.exact if self.exact is not None else f"/{self.pattern}/"
+        ops = ",".join(sorted(o.value for o in self.operations)) or "any"
+        return (
+            f"{self.origin} {self.resource_type.value}:{what!r} "
+            f"[{ops}] -> {self.mechanism.value}"
+        )
+
+
+@dataclass
+class RuleEngine:
+    """The shared matching structure.  Build with :meth:`add_vaccine` /
+    :meth:`add_policy` (or :meth:`compile`), query with :meth:`match` /
+    :meth:`match_all` / :meth:`decide`."""
+
+    rules: List[CompiledRule] = field(default_factory=list)
+    _exact: Dict[Tuple[ResourceType, str], List[CompiledRule]] = field(
+        default_factory=dict, repr=False
+    )
+    _patterns: Dict[ResourceType, List[CompiledRule]] = field(
+        default_factory=dict, repr=False
+    )
+    #: Per-resource-type fullmatch alternation over every pattern rule —
+    #: the fast "could anything match" gate before the attributing scan.
+    _alternation: Dict[ResourceType, "re.Pattern[str]"] = field(
+        default_factory=dict, repr=False
+    )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        vaccines: Sequence[Vaccine] = (),
+        policies: Sequence["TemporalApiPolicy"] = (),
+    ) -> "RuleEngine":
+        engine = cls()
+        for vaccine in vaccines:
+            engine.add_vaccine(vaccine)
+        for policy in policies:
+            engine.add_policy(policy)
+        return engine
+
+    def add_rule(
+        self,
+        source: object,
+        origin: str,
+        resource_type: ResourceType,
+        mechanism: Mechanism,
+        exact: Optional[str] = None,
+        pattern: Optional[str] = None,
+        operations: FrozenSet[Operation] = frozenset(),
+    ) -> CompiledRule:
+        rule = CompiledRule(
+            source=source,
+            origin=origin,
+            resource_type=resource_type,
+            mechanism=mechanism,
+            index=len(self.rules),
+            exact=(
+                normalize_identifier(resource_type, exact) if exact is not None else None
+            ),
+            pattern=pattern,
+            operations=operations,
+            compiled=re.compile(pattern) if pattern else None,
+        )
+        self.rules.append(rule)
+        if rule.exact is not None:
+            self._exact.setdefault((resource_type, rule.exact), []).append(rule)
+        if rule.compiled is not None:
+            self._patterns.setdefault(resource_type, []).append(rule)
+            self._recompile_alternation(resource_type)
+        return rule
+
+    def add_vaccine(
+        self, vaccine: Vaccine, identifier: Optional[str] = None
+    ) -> CompiledRule:
+        """Compile one vaccine.  ``identifier`` overrides the observed one —
+        the daemon passes the slice-computed per-host identifier for
+        algorithm-deterministic vaccines."""
+        if (
+            vaccine.identifier_kind is IdentifierKind.PARTIAL_STATIC
+            and vaccine.pattern
+            and identifier is None
+        ):
+            return self.add_rule(
+                vaccine,
+                "vaccine",
+                vaccine.resource_type,
+                vaccine.mechanism,
+                pattern=vaccine.pattern,
+            )
+        return self.add_rule(
+            vaccine,
+            "vaccine",
+            vaccine.resource_type,
+            vaccine.mechanism,
+            exact=identifier if identifier is not None else vaccine.identifier,
+        )
+
+    def add_policy(self, policy: "TemporalApiPolicy") -> List[CompiledRule]:
+        """Compile a temporal policy's steady-state deny rules.  Denials
+        enforce failure and stay restricted to the acquisition operations
+        the policy observed — the init phase is untouched by construction
+        (a denied identifier never appears in the init-phase allowlist)."""
+        return [
+            self.add_rule(
+                deny,
+                "policy",
+                deny.resource_type,
+                Mechanism.ENFORCE_FAILURE,
+                exact=deny.identifier,
+                operations=deny.operations,
+            )
+            for deny in policy.deny
+        ]
+
+    def _recompile_alternation(self, resource_type: ResourceType) -> None:
+        sources = [r.pattern for r in self._patterns[resource_type] if r.pattern]
+        try:
+            self._alternation[resource_type] = re.compile(
+                "|".join(f"(?:{s})" for s in sources)
+            )
+        except re.error:  # pragma: no cover - individual patterns compiled above
+            self._alternation.pop(resource_type, None)
+
+    # -- matching (hot path) ----------------------------------------------
+
+    def match(
+        self,
+        resource_type: Optional[ResourceType],
+        identifier: Optional[str],
+        operation: Optional[Operation] = None,
+    ) -> Optional[CompiledRule]:
+        """First matching rule in insertion order, or None.  ``identifier``
+        is normalized here — callers pass the raw event identifier."""
+        if resource_type is None or identifier is None:
+            return None
+        normalized = normalize_identifier(resource_type, identifier)
+        best: Optional[CompiledRule] = None
+        for rule in self._exact.get((resource_type, normalized), ()):
+            if rule.allows_operation(operation):
+                best = rule
+                break
+        alternation = self._alternation.get(resource_type)
+        if alternation is not None and alternation.fullmatch(normalized) is not None:
+            for rule in self._patterns[resource_type]:
+                if best is not None and rule.index >= best.index:
+                    break
+                if rule.matches(normalized, operation):
+                    return rule
+        return best
+
+    def match_all(
+        self,
+        resource_type: Optional[ResourceType],
+        identifier: Optional[str],
+        operation: Optional[Operation] = None,
+    ) -> List[CompiledRule]:
+        """Every matching rule, insertion order — clinic attribution."""
+        if resource_type is None or identifier is None:
+            return []
+        normalized = normalize_identifier(resource_type, identifier)
+        hits = list(self._exact.get((resource_type, normalized), ()))
+        alternation = self._alternation.get(resource_type)
+        if alternation is not None and alternation.fullmatch(normalized) is not None:
+            hits.extend(
+                r for r in self._patterns[resource_type] if r.matches(normalized)
+            )
+        hits = [r for r in hits if r.allows_operation(operation)]
+        hits.sort(key=lambda r: r.index)
+        return hits
+
+    def decide(self, event: "ApiCallEvent") -> Tuple[Interception, Optional[CompiledRule]]:
+        """The one interception semantics every consumer shares:
+        enforce-failure rules force the call to fail; simulate-presence
+        rules make a CREATE fail-as-exists and anything else succeed."""
+        rule = self.match(event.resource_type, event.identifier, event.operation)
+        if rule is None:
+            return Interception.PASS, None
+        return self.verdict(rule, event.operation), rule
+
+    @staticmethod
+    def verdict(rule: CompiledRule, operation: Optional[Operation]) -> Interception:
+        if rule.mechanism is Mechanism.ENFORCE_FAILURE:
+            return Interception.FORCE_FAIL
+        if operation is Operation.CREATE:
+            return Interception.FORCE_FAIL_EXISTS
+        return Interception.FORCE_SUCCESS
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rules_from(self, origin: str) -> List[CompiledRule]:
+        return [r for r in self.rules if r.origin == origin]
+
+
+__all__ = ["CompiledRule", "RuleEngine"]

@@ -11,7 +11,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.policy import TemporalApiPolicy
 
 from ..core.vaccine import DeliveryKind, Vaccine
 from ..winenv.environment import SystemEnvironment
@@ -79,9 +82,13 @@ class Deployment:
 
 
 def deploy(
-    package: VaccinePackage, environment: SystemEnvironment
+    package: VaccinePackage,
+    environment: SystemEnvironment,
+    policies: Sequence["TemporalApiPolicy"] = (),
 ) -> Deployment:
-    """Deploy every vaccine in ``package`` onto ``environment``."""
+    """Deploy every vaccine in ``package`` onto ``environment``.  Temporal
+    policies, when given, ride along in the daemon (their deny rules join
+    the vaccines' in the shared rule engine)."""
     deployment = Deployment()
     injector = DirectInjector(environment)
     daemon_vaccines: List[Vaccine] = []
@@ -93,8 +100,8 @@ def deploy(
                 deployment.failures.append((vaccine, str(exc)))
         else:
             daemon_vaccines.append(vaccine)
-    if daemon_vaccines:
-        daemon = VaccineDaemon(vaccines=daemon_vaccines)
+    if daemon_vaccines or policies:
+        daemon = VaccineDaemon(vaccines=daemon_vaccines, policies=list(policies))
         daemon.install(environment)
         deployment.daemon = daemon
     return deployment

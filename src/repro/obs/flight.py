@@ -319,6 +319,17 @@ def summarize_event(event: FlightEvent) -> str:
         )
     if kind == "vaccine.rejected":
         return f"candidate {a.get('identifier')!r} rejected: {a.get('reason')}"
+    if kind == "policy.synthesized":
+        return (
+            f"temporal policy for {a.get('sample')!r}: boundary at "
+            f"{a.get('boundary_api')} (seq {a.get('boundary_seq')}), "
+            f"{a.get('deny')} deny rule(s), {a.get('subtracted')} subtracted"
+        )
+    if kind == "policy.violation":
+        return (
+            f"policy denied {a.get('api')} on {a.get('resource')} "
+            f"{a.get('identifier')!r} ({a.get('operation')})"
+        )
     if kind == "sample.failed":
         return (
             f"sample {a.get('sample')!r} quarantined: {a.get('failure_kind')} "

@@ -39,12 +39,13 @@ FORMAT_VERSION = 1
 #: Version of the :func:`analysis_to_dict` payload.  Bump on any change to
 #: the encoded shape; the result cache keys on it, so stale cache entries
 #: from an older layout can never be decoded by mistake.
-#: v2 added the optional flight-recorder ``journal``.
-ANALYSIS_FORMAT_VERSION = 2
+#: v2 added the optional flight-recorder ``journal``; v3 the optional
+#: temporal API ``policy``.
+ANALYSIS_FORMAT_VERSION = 3
 
 #: Older payload versions :func:`analysis_from_dict` still decodes (fields
 #: added since are absent and default to ``None``/empty).
-SUPPORTED_ANALYSIS_VERSIONS = frozenset({1, ANALYSIS_FORMAT_VERSION})
+SUPPORTED_ANALYSIS_VERSIONS = frozenset({1, 2, ANALYSIS_FORMAT_VERSION})
 
 
 def _tagset_to_list(tags) -> List[dict]:
@@ -357,6 +358,7 @@ def analysis_to_dict(analysis: "SampleAnalysis") -> dict:
         },
         "vaccines": [v.to_dict() for v in analysis.vaccines],
         "clinic": clinic_to_dict(analysis.clinic) if analysis.clinic else None,
+        "policy": analysis.policy.to_dict() if analysis.policy is not None else None,
         "filtered_reason": analysis.filtered_reason,
         "span": analysis.span.to_dict() if analysis.span is not None else None,
         "journal": analysis.journal.to_dict() if analysis.journal is not None else None,
@@ -365,6 +367,7 @@ def analysis_to_dict(analysis: "SampleAnalysis") -> dict:
 
 def analysis_from_dict(data: dict) -> "SampleAnalysis":
     from ..core.pipeline import SampleAnalysis
+    from ..core.policy import TemporalApiPolicy
     from ..core.vaccine import Vaccine
     from ..vm.program import Program
 
@@ -374,6 +377,7 @@ def analysis_from_dict(data: dict) -> "SampleAnalysis":
     program = data.get("program", {})
     span = data.get("span")
     journal = data.get("journal")
+    policy = data.get("policy")
     return SampleAnalysis(
         program=Program(
             name=program.get("name", ""),
@@ -390,6 +394,7 @@ def analysis_from_dict(data: dict) -> "SampleAnalysis":
         },
         vaccines=[Vaccine.from_dict(v) for v in data.get("vaccines", [])],
         clinic=clinic_from_dict(data["clinic"]) if data.get("clinic") else None,
+        policy=TemporalApiPolicy.from_dict(policy) if policy is not None else None,
         filtered_reason=data.get("filtered_reason"),
         span=Span.from_dict(span) if span is not None else None,
         journal=Journal.from_dict(journal) if journal is not None else None,

@@ -114,6 +114,25 @@ class TestRoundTrip:
         again = serialize.analysis_to_json(serialize.analysis_from_json(text))
         assert again == text
 
+    def test_policy_survives_exactly(self, zeus_analysis):
+        assert zeus_analysis.policy is not None
+        decoded = serialize.analysis_from_json(
+            serialize.analysis_to_json(zeus_analysis)
+        )
+        assert decoded.policy is not None
+        assert decoded.policy.to_dict() == zeus_analysis.policy.to_dict()
+        assert decoded.policy.boundary_seq == zeus_analysis.policy.boundary_seq
+        assert [r.to_dict() for r in decoded.policy.deny] == [
+            r.to_dict() for r in zeus_analysis.policy.deny
+        ]
+
+    def test_analysis_without_policy_round_trips(self, filtered_analysis):
+        assert filtered_analysis.policy is None
+        decoded = serialize.analysis_from_json(
+            serialize.analysis_to_json(filtered_analysis)
+        )
+        assert decoded.policy is None
+
 
 class TestVersioning:
     def test_version_is_embedded(self, zeus_analysis):
@@ -133,3 +152,39 @@ class TestVersioning:
     def test_payload_is_plain_json(self, zeus_analysis):
         text = serialize.analysis_to_json(zeus_analysis)
         assert isinstance(json.loads(text), dict)
+
+    def test_v2_payload_still_loads(self, zeus_analysis):
+        payload = serialize.analysis_to_dict(zeus_analysis)
+        payload.pop("policy")
+        payload["format_version"] = 2
+        decoded = serialize.analysis_from_dict(payload)
+        assert decoded.policy is None
+        assert [v.to_dict() for v in decoded.vaccines] == [
+            v.to_dict() for v in zeus_analysis.vaccines
+        ]
+
+
+class TestPolicyDeterminism:
+    """Policies must come out identical whether the population ran
+    sequentially or across worker processes (the codec carries them over
+    the process boundary)."""
+
+    def _policies(self, jobs):
+        from repro.core.executor import PipelineConfig, analyze_population
+        from repro.corpus import GeneratorConfig, generate_population
+
+        programs = [
+            s.program for s in generate_population(GeneratorConfig(size=4, seed=11))
+        ]
+        result = analyze_population(programs, config=PipelineConfig(), jobs=jobs)
+        return [
+            a.policy.to_dict() if a.policy is not None else None
+            for a in result.analyses
+        ]
+
+    def test_parallel_matches_sequential(self):
+        seq = self._policies(jobs=1)
+        par = self._policies(jobs=2)
+        assert len(seq) == 4
+        assert par == seq
+        assert any(p is not None for p in seq)
