@@ -28,6 +28,8 @@ from repro.core.candidate import select_candidates
 from repro.core.impact import ImpactAnalyzer
 from repro.core.pipeline import AutoVac
 from repro.corpus import all_families
+from repro.tracing import serialize
+from repro.vm import superblock as vm_superblock
 from repro.corpus.builder import (
     MUTEX_ALL_ACCESS,
     AsmBuilder,
@@ -98,7 +100,11 @@ def test_snapshot_resume_speedup():
     ]
     assert len(candidates) >= 3, "bench sample must yield >=6 candidate-mechanisms"
 
-    with obs.disabled():
+    # Superblocks are held off for the legacy-vs-snapshot comparison: they
+    # speed up full reruns (the long unpack preamble is exactly what they
+    # compile), which would understate the *snapshot mechanism's* own win.
+    # The combined number (both optimizations on) is recorded alongside.
+    with obs.disabled(), vm_superblock.overridden(False):
         legacy_s, legacy = min_wall_seconds(
             lambda: ImpactAnalyzer(snapshot_resume=False).analyze_candidates(
                 program, candidates, report.trace
@@ -111,8 +117,16 @@ def test_snapshot_resume_speedup():
             ),
             repeats=3,
         )
+    with obs.disabled():
+        combined_s, combined = min_wall_seconds(
+            lambda: ImpactAnalyzer(snapshot_resume=True).analyze_candidates(
+                program, candidates, report.trace
+            ),
+            repeats=3,
+        )
 
     assert _outcome_fingerprint(fast) == _outcome_fingerprint(legacy)
+    assert _outcome_fingerprint(combined) == _outcome_fingerprint(legacy)
     speedup = legacy_s / snap_s
     assert speedup >= 2.0, f"snapshot-resume speedup {speedup:.2f}x < 2x"
 
@@ -120,9 +134,11 @@ def test_snapshot_resume_speedup():
         "Phase-II impact analysis: snapshot-resume vs full rerun",
         f"sample: {UNPACK_ROUNDS * 6:,}-step unpack preamble, "
         f"{len(candidates)} candidates x 2 mechanisms",
-        f"full-rerun wall:       {legacy_s * 1e3:8.2f} ms",
-        f"snapshot-resume wall:  {snap_s * 1e3:8.2f} ms",
-        f"speedup:               {speedup:8.2f}x",
+        f"full-rerun wall (superblocks off):      {legacy_s * 1e3:8.2f} ms",
+        f"snapshot-resume wall (superblocks off): {snap_s * 1e3:8.2f} ms",
+        f"snapshot-mechanism speedup:             {speedup:8.2f}x",
+        f"snapshot + superblocks wall:            {combined_s * 1e3:8.2f} ms",
+        f"combined speedup vs full rerun:         {legacy_s / combined_s:8.2f}x",
         "",
     ]
     test_snapshot_resume_speedup.lines = lines
@@ -131,6 +147,8 @@ def test_snapshot_resume_speedup():
         "legacy_seconds": legacy_s,
         "snapshot_seconds": snap_s,
         "speedup": speedup,
+        "combined_seconds": combined_s,
+        "combined_speedup": legacy_s / combined_s,
     }
 
 
@@ -195,21 +213,50 @@ def test_interpreter_fast_path():
     }
 
 
+def _analysis_fingerprint(analysis) -> dict:
+    """Byte-identical view of a SampleAnalysis, modulo wall-clock spans and
+    the flight journal (which records *how* the run executed by design)."""
+    payload = serialize.analysis_to_dict(analysis)
+    payload.pop("span", None)
+    payload.pop("journal", None)
+    return payload
+
+
 def test_write_artifacts(family_analyses):
-    """Render impact.txt + the per-sample latency baseline (runs last)."""
+    """Render impact.txt + the per-sample latency baseline (runs last).
+
+    Per-family timing is best-of-3 with observability off (the committed
+    baseline regenerates under the same protocol, so the regression gate
+    compares like with like).  Each family is also analyzed once with
+    superblocks disabled and the two SampleAnalysis payloads must be
+    byte-identical — the tier-3 compiler is a pure optimization.
+    """
     per_sample = {}
-    for family, (program, _analysis) in sorted(family_analyses.items()):
-        started = time.perf_counter()
-        AutoVac().analyze(program)
-        per_sample[family] = time.perf_counter() - started
+    per_sample_nosb = {}
+    with obs.disabled():
+        for family, (program, _analysis) in sorted(family_analyses.items()):
+            seconds, analysis = min_wall_seconds(
+                lambda: AutoVac().analyze(program), repeats=3
+            )
+            per_sample[family] = seconds
+            nosb_seconds, nosb = min_wall_seconds(
+                lambda: AutoVac(superblock_vm=False).analyze(program), repeats=3
+            )
+            per_sample_nosb[family] = nosb_seconds
+            assert _analysis_fingerprint(analysis) == _analysis_fingerprint(nosb), (
+                f"{family}: superblocks changed the analysis"
+            )
 
     snap = getattr(test_snapshot_resume_speedup, "numbers", {})
     interp = getattr(test_interpreter_fast_path, "numbers", {})
     lines = list(getattr(test_snapshot_resume_speedup, "lines", []))
     lines += list(getattr(test_interpreter_fast_path, "lines", []))
-    lines.append("Per-sample end-to-end pipeline latency (snapshot-resume on):")
+    lines.append("Per-sample end-to-end pipeline latency (best of 3, obs off):")
     for family, seconds in per_sample.items():
-        lines.append(f"  {family:<12} {seconds * 1e3:8.2f} ms")
+        lines.append(
+            f"  {family:<12} {seconds * 1e3:8.2f} ms"
+            f"   (superblocks off: {per_sample_nosb[family] * 1e3:8.2f} ms)"
+        )
     write_artifact("impact.txt", "\n".join(lines) + "\n")
 
     write_artifact(
@@ -219,6 +266,7 @@ def test_write_artifacts(family_analyses):
                 "snapshot_resume": snap,
                 "interpreter": interp,
                 "per_sample_seconds": per_sample,
+                "per_sample_seconds_superblocks_off": per_sample_nosb,
             },
             indent=2,
             sort_keys=True,

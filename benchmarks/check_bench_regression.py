@@ -46,6 +46,7 @@ GATES = (
         "bench_perf_overhead.py::test_perf_rule_engine_matching",
         "engine_baseline.json",
     ),
+    ("vm", "bench_vm.py", "vm_baseline.json"),
 )
 
 

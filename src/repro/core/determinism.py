@@ -170,7 +170,7 @@ def _classify_identifier(
         # Sanity: replaying on a clone of the analysis machine must
         # regenerate the very identifier observed.
         try:
-            regenerated = replay_slice(slice_, run.environment.clone())
+            regenerated = replay_slice(slice_, run.environment.clone(), program=program)
         except SliceReplayError as exc:
             return DeterminismResult(
                 kind=IdentifierKind.NON_DETERMINISTIC,

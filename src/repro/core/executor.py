@@ -106,6 +106,11 @@ class PipelineConfig:
     #: identical either way (the snapshot-equivalence tests pin this); the
     #: flag exists for the equivalence bench and as an escape hatch.
     snapshot_impact: bool = True
+    #: Compile hot straight-line/loop regions into single-dispatch Python
+    #: closures (repro.vm.superblock).  Results are byte-identical either
+    #: way (the differential tests pin this); the flag mirrors
+    #: ``snapshot_impact`` as an escape hatch and for the parity bench.
+    superblock_vm: bool = True
     #: Per-attempt wall-clock limit in seconds (None = off, the default —
     #: determinism benches must not depend on host speed).  Execution
     #: policy only; excluded from the cache fingerprint.
@@ -129,6 +134,7 @@ class PipelineConfig:
             exclusiveness_enabled=self.exclusiveness_enabled,
             explore_paths=self.explore_paths,
             snapshot_impact=self.snapshot_impact,
+            superblock_vm=self.superblock_vm,
         )
 
     def fingerprint(self) -> str:
@@ -182,6 +188,7 @@ def config_for(autovac: AutoVac) -> PipelineConfig:
         explore_paths=autovac.explore_paths,
         aligner=aligner_name,
         snapshot_impact=autovac.impact.snapshot_resume,
+        superblock_vm=autovac.superblock_vm,
     )
 
 

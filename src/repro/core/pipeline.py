@@ -21,6 +21,7 @@ from .. import obs
 from ..analysis.alignment import Aligner, align_myers
 from ..obs import Journal, Span
 from ..search.engine import SearchEngine
+from ..vm import superblock as vm_superblock
 from ..vm.program import Program
 from ..winenv.environment import SystemEnvironment
 from .candidate import CandidateReport, CandidateResource
@@ -283,6 +284,7 @@ class AutoVac:
         explore_paths: bool = False,
         stages: Optional[Sequence[Stage]] = None,
         snapshot_impact: bool = True,
+        superblock_vm: Optional[bool] = None,
     ) -> None:
         self.environment = environment if environment is not None else SystemEnvironment()
         self.exclusiveness = ExclusivenessAnalyzer(search=search_engine or SearchEngine())
@@ -297,6 +299,12 @@ class AutoVac:
         self.validate_replay = validate_replay
         self.exclusiveness_enabled = exclusiveness_enabled
         self.run_clinic = run_clinic
+        #: Superblock tier for every CPU this pipeline runs (fresh runs and
+        #: snapshot resumes alike — ``analyze`` scopes the override).
+        #: ``None`` inherits the process default (``REPRO_SUPERBLOCKS``).
+        self.superblock_vm = (
+            vm_superblock.default_enabled() if superblock_vm is None else superblock_vm
+        )
         #: Enforced execution (§VIII): flip resource-check outcomes to find
         #: candidates on dormant paths before Phase II.
         self.explore_paths = explore_paths
@@ -315,7 +323,8 @@ class AutoVac:
             analysis = SampleAnalysis(program=program)
             if isinstance(root, Span):
                 analysis.span = root
-            self._analyze(program, analysis)
+            with vm_superblock.overridden(self.superblock_vm):
+                self._analyze(program, analysis)
             root.set(
                 vaccines=len(analysis.vaccines),
                 filtered=analysis.filtered_reason is not None,

@@ -141,6 +141,12 @@ class VmSnapshot:
         Each call restores an independent environment (the blob is
         unpickled fresh), so one snapshot can seed both mutation mechanisms
         without cross-contamination.
+
+        Superblock mode re-arms naturally: :meth:`CPU.resume` rebuilds the
+        region table for the resumed program, and because compiled regions
+        only dispatch at their *entry* pc, a resume pc that lands mid-region
+        simply executes per-instruction until control reaches the next
+        region entry (see DESIGN.md, three-tier execution model).
         """
         from ..winapi.dispatcher import Dispatcher
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from ..tracing.events import ApiCallEvent
 from ..vm.assembler import assemble
 from ..vm.cpu import CPU, ExitStatus
+from ..vm.program import Program
 from ..winenv.acl import IntegrityLevel
 from ..winenv.environment import SystemEnvironment
 from .slicing import VaccineSlice
@@ -36,12 +37,24 @@ def replay_slice(
     slice_: VaccineSlice,
     environment: SystemEnvironment,
     max_steps: Optional[int] = None,
+    program: Optional[Program] = None,
 ) -> str:
     """Execute the slice against ``environment``; return the regenerated
-    identifier string."""
+    identifier string.
+
+    ``program``, when given and textually identical to the slice's recorded
+    source, is executed directly instead of re-assembling — replay-validation
+    during analysis then reuses the sample's decode and superblock caches
+    (a target-machine daemon has only the source and still assembles)."""
     if slice_.requires_reexecution and slice_.target_api:
-        return _forced_reexecution(slice_, environment, max_steps)
-    return _replay_instances(slice_, environment, max_steps)
+        return _forced_reexecution(slice_, environment, max_steps, program)
+    return _replay_instances(slice_, environment, max_steps, program)
+
+
+def _slice_program(slice_: VaccineSlice, program: Optional[Program], suffix: str) -> Program:
+    if program is not None and program.source == slice_.program_source:
+        return program
+    return assemble(slice_.program_source, name=f"{slice_.program_name}-{suffix}")
 
 
 # ---------------------------------------------------------------------------
@@ -49,11 +62,14 @@ def replay_slice(
 # ---------------------------------------------------------------------------
 
 def _replay_instances(
-    slice_: VaccineSlice, environment: SystemEnvironment, max_steps: Optional[int]
+    slice_: VaccineSlice,
+    environment: SystemEnvironment,
+    max_steps: Optional[int],
+    original: Optional[Program] = None,
 ) -> str:
     from ..winapi.dispatcher import Dispatcher
 
-    program = assemble(slice_.program_source, name=f"{slice_.program_name}-slice")
+    program = _slice_program(slice_, original, "slice")
     process = environment.spawn_process("vaccine-slice.exe", integrity=IntegrityLevel.SYSTEM)
     dispatcher = Dispatcher(environment, process)
     cpu = CPU(
@@ -135,11 +151,14 @@ class _ForcedPathInterceptor:
 
 
 def _forced_reexecution(
-    slice_: VaccineSlice, environment: SystemEnvironment, max_steps: Optional[int]
+    slice_: VaccineSlice,
+    environment: SystemEnvironment,
+    max_steps: Optional[int],
+    original: Optional[Program] = None,
 ) -> str:
     from ..winapi.dispatcher import Dispatcher
 
-    program = assemble(slice_.program_source, name=f"{slice_.program_name}-reexec")
+    program = _slice_program(slice_, original, "reexec")
     sandbox = environment.clone()
     sandbox.global_interceptors = []  # a deployed daemon must not see this run
     process = sandbox.spawn_process("vaccine-reexec.exe", integrity=IntegrityLevel.LOW)

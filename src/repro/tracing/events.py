@@ -18,7 +18,7 @@ from ..winenv.objects import Operation, ResourceType
 Location = Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class ApiCallEvent:
     """One executed API call with full calling context."""
 
@@ -59,7 +59,7 @@ class ApiCallEvent:
         return (self.api, self.caller_pc)
 
 
-@dataclass
+@dataclass(slots=True)
 class TaintedPredicateEvent:
     """A ``cmp``/``test`` whose operands carried taint (§III-B)."""
 
@@ -71,7 +71,7 @@ class TaintedPredicateEvent:
     rhs: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class InstructionRecord:
     """Def/use record of one executed step, for backward slicing (§IV-C).
 

@@ -17,6 +17,7 @@ from .. import obs
 from ..taint.labels import EMPTY, TagSet, union
 from ..tracing.events import ApiCallEvent, InstructionRecord, TaintedPredicateEvent
 from ..tracing.trace import Trace
+from . import superblock as superblock_mod
 from .decode import decoded_program
 from .isa import Instruction
 from .memory import Memory, MemoryFault, STACK_TOP, TEXT_BASE
@@ -48,13 +49,27 @@ class _VmFlushCache:
     ever being named ``"generation"``/``"instructions"``/… .)
     """
 
-    __slots__ = ("generation", "instructions", "api_calls", "tainted_predicates", "runs")
+    __slots__ = (
+        "generation",
+        "instructions",
+        "api_calls",
+        "tainted_predicates",
+        "fast_steps",
+        "sb_compiled",
+        "sb_entries",
+        "sb_guard_exits",
+        "runs",
+    )
 
     def __init__(self) -> None:
         self.generation = -1
         self.instructions = None
         self.api_calls = None
         self.tainted_predicates = None
+        self.fast_steps = None
+        self.sb_compiled = None
+        self.sb_entries = None
+        self.sb_guard_exits = None
         #: status value -> vm.runs counter handle.
         self.runs: dict = {}
 
@@ -64,6 +79,10 @@ class _VmFlushCache:
             self.instructions = metrics.counter("vm.instructions")
             self.api_calls = metrics.counter("vm.api_calls")
             self.tainted_predicates = metrics.counter("vm.tainted_predicates")
+            self.fast_steps = metrics.counter("vm.fast_steps")
+            self.sb_compiled = metrics.counter("vm.superblocks.compiled")
+            self.sb_entries = metrics.counter("vm.superblocks.entries")
+            self.sb_guard_exits = metrics.counter("vm.superblocks.guard_exits")
             self.runs = {}
 
 
@@ -106,6 +125,8 @@ class CPU:
         record_instructions: bool = True,
         trace: Optional[Trace] = None,
         taint_addresses: bool = False,
+        superblocks: Optional[bool] = None,
+        superblock_threshold: Optional[int] = None,
     ) -> None:
         self.program = program
         self.environment = environment
@@ -113,6 +134,9 @@ class CPU:
         self.dispatcher = dispatcher
         self.max_steps = max_steps
         self.record_instructions = record_instructions
+        # Def/use accumulation only feeds InstructionRecords; skip the
+        # per-access bookkeeping entirely when nothing consumes it.
+        self._track = record_instructions
         self.taint_addresses = taint_addresses
 
         self.memory = Memory()
@@ -155,6 +179,32 @@ class CPU:
         # every dispatcher invoke.
         self._allow_fast = not record_instructions
         self._fast_mode = self._allow_fast
+        self._init_superblocks(superblocks, superblock_threshold)
+
+    def _init_superblocks(
+        self, superblocks: Optional[bool], threshold: Optional[int]
+    ) -> None:
+        """Attach the per-program superblock cache (tier 3).
+
+        Superblocks are only legal when instruction recording is off (they
+        produce no InstructionRecords); with recording on the cache is not
+        even attached.  Unlike the fast loop they *do* run under live taint,
+        behind the guards documented in :mod:`repro.vm.superblock`."""
+        enabled = (
+            superblock_mod.default_enabled() if superblocks is None else superblocks
+        )
+        self._superblocks = (
+            superblock_mod.superblock_cache(self.program, threshold)
+            if enabled and self._allow_fast
+            else None
+        )
+        # Plain-int run accumulators, flushed once by ``_flush_obs``.
+        self._sb_entries = 0
+        self._sb_guard_exits = 0
+        self._sb_compiled_base = (
+            self._superblocks.compiled if self._superblocks is not None else 0
+        )
+        self._slow_steps = 0
 
     @classmethod
     def resume(
@@ -176,6 +226,8 @@ class CPU:
         max_steps: int = 200_000,
         record_instructions: bool = False,
         taint_addresses: bool = False,
+        superblocks: Optional[bool] = None,
+        superblock_threshold: Optional[int] = None,
     ) -> "CPU":
         """Build a CPU mid-run from restored machine state (see
         :mod:`repro.core.snapshot`) instead of a fresh image load.
@@ -192,6 +244,7 @@ class CPU:
         cpu.dispatcher = dispatcher
         cpu.max_steps = max_steps
         cpu.record_instructions = record_instructions
+        cpu._track = record_instructions
         cpu.taint_addresses = taint_addresses
         cpu.memory = memory
         cpu.regs = regs
@@ -215,6 +268,10 @@ class CPU:
         cpu._predicates_at_start = len(trace.predicates)
         cpu._allow_fast = not record_instructions
         cpu._fast_mode = cpu._allow_fast and not cpu._taint_live()
+        # A resumed pc may land mid-region: that index simply is not a
+        # region entry, so execution proceeds per-instruction until the
+        # next entry pc — no special casing needed.
+        cpu._init_superblocks(superblocks, superblock_threshold)
         return cpu
 
     def _taint_live(self) -> bool:
@@ -232,11 +289,13 @@ class CPU:
     # ------------------------------------------------------------------
 
     def get_reg(self, name: str) -> Tuple[int, TagSet]:
-        self._uses.append(("reg", name))
+        if self._track:
+            self._uses.append(("reg", name))
         return self.regs[name], self.reg_taint[name]
 
     def set_reg(self, name: str, value: int, taint: TagSet = EMPTY) -> None:
-        self._defs.append(("reg", name))
+        if self._track:
+            self._defs.append(("reg", name))
         self.regs[name] = mask32(value)
         self.reg_taint[name] = taint
 
@@ -257,20 +316,49 @@ class CPU:
         return mask32(addr)
 
     def read_mem(self, addr: int, size: int) -> Tuple[int, TagSet]:
-        value = 0
-        tagsets = []
-        for i in range(size):
-            byte, tags = self.memory.read_byte(addr + i)
-            value |= byte << (8 * i)
-            if tags:
-                tagsets.append(tags)
-            self._uses.append(("mem", mask32(addr + i)))
-        return value, union(*tagsets)
+        try:
+            value, taint = self.memory.read_span(addr, size)
+        except MemoryFault as exc:
+            # Byte-loop parity: bytes before the faulting one were used.
+            if self._track:
+                self._note_partial(self._uses, addr, size, exc.addr)
+            raise
+        if self._track:
+            uses = self._uses
+            a0 = addr & 0xFFFFFFFF
+            if a0 + size <= 0x1_0000_0000:
+                for i in range(size):
+                    uses.append(("mem", a0 + i))
+            else:
+                for i in range(size):
+                    uses.append(("mem", (addr + i) & 0xFFFFFFFF))
+        return value, taint
 
     def write_mem(self, addr: int, value: int, size: int, taint: TagSet = EMPTY) -> None:
+        try:
+            self.memory.write_span(addr, value, size, taint)
+        except MemoryFault as exc:
+            # Byte-loop parity: bytes before the faulting one were written.
+            if self._track:
+                self._note_partial(self._defs, addr, size, exc.addr)
+            raise
+        if self._track:
+            defs = self._defs
+            a0 = addr & 0xFFFFFFFF
+            if a0 + size <= 0x1_0000_0000:
+                for i in range(size):
+                    defs.append(("mem", a0 + i))
+            else:
+                for i in range(size):
+                    defs.append(("mem", (addr + i) & 0xFFFFFFFF))
+
+    @staticmethod
+    def _note_partial(log: list, addr: int, size: int, fault_addr: int) -> None:
         for i in range(size):
-            self.memory.write_byte(addr + i, (value >> (8 * i)) & 0xFF, taint)
-            self._defs.append(("mem", mask32(addr + i)))
+            a = mask32(addr + i)
+            if a == fault_addr:
+                break
+            log.append(("mem", a))
 
     # ------------------------------------------------------------------
     # operand evaluation
@@ -319,20 +407,100 @@ class CPU:
         esp = self.regs["esp"]
         return self.read_mem(mask32(esp + 4 * index), 4)
 
+    def read_stack_args(self, count: int) -> Tuple[List[int], List[TagSet]]:
+        """Read stdcall slots 0..count-1 in one pass.
+
+        Same values, taints, and per-byte use records as ``count``
+        individual :meth:`stack_arg` calls, but with a single mapped-region
+        check for the whole block — the dispatcher pre-reads every declared
+        argument on every API call, which made this the hottest read path
+        in API-dense samples."""
+        esp = self.regs["esp"]
+        a0 = esp & 0xFFFFFFFF
+        last = a0 + 4 * count - 1
+        values: List[int] = []
+        taints: List[TagSet] = []
+        if count and last <= 0xFFFFFFFF:
+            mem = self.memory
+            for start, end in mem._regions:
+                if start <= a0 and last < end:
+                    data = mem._bytes
+                    tmap = mem._taint
+                    track = self._track
+                    for k in range(count):
+                        a = a0 + 4 * k
+                        values.append(
+                            data.get(a, 0)
+                            | data.get(a + 1, 0) << 8
+                            | data.get(a + 2, 0) << 16
+                            | data.get(a + 3, 0) << 24
+                        )
+                        if tmap and (
+                            a in tmap
+                            or a + 1 in tmap
+                            or a + 2 in tmap
+                            or a + 3 in tmap
+                        ):
+                            taints.append(
+                                union(
+                                    *(
+                                        t
+                                        for j in range(4)
+                                        if (t := tmap.get(a + j))
+                                    )
+                                )
+                            )
+                        else:
+                            taints.append(EMPTY)
+                        if track:
+                            self._uses.extend(
+                                (("mem", a), ("mem", a + 1), ("mem", a + 2), ("mem", a + 3))
+                            )
+                    return values, taints
+        for k in range(count):
+            value, taint = self.read_mem(mask32(esp + 4 * k), 4)
+            values.append(value)
+            taints.append(taint)
+        return values, taints
+
     # ------------------------------------------------------------------
     # execution loop
     # ------------------------------------------------------------------
 
     def run(self) -> Trace:
-        """Execute until exit, fault, or budget exhaustion."""
+        """Execute until exit, fault, or budget exhaustion.
+
+        Three execution tiers share one exact machine model:
+
+        1. ``step()`` — full slow path (taint, def/use, events);
+        2. ``_run_fast()`` — predecoded per-instruction loop while no live
+           taint exists anywhere (PR 3 boundary);
+        3. compiled superblocks — one dispatch per hot region, entered from
+           the fast loop *and*, behind taint guards, from ``_run_superblocks``
+           while taint is live.
+        """
         if self._allow_fast:
             # Callers may have injected taint by hand before run().
             self._fast_mode = not self._taint_live()
+        guarded = self._allow_fast and self._superblocks is not None
+        entries = self._superblocks.entries if guarded else None
+        n_entries = len(entries) if entries is not None else 0
+        base = TEXT_BASE
         while self.status is ExitStatus.RUNNING:
             if self._fast_mode:
                 self._run_fast()
                 if self.status is not ExitStatus.RUNNING:
                     break
+            elif entries is not None:
+                # Taint is live: run guarded superblocks where possible,
+                # fall back to single slow steps between them.  The region
+                # lookup is inlined so pcs without a region pay two
+                # comparisons, not a dispatch-function call per slow step.
+                idx = self.pc - base
+                if 0 <= idx < n_entries and entries[idx] is not None:
+                    self._run_superblocks()
+                    if self.status is not ExitStatus.RUNNING:
+                        break
             # Slow-path step: either fast mode is off, or the next
             # instruction (an API call) needs the full machinery.
             self.step()
@@ -349,33 +517,103 @@ class CPU:
         Executes predecoded untainted handlers back to back — no def/use
         lists, no TagSet plumbing, no InstructionRecord bookkeeping — and
         returns to the full loop at the first instruction without a fast
-        form (an API call, or any terminal condition)."""
+        form (an API call, or any terminal condition).  Hot region entries
+        dispatch once into a compiled superblock instead of once per
+        instruction."""
         decoded = self._decoded
         n = len(decoded)
         base = TEXT_BASE
         max_steps = self.max_steps
+        sb = self._superblocks
+        entries = sb.entries if sb is not None else None
+        entered = guards = 0
+        try:
+            while True:
+                if self.steps >= max_steps:
+                    self.status = ExitStatus.BUDGET
+                    return
+                idx = self.pc - base
+                if not 0 <= idx < n:
+                    self.status = ExitStatus.FAULT
+                    self.fault_reason = f"pc 0x{self.pc:08x} outside .text"
+                    return
+                if entries is not None:
+                    region = entries[idx]
+                    if region is not None:
+                        fn = region.fn
+                        if fn is None:
+                            fn = region.warm()
+                        if fn is not None:
+                            if fn(self):
+                                entered += 1
+                                if self.status is not ExitStatus.RUNNING:
+                                    return
+                                continue
+                            # Guard refused (chunked budget here; taint
+                            # guards cannot fire in fast mode): execute the
+                            # region per-instruction instead.
+                            guards += 1
+                fast = decoded[idx][1]
+                if fast is None:
+                    return
+                pc = self.pc
+                self.steps += 1
+                self.pc = pc + 1  # default fallthrough; jumps overwrite
+                try:
+                    fast(self)
+                except (MemoryFault, CpuFault) as exc:
+                    self.status = ExitStatus.FAULT
+                    # pc has already advanced; name the faulting instruction.
+                    self.fault_reason = f"{exc} (pc 0x{pc:08x})"
+                    return
+                if self.status is not ExitStatus.RUNNING:
+                    return
+        finally:
+            if sb is not None:
+                self._sb_entries += entered
+                self._sb_guard_exits += guards
+
+    def _run_superblocks(self) -> None:
+        """Dispatch compiled regions while live taint exists (tier 3).
+
+        Each region's closure re-checks its own guards (untainted
+        read-before-written registers, chunked budget) and its memory loads
+        taint-bail mid-region; any refusal or bail returns control here,
+        and the caller executes one exact slow step before retrying."""
+        entries = self._superblocks.entries
+        n = len(entries)
+        base = TEXT_BASE
+        entered = guards = 0
         while True:
-            if self.steps >= max_steps:
-                self.status = ExitStatus.BUDGET
-                return
             idx = self.pc - base
             if not 0 <= idx < n:
-                self.status = ExitStatus.FAULT
-                self.fault_reason = f"pc 0x{self.pc:08x} outside .text"
-                return
-            fast = decoded[idx][1]
-            if fast is None:
-                return
-            self.steps += 1
-            self.pc += 1  # default fallthrough; jumps overwrite
-            try:
-                fast(self)
-            except (MemoryFault, CpuFault) as exc:
-                self.status = ExitStatus.FAULT
-                self.fault_reason = str(exc)
-                return
+                break  # let the slow step raise the out-of-text fault
+            region = entries[idx]
+            if region is None:
+                break
+            if region.futile >= superblock_mod.FUTILE_LIMIT:
+                break  # persistently tainted region: stop paying for bails
+            fn = region.fn
+            if fn is None:
+                fn = region.warm()
+                if fn is None:
+                    break
+            before = self.steps
+            if not fn(self):
+                region.futile += 1
+                guards += 1
+                break
+            if self.steps - before <= 1:
+                # Bailed after a single step: an entry that keeps paying the
+                # exception for one instruction of progress is futile too.
+                region.futile += 1
+            else:
+                region.futile = 0
+            entered += 1
             if self.status is not ExitStatus.RUNNING:
-                return
+                break
+        self._sb_entries += entered
+        self._sb_guard_exits += guards
 
     def _flush_obs(self) -> None:
         """Report run totals into the metrics registry.
@@ -395,10 +633,18 @@ class CPU:
         runs = cache.runs.get(status)
         if runs is None:
             runs = cache.runs[status] = metrics.counter("vm.runs", status=status)
-        cache.instructions.inc(self.steps - self._steps_at_start)
+        executed = self.steps - self._steps_at_start
+        cache.instructions.inc(executed)
         runs.inc()
         cache.api_calls.inc(len(self.trace.api_calls) - self._events_at_start)
         cache.tainted_predicates.inc(len(self.trace.predicates) - self._predicates_at_start)
+        # Steps that avoided the slow path (fast loop + superblocks).
+        cache.fast_steps.inc(executed - self._slow_steps)
+        sb = self._superblocks
+        if sb is not None:
+            cache.sb_compiled.inc(sb.compiled - self._sb_compiled_base)
+            cache.sb_entries.inc(self._sb_entries)
+            cache.sb_guard_exits.inc(self._sb_guard_exits)
         flush = getattr(self.dispatcher, "flush_obs", None)
         if flush is not None:
             flush(self.trace.api_calls[self._events_at_start:])
@@ -421,20 +667,24 @@ class CPU:
             self.fault_reason = f"pc 0x{self.pc:08x} outside .text"
             return
         full, _fast, text = self._decoded[idx]
-        self._uses = []
-        self._defs = []
+        if self._track:
+            self._uses = []
+            self._defs = []
         self._api_step_recorded = False
         self._step_esp = self.regs["esp"]
         self._step_ebp = self.regs["ebp"]
         seq = self.steps
         pc = self.pc
         self.steps += 1
+        self._slow_steps += 1
         self.pc += 1  # default fallthrough; jumps overwrite
         try:
             full(self, pc, seq)
         except (MemoryFault, CpuFault) as exc:
             self.status = ExitStatus.FAULT
-            self.fault_reason = str(exc)
+            # pc advanced before the handler ran; report the pc of the
+            # instruction that actually faulted.
+            self.fault_reason = f"{exc} (pc 0x{pc:08x})"
             return
         if self.record_instructions and not self._api_step_recorded:
             self.trace.instructions.append(
@@ -587,7 +837,8 @@ class CPU:
         if cf is not None:
             self.flags["cf"] = cf
         self.flag_taint = taint
-        self._defs.append(("flags",))
+        if self._track:
+            self._defs.append(("flags",))
 
     def _compare(self, m: str, lhs: Operand, rhs: Operand, pc: int, seq: int, text: str) -> None:
         a, ta = self.read_operand(lhs)
@@ -632,7 +883,8 @@ class CPU:
     def _jump(self, m: str, target: Operand) -> None:
         taken = True
         if m != "jmp":
-            self._uses.append(("flags",))
+            if self._track:
+                self._uses.append(("flags",))
             zf, sf, cf = self.flags["zf"], self.flags["sf"], self.flags["cf"]
             taken = {
                 "je": zf == 1,
@@ -676,10 +928,12 @@ class CPU:
     # ------------------------------------------------------------------
 
     def note_use(self, location: Tuple) -> None:
-        self._uses.append(location)
+        if self._track:
+            self._uses.append(location)
 
     def note_def(self, location: Tuple) -> None:
-        self._defs.append(location)
+        if self._track:
+            self._defs.append(location)
 
     def record_api_step(self, seq: int, pc: int, text: str, event_id: int) -> None:
         """Append the API pseudo-instruction's def/use record."""

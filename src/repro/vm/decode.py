@@ -169,6 +169,24 @@ def _fast_handler(instr: Instruction) -> Optional[FastHandler]:
 
     if m in ("mov", "movb"):
         dst = _movb_dst(ops[0]) if m == "movb" else ops[0]
+        if m == "mov" and type(dst) is Reg:
+            # The two dominant shapes get direct register-file stores
+            # instead of a store-closure calling a load-closure.
+            if type(ops[1]) is Imm:
+                name, value = dst.name, mask32(ops[1].value)
+
+                def fast_mov_ri(cpu):
+                    cpu.regs[name] = value
+
+                return fast_mov_ri
+            if type(ops[1]) is Reg:
+                name, src_name = dst.name, ops[1].name
+
+                def fast_mov_rr(cpu):
+                    regs = cpu.regs
+                    regs[name] = regs[src_name]
+
+                return fast_mov_rr
         load = _load(ops[1])
         store = _store(dst)
         if load is None or store is None:

@@ -29,6 +29,15 @@ class MemoryFault(Exception):
         self.addr = addr
 
 
+class TaintBail(Exception):
+    """Raised by :meth:`Memory.read_checked` when a byte carries live taint.
+
+    The superblock tier only executes values it has *proven* untainted; a
+    tainted load aborts the compiled region so the CPU can replay the
+    instruction on the exact slow path (full taint propagation, predicate
+    events).  This is control flow, not an error."""
+
+
 class Memory:
     """Sparse memory: unwritten mapped bytes read as zero, untainted."""
 
@@ -49,10 +58,19 @@ class Memory:
             self.readonly_ranges.append((start, start + size))
 
     def is_mapped(self, addr: int) -> bool:
-        return any(start <= addr < end for start, end in self._regions)
+        # Plain loop, not any(genexpr): this is the hottest function in the
+        # whole pipeline (one call per byte touched) and the generator frame
+        # costs more than the comparisons.
+        for start, end in self._regions:
+            if start <= addr < end:
+                return True
+        return False
 
     def is_readonly(self, addr: int) -> bool:
-        return any(start <= addr < end for start, end in self.readonly_ranges)
+        for start, end in self.readonly_ranges:
+            if start <= addr < end:
+                return True
+        return False
 
     def _check(self, addr: int) -> None:
         if not self.is_mapped(addr):
@@ -81,13 +99,86 @@ class Memory:
 
         Valid only while the caller guarantees no live taint is being
         skipped (the CPU's fast-mode invariant).  Fault behaviour matches
-        the byte loop: the first unmapped byte raises."""
+        the byte loop: the first unmapped byte raises.  The common case —
+        the whole span inside one region — does a single bounds check
+        instead of one ``is_mapped`` scan per byte."""
+        a0 = addr & 0xFFFFFFFF
+        last = a0 + size - 1
+        if last <= 0xFFFFFFFF:
+            for start, end in self._regions:
+                if start <= a0 and last < end:
+                    data = self._bytes
+                    if size == 4:
+                        return (
+                            data.get(a0, 0)
+                            | data.get(a0 + 1, 0) << 8
+                            | data.get(a0 + 2, 0) << 16
+                            | data.get(a0 + 3, 0) << 24
+                        )
+                    if size == 1:
+                        return data.get(a0, 0)
+                    value = 0
+                    for i in range(size):
+                        value |= data.get(a0 + i, 0) << (8 * i)
+                    return value
+        # Span wraps 2^32 or straddles a region boundary: per-byte walk so
+        # the first unmapped byte faults, exactly like the write_byte loop.
         value = 0
         data = self._bytes
         for i in range(size):
             a = (addr + i) & 0xFFFFFFFF
             if not self.is_mapped(a):
                 raise MemoryFault(a)
+            value |= data.get(a, 0) << (8 * i)
+        return value
+
+    def read_checked(self, addr: int, size: int) -> int:
+        """``read_plain`` that additionally *proves* the bytes are untainted.
+
+        The superblock tier calls this for every memory load it compiles:
+        a mapped, untainted span reads like ``read_plain``; the first byte
+        carrying taint raises :class:`TaintBail` before any value is
+        consumed, so the caller can replay the instruction on the slow
+        path.  The first unmapped byte still raises :class:`MemoryFault`
+        (same fault order as the byte loop)."""
+        taint = self._taint
+        if not taint:
+            return self.read_plain(addr, size)
+        a0 = addr & 0xFFFFFFFF
+        last = a0 + size - 1
+        if last <= 0xFFFFFFFF:
+            for start, end in self._regions:
+                if start <= a0 and last < end:
+                    data = self._bytes
+                    if size == 4:
+                        if (
+                            a0 in taint
+                            or a0 + 1 in taint
+                            or a0 + 2 in taint
+                            or a0 + 3 in taint
+                        ):
+                            raise TaintBail()
+                        return (
+                            data.get(a0, 0)
+                            | data.get(a0 + 1, 0) << 8
+                            | data.get(a0 + 2, 0) << 16
+                            | data.get(a0 + 3, 0) << 24
+                        )
+                    value = 0
+                    for i in range(size):
+                        a = a0 + i
+                        if a in taint:
+                            raise TaintBail()
+                        value |= data.get(a, 0) << (8 * i)
+                    return value
+        value = 0
+        data = self._bytes
+        for i in range(size):
+            a = (addr + i) & 0xFFFFFFFF
+            if not self.is_mapped(a):
+                raise MemoryFault(a)
+            if a in taint:
+                raise TaintBail()
             value |= data.get(a, 0) << (8 * i)
         return value
 
@@ -99,6 +190,28 @@ class Memory:
         touched bytes is dropped."""
         data = self._bytes
         taint = self._taint
+        a0 = addr & 0xFFFFFFFF
+        last = a0 + size - 1
+        if last <= 0xFFFFFFFF:
+            for start, end in self._regions:
+                if start <= a0 and last < end:
+                    if size == 4:
+                        data[a0] = value & 0xFF
+                        data[a0 + 1] = (value >> 8) & 0xFF
+                        data[a0 + 2] = (value >> 16) & 0xFF
+                        data[a0 + 3] = (value >> 24) & 0xFF
+                        if taint:
+                            taint.pop(a0, None)
+                            taint.pop(a0 + 1, None)
+                            taint.pop(a0 + 2, None)
+                            taint.pop(a0 + 3, None)
+                        return
+                    for i in range(size):
+                        a = a0 + i
+                        data[a] = (value >> (8 * i)) & 0xFF
+                        if taint:
+                            taint.pop(a, None)
+                    return
         for i in range(size):
             a = (addr + i) & 0xFFFFFFFF
             if not self.is_mapped(a):
@@ -109,23 +222,111 @@ class Memory:
 
     # -- word-level -------------------------------------------------------
 
-    def read_u32(self, addr: int) -> Tuple[int, TagSet]:
+    def read_span(self, addr: int, size: int) -> Tuple[int, TagSet]:
+        """Multi-byte read with aggregated taint — the full-fat equivalent
+        of ``read_plain``.
+
+        Semantically identical to a ``read_byte`` loop (API argument
+        decoding and the slow interpreter both lean on it), but the common
+        whole-span-in-one-region case does a single bounds check and only
+        consults the taint dict when any taint exists at all.  The
+        wrap/straddle fallback keeps the byte loop's fault order."""
+        a0 = addr & 0xFFFFFFFF
+        last = a0 + size - 1
+        if last <= 0xFFFFFFFF:
+            for start, end in self._regions:
+                if start <= a0 and last < end:
+                    data = self._bytes
+                    if size == 4:
+                        value = (
+                            data.get(a0, 0)
+                            | data.get(a0 + 1, 0) << 8
+                            | data.get(a0 + 2, 0) << 16
+                            | data.get(a0 + 3, 0) << 24
+                        )
+                    else:
+                        value = 0
+                        for i in range(size):
+                            value |= data.get(a0 + i, 0) << (8 * i)
+                    taint = self._taint
+                    if taint:
+                        for i in range(size):
+                            if a0 + i in taint:
+                                return value, union(
+                                    *(
+                                        t
+                                        for j in range(size)
+                                        if (t := taint.get(a0 + j))
+                                    )
+                                )
+                    return value, EMPTY
         value = 0
         tagsets = []
-        for i in range(4):
+        for i in range(size):
             byte, tags = self.read_byte(addr + i)
             value |= byte << (8 * i)
             if tags:
                 tagsets.append(tags)
         return value, union(*tagsets)
 
-    def write_u32(self, addr: int, value: int, taint: TagSet = EMPTY) -> None:
-        for i in range(4):
+    def write_span(self, addr: int, value: int, size: int, taint: TagSet = EMPTY) -> None:
+        """Multi-byte write, one taint tag for the whole span.
+
+        Equivalent to a ``write_byte`` loop: earlier bytes stay written
+        when a later byte faults (fallback path), stale taint on the
+        touched bytes is replaced or dropped."""
+        a0 = addr & 0xFFFFFFFF
+        last = a0 + size - 1
+        if last <= 0xFFFFFFFF:
+            for start, end in self._regions:
+                if start <= a0 and last < end:
+                    data = self._bytes
+                    tmap = self._taint
+                    if taint:
+                        for i in range(size):
+                            a = a0 + i
+                            data[a] = (value >> (8 * i)) & 0xFF
+                            tmap[a] = taint
+                    elif tmap:
+                        for i in range(size):
+                            a = a0 + i
+                            data[a] = (value >> (8 * i)) & 0xFF
+                            tmap.pop(a, None)
+                    else:
+                        for i in range(size):
+                            data[a0 + i] = (value >> (8 * i)) & 0xFF
+                    return
+        for i in range(size):
             self.write_byte(addr + i, (value >> (8 * i)) & 0xFF, taint)
+
+    def read_u32(self, addr: int) -> Tuple[int, TagSet]:
+        return self.read_span(addr, 4)
+
+    def write_u32(self, addr: int, value: int, taint: TagSet = EMPTY) -> None:
+        self.write_span(addr, value, 4, taint)
 
     # -- bulk helpers (used by loader and the API layer) -------------------
 
     def write_bytes(self, addr: int, data: bytes, taint: TagSet = EMPTY) -> None:
+        a0 = addr & 0xFFFFFFFF
+        last = a0 + len(data) - 1
+        if data and last <= 0xFFFFFFFF:
+            for start, end in self._regions:
+                if start <= a0 and last < end:
+                    store = self._bytes
+                    tmap = self._taint
+                    if taint:
+                        for i, b in enumerate(data):
+                            store[a0 + i] = b
+                            tmap[a0 + i] = taint
+                    elif tmap:
+                        for i, b in enumerate(data):
+                            store[a0 + i] = b
+                            tmap.pop(a0 + i, None)
+                    else:
+                        for i, b in enumerate(data):
+                            store[a0 + i] = b
+                    return
         for i, b in enumerate(data):
             self.write_byte(addr + i, b, taint)
 
@@ -137,21 +338,44 @@ class Memory:
             self.write_byte(addr + i, b, t)
 
     def read_bytes(self, addr: int, size: int) -> bytes:
+        a0 = addr & 0xFFFFFFFF
+        last = a0 + size - 1
+        if size and last <= 0xFFFFFFFF:
+            for start, end in self._regions:
+                if start <= a0 and last < end:
+                    data = self._bytes
+                    return bytes(data.get(a0 + i, 0) for i in range(size))
         return bytes(self.read_byte(addr + i)[0] for i in range(size))
 
     def read_cstring(
         self, addr: int, max_len: int = 4096
     ) -> Tuple[str, List[TagSet]]:
-        """Read a NUL-terminated ASCII string and its per-byte taint."""
-        chars: List[str] = []
-        taints: List[TagSet] = []
+        """Read a NUL-terminated ASCII string and its per-byte taint.
+
+        API argument decoding reads strings constantly; caching the region
+        containing the cursor avoids one mapped-region scan per byte while
+        keeping the byte loop's fault order (first unmapped byte raises)."""
+        raw = bytearray()
+        data = self._bytes
+        taint = self._taint
+        lo = hi = 0
         for i in range(max_len):
-            byte, tags = self.read_byte(addr + i)
+            a = (addr + i) & 0xFFFFFFFF
+            if not lo <= a < hi:
+                for lo, hi in self._regions:
+                    if lo <= a < hi:
+                        break
+                else:
+                    raise MemoryFault(a)
+            byte = data.get(a, 0)
             if byte == 0:
                 break
-            chars.append(chr(byte))
-            taints.append(tags)
-        return "".join(chars), taints
+            raw.append(byte)
+        if taint:
+            taints = [taint.get((addr + i) & 0xFFFFFFFF, EMPTY) for i in range(len(raw))]
+        else:
+            taints = [EMPTY] * len(raw)
+        return raw.decode("latin-1"), taints
 
     def write_cstring(
         self, addr: int, text: str, taints: Optional[List[TagSet]] = None

@@ -36,11 +36,13 @@ class Program:
     metadata: Dict[str, object] = field(default_factory=dict)
 
     def __getstate__(self) -> Dict[str, object]:
-        # The predecoded handler table (repro.vm.decode) is a per-process
-        # closure cache — unpicklable and meaningless elsewhere; workers and
-        # snapshot resumes re-decode locally.
+        # The predecoded handler table (repro.vm.decode) and the superblock
+        # region cache (repro.vm.superblock) are per-process closure caches —
+        # unpicklable and meaningless elsewhere; workers and snapshot
+        # resumes re-decode/re-discover locally.
         state = dict(self.__dict__)
         state.pop("_decoded_cache", None)
+        state.pop("_superblock_cache", None)
         return state
 
     @property

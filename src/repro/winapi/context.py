@@ -19,6 +19,22 @@ from ..winenv.processes import Process
 class ApiContext:
     """Everything an API implementation needs for one invocation."""
 
+    __slots__ = (
+        "cpu",
+        "env",
+        "process",
+        "apidef",
+        "event_id",
+        "args",
+        "arg_taints",
+        "identifier",
+        "identifier_taints",
+        "extra",
+        "retval_taint",
+        "operation_override",
+        "explicit_last_error",
+    )
+
     def __init__(
         self,
         cpu,
@@ -67,6 +83,18 @@ class ApiContext:
             self.arg_taints.append(taint)
         return self.args[index]
 
+    def prefetch_args(self, argc: int) -> None:
+        """Batch-read the declared arguments (dispatcher pre-read path).
+
+        Equivalent to ``arg(0..argc-1)`` — same values, taints, and stack
+        use records — via one block read instead of one per slot."""
+        if not self.args:
+            values, taints = self.cpu.read_stack_args(argc)
+            self.args.extend(values)
+            self.arg_taints.extend(taints)
+        elif argc > 0:
+            self.arg(argc - 1)
+
     def arg_taint(self, index: int) -> TagSet:
         self.arg(index)
         return self.arg_taints[index]
@@ -84,8 +112,8 @@ class ApiContext:
             # A bogus guest pointer is the API's problem, not the host's:
             # real APIs validate and fail gracefully.
             return "", []
-        for i in range(len(text) + 1):
-            self.cpu.note_use(("mem", addr + i))
+        if self.cpu._track:
+            self.cpu._uses.extend(("mem", addr + i) for i in range(len(text) + 1))
         return text, taints
 
     def read_string_arg(self, index: int) -> Tuple[str, List[TagSet]]:
@@ -97,9 +125,9 @@ class ApiContext:
             taints = [taint] * len(data)
         for i, (b, t) in enumerate(zip(data, taints)):
             self.cpu.memory.write_byte(addr + i, b, t)
-            self.cpu.note_def(("mem", addr + i))
         self.cpu.memory.write_byte(addr + len(data), 0, EMPTY)
-        self.cpu.note_def(("mem", addr + len(data)))
+        if self.cpu._track:
+            self.cpu._defs.extend(("mem", addr + i) for i in range(len(data) + 1))
 
     def read_u32(self, addr: int) -> int:
         value, _ = self.cpu.read_mem(addr, 4)
@@ -110,14 +138,15 @@ class ApiContext:
 
     def read_buffer(self, addr: int, size: int) -> bytes:
         data = self.cpu.memory.read_bytes(addr, size)
-        for i in range(size):
-            self.cpu.note_use(("mem", addr + i))
+        if self.cpu._track:
+            self.cpu._uses.extend(("mem", addr + i) for i in range(size))
         return data
 
     def write_buffer(self, addr: int, data: bytes, taint: TagSet = EMPTY) -> None:
         for i, b in enumerate(data):
             self.cpu.memory.write_byte(addr + i, b, taint)
-            self.cpu.note_def(("mem", addr + i))
+        if self.cpu._track:
+            self.cpu._defs.extend(("mem", addr + i) for i in range(len(data)))
 
     def read_buffer_taints(self, addr: int, size: int) -> List[TagSet]:
         return [self.cpu.memory.read_byte(addr + i)[1] for i in range(size)]

@@ -21,7 +21,7 @@ from ..winenv.errors import ResourceFault, Win32Error
 from ..winenv.objects import HandleKind, Resource
 from ..winenv.processes import Process
 from .context import ApiContext
-from .labels import ApiDef, Calling, Returns, lookup
+from .labels import REGISTRY, ApiDef, Calling, Returns, lookup
 
 
 class Interception(enum.Enum):
@@ -82,20 +82,19 @@ class Dispatcher:
     # ------------------------------------------------------------------
 
     def invoke(self, cpu, name: str, caller_pc: int, seq: int) -> None:
-        try:
-            apidef = lookup(name)
-        except KeyError as exc:
+        apidef = REGISTRY.get(name)
+        if apidef is None:
             # An unresolvable import is a *guest* fault (crashed process),
             # not a host error.
             from ..vm.cpu import CpuFault
 
-            raise CpuFault(str(exc)) from None
+            raise CpuFault(f"unknown API {name!r}; is repro.winapi imported?") from None
         event_id = cpu.trace.next_event_id()
         ctx = ApiContext(cpu, self.env, self.process, apidef, event_id)
 
         # Pre-read the declared arguments (records their stack-slot uses).
-        for i in range(apidef.argc):
-            ctx.arg(i)
+        if apidef.argc:
+            ctx.prefetch_args(apidef.argc)
 
         event = ApiCallEvent(
             event_id=event_id,
@@ -149,7 +148,10 @@ class Dispatcher:
         event.extra.update(ctx.extra)
         if obs.flight.enabled:
             self._flight_record(event, tag, verdict, hit)
-        cpu.record_api_step(seq=seq, pc=caller_pc, text=f"call @{name}", event_id=event_id)
+        if cpu.record_instructions:
+            cpu.record_api_step(seq=seq, pc=caller_pc, text=f"call @{name}", event_id=event_id)
+        else:
+            cpu._api_step_recorded = True
 
     @staticmethod
     def _flight_record(event: ApiCallEvent, tag, verdict: Interception, hit) -> None:

@@ -108,3 +108,120 @@ def test_unsigned_branch_picks_correct_path(a, b):
         "    mov ebx, 2\n    halt\nbelow:\n    mov ebx, 1\n    halt\n"))
     cpu.run()
     assert cpu.regs["ebx"] == (1 if a < b else 2)
+
+
+# ---------------------------------------------------------------------------
+# execution-tier parity: slow / fast / superblocks must be indistinguishable
+# ---------------------------------------------------------------------------
+
+def _final_state(cpu):
+    return (cpu.status, cpu.steps, cpu.pc, dict(cpu.regs), dict(cpu.flags))
+
+
+def _run_all_tiers(src: str, max_steps: int = 20_000):
+    """Final machine state under each execution configuration.
+
+    * slow — recording interpreter (tier 1);
+    * fast — predecoded per-instruction loop, superblocks off (tier 2);
+    * sb-eager — superblocks on with threshold 0 (every region compiles on
+      first entry, the harshest tier-3 coverage);
+    * sb-default — superblocks at the default hotness threshold.
+    """
+    program = assemble(src)
+    states = {}
+    for label, kwargs in (
+        ("slow", dict(record_instructions=True)),
+        ("fast", dict(record_instructions=False, superblocks=False)),
+        ("sb-eager", dict(record_instructions=False, superblocks=True,
+                          superblock_threshold=0)),
+        ("sb-default", dict(record_instructions=False, superblocks=True)),
+    ):
+        cpu = CPU(program, max_steps=max_steps, **kwargs)
+        cpu.run()
+        states[label] = _final_state(cpu)
+    return states
+
+
+def _assert_tier_parity(states):
+    reference = states["slow"]
+    for label, state in states.items():
+        assert state == reference, (label, state, reference)
+
+
+loop_bodies = st.lists(
+    st.one_of(binary_instr, unary_instr), min_size=1, max_size=8
+)
+
+
+@given(loop_bodies, st.integers(min_value=1, max_value=40), instructions)
+@settings(max_examples=60, deadline=None)
+def test_tier_parity_on_random_looped_programs(body, rounds, tail):
+    """Random back-edge loops + straight-line tails agree across all tiers."""
+    def fmt(instr):
+        mnemonic, dst, src = instr
+        if src is None:
+            return f"    {mnemonic} {dst}"
+        return f"    {mnemonic} {dst}, {src}"
+
+    src = (
+        "main:\n"
+        + f"    mov ebp, {rounds}\n"
+        + "loop:\n"
+        + "\n".join(fmt(i) for i in body if i[1] != "ebp")
+        + "\n    dec ebp\n    jnz loop\n"
+        + "\n".join(fmt(i) for i in tail)
+        + "\n    halt\n"
+    )
+    _assert_tier_parity(_run_all_tiers(src))
+
+
+@given(st.integers(min_value=2, max_value=64))
+@settings(max_examples=30, deadline=None)
+def test_tier_parity_with_taint_points(length):
+    """A tainted buffer hashed in a loop: superblocks must bail to the slow
+    path at every tainted load and still finish in the identical state."""
+    from repro.winapi import Dispatcher
+    from repro.winenv import SystemEnvironment
+
+    src = (
+        ".section .data\n"
+        f"buf: .space {length + 4}\n"
+        ".section .text\n"
+        "    push 0\n"
+        f"    push buf\n"
+        "    call @GetComputerNameA\n"
+        "    xor esi, esi\n"
+        "    mov ebx, 5381\n"
+        "hash:\n"
+        "    xor eax, eax\n"
+        "    movb eax, [buf+esi]\n"
+        "    test eax, eax\n"
+        "    jz done\n"
+        "    imul ebx, 33\n"
+        "    add ebx, eax\n"
+        "    inc esi\n"
+        "    jmp hash\n"
+        "done:\n"
+        "    halt\n"
+    )
+    program = assemble(src)
+    states = {}
+    for label, kwargs in (
+        ("fast", dict(superblocks=False)),
+        ("sb-eager", dict(superblocks=True, superblock_threshold=0)),
+        ("sb-default", dict(superblocks=True)),
+    ):
+        env = SystemEnvironment()
+        proc = env.spawn_process("t.exe")
+        cpu = CPU(
+            program,
+            environment=env,
+            process=proc,
+            dispatcher=Dispatcher(env, proc),
+            record_instructions=False,
+            **kwargs,
+        )
+        cpu.run()
+        states[label] = _final_state(cpu) + (dict(cpu.reg_taint),)
+    assert states["sb-eager"] == states["fast"]
+    assert states["sb-default"] == states["fast"]
