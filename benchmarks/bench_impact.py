@@ -13,9 +13,11 @@ interception site and replays only the divergent suffix.  This bench pins:
   by a healthy margin on straight-line compute (≥1.15× asserted; the real
   number lands in the artifact).
 
-Artifacts: ``_artifacts/impact.txt`` (human-readable numbers) and
+Artifacts: ``_artifacts/impact.txt`` (human-readable numbers),
 ``_artifacts/impact_baseline.json`` (machine-readable per-sample latency
-baseline for regression eyeballing).
+baseline for regression eyeballing), and ``_artifacts/impact_profile.txt``
+(per-family hot-path attribution, so a BENCH_impact regression names the
+handler/tier/phase that moved).
 """
 
 from __future__ import annotations
@@ -214,11 +216,14 @@ def test_interpreter_fast_path():
 
 
 def _analysis_fingerprint(analysis) -> dict:
-    """Byte-identical view of a SampleAnalysis, modulo wall-clock spans and
-    the flight journal (which records *how* the run executed by design)."""
+    """Byte-identical view of a SampleAnalysis, modulo wall-clock spans,
+    the flight journal, and the hot-path profile (all three record *how*
+    the run executed by design — tier mix legitimately differs when
+    superblocks are off)."""
     payload = serialize.analysis_to_dict(analysis)
     payload.pop("span", None)
     payload.pop("journal", None)
+    payload.pop("profile", None)
     return payload
 
 
@@ -273,3 +278,19 @@ def test_write_artifacts(family_analyses):
         )
         + "\n",
     )
+
+    # Attribution rider: one profiled analysis per family, outside the
+    # timed section — a per_sample_seconds regression then comes with the
+    # handler/tier/phase that moved.
+    from repro.obs.prof import render_table
+
+    sections = ["Per-family hot paths (one profiled analysis each)"]
+    for family, (program, _analysis) in sorted(family_analyses.items()):
+        obs.prof.reset()
+        with obs.profiled():
+            profiled = AutoVac().analyze(program)
+        sections.append("")
+        sections.append(f"[{family}]")
+        sections.append(render_table(profiled.profile, top=10).rstrip("\n"))
+    obs.prof.reset()
+    write_artifact("impact_profile.txt", "\n".join(sections) + "\n")

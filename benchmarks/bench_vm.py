@@ -16,7 +16,9 @@ Three kernels pin the execution tiers against each other (see DESIGN.md,
 Each kernel runs with superblocks on and off and must finish in the same
 machine state either way.  Artifacts: ``_artifacts/vm.txt`` and
 ``_artifacts/vm_baseline.json`` (gated by ``check_bench_regression.py``
-under the shared ``per_sample_seconds`` schema).
+under the shared ``per_sample_seconds`` schema), plus
+``_artifacts/vm_profile.txt`` — one profiled run per kernel so a BENCH_vm
+regression names the tier/region that moved, not just the ratio.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from __future__ import annotations
 import json
 
 from repro import obs
+from repro.obs.prof import render_table
 from repro.corpus.builder import AsmBuilder, frag_computer_name_hash
 from repro.vm import CPU, assemble
 from repro.winapi import Dispatcher
@@ -135,3 +138,18 @@ def test_superblock_kernels():
         )
         + "\n",
     )
+
+    # Attribution rider: one profiled run per kernel, outside the timed
+    # section, so a regression in the numbers above comes with the tier or
+    # region that moved.
+    sections = ["VM kernels: per-tier attribution (one profiled run each)"]
+    for name, make in KERNELS:
+        obs.prof.reset()
+        with obs.profiled():
+            _run(make(), True)
+            profile = obs.prof.snapshot()
+        sections.append("")
+        sections.append(f"[{name}]")
+        sections.append(render_table(profile, top=10).rstrip("\n"))
+    obs.prof.reset()
+    write_artifact("vm_profile.txt", "\n".join(sections) + "\n")

@@ -11,9 +11,12 @@ Workflow (what the perf-smoke job runs), once per gated bench:
    ``BENCH_<name>.json`` at the repo root; exit non-zero on a regression.
 
 Gated benches: ``bench_impact.py`` (Phase-II per-sample latency,
-``impact_baseline.json``) and the rule-engine matching micro-bench in
-``bench_perf_overhead.py`` (``engine_baseline.json``) — both write the
-same ``per_sample_seconds`` schema, so one comparator gates both.
+``impact_baseline.json``), the rule-engine matching micro-bench in
+``bench_perf_overhead.py`` (``engine_baseline.json``), the superblock
+kernels in ``bench_vm.py`` (``vm_baseline.json``), and the hot-path
+profiler latency bench in ``bench_prof.py`` (``prof_baseline.json``) —
+all write the same ``per_sample_seconds`` schema, so one comparator
+gates them all.
 
 CI runners are not the machine the baseline was recorded on, so raw ratios
 mix hardware speed with real regressions.  The gate divides each case's
@@ -47,6 +50,7 @@ GATES = (
         "engine_baseline.json",
     ),
     ("vm", "bench_vm.py", "vm_baseline.json"),
+    ("prof", "bench_prof.py::test_prof_latency_baseline", "prof_baseline.json"),
 )
 
 

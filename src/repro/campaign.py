@@ -16,6 +16,7 @@ infection curve — the epidemiological view of what a vaccine buys.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
@@ -126,6 +127,7 @@ def attempt_infection(worm: Program, machine: FleetMachine, max_steps: int = 200
         # Attribute the block through the same engine the daemon enforced:
         # the first worm access a rule matches names the artifact that
         # stopped the infection (vaccine vs policy, per resource type).
+        t0 = time.perf_counter() if obs.prof.enabled else 0.0
         for event in run.trace.api_calls:
             rule = machine.enforcement.match(
                 event.resource_type, event.identifier, event.operation
@@ -137,6 +139,8 @@ def attempt_infection(worm: Program, machine: FleetMachine, max_steps: int = 200
                     resource=rule.resource_type.value,
                 ).inc()
                 break
+        if obs.prof.enabled:
+            obs.prof.add("rules;campaign", time.perf_counter() - t0)
     return infected
 
 

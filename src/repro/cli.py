@@ -9,10 +9,12 @@ Subcommands::
     python -m repro survey   [--size N] [--seed S] [--jobs N] [--cache DIR]
                              [--timeout S] [--retries N] [--failures-json f.json]
                              [--metrics m.json] [--run-dir DIR] [--progress]
+                             [--profile]
     python -m repro stats    <m.json> [--prom] [--flame-depth N] [--top N]
+    python -m repro profile  <family|asm-file> [--json|--folded] [--top N]
     python -m repro explain  <family|asm-file> [--vaccine SUBSTR] [--json FILE]
     python -m repro policy   <family|asm-file> [--json FILE] [--enforce]
-    python -m repro tail     <run-dir> [--follow] [--json]
+    python -m repro tail     <run-dir> [--follow] [--interval S] [--json]
     python -m repro runs     <dir>
 
 ``analyze`` runs the full pipeline on a built-in family or an assembly file
@@ -37,8 +39,18 @@ for structured logs.
 persistent ledger of per-sample lifecycle events plus a manifest; add
 ``--progress`` for a live progress line.  ``tail`` replays (or, with
 ``--follow``, streams) a run directory's ledger — attachable while the
-survey is still running from another terminal; ``runs`` lists the run
-directories under a parent directory with their outcomes.
+survey is still running from another terminal (``--interval`` sets the poll
+period); ``runs`` lists the run directories under a parent directory with
+their outcomes.
+
+``profile`` analyzes one sample with the hot-path profiler (``obs.prof``)
+on and prints the self-time attribution table: VM time per tier
+(slow/fast/superblock region), API dispatch per handler with the
+``read_stack_args`` cost split out, snapshot pickle/unpickle, and rule
+matching.  ``--json`` emits the nested tree, ``--folded`` collapsed stacks
+for flamegraph tooling.  ``survey --profile`` collects the same attribution
+population-wide (merged across workers; with ``--run-dir`` the per-sample
+deltas land in ``profile.jsonl``).
 """
 
 from __future__ import annotations
@@ -161,7 +173,9 @@ def cmd_survey(args: argparse.Namespace) -> int:
     result = analyze_population(
         [s.program for s in samples],
         config=PipelineConfig(
-            sample_timeout=args.timeout, sample_retries=args.retries
+            sample_timeout=args.timeout,
+            sample_retries=args.retries,
+            profile=args.profile,
         ),
         jobs=args.jobs,
         cache=args.cache,
@@ -196,6 +210,9 @@ def cmd_survey(args: argparse.Namespace) -> int:
         print(f"  {rtype:10s} {cells}")
     print("identifier kinds:", result.count_by_identifier_kind())
     print("delivery:", result.count_by_delivery())
+    if args.profile and len(obs.prof):
+        print("hot paths (merged across the population):")
+        sys.stdout.write(obs.render_table(obs.prof.snapshot(), top=15))
     _write_metrics(args.metrics)
     return 0
 
@@ -272,6 +289,29 @@ def cmd_stats(args: argparse.Namespace) -> int:
     else:
         depth = args.flame_depth if args.flame_depth is not None else args.depth
         sys.stdout.write(obs.render_stats(data, max_depth=depth, top=args.top))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs.prof import render_table, to_folded, to_tree
+
+    program = _load_program(args.sample)
+    with obs.profiled():
+        analysis = AutoVac().analyze(program)
+    profile = analysis.profile or {}
+    if not profile:
+        print(f"{program.name}: no profile data collected", file=sys.stderr)
+        return 1
+    if args.json:
+        doc = {"sample": program.name, "tree": to_tree(profile)}
+        sys.stdout.write(_json.dumps(doc, indent=2) + "\n")
+    elif args.folded:
+        sys.stdout.write(to_folded(profile))
+    else:
+        print(f"hot paths for {program.name} (self-time attribution):")
+        sys.stdout.write(render_table(profile, top=args.top))
     return 0
 
 
@@ -392,7 +432,9 @@ def cmd_tail(args: argparse.Namespace) -> int:
     started = manifest.get("started_unix")
     count = 0
     try:
-        for event in ledger.iter_ledger(args.run_dir, follow=args.follow):
+        for event in ledger.iter_ledger(
+            args.run_dir, follow=args.follow, poll_seconds=args.interval
+        ):
             count += 1
             if args.json:
                 print(_json.dumps(event))
@@ -488,6 +530,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render live progress (TTY status line, or periodic "
                         "log lines when stdout is not a TTY); implies a "
                         "temporary --run-dir when none is given")
+    p.add_argument("--profile", action="store_true",
+                   help="collect hot-path profiles (merged across workers); "
+                        "prints the population-wide attribution table and, "
+                        "with --run-dir, writes per-sample deltas to "
+                        "profile.jsonl")
     p.set_defaults(func=cmd_survey)
 
     p = sub.add_parser("policy",
@@ -512,6 +559,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep only the N widest entries per flame level")
     p.set_defaults(func=cmd_stats)
 
+    p = sub.add_parser("profile",
+                       help="analyze one sample with the hot-path profiler "
+                            "and print the self-time attribution")
+    p.add_argument("sample", help="family name or .asm file path")
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit the nested profile tree as JSON")
+    fmt.add_argument("--folded", action="store_true",
+                     help="emit collapsed/folded stacks (flamegraph.pl / "
+                          "speedscope input)")
+    p.add_argument("--top", type=int, default=None,
+                   help="table rows to keep (default: all)")
+    p.set_defaults(func=cmd_profile)
+
     p = sub.add_parser("explain",
                        help="walk a sample's provenance journal per vaccine")
     p.add_argument("sample", help="family name or .asm file path")
@@ -530,6 +591,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-f", "--follow", action="store_true",
                    help="keep streaming until the run finishes (attach to an "
                         "in-flight survey)")
+    p.add_argument("--interval", type=float, default=0.2, metavar="S",
+                   help="poll period in seconds while following "
+                        "(default 0.2; larger values cost less I/O on "
+                        "network filesystems)")
     p.add_argument("--json", action="store_true",
                    help="emit raw JSONL events instead of rendered lines")
     p.set_defaults(func=cmd_tail)

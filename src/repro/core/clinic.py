@@ -14,9 +14,11 @@ benign identifiers that merely shared a prefix.)
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..delivery.engine import RuleEngine
 from ..delivery.package import VaccinePackage, deploy
 from ..vm.program import Program
@@ -143,7 +145,16 @@ def _compare_runs(name, clean_run, vacc_run, engine: RuleEngine) -> List[ClinicI
             # The call site legitimately fails too on a clean machine
             # (e.g. an enumeration loop ending in ERROR_NO_MORE_ITEMS).
             continue
-        matched = engine.match_all(event.resource_type, event.identifier, event.operation)
+        if obs.prof.enabled:
+            t0 = time.perf_counter()
+            matched = engine.match_all(
+                event.resource_type, event.identifier, event.operation
+            )
+            obs.prof.add("rules;clinic", time.perf_counter() - t0)
+        else:
+            matched = engine.match_all(
+                event.resource_type, event.identifier, event.operation
+            )
         implicated: List[object] = []
         for rule in matched:
             # A vaccine can contribute several rules (observed + computed

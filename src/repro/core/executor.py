@@ -111,6 +111,10 @@ class PipelineConfig:
     #: way (the differential tests pin this); the flag mirrors
     #: ``snapshot_impact`` as an escape hatch and for the parity bench.
     superblock_vm: bool = True
+    #: Collect hot-path profiles (``obs.prof``) during analysis.  Part of
+    #: the cache fingerprint — not an execution knob — because it changes
+    #: what the encoded payload *contains* (the per-sample profile delta).
+    profile: bool = False
     #: Per-attempt wall-clock limit in seconds (None = off, the default —
     #: determinism benches must not depend on host speed).  Execution
     #: policy only; excluded from the cache fingerprint.
@@ -189,6 +193,7 @@ def config_for(autovac: AutoVac) -> PipelineConfig:
         aligner=aligner_name,
         snapshot_impact=autovac.impact.snapshot_resume,
         superblock_vm=autovac.superblock_vm,
+        profile=obs.prof.enabled,
     )
 
 
@@ -342,6 +347,10 @@ def _analyze_worker(
     so ``sample.started`` / ``sample.phase`` events stream out live.
     """
     obs.reset()
+    if config.profile:
+        # The per-sample profile delta ships inside the payload (codec v4);
+        # the parent absorbs it, so jobs=N merges like MetricsRegistry.
+        obs.prof.enabled = True
     if spool_dir is not None:
         stream.install(spool_dir).set_context(index=index, attempt=attempt)
     if plan is not None:
@@ -426,6 +435,8 @@ def analyze_population(
     store = _as_cache(cache)
     plan = faults if faults is not None else FaultPlan.from_env()
     policy = config if config is not None else PipelineConfig()
+    if policy.profile and not obs.prof.enabled:
+        obs.prof.enabled = True
     retries = max(0, int(policy.sample_retries))
     timeout = policy.sample_timeout
     backoff = max(0.0, policy.retry_backoff)
@@ -458,6 +469,15 @@ def analyze_population(
             vaccines=len(analysis.vaccines),
             cached=cached,
         )
+        if telemetry is not None and analysis.profile:
+            telemetry.record_profile(
+                {
+                    "kind": "sample.profile",
+                    "sample": programs[index].name,
+                    "index": index,
+                    "profile": analysis.profile,
+                }
+            )
 
     def quarantine(index: int, failure: SampleFailure, store_negative: bool = True) -> None:
         nonlocal done
@@ -514,6 +534,10 @@ def analyze_population(
             failures=[failures_by_index[i] for i in sorted(failures_by_index)],
         )
         if telemetry is not None:
+            if len(obs.prof):
+                telemetry.record_profile(
+                    {"kind": "run.profile", "profile": obs.prof.snapshot()}
+                )
             telemetry.finish(
                 outcomes={
                     "completed": len(result.analyses),
@@ -529,6 +553,11 @@ def analyze_population(
             stream.emit("cache.hit", sample=program.name, index=i, negative=False)
             finish(i, entry, cached=True)
             adopt_indices.append(i)
+            # Cached profiles were collected in another run/process; fold
+            # them in like worker payloads (the jobs=1 in-process path never
+            # absorbs — its deltas are already in the global profiler).
+            if entry.profile:
+                obs.prof.absorb(entry.profile)
         elif isinstance(entry, SampleFailure):
             # Negative entry from an earlier run: report the quarantine
             # again instead of hot re-crashing on the sample.
@@ -716,6 +745,8 @@ def analyze_population(
                     if analysis.span is not None:
                         obs.trace.adopt(analysis.span)
                     obs.metrics.merge(snapshot)
+                    if analysis.profile:
+                        obs.prof.absorb(analysis.profile)
                     finish(task.index, analysis)
                     adopt_indices.append(task.index)
                     suspects.discard(task.index)

@@ -71,6 +71,11 @@ class SampleAnalysis:
     #: Flight-recorder journal for this sample (None when the recorder is
     #: disabled): the provenance DAG ``repro explain`` walks.
     journal: Optional[Journal] = None
+    #: Hot-path profile delta for this sample (``{path: [count, seconds]}``;
+    #: None when ``obs.prof`` is disabled) — merged across workers by the
+    #: executor and rendered by ``repro profile`` / the report's hot-paths
+    #: table.
+    profile: Optional[Dict[str, List]] = None
 
     @property
     def has_vaccines(self) -> bool:
@@ -319,6 +324,7 @@ class AutoVac:
     def analyze(self, program: Program) -> SampleAnalysis:
         obs.stream.emit("sample.started", sample=program.name)
         journal_token = obs.flight.begin_sample(program.name)
+        prof_mark = obs.prof.mark() if obs.prof.enabled else None
         with obs.trace.span("pipeline.analyze", sample=program.name) as root:
             analysis = SampleAnalysis(program=program)
             if isinstance(root, Span):
@@ -330,6 +336,8 @@ class AutoVac:
                 filtered=analysis.filtered_reason is not None,
             )
         analysis.journal = obs.flight.end_sample(journal_token)
+        if prof_mark is not None:
+            analysis.profile = obs.prof.since(prof_mark)
         obs.metrics.counter("pipeline.samples").inc()
         if analysis.filtered_reason:
             obs.metrics.counter("pipeline.samples_filtered").inc()

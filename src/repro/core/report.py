@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..obs import render_chain
+from ..obs.prof import render_table as _prof_table
 from .pipeline import SampleAnalysis, SampleFailure
 from .vaccine import DeliveryKind, IdentifierKind
 
@@ -152,6 +153,14 @@ def render_report(analysis: SampleAnalysis, title: Optional[str] = None) -> str:
         push("")
         for phase, seconds in analysis.timings.items():
             push(f"* {phase}: {seconds * 1000:.1f} ms")
+        push("")
+
+    if analysis.profile:
+        push("## Hot paths")
+        push("")
+        push("```")
+        push(_prof_table(analysis.profile, top=12).rstrip("\n"))
+        push("```")
         push("")
 
     return "\n".join(lines)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import itertools
 import pickle
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -107,7 +108,19 @@ class VmSnapshot:
         three are rewound to the event's own values.
         """
         memory = cpu.memory
-        return cls(
+        prof = obs.prof if obs.prof.enabled else None
+        t_start = time.perf_counter() if prof is not None else 0.0
+        if prof is not None:
+            t0 = time.perf_counter()
+            env_blob = pickle.dumps(
+                (cpu.environment, cpu.process), pickle.HIGHEST_PROTOCOL
+            )
+            prof.add("snapshot;capture;env_pickle", time.perf_counter() - t0)
+        else:
+            env_blob = pickle.dumps(
+                (cpu.environment, cpu.process), pickle.HIGHEST_PROTOCOL
+            )
+        snapshot = cls(
             program_name=cpu.program.name,
             pc=event.caller_pc,
             steps=event.seq,
@@ -123,10 +136,11 @@ class VmSnapshot:
             mem_readonly=list(memory.readonly_ranges),
             api_calls=list(cpu.trace.api_calls),
             predicates=list(cpu.trace.predicates),
-            env_blob=pickle.dumps(
-                (cpu.environment, cpu.process), pickle.HIGHEST_PROTOCOL
-            ),
+            env_blob=env_blob,
         )
+        if prof is not None:
+            prof.add("snapshot;capture", time.perf_counter() - t_start)
+        return snapshot
 
     def build_cpu(
         self,
@@ -150,7 +164,14 @@ class VmSnapshot:
         """
         from ..winapi.dispatcher import Dispatcher
 
-        environment, process = pickle.loads(self.env_blob)
+        prof = obs.prof if obs.prof.enabled else None
+        t_start = time.perf_counter() if prof is not None else 0.0
+        if prof is not None:
+            t0 = time.perf_counter()
+            environment, process = pickle.loads(self.env_blob)
+            prof.add("snapshot;resume;env_unpickle", time.perf_counter() - t0)
+        else:
+            environment, process = pickle.loads(self.env_blob)
         all_interceptors = list(environment.global_interceptors)
         all_interceptors.extend(interceptors or [])
         dispatcher = Dispatcher(environment, process, interceptors=all_interceptors)
@@ -166,7 +187,7 @@ class VmSnapshot:
         trace.predicates = list(self.predicates)
         trace._event_ids = itertools.count(self.next_event_id)
 
-        return CPU.resume(
+        cpu = CPU.resume(
             program,
             environment,
             process,
@@ -184,6 +205,11 @@ class VmSnapshot:
             record_instructions=record_instructions,
             taint_addresses=taint_addresses,
         )
+        if prof is not None:
+            # Reconstruction only — the resumed run's execution time lands on
+            # the vm;* tiers, not here.
+            prof.add("snapshot;resume", time.perf_counter() - t_start)
+        return cpu
 
 
 class SnapshotRecorder:

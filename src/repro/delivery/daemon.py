@@ -164,7 +164,10 @@ class VaccineDaemon:
         try:
             return self._intercept(event)
         finally:
-            self.seconds_intercepting += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.seconds_intercepting += elapsed
+            if obs.prof.enabled:
+                obs.prof.add("rules;daemon", elapsed)
 
     def _intercept(self, event: ApiCallEvent) -> Interception:
         self.calls_seen += 1

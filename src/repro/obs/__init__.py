@@ -14,6 +14,10 @@ this package is the instrumentation substrate those measurements come from:
 * :data:`flight` — bounded flight recorder journaling analysis-causal
   events into a per-sample provenance DAG (:mod:`repro.obs.flight`),
   rendered by ``repro explain``;
+* :data:`prof` — deterministic hot-path profiler (:mod:`repro.obs.prof`):
+  opt-in wall-time/count attribution per VM tier, API handler, snapshot
+  pickle/unpickle, and rule-engine consumer, rendered by ``repro profile``
+  and exportable as a JSON tree or folded stacks for flamegraph tooling;
 * :mod:`~repro.obs.stream` / :mod:`~repro.obs.ledger` — cross-process run
   telemetry: workers spool per-sample lifecycle events as JSONL, the
   executor parent folds them into a persistent run ledger (``--run-dir``),
@@ -48,13 +52,15 @@ from .ledger import LedgerFold, ProgressView, RunTelemetry
 from .log import configure as configure_logging
 from .log import get_logger
 from .metrics import DEFAULT_BUCKETS, MAX_LABEL_SETS, Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .prof import Profiler, merge_profiles, render_table, to_folded, to_tree
 from .tracer import Span, Tracer, render_flame
 
-#: The process-global registry, tracer, and flight recorder every layer
-#: reports into.
+#: The process-global registry, tracer, flight recorder, and profiler every
+#: layer reports into.
 metrics = MetricsRegistry()
 trace = Tracer()
 flight = FlightRecorder()
+prof = Profiler()
 
 
 def is_enabled() -> bool:
@@ -64,33 +70,48 @@ def is_enabled() -> bool:
 @contextmanager
 def disabled() -> Iterator[None]:
     """Turn all instrumentation off inside the block (overhead baseline)."""
-    saved = (metrics.enabled, trace.enabled, flight.enabled)
+    saved = (metrics.enabled, trace.enabled, flight.enabled, prof.enabled)
     metrics.enabled = False
     trace.enabled = False
     flight.enabled = False
+    prof.enabled = False
     try:
         yield
     finally:
-        metrics.enabled, trace.enabled, flight.enabled = saved
+        metrics.enabled, trace.enabled, flight.enabled, prof.enabled = saved
+
+
+@contextmanager
+def profiled() -> Iterator[None]:
+    """Turn the hot-path profiler on inside the block (it is off by
+    default); collected data stays in :data:`prof` afterwards."""
+    saved = prof.enabled
+    prof.enabled = True
+    try:
+        yield
+    finally:
+        prof.enabled = saved
 
 
 def reset() -> None:
-    """Drop all collected metrics, spans, and flight events and detach any
-    run-telemetry emitter (tests / between CLI runs / worker start)."""
+    """Drop all collected metrics, spans, flight events, and profile data
+    and detach any run-telemetry emitter (tests / between CLI runs / worker
+    start)."""
     metrics.reset()
     trace.reset()
     flight.reset()
+    prof.reset()
     stream.uninstall()
 
 
 def export_snapshot() -> Dict[str, object]:
-    """JSON-safe dump of the global registry + tracer."""
-    return snapshot(metrics, trace)
+    """JSON-safe dump of the global registry + tracer + profiler."""
+    return snapshot(metrics, trace, prof)
 
 
 def export_json(path) -> Dict[str, object]:
     """Write the global snapshot to ``path``; returns the written dict."""
-    return write_json(path, metrics, trace)
+    return write_json(path, metrics, trace, prof)
 
 
 __all__ = [
@@ -105,6 +126,7 @@ __all__ = [
     "MAX_FLIGHT_EVENTS",
     "MAX_LABEL_SETS",
     "MetricsRegistry",
+    "Profiler",
     "ProgressView",
     "RunTelemetry",
     "Span",
@@ -119,15 +141,21 @@ __all__ = [
     "is_enabled",
     "ledger",
     "load",
+    "merge_profiles",
     "metrics",
+    "prof",
+    "profiled",
     "render_chain",
     "render_flame",
     "render_prometheus",
     "render_stats",
+    "render_table",
     "reset",
     "snapshot",
     "stream",
     "summarize_event",
+    "to_folded",
+    "to_tree",
     "trace",
     "write_json",
 ]

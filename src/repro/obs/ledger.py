@@ -32,6 +32,7 @@ from . import stream
 LEDGER_NAME = "ledger.jsonl"
 MANIFEST_NAME = "manifest.json"
 METRICS_NAME = "metrics.jsonl"
+PROFILE_NAME = "profile.jsonl"
 SPOOL_DIR = "spool"
 MANIFEST_VERSION = 1
 
@@ -449,6 +450,17 @@ class RunTelemetry:
         except OSError:  # pragma: no cover - telemetry never kills the run
             pass
 
+    def record_profile(self, payload: dict) -> None:
+        """Append one hot-path profile row (``profile.jsonl``, next to the
+        ledger): per-sample deltas as the survey progresses, one merged
+        ``run.profile`` row at the end.  Best-effort like the metrics tail —
+        telemetry never kills the run."""
+        try:
+            with open(self.run_dir / PROFILE_NAME, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(payload) + "\n")
+        except OSError:  # pragma: no cover - telemetry never kills the run
+            pass
+
     def finish(self, outcomes: Optional[Dict[str, int]] = None) -> dict:
         """Final drain, manifest flip to ``finished``, emitter teardown.
         Idempotent — a second call returns the finished manifest."""
@@ -613,6 +625,7 @@ __all__ = [
     "LedgerFold",
     "MANIFEST_NAME",
     "METRICS_NAME",
+    "PROFILE_NAME",
     "ProgressView",
     "RunTelemetry",
     "SPOOL_DIR",

@@ -1,0 +1,278 @@
+"""Deterministic hierarchical hot-path profiler (``obs.prof``).
+
+The paper's §VI-F numbers — per-sample generation time, per-intercepted-call
+daemon overhead — are *attributions*: which named component of the pipeline
+the wall-clock went to.  This module is the instrument that produces them
+without ad-hoc cProfile runs:
+
+* **VM execution by tier** — ``vm;slow`` (recording/taint dispatch),
+  ``vm;fast`` (predecoded untainted loop), ``vm;superblock;region@0x…``
+  (one node per compiled hot region) plus ``vm;superblock;guard_exit``
+  (count-only: refused dispatches; their time stays on the region node);
+* **API dispatch per handler** — ``api;<Name>`` total with
+  ``api;<Name>;read_args`` (the ``read_stack_args`` pre-read) split out,
+  so body time is the handler node's *self* time;
+* **snapshot capture/resume** — ``snapshot;capture`` /
+  ``snapshot;resume`` with the environment-blob ``env_pickle`` /
+  ``env_unpickle`` cost as child nodes;
+* **rule matching** — ``rules;daemon`` / ``rules;clinic`` /
+  ``rules;campaign``, one node per :class:`~repro.delivery.engine.RuleEngine`
+  consumer.
+
+Design rules (the cheap-hook contract, like metrics/trace/flight):
+
+* Off by default; every instrumented site gates on ``prof.enabled`` (or a
+  cached ``None``-or-profiler attribute) *once per run or call*, never per
+  instruction — ``benchmarks/bench_prof.py`` holds the enabled-vs-disabled
+  pipeline overhead to <=5% and the disabled path is a no-op.
+* **Deterministic**: a profile is a flat ``{path: [count, seconds]}`` map.
+  Path sets and counts depend only on what executed — merging per-sample
+  deltas is commutative addition, so ``jobs=1`` and ``jobs=N`` runs of the
+  same corpus produce identical trees (times differ, structure and counts
+  do not; ``tests/test_prof.py`` pins this).
+* Paths are ``;``-joined frames (the collapsed/folded-stack convention), so
+  ``to_folded()`` output feeds ``flamegraph.pl`` / speedscope directly.
+
+The trees are independent attributions, not a single-rooted partition of
+wall time: ``api;*`` time is a refinement of part of ``vm;slow`` (API calls
+dispatch from the slow step), and ``snapshot;resume`` contains the resumed
+run's ``vm;*`` time.  Self time is still well-defined *within* each tree.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Frame separator (folded-stack convention); frame names must not contain it.
+SEP = ";"
+
+#: A profile snapshot: path -> [count, seconds].  JSON-safe by construction.
+ProfileDict = Dict[str, List]
+
+
+class Profiler:
+    """Process-local accumulator of ``path -> [count, seconds]`` cells.
+
+    One global instance lives at ``repro.obs.prof``.  Hot sites accumulate
+    locally (plain ints/floats) and flush once per run/call via :meth:`add`;
+    :meth:`mark`/:meth:`since` carve out per-sample deltas, which merge
+    across executor workers through :meth:`absorb` (commutative, so worker
+    completion order cannot change the result).
+    """
+
+    __slots__ = ("enabled", "_paths")
+
+    def __init__(self) -> None:
+        #: Off by default — profiling is opt-in (``repro profile``,
+        #: ``survey --profile``), unlike metrics/tracing which default on.
+        self.enabled = False
+        self._paths: ProfileDict = {}
+
+    # -- collection (hot-ish; callers gate on .enabled first) ----------------
+
+    def add(self, path: str, seconds: float = 0.0, count: int = 1) -> None:
+        """Fold ``count`` events and ``seconds`` of wall time into ``path``."""
+        if not self.enabled:
+            return
+        cell = self._paths.get(path)
+        if cell is None:
+            self._paths[path] = [count, seconds]
+        else:
+            cell[0] += count
+            cell[1] += seconds
+
+    @contextmanager
+    def timed(self, path: str) -> Iterator[None]:
+        """Time a block into ``path`` (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(path, time.perf_counter() - started)
+
+    # -- snapshots, deltas, merging ------------------------------------------
+
+    def snapshot(self) -> ProfileDict:
+        """JSON-safe copy of everything collected so far."""
+        return {path: [cell[0], cell[1]] for path, cell in self._paths.items()}
+
+    def mark(self) -> ProfileDict:
+        """Checkpoint for :meth:`since` (per-sample delta extraction)."""
+        return self.snapshot()
+
+    def since(self, mark: ProfileDict) -> ProfileDict:
+        """What was collected after ``mark`` — the per-sample profile the
+        pipeline attaches to :class:`~repro.core.pipeline.SampleAnalysis`."""
+        delta: ProfileDict = {}
+        for path, (count, seconds) in self._paths.items():
+            base = mark.get(path)
+            d_count = count - (base[0] if base else 0)
+            d_seconds = seconds - (base[1] if base else 0.0)
+            if d_count or d_seconds > 0.0:
+                delta[path] = [d_count, d_seconds]
+        return delta
+
+    def absorb(self, profile: Optional[ProfileDict]) -> None:
+        """Fold a snapshot/delta from another process (or a cache hit) in.
+
+        Not gated on ``enabled``: this is data plumbing, not collection —
+        the executor parent folds worker profiles the same way
+        ``MetricsRegistry.merge`` folds worker metric snapshots.
+        """
+        if not profile:
+            return
+        for path, cell in profile.items():
+            mine = self._paths.get(path)
+            if mine is None:
+                self._paths[path] = [cell[0], cell[1]]
+            else:
+                mine[0] += cell[0]
+                mine[1] += cell[1]
+
+    def reset(self) -> None:
+        """Drop collected data (the ``enabled`` flag is left alone, matching
+        ``MetricsRegistry.reset``)."""
+        self._paths.clear()
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+
+def merge_profiles(*profiles: Optional[ProfileDict]) -> ProfileDict:
+    """Commutative sum of profile snapshots (``None`` entries skipped)."""
+    merged: ProfileDict = {}
+    for profile in profiles:
+        if not profile:
+            continue
+        for path, cell in profile.items():
+            mine = merged.get(path)
+            if mine is None:
+                merged[path] = [cell[0], cell[1]]
+            else:
+                mine[0] += cell[0]
+                mine[1] += cell[1]
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# export: JSON tree, folded stacks, hot-paths table
+# ---------------------------------------------------------------------------
+
+
+def to_tree(profile: ProfileDict) -> List[dict]:
+    """Nested-node view of a flat profile, children sorted by name.
+
+    Each node: ``{name, path, count, total_seconds, self_seconds,
+    children}``.  Interior frames without their own cell (e.g. ``api`` when
+    only ``api;X`` was recorded) are synthesized with the sum of their
+    children and zero self time; a frame *with* its own cell gets
+    ``self = total - sum(children totals)`` clamped at zero.
+    """
+    root: dict = {"children": {}}
+    for path in sorted(profile):
+        count, seconds = profile[path]
+        node = root
+        frames = path.split(SEP)
+        for depth, frame in enumerate(frames):
+            node = node["children"].setdefault(
+                frame,
+                {
+                    "name": frame,
+                    "path": SEP.join(frames[: depth + 1]),
+                    "count": 0,
+                    "total_seconds": 0.0,
+                    "own": False,
+                    "children": {},
+                },
+            )
+        node["count"] = count
+        node["total_seconds"] = seconds
+        node["own"] = True
+
+    def finalize(node: dict) -> dict:
+        children = [finalize(child) for _, child in sorted(node["children"].items())]
+        child_total = sum(c["total_seconds"] for c in children)
+        child_count = sum(c["count"] for c in children)
+        if not node["own"]:
+            node["total_seconds"] = child_total
+            node["count"] = child_count
+        node["self_seconds"] = round(max(0.0, node["total_seconds"] - child_total), 9)
+        node["total_seconds"] = round(node["total_seconds"], 9)
+        node["children"] = children
+        node.pop("own")
+        return node
+
+    return [
+        finalize(child) for _, child in sorted(root["children"].items())
+    ]
+
+
+def _self_cells(profile: ProfileDict) -> Dict[str, List]:
+    """path -> [count, self_seconds] (total minus recorded children)."""
+    cells = {path: [cell[0], cell[1]] for path, cell in profile.items()}
+    for path, cell in profile.items():
+        prefix = path + SEP
+        child_sum = sum(
+            c[1]
+            for p, c in profile.items()
+            if p.startswith(prefix) and SEP not in p[len(prefix):]
+        )
+        cells[path][1] = max(0.0, cell[1] - child_sum)
+    return cells
+
+
+def to_folded(profile: ProfileDict) -> str:
+    """Collapsed/folded-stack text: one ``path value`` line per frame with
+    *self* time in integer microseconds — the format ``flamegraph.pl`` and
+    speedscope ingest directly."""
+    lines = []
+    for path, (_count, self_seconds) in sorted(_self_cells(profile).items()):
+        lines.append(f"{path} {int(round(self_seconds * 1_000_000))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_table(profile: ProfileDict, top: Optional[int] = None) -> str:
+    """Human-readable hot-paths table, widest self time first."""
+    if not profile:
+        return "(no profile data)\n"
+    self_cells = _self_cells(profile)
+    grand = sum(cell[1] for cell in self_cells.values()) or 1.0
+    rows = sorted(
+        self_cells.items(), key=lambda item: (-item[1][1], item[0])
+    )
+    if top is not None:
+        rows = rows[: max(0, top)]
+    width = max(len("path"), max(len(path) for path, _ in rows))
+    lines = [
+        f"{'path':<{width}}  {'count':>10}  {'total':>10}  {'self':>10}  {'self%':>6}"
+    ]
+    for path, (count, self_seconds) in rows:
+        total = profile[path][1]
+        lines.append(
+            f"{path:<{width}}  {count:>10,}  {_fmt_seconds(total):>10}  "
+            f"{_fmt_seconds(self_seconds):>10}  {100.0 * self_seconds / grand:>5.1f}%"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+__all__ = [
+    "Profiler",
+    "SEP",
+    "merge_profiles",
+    "render_table",
+    "to_folded",
+    "to_tree",
+]

@@ -40,12 +40,12 @@ FORMAT_VERSION = 1
 #: the encoded shape; the result cache keys on it, so stale cache entries
 #: from an older layout can never be decoded by mistake.
 #: v2 added the optional flight-recorder ``journal``; v3 the optional
-#: temporal API ``policy``.
-ANALYSIS_FORMAT_VERSION = 3
+#: temporal API ``policy``; v4 the optional hot-path ``profile``.
+ANALYSIS_FORMAT_VERSION = 4
 
 #: Older payload versions :func:`analysis_from_dict` still decodes (fields
 #: added since are absent and default to ``None``/empty).
-SUPPORTED_ANALYSIS_VERSIONS = frozenset({1, 2, ANALYSIS_FORMAT_VERSION})
+SUPPORTED_ANALYSIS_VERSIONS = frozenset({1, 2, 3, ANALYSIS_FORMAT_VERSION})
 
 
 def _tagset_to_list(tags) -> List[dict]:
@@ -362,6 +362,7 @@ def analysis_to_dict(analysis: "SampleAnalysis") -> dict:
         "filtered_reason": analysis.filtered_reason,
         "span": analysis.span.to_dict() if analysis.span is not None else None,
         "journal": analysis.journal.to_dict() if analysis.journal is not None else None,
+        "profile": analysis.profile,
     }
 
 
@@ -398,6 +399,7 @@ def analysis_from_dict(data: dict) -> "SampleAnalysis":
         filtered_reason=data.get("filtered_reason"),
         span=Span.from_dict(span) if span is not None else None,
         journal=Journal.from_dict(journal) if journal is not None else None,
+        profile=data.get("profile"),
     )
 
 

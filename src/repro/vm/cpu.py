@@ -11,7 +11,8 @@ signal).  API calls trap into an injected dispatcher.
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import obs
 from ..taint.labels import EMPTY, TagSet, union
@@ -87,6 +88,40 @@ class _VmFlushCache:
 
 
 _VM_FLUSH_CACHE = _VmFlushCache()
+
+
+class _ProfAcc:
+    """Per-run tier-time accumulator for the profiled execution loop.
+
+    Plain attributes only — the profiled loops accumulate locally and flush
+    once into ``obs.prof`` when the run ends (same once-per-run discipline
+    as ``_flush_obs``), so even profiling-on overhead stays at segment
+    granularity, not per instruction.
+    """
+
+    __slots__ = ("slow_s", "slow_n", "fast_s", "fast_n", "regions", "guard_exits")
+
+    def __init__(self) -> None:
+        self.slow_s = 0.0
+        self.slow_n = 0
+        self.fast_s = 0.0
+        self.fast_n = 0
+        #: region entry idx -> [entries, seconds] (one profile node each).
+        self.regions: Dict[int, list] = {}
+        self.guard_exits = 0
+
+    def flush(self, prof) -> None:
+        if self.slow_n:
+            prof.add("vm;slow", self.slow_s, self.slow_n)
+        if self.fast_n:
+            prof.add("vm;fast", self.fast_s, self.fast_n)
+        for idx in sorted(self.regions):
+            entries, seconds = self.regions[idx]
+            prof.add(f"vm;superblock;region@0x{TEXT_BASE + idx:08x}", seconds, entries)
+        if self.guard_exits:
+            # Count-only: the refused dispatch's time is already attributed
+            # to its region node.
+            prof.add("vm;superblock;guard_exit", 0.0, self.guard_exits)
 
 
 class CPU:
@@ -482,28 +517,35 @@ class CPU:
         if self._allow_fast:
             # Callers may have injected taint by hand before run().
             self._fast_mode = not self._taint_live()
-        guarded = self._allow_fast and self._superblocks is not None
-        entries = self._superblocks.entries if guarded else None
-        n_entries = len(entries) if entries is not None else 0
-        base = TEXT_BASE
-        while self.status is ExitStatus.RUNNING:
-            if self._fast_mode:
-                self._run_fast()
-                if self.status is not ExitStatus.RUNNING:
-                    break
-            elif entries is not None:
-                # Taint is live: run guarded superblocks where possible,
-                # fall back to single slow steps between them.  The region
-                # lookup is inlined so pcs without a region pay two
-                # comparisons, not a dispatch-function call per slow step.
-                idx = self.pc - base
-                if 0 <= idx < n_entries and entries[idx] is not None:
-                    self._run_superblocks()
+        prof = obs.prof
+        if prof.enabled:
+            # Profiling is opt-in: the normal loop below stays untouched
+            # (zero added branches) and the profiled twin pays for its
+            # tier-segment timers only when somebody asked for attribution.
+            self._run_loop_profiled(prof)
+        else:
+            guarded = self._allow_fast and self._superblocks is not None
+            entries = self._superblocks.entries if guarded else None
+            n_entries = len(entries) if entries is not None else 0
+            base = TEXT_BASE
+            while self.status is ExitStatus.RUNNING:
+                if self._fast_mode:
+                    self._run_fast()
                     if self.status is not ExitStatus.RUNNING:
                         break
-            # Slow-path step: either fast mode is off, or the next
-            # instruction (an API call) needs the full machinery.
-            self.step()
+                elif entries is not None:
+                    # Taint is live: run guarded superblocks where possible,
+                    # fall back to single slow steps between them.  The region
+                    # lookup is inlined so pcs without a region pay two
+                    # comparisons, not a dispatch-function call per slow step.
+                    idx = self.pc - base
+                    if 0 <= idx < n_entries and entries[idx] is not None:
+                        self._run_superblocks()
+                        if self.status is not ExitStatus.RUNNING:
+                            break
+                # Slow-path step: either fast mode is off, or the next
+                # instruction (an API call) needs the full machinery.
+                self.step()
         self.trace.exit_status = self.status.value
         self.trace.steps = self.steps
         if self.process is not None and self.process.exit_code is not None:
@@ -609,6 +651,191 @@ class CPU:
                 region.futile += 1
             else:
                 region.futile = 0
+            entered += 1
+            if self.status is not ExitStatus.RUNNING:
+                break
+        self._sb_entries += entered
+        self._sb_guard_exits += guards
+
+    # ------------------------------------------------------------------
+    # profiled execution loop (obs.prof enabled)
+    # ------------------------------------------------------------------
+
+    def _run_loop_profiled(self, prof) -> None:
+        """Profiled twin of the ``run()`` loop: identical control flow and
+        machine semantics, plus per-tier wall-time attribution.
+
+        Timers wrap tier *segments*, never single instructions: contiguous
+        slow steps batch behind one ``perf_counter`` pair, the fast loop is
+        timed per invocation, and compiled regions per dispatch — so the
+        profiled trees stay deterministic in structure/counts while the
+        timing overhead stays a few percent even with profiling on.
+        """
+        perf = time.perf_counter
+        acc = _ProfAcc()
+        guarded = self._allow_fast and self._superblocks is not None
+        entries = self._superblocks.entries if guarded else None
+        n_entries = len(entries) if entries is not None else 0
+        base = TEXT_BASE
+        try:
+            while self.status is ExitStatus.RUNNING:
+                if self._fast_mode:
+                    self._run_fast_profiled(acc)
+                    if self.status is not ExitStatus.RUNNING:
+                        break
+                    # The instruction the fast loop bailed on (an API call,
+                    # typically) needs one full slow step.
+                    t0 = perf()
+                    self.step()
+                    acc.slow_s += perf() - t0
+                    acc.slow_n += 1
+                    continue
+                # Slow tier: batch contiguous slow steps behind one timer
+                # pair, breaking out when a guarded superblock can dispatch
+                # or the fast path becomes legal again.
+                t0 = perf()
+                steps0 = self.steps
+                at_region = False
+                while self.status is ExitStatus.RUNNING and not self._fast_mode:
+                    if entries is not None:
+                        idx = self.pc - base
+                        if 0 <= idx < n_entries and entries[idx] is not None:
+                            at_region = True
+                            break
+                    self.step()
+                acc.slow_s += perf() - t0
+                acc.slow_n += self.steps - steps0
+                if at_region:
+                    self._run_superblocks_profiled(acc)
+                    if self.status is not ExitStatus.RUNNING:
+                        break
+                    # One exact slow step before retrying (mirrors run()).
+                    t0 = perf()
+                    self.step()
+                    acc.slow_s += perf() - t0
+                    acc.slow_n += 1
+        finally:
+            acc.flush(prof)
+
+    def _run_fast_profiled(self, acc: "_ProfAcc") -> None:
+        """Profiled twin of ``_run_fast``: one timer pair around the whole
+        segment, one per compiled-region dispatch; the difference is
+        attributed to the predecoded fast loop (``vm;fast``)."""
+        perf = time.perf_counter
+        decoded = self._decoded
+        n = len(decoded)
+        base = TEXT_BASE
+        max_steps = self.max_steps
+        sb = self._superblocks
+        entries = sb.entries if sb is not None else None
+        entered = guards = 0
+        regions = acc.regions
+        steps0 = self.steps
+        sb_steps = 0
+        sb_s = 0.0
+        t_start = perf()
+        try:
+            while True:
+                if self.steps >= max_steps:
+                    self.status = ExitStatus.BUDGET
+                    return
+                idx = self.pc - base
+                if not 0 <= idx < n:
+                    self.status = ExitStatus.FAULT
+                    self.fault_reason = f"pc 0x{self.pc:08x} outside .text"
+                    return
+                if entries is not None:
+                    region = entries[idx]
+                    if region is not None:
+                        fn = region.fn
+                        if fn is None:
+                            fn = region.warm()
+                        if fn is not None:
+                            cell = regions.get(idx)
+                            if cell is None:
+                                cell = regions[idx] = [0, 0.0]
+                            before = self.steps
+                            t0 = perf()
+                            ok = fn(self)
+                            dt = perf() - t0
+                            sb_s += dt
+                            cell[1] += dt
+                            sb_steps += self.steps - before
+                            if ok:
+                                cell[0] += 1
+                                entered += 1
+                                if self.status is not ExitStatus.RUNNING:
+                                    return
+                                continue
+                            # Guard refused (chunked budget here; taint
+                            # guards cannot fire in fast mode): execute the
+                            # region per-instruction instead.
+                            guards += 1
+                            acc.guard_exits += 1
+                fast = decoded[idx][1]
+                if fast is None:
+                    return
+                pc = self.pc
+                self.steps += 1
+                self.pc = pc + 1  # default fallthrough; jumps overwrite
+                try:
+                    fast(self)
+                except (MemoryFault, CpuFault) as exc:
+                    self.status = ExitStatus.FAULT
+                    # pc has already advanced; name the faulting instruction.
+                    self.fault_reason = f"{exc} (pc 0x{pc:08x})"
+                    return
+                if self.status is not ExitStatus.RUNNING:
+                    return
+        finally:
+            if sb is not None:
+                self._sb_entries += entered
+                self._sb_guard_exits += guards
+            acc.fast_s += (perf() - t_start) - sb_s
+            acc.fast_n += (self.steps - steps0) - sb_steps
+
+    def _run_superblocks_profiled(self, acc: "_ProfAcc") -> None:
+        """Profiled twin of ``_run_superblocks``: per-dispatch timing keyed
+        by region entry pc (taint-guarded tier-3 dispatches)."""
+        perf = time.perf_counter
+        entries = self._superblocks.entries
+        n = len(entries)
+        base = TEXT_BASE
+        entered = guards = 0
+        regions = acc.regions
+        while True:
+            idx = self.pc - base
+            if not 0 <= idx < n:
+                break  # let the slow step raise the out-of-text fault
+            region = entries[idx]
+            if region is None:
+                break
+            if region.futile >= superblock_mod.FUTILE_LIMIT:
+                break  # persistently tainted region: stop paying for bails
+            fn = region.fn
+            if fn is None:
+                fn = region.warm()
+                if fn is None:
+                    break
+            cell = regions.get(idx)
+            if cell is None:
+                cell = regions[idx] = [0, 0.0]
+            before = self.steps
+            t0 = perf()
+            ok = fn(self)
+            cell[1] += perf() - t0
+            if not ok:
+                region.futile += 1
+                guards += 1
+                acc.guard_exits += 1
+                break
+            if self.steps - before <= 1:
+                # Bailed after a single step: an entry that keeps paying the
+                # exception for one instruction of progress is futile too.
+                region.futile += 1
+            else:
+                region.futile = 0
+            cell[0] += 1
             entered += 1
             if self.status is not ExitStatus.RUNNING:
                 break

@@ -11,6 +11,7 @@ vaccine daemon (block matching identifiers at runtime).
 from __future__ import annotations
 
 import enum
+import time
 from typing import Iterable, List, Optional, Protocol
 
 from .. import obs
@@ -57,6 +58,10 @@ class _FlushCache:
 
 _FLUSH_CACHE = _FlushCache()
 
+#: api name -> ("api;Name", "api;Name;read_args").  Interned once: the
+#: profiled invoke() path must not pay string formatting per call.
+_API_PROF_PATHS: dict = {}
+
 
 class Dispatcher:
     """Executes ``call @Api`` instructions against a SystemEnvironment."""
@@ -75,6 +80,9 @@ class Dispatcher:
         # counters are derived from the event log in flush_obs() at end of
         # run (the cheap-hook rule — the trace already has every field).
         self._obs_enabled = obs.metrics.enabled
+        # Hot-path profiler handle, or None: invoke() pays exactly one
+        # attribute load when profiling is off.
+        self._prof = obs.prof if obs.prof.enabled else None
 
     def add_interceptor(self, interceptor: Interceptor) -> None:
         self.interceptors.append(interceptor)
@@ -89,12 +97,20 @@ class Dispatcher:
             from ..vm.cpu import CpuFault
 
             raise CpuFault(f"unknown API {name!r}; is repro.winapi imported?") from None
+        prof = self._prof
+        t_start = time.perf_counter() if prof is not None else 0.0
+        args_seconds = 0.0
         event_id = cpu.trace.next_event_id()
         ctx = ApiContext(cpu, self.env, self.process, apidef, event_id)
 
         # Pre-read the declared arguments (records their stack-slot uses).
         if apidef.argc:
-            ctx.prefetch_args(apidef.argc)
+            if prof is not None:
+                t0 = time.perf_counter()
+                ctx.prefetch_args(apidef.argc)
+                args_seconds = time.perf_counter() - t0
+            else:
+                ctx.prefetch_args(apidef.argc)
 
         event = ApiCallEvent(
             event_id=event_id,
@@ -152,6 +168,18 @@ class Dispatcher:
             cpu.record_api_step(seq=seq, pc=caller_pc, text=f"call @{name}", event_id=event_id)
         else:
             cpu._api_step_recorded = True
+        if prof is not None:
+            # Handler total; the argument pre-read is split out as a child so
+            # the handler node's *self* time is its body cost.
+            paths = _API_PROF_PATHS.get(name)
+            if paths is None:
+                paths = _API_PROF_PATHS[name] = (
+                    f"api;{name}",
+                    f"api;{name};read_args",
+                )
+            prof.add(paths[0], time.perf_counter() - t_start)
+            if args_seconds:
+                prof.add(paths[1], args_seconds)
 
     @staticmethod
     def _flight_record(event: ApiCallEvent, tag, verdict: Interception, hit) -> None:
