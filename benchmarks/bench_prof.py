@@ -132,9 +132,9 @@ def _synthetic_profile(n_handlers: int = 40, n_regions: int = 30) -> dict:
         "vm;fast": [2_000_000, 1.5],
         "vm;superblock;guard_exit": [900, 0.0],
         "snapshot;capture": [200, 0.4],
-        "snapshot;capture;env_pickle": [200, 0.3],
+        "snapshot;capture;env_snapshot": [200, 0.3],
         "snapshot;resume": [600, 1.1],
-        "snapshot;resume;env_unpickle": [600, 0.8],
+        "snapshot;resume;env_restore": [600, 0.8],
         "rules;daemon": [4_000, 0.05],
     }
     for i in range(n_handlers):

@@ -30,6 +30,8 @@ from .runner import DEFAULT_BUDGET, RunResult, resume_sample, run_sample
 from .snapshot import SnapshotRecorder, mutation_matches
 from .vaccine import Immunization, Mechanism, normalize_identifier
 
+_log = obs.get_logger("impact")
+
 
 class ResourceMutation:
     """Interceptor mutating every API access to one candidate resource.
@@ -242,12 +244,27 @@ class ImpactAnalyzer:
                         identifier=candidate.identifier,
                         mechanism=mechanism.value,
                     )
-                mutated_run = resume_sample(
-                    program,
-                    snapshot,
-                    interceptors=[mutation],
-                    max_steps=self.max_steps,
-                )
+                try:
+                    mutated_run = resume_sample(
+                        program,
+                        snapshot,
+                        interceptors=[mutation],
+                        max_steps=self.max_steps,
+                    )
+                except Exception as exc:
+                    # A failing restore degrades this one candidate-mechanism
+                    # to the legacy full rerun — the survey never aborts.
+                    _log.warning(
+                        "snapshot resume failed; falling back to full rerun",
+                        identifier=candidate.identifier,
+                        mechanism=mechanism.value,
+                        error=str(exc),
+                    )
+                    obs.metrics.counter("snapshot.resume_failures").inc()
+                    outcomes.append(
+                        self.analyze_mechanism(program, candidate, natural, mechanism)
+                    )
+                    continue
                 outcomes.append(
                     self._classify(
                         candidate,

@@ -22,24 +22,34 @@ State is split two ways:
   event log so far) is shallow-copied — dict/list copies over immutable
   ints, frozen TagSets and already-final events.
 * **Guest environment state** (filesystem, registry, mutexes, the process
-  and its handle table, the RNG mid-sequence) is pickled in one blob so
-  every internal reference — a handle pointing at a registry key object —
-  survives with identity intact.  ``SystemEnvironment.clone()`` cannot be
-  used here: it reseeds the RNG and drops handle tables, both of which
+  and its handle table, the RNG mid-sequence) is captured as a structured
+  :class:`~repro.winenv.snapshot.EnvSnapshot`: plain-data rows walked once
+  at capture, rebuilt per resume via real constructors, with
+  handle→resource identity preserved through an explicit id-map — no
+  pickle round-trip on either side.  ``SystemEnvironment.clone()`` cannot
+  be used here: it reseeds the RNG and drops handle tables, both of which
   only reset correctly at process spawn, not mid-run.
 
-A capture that fails to pickle (e.g. an unpicklable global interceptor)
-degrades to the legacy full-rerun path per candidate — never to a wrong
-answer.
+The legacy one-blob ``pickle.dumps((environment, process))`` capture is
+kept behind a config flag (``REPRO_SNAPSHOT_PICKLE=1`` or
+:func:`pickle_env_overridden`) as a fallback and an equivalence oracle —
+``tests/test_env_snapshot.py`` pins that both paths and the legacy full
+rerun produce byte-identical analyses.
+
+A capture that fails (e.g. an unpicklable global interceptor on the
+fallback path) degrades to the legacy full-rerun path per candidate —
+never to a wrong answer.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import pickle
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from .. import obs
 from ..taint.labels import TagSet
@@ -48,6 +58,7 @@ from ..tracing.trace import Trace
 from ..vm.cpu import CPU
 from ..vm.memory import Memory
 from ..winapi.dispatcher import Interception
+from ..winenv.snapshot import EnvSnapshot
 from .vaccine import normalize_identifier
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -55,6 +66,42 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from .candidate import CandidateResource
 
 _log = obs.get_logger("snapshot")
+
+# -- pickle-fallback flag (mirrors vm.superblock's env/override plumbing) ----
+
+#: Environment default: set REPRO_SNAPSHOT_PICKLE=1 to capture the guest
+#: environment as the legacy pickle blob instead of the structured rows.
+_ENV_DEFAULT = os.environ.get("REPRO_SNAPSHOT_PICKLE", "0").lower() not in (
+    "0",
+    "",
+    "false",
+)
+_override: Optional[bool] = None
+
+
+def pickle_env_default() -> bool:
+    """Is the legacy pickle-blob environment capture currently selected?"""
+    return _ENV_DEFAULT if _override is None else _override
+
+
+@contextmanager
+def pickle_env_overridden(enabled: Optional[bool]) -> Iterator[None]:
+    """Force the environment-capture strategy within a scope.
+
+    ``True`` selects the legacy pickle blob, ``False`` the structured
+    restore, ``None`` leaves the ambient default alone (so callers can
+    thread an optional config value through unconditionally).
+    """
+    global _override
+    if enabled is None:
+        yield
+        return
+    previous = _override
+    _override = enabled
+    try:
+        yield
+    finally:
+        _override = previous
 
 
 def mutation_matches(candidate: "CandidateResource", event: ApiCallEvent) -> bool:
@@ -94,9 +141,12 @@ class VmSnapshot:
     mem_readonly: List[Tuple[int, int]]
     api_calls: List[ApiCallEvent]
     predicates: List[TaintedPredicateEvent]
-    #: ``pickle.dumps((environment, process))`` — one blob, one memo, so
-    #: handle->resource references keep their identity across the restore.
-    env_blob: bytes
+    #: Structured environment capture (the default path): plain-data rows
+    #: with handle->resource identity carried by an explicit id-map.
+    env_state: Optional[EnvSnapshot] = None
+    #: Legacy fallback — ``pickle.dumps((environment, process))``: one blob,
+    #: one memo, selected via ``REPRO_SNAPSHOT_PICKLE``/``pickle_env_overridden``.
+    env_blob: Optional[bytes] = None
 
     @classmethod
     def capture(cls, cpu: CPU, event: ApiCallEvent) -> "VmSnapshot":
@@ -110,16 +160,25 @@ class VmSnapshot:
         memory = cpu.memory
         prof = obs.prof if obs.prof.enabled else None
         t_start = time.perf_counter() if prof is not None else 0.0
-        if prof is not None:
+        env_state: Optional[EnvSnapshot] = None
+        env_blob: Optional[bytes] = None
+        if pickle_env_default():
+            if prof is not None:
+                t0 = time.perf_counter()
+                env_blob = pickle.dumps(
+                    (cpu.environment, cpu.process), pickle.HIGHEST_PROTOCOL
+                )
+                prof.add("snapshot;capture;env_pickle", time.perf_counter() - t0)
+            else:
+                env_blob = pickle.dumps(
+                    (cpu.environment, cpu.process), pickle.HIGHEST_PROTOCOL
+                )
+        elif prof is not None:
             t0 = time.perf_counter()
-            env_blob = pickle.dumps(
-                (cpu.environment, cpu.process), pickle.HIGHEST_PROTOCOL
-            )
-            prof.add("snapshot;capture;env_pickle", time.perf_counter() - t0)
+            env_state = EnvSnapshot.capture(cpu.environment, cpu.process)
+            prof.add("snapshot;capture;env_snapshot", time.perf_counter() - t0)
         else:
-            env_blob = pickle.dumps(
-                (cpu.environment, cpu.process), pickle.HIGHEST_PROTOCOL
-            )
+            env_state = EnvSnapshot.capture(cpu.environment, cpu.process)
         snapshot = cls(
             program_name=cpu.program.name,
             pc=event.caller_pc,
@@ -136,6 +195,7 @@ class VmSnapshot:
             mem_readonly=list(memory.readonly_ranges),
             api_calls=list(cpu.trace.api_calls),
             predicates=list(cpu.trace.predicates),
+            env_state=env_state,
             env_blob=env_blob,
         )
         if prof is not None:
@@ -152,9 +212,10 @@ class VmSnapshot:
     ) -> CPU:
         """Reconstruct a runnable CPU from this checkpoint.
 
-        Each call restores an independent environment (the blob is
-        unpickled fresh), so one snapshot can seed both mutation mechanisms
-        without cross-contamination.
+        Each call restores an independent environment (structured rows are
+        rebuilt fresh; on the fallback path the blob is unpickled fresh),
+        so one snapshot can seed both mutation mechanisms without
+        cross-contamination.
 
         Superblock mode re-arms naturally: :meth:`CPU.resume` rebuilds the
         region table for the resumed program, and because compiled regions
@@ -166,7 +227,14 @@ class VmSnapshot:
 
         prof = obs.prof if obs.prof.enabled else None
         t_start = time.perf_counter() if prof is not None else 0.0
-        if prof is not None:
+        if self.env_state is not None:
+            if prof is not None:
+                t0 = time.perf_counter()
+                environment, process = self.env_state.restore()
+                prof.add("snapshot;resume;env_restore", time.perf_counter() - t0)
+            else:
+                environment, process = self.env_state.restore()
+        elif prof is not None:
             t0 = time.perf_counter()
             environment, process = pickle.loads(self.env_blob)
             prof.add("snapshot;resume;env_unpickle", time.perf_counter() - t0)
@@ -176,11 +244,12 @@ class VmSnapshot:
         all_interceptors.extend(interceptors or [])
         dispatcher = Dispatcher(environment, process, interceptors=all_interceptors)
 
-        memory = Memory.__new__(Memory)
-        memory._bytes = dict(self.mem_bytes)
-        memory._taint = dict(self.mem_taint)
-        memory._regions = list(self.mem_regions)
-        memory.readonly_ranges = list(self.mem_readonly)
+        memory = Memory.restore(
+            bytes_map=self.mem_bytes,
+            taint_map=self.mem_taint,
+            regions=self.mem_regions,
+            readonly_ranges=self.mem_readonly,
+        )
 
         trace = Trace(program_name=program.name)
         trace.api_calls = list(self.api_calls)
@@ -270,4 +339,10 @@ class SnapshotRecorder:
         return Interception.PASS
 
 
-__all__ = ["SnapshotRecorder", "VmSnapshot", "mutation_matches"]
+__all__ = [
+    "SnapshotRecorder",
+    "VmSnapshot",
+    "mutation_matches",
+    "pickle_env_default",
+    "pickle_env_overridden",
+]

@@ -158,11 +158,27 @@ def list_runs(root: Union[str, os.PathLike]) -> List[dict]:
 
 class LedgerFold:
     """Counts and rates derived from the events seen so far — the state
-    behind the ``--progress`` view and the periodic metrics rows."""
+    behind the ``--progress`` view and the periodic metrics rows.
 
-    def __init__(self, population: int = 0, started_unix: Optional[float] = None) -> None:
+    Two clocks, deliberately: ``started_unix`` is *wall* time (it labels
+    the run for humans and the manifest), but elapsed time behind
+    ``rate``/``eta_seconds`` is measured on ``clock`` — ``time.monotonic``
+    by default — so an NTP step or a manual clock change mid-run cannot
+    produce negative or wildly wrong throughput.  Passing an explicit
+    ``now=`` to the derived views bypasses the monotonic clock and computes
+    against ``started_unix`` on the caller's timeline (the deterministic
+    path tests use)."""
+
+    def __init__(
+        self,
+        population: int = 0,
+        started_unix: Optional[float] = None,
+        clock=time.monotonic,
+    ) -> None:
         self.population = population
         self.started_unix = started_unix if started_unix is not None else time.time()
+        self._clock = clock
+        self._started_mono = clock()
         self.completed = 0
         self.failed = 0
         self.retries = 0
@@ -225,8 +241,15 @@ class LedgerFold:
             0, self.population - self.done - len(self.active) - len(self.retrying)
         )
 
+    def elapsed(self, now: Optional[float] = None) -> float:
+        """Seconds since the fold started: monotonic by default, or
+        ``now - started_unix`` when the caller supplies its own timeline."""
+        if now is not None:
+            return now - self.started_unix
+        return self._clock() - self._started_mono
+
     def rate(self, now: Optional[float] = None) -> float:
-        elapsed = (now if now is not None else time.time()) - self.started_unix
+        elapsed = self.elapsed(now)
         return self.done / elapsed if elapsed > 0 else 0.0
 
     def eta_seconds(self, now: Optional[float] = None) -> Optional[float]:
@@ -236,9 +259,12 @@ class LedgerFold:
         return max(0.0, (self.population - self.done) / rate)
 
     def metrics_row(self, now: Optional[float] = None) -> dict:
-        now = now if now is not None else time.time()
+        # The "t" column is a wall-clock timestamp (readers correlate rows
+        # with ledger events and manifests); the rate is monotonic-based
+        # unless the caller pinned its own timeline via ``now``.
+        t = now if now is not None else time.time()
         return {
-            "t": now,
+            "t": t,
             "done": self.done,
             "completed": self.completed,
             "failed": self.failed,
@@ -262,7 +288,6 @@ class LedgerFold:
         return " ".join(parts)
 
     def progress_line(self, now: Optional[float] = None) -> str:
-        now = now if now is not None else time.time()
         eta = self.eta_seconds(now)
         eta_text = _fmt_duration(eta) if eta is not None else "?"
         line = (
@@ -384,6 +409,7 @@ class RunTelemetry:
         collector: Collector,
         progress: Optional[ProgressView] = None,
         metrics_interval: float = 1.0,
+        clock=time.monotonic,
     ) -> None:
         self.run_dir = run_dir
         self.manifest = manifest
@@ -391,6 +417,10 @@ class RunTelemetry:
         self.fold = collector.fold
         self.progress = progress
         self.metrics_interval = metrics_interval
+        # Pacing and the final duration run on the monotonic clock; the
+        # manifest's started/finished timestamps stay wall-clock.
+        self._clock = clock
+        self._started_mono = clock()
         self._metrics_last = 0.0
         self._finished = False
 
@@ -436,17 +466,17 @@ class RunTelemetry:
 
     def drain(self) -> None:
         self.collector.drain()
-        now = time.time()
+        now = self._clock()
         if now - self._metrics_last >= self.metrics_interval:
             self._metrics_last = now
-            self._append_metrics_row(now)
+            self._append_metrics_row()
         if self.progress is not None:
             self.progress.update(self.fold)
 
-    def _append_metrics_row(self, now: float) -> None:
+    def _append_metrics_row(self) -> None:
         try:
             with open(self.run_dir / METRICS_NAME, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(self.fold.metrics_row(now)) + "\n")
+                fh.write(json.dumps(self.fold.metrics_row()) + "\n")
         except OSError:  # pragma: no cover - telemetry never kills the run
             pass
 
@@ -475,13 +505,15 @@ class RunTelemetry:
         )
         stream.uninstall()
         self.collector.drain()
-        self._append_metrics_row(time.time())
+        self._append_metrics_row()
         self.collector.close()
         finished = time.time()
         self.manifest.update(
             status="finished",
             finished_unix=finished,
-            duration_seconds=round(finished - float(self.manifest["started_unix"]), 3),
+            # Monotonic-clock duration: a wall-clock step mid-run changes
+            # the timestamps above, never the measured duration.
+            duration_seconds=round(self._clock() - self._started_mono, 3),
             outcomes={
                 "completed": self.fold.completed,
                 "failed": self.fold.failed,

@@ -13,8 +13,9 @@ without ad-hoc cProfile runs:
   ``api;<Name>;read_args`` (the ``read_stack_args`` pre-read) split out,
   so body time is the handler node's *self* time;
 * **snapshot capture/resume** — ``snapshot;capture`` /
-  ``snapshot;resume`` with the environment-blob ``env_pickle`` /
-  ``env_unpickle`` cost as child nodes;
+  ``snapshot;resume`` with the structured environment walk as
+  ``env_snapshot`` / ``env_restore`` child nodes (``env_pickle`` /
+  ``env_unpickle`` on the legacy blob fallback);
 * **rule matching** — ``rules;daemon`` / ``rules;clinic`` /
   ``rules;campaign``, one node per :class:`~repro.delivery.engine.RuleEngine`
   consumer.

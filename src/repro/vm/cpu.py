@@ -526,26 +526,25 @@ class CPU:
         else:
             guarded = self._allow_fast and self._superblocks is not None
             entries = self._superblocks.entries if guarded else None
-            n_entries = len(entries) if entries is not None else 0
-            base = TEXT_BASE
             while self.status is ExitStatus.RUNNING:
                 if self._fast_mode:
                     self._run_fast()
                     if self.status is not ExitStatus.RUNNING:
                         break
+                    # The instruction the fast loop bailed on (an API
+                    # call, typically) needs one full slow step.
+                    self.step()
                 elif entries is not None:
-                    # Taint is live: run guarded superblocks where possible,
-                    # fall back to single slow steps between them.  The region
-                    # lookup is inlined so pcs without a region pay two
-                    # comparisons, not a dispatch-function call per slow step.
-                    idx = self.pc - base
-                    if 0 <= idx < n_entries and entries[idx] is not None:
-                        self._run_superblocks()
-                        if self.status is not ExitStatus.RUNNING:
-                            break
-                # Slow-path step: either fast mode is off, or the next
-                # instruction (an API call) needs the full machinery.
-                self.step()
+                    # Taint is live: dispatch guarded superblocks, chain
+                    # between them, and take exact slow steps internally
+                    # between regions.  Control only comes back here when
+                    # the run ended, the fast path became legal again, or
+                    # the pc left .text (the step below raises the fault).
+                    self._run_superblocks()
+                    if self.status is ExitStatus.RUNNING and not self._fast_mode:
+                        self.step()
+                else:
+                    self.step()
         self.trace.exit_status = self.status.value
         self.trace.steps = self.steps
         if self.process is not None and self.process.exit_code is not None:
@@ -586,10 +585,30 @@ class CPU:
                         if fn is None:
                             fn = region.warm()
                         if fn is not None:
-                            if fn(self):
+                            r = fn(self)
+                            if r:
                                 entered += 1
                                 if self.status is not ExitStatus.RUNNING:
                                     return
+                                # Region chaining: a closure whose exit pc
+                                # is another region's entry returns that
+                                # Region — dispatch straight into it.  The
+                                # closure's own chunked-budget guard
+                                # subsumes the loop-top budget check; a
+                                # refusal or a cold successor falls back to
+                                # the probe above, which re-counts exactly
+                                # as an un-chained arrival would.
+                                while r is not True:
+                                    nfn = r.fn
+                                    if nfn is None:
+                                        break  # cold successor: probe warms it
+                                    r2 = nfn(self)
+                                    if not r2:
+                                        break  # refusal: probe re-counts it
+                                    entered += 1
+                                    if self.status is not ExitStatus.RUNNING:
+                                        return
+                                    r = r2
                                 continue
                             # Guard refused (chunked budget here; taint
                             # guards cannot fire in fast mode): execute the
@@ -620,42 +639,71 @@ class CPU:
 
         Each region's closure re-checks its own guards (untainted
         read-before-written registers, chunked budget) and its memory loads
-        taint-bail mid-region; any refusal or bail returns control here,
-        and the caller executes one exact slow step before retrying."""
+        taint-bail mid-region.  Region exits chain: a closure whose exit pc
+        is another region's entry returns that Region, which dispatches
+        next without a table probe (same warm/futility bookkeeping as a
+        probed arrival).  Every pc with no dispatchable region — a gap
+        between regions, a mid-region pc after a taint-bail prefix-commit,
+        a cold, futile, or refused region — is executed with exact slow
+        steps *here*, re-probing after each, so control returns to
+        ``run()`` only when the run ended, the fast path became legal
+        again, or the pc left .text."""
         entries = self._superblocks.entries
         n = len(entries)
         base = TEXT_BASE
+        futile_limit = superblock_mod.FUTILE_LIMIT
         entered = guards = 0
-        while True:
-            idx = self.pc - base
-            if not 0 <= idx < n:
-                break  # let the slow step raise the out-of-text fault
-            region = entries[idx]
-            if region is None:
-                break
-            if region.futile >= superblock_mod.FUTILE_LIMIT:
-                break  # persistently tainted region: stop paying for bails
-            fn = region.fn
-            if fn is None:
-                fn = region.warm()
+        region = None
+        try:
+            while True:
+                if region is None:
+                    idx = self.pc - base
+                    if not 0 <= idx < n:
+                        return  # the trailing slow step raises the fault
+                    region = entries[idx]
+                if region is None or region.futile >= futile_limit:
+                    # No region at this pc, or one persistently tainted:
+                    # one exact slow step, then re-probe.
+                    region = None
+                    self.step()
+                    if self.status is not ExitStatus.RUNNING or self._fast_mode:
+                        return
+                    continue
+                fn = region.fn
                 if fn is None:
-                    break
-            before = self.steps
-            if not fn(self):
-                region.futile += 1
-                guards += 1
-                break
-            if self.steps - before <= 1:
-                # Bailed after a single step: an entry that keeps paying the
-                # exception for one instruction of progress is futile too.
-                region.futile += 1
-            else:
-                region.futile = 0
-            entered += 1
-            if self.status is not ExitStatus.RUNNING:
-                break
-        self._sb_entries += entered
-        self._sb_guard_exits += guards
+                    fn = region.warm()
+                    if fn is None:
+                        # Still cold: step through it per-instruction.
+                        region = None
+                        self.step()
+                        if self.status is not ExitStatus.RUNNING or self._fast_mode:
+                            return
+                        continue
+                before = self.steps
+                r = fn(self)
+                if not r:
+                    # Guard refusal: replay the guarded instruction exactly.
+                    region.futile += 1
+                    guards += 1
+                    region = None
+                    self.step()
+                    if self.status is not ExitStatus.RUNNING or self._fast_mode:
+                        return
+                    continue
+                if self.steps - before <= 1:
+                    # Bailed after a single step: an entry that keeps paying
+                    # the exception for one instruction of progress is
+                    # futile too.
+                    region.futile += 1
+                else:
+                    region.futile = 0
+                entered += 1
+                if self.status is not ExitStatus.RUNNING:
+                    return
+                region = r if r is not True else None
+        finally:
+            self._sb_entries += entered
+            self._sb_guard_exits += guards
 
     # ------------------------------------------------------------------
     # profiled execution loop (obs.prof enabled)
@@ -675,8 +723,6 @@ class CPU:
         acc = _ProfAcc()
         guarded = self._allow_fast and self._superblocks is not None
         entries = self._superblocks.entries if guarded else None
-        n_entries = len(entries) if entries is not None else 0
-        base = TEXT_BASE
         try:
             while self.status is ExitStatus.RUNNING:
                 if self._fast_mode:
@@ -689,31 +735,26 @@ class CPU:
                     self.step()
                     acc.slow_s += perf() - t0
                     acc.slow_n += 1
-                    continue
-                # Slow tier: batch contiguous slow steps behind one timer
-                # pair, breaking out when a guarded superblock can dispatch
-                # or the fast path becomes legal again.
-                t0 = perf()
-                steps0 = self.steps
-                at_region = False
-                while self.status is ExitStatus.RUNNING and not self._fast_mode:
-                    if entries is not None:
-                        idx = self.pc - base
-                        if 0 <= idx < n_entries and entries[idx] is not None:
-                            at_region = True
-                            break
-                    self.step()
-                acc.slow_s += perf() - t0
-                acc.slow_n += self.steps - steps0
-                if at_region:
+                elif entries is not None:
+                    # Taint tier: region dispatches, chains and the exact
+                    # slow steps between regions all happen (and are
+                    # attributed) inside the twin; the trailing slow step
+                    # here only fires for an out-of-text pc (mirrors run()).
                     self._run_superblocks_profiled(acc)
-                    if self.status is not ExitStatus.RUNNING:
-                        break
-                    # One exact slow step before retrying (mirrors run()).
+                    if self.status is ExitStatus.RUNNING and not self._fast_mode:
+                        t0 = perf()
+                        self.step()
+                        acc.slow_s += perf() - t0
+                        acc.slow_n += 1
+                else:
+                    # Pure slow tier: batch contiguous slow steps behind
+                    # one timer pair.
                     t0 = perf()
-                    self.step()
+                    steps0 = self.steps
+                    while self.status is ExitStatus.RUNNING and not self._fast_mode:
+                        self.step()
                     acc.slow_s += perf() - t0
-                    acc.slow_n += 1
+                    acc.slow_n += self.steps - steps0
         finally:
             acc.flush(prof)
 
@@ -756,16 +797,41 @@ class CPU:
                                 cell = regions[idx] = [0, 0.0]
                             before = self.steps
                             t0 = perf()
-                            ok = fn(self)
+                            r = fn(self)
                             dt = perf() - t0
                             sb_s += dt
                             cell[1] += dt
                             sb_steps += self.steps - before
-                            if ok:
+                            if r:
                                 cell[0] += 1
                                 entered += 1
                                 if self.status is not ExitStatus.RUNNING:
                                     return
+                                # Region chaining (mirrors _run_fast): a
+                                # returned Region dispatches directly, timed
+                                # into its own node; a refusal or a cold
+                                # successor falls back to the probe.
+                                while r is not True:
+                                    nfn = r.fn
+                                    if nfn is None:
+                                        break  # cold successor: probe warms it
+                                    cell = regions.get(r.entry)
+                                    if cell is None:
+                                        cell = regions[r.entry] = [0, 0.0]
+                                    before = self.steps
+                                    t0 = perf()
+                                    r2 = nfn(self)
+                                    dt = perf() - t0
+                                    sb_s += dt
+                                    cell[1] += dt
+                                    sb_steps += self.steps - before
+                                    if not r2:
+                                        break  # refusal: probe re-counts it
+                                    cell[0] += 1
+                                    entered += 1
+                                    if self.status is not ExitStatus.RUNNING:
+                                        return
+                                    r = r2
                                 continue
                             # Guard refused (chunked budget here; taint
                             # guards cannot fire in fast mode): execute the
@@ -795,52 +861,82 @@ class CPU:
             acc.fast_n += (self.steps - steps0) - sb_steps
 
     def _run_superblocks_profiled(self, acc: "_ProfAcc") -> None:
-        """Profiled twin of ``_run_superblocks``: per-dispatch timing keyed
-        by region entry pc (taint-guarded tier-3 dispatches)."""
+        """Profiled twin of ``_run_superblocks``: identical control flow
+        (chaining, internal exact slow steps between regions), with
+        per-dispatch timing keyed by region entry pc and the internal slow
+        steps attributed to ``vm;slow``."""
         perf = time.perf_counter
         entries = self._superblocks.entries
         n = len(entries)
         base = TEXT_BASE
+        futile_limit = superblock_mod.FUTILE_LIMIT
         entered = guards = 0
         regions = acc.regions
-        while True:
-            idx = self.pc - base
-            if not 0 <= idx < n:
-                break  # let the slow step raise the out-of-text fault
-            region = entries[idx]
-            if region is None:
-                break
-            if region.futile >= superblock_mod.FUTILE_LIMIT:
-                break  # persistently tainted region: stop paying for bails
-            fn = region.fn
-            if fn is None:
-                fn = region.warm()
+        region = None
+        try:
+            while True:
+                if region is None:
+                    idx = self.pc - base
+                    if not 0 <= idx < n:
+                        return  # the trailing slow step raises the fault
+                    region = entries[idx]
+                if region is None or region.futile >= futile_limit:
+                    region = None
+                    t0 = perf()
+                    self.step()
+                    acc.slow_s += perf() - t0
+                    acc.slow_n += 1
+                    if self.status is not ExitStatus.RUNNING or self._fast_mode:
+                        return
+                    continue
+                fn = region.fn
                 if fn is None:
-                    break
-            cell = regions.get(idx)
-            if cell is None:
-                cell = regions[idx] = [0, 0.0]
-            before = self.steps
-            t0 = perf()
-            ok = fn(self)
-            cell[1] += perf() - t0
-            if not ok:
-                region.futile += 1
-                guards += 1
-                acc.guard_exits += 1
-                break
-            if self.steps - before <= 1:
-                # Bailed after a single step: an entry that keeps paying the
-                # exception for one instruction of progress is futile too.
-                region.futile += 1
-            else:
-                region.futile = 0
-            cell[0] += 1
-            entered += 1
-            if self.status is not ExitStatus.RUNNING:
-                break
-        self._sb_entries += entered
-        self._sb_guard_exits += guards
+                    fn = region.warm()
+                    if fn is None:
+                        # Still cold: step through it per-instruction.
+                        region = None
+                        t0 = perf()
+                        self.step()
+                        acc.slow_s += perf() - t0
+                        acc.slow_n += 1
+                        if self.status is not ExitStatus.RUNNING or self._fast_mode:
+                            return
+                        continue
+                cell = regions.get(region.entry)
+                if cell is None:
+                    cell = regions[region.entry] = [0, 0.0]
+                before = self.steps
+                t0 = perf()
+                r = fn(self)
+                cell[1] += perf() - t0
+                if not r:
+                    # Guard refusal: replay the guarded instruction exactly.
+                    region.futile += 1
+                    guards += 1
+                    acc.guard_exits += 1
+                    region = None
+                    t0 = perf()
+                    self.step()
+                    acc.slow_s += perf() - t0
+                    acc.slow_n += 1
+                    if self.status is not ExitStatus.RUNNING or self._fast_mode:
+                        return
+                    continue
+                if self.steps - before <= 1:
+                    # Bailed after a single step: an entry that keeps paying
+                    # the exception for one instruction of progress is
+                    # futile too.
+                    region.futile += 1
+                else:
+                    region.futile = 0
+                cell[0] += 1
+                entered += 1
+                if self.status is not ExitStatus.RUNNING:
+                    return
+                region = r if r is not True else None
+        finally:
+            self._sb_entries += entered
+            self._sb_guard_exits += guards
 
     def _flush_obs(self) -> None:
         """Report run totals into the metrics registry.

@@ -52,6 +52,27 @@ class Memory:
         #: Half-open ranges that are read-only constants (.rdata).
         self.readonly_ranges: List[Tuple[int, int]] = []
 
+    @classmethod
+    def restore(
+        cls,
+        bytes_map: Dict[int, int],
+        taint_map: Dict[int, TagSet],
+        regions: Iterable[Tuple[int, int]],
+        readonly_ranges: Iterable[Tuple[int, int]],
+    ) -> "Memory":
+        """Rebuild a memory image from snapshot state (owned here, so a new
+        ``__init__`` attribute cannot silently be skipped on the resume
+        path: construction goes through ``cls()`` and then overwrites).
+
+        Inputs are copied — the snapshot stays independent of the instance.
+        """
+        memory = cls()
+        memory._bytes = dict(bytes_map)
+        memory._taint = dict(taint_map)
+        memory._regions = list(regions)
+        memory.readonly_ranges = list(readonly_ranges)
+        return memory
+
     def map_region(self, start: int, size: int, readonly: bool = False) -> None:
         self._regions.append((start, start + size))
         if readonly:

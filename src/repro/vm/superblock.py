@@ -35,6 +35,15 @@ order, a faulting region flushes its locals, charges the steps executed
 (including the faulting instruction, like the slow path), and reports the
 *faulting instruction's* pc in ``fault_reason``.
 
+A compiled closure returns one of three things: ``False`` (guard refusal —
+nothing executed), ``True`` (the region ran; no statically-known successor,
+or a mid-region stop), or another :class:`Region` whose entry is exactly
+the pc the closure just set — **region chaining**.  Successors are resolved
+once at compile time from the region table, so a hot A→B→A cycle costs one
+Python call per region instead of a dispatch-loop probe per transition; the
+dispatch loops treat a returned Region as a pre-resolved probe and apply
+the same warm/guard/futility bookkeeping they would after a table lookup.
+
 The region table is cached on the ``Program`` keyed by the identity of its
 instruction list — the same invalidation rule as the decode cache — and is
 dropped by pickling, so hotness accumulates across the many short re-runs of
@@ -440,6 +449,34 @@ class _Codegen:
                 live = {"z", "s", "c"}
         self.csets = csets
 
+        # Static successors for region chaining: when an exit pc is another
+        # region's entry, the closure returns that Region object and the
+        # dispatch loop jumps straight into it — no table probe per
+        # transition.  Resolved at compile time (the region table is fixed
+        # at discovery); the successor may still be cold (``fn is None``),
+        # in which case the dispatcher falls back to a probe and warms it.
+        entries = region.cache.entries
+        n_entries = len(entries)
+
+        def _succ(idx: int) -> Optional[Region]:
+            if 0 <= idx < n_entries:
+                nxt = entries[idx]
+                if nxt is not None and nxt is not region:
+                    return nxt
+            return None
+
+        term = region.terminator
+        self.succ_target = (
+            _succ((term.operands[0].value & _M) - TEXT_BASE)
+            if term is not None and not self.is_loop
+            else None
+        )
+        self.succ_fall = (
+            _succ(region.entry + self.length)
+            if term is None or term.mnemonic != "jmp"
+            else None
+        )
+
         self.lines: List[str] = []
 
     # -- emit helpers ---------------------------------------------------
@@ -681,7 +718,12 @@ class _Codegen:
         term = self.region.terminator
         steps_expr = "_st + _i" if self.is_loop else "_i"
 
-        self.emit(0, "def _sb(cpu, _E=_E, _BR=_BR, _BF=_BF, _FAULT=_FAULT):")
+        params = "cpu, _E=_E, _BR=_BR, _BF=_BF, _FAULT=_FAULT"
+        if self.succ_target is not None:
+            params += ", _NT=_NT"
+        if self.succ_fall is not None:
+            params += ", _NF=_NF"
+        self.emit(0, f"def _sb({params}):")
         self.emit(1, "rt = cpu.reg_taint")
         if self.guard:
             cond = " or ".join(f"rt['{r}']" for r in self.guard)
@@ -721,33 +763,65 @@ class _Codegen:
             self.gen_instr(instr, k, body_depth)
             emitted_any = emitted_any or len(self.lines) > mark
 
+        exit_ret = "True"
         if self.is_loop:
             self.emit(body_depth, f"_st += {L}")
             if term.mnemonic == "jmp":
                 self.emit(body_depth, f"if _bud - _st >= {L}: continue")
                 self.emit(body_depth, f"cpu.pc = {entry_pc}")
                 self.emit(body_depth, "break")
-            else:
+            elif self.succ_fall is None:
                 self.emit(body_depth, f"if {self.cond_expr(term.mnemonic)}:")
                 self.emit(body_depth + 1, f"if _bud - _st >= {L}: continue")
                 self.emit(body_depth + 1, f"cpu.pc = {entry_pc}")
                 self.emit(body_depth + 1, "break")
                 self.emit(body_depth, f"cpu.pc = {fall_pc}")
                 self.emit(body_depth, "break")
+            else:
+                self.emit(body_depth, f"if {self.cond_expr(term.mnemonic)}:")
+                self.emit(body_depth + 1, f"if _bud - _st >= {L}: continue")
+                # Budget re-entry never chains back into itself: the
+                # dispatch loop owns the budget-exhaustion status.
+                self.emit(body_depth + 1, f"cpu.pc = {entry_pc}")
+                self.emit(body_depth + 1, "_nx = True")
+                self.emit(body_depth + 1, "break")
+                self.emit(body_depth, f"cpu.pc = {fall_pc}")
+                self.emit(body_depth, "_nx = _NF")
+                self.emit(body_depth, "break")
+                exit_ret = "_nx"
         else:
             if term is None:
                 if not emitted_any:
                     self.emit(body_depth, "pass")
                 self.emit(body_depth, f"cpu.pc = {fall_pc}")
+                if self.succ_fall is not None:
+                    exit_ret = "_NF"
             elif term.mnemonic == "jmp":
                 target = term.operands[0].value & _M
                 self.emit(body_depth, f"cpu.pc = {target}")
+                if self.succ_target is not None:
+                    exit_ret = "_NT"
             else:
                 target = term.operands[0].value & _M
-                self.emit(
-                    body_depth,
-                    f"cpu.pc = {target} if {self.cond_expr(term.mnemonic)} else {fall_pc}",
-                )
+                if self.succ_target is None and self.succ_fall is None:
+                    self.emit(
+                        body_depth,
+                        f"cpu.pc = {target} if {self.cond_expr(term.mnemonic)} else {fall_pc}",
+                    )
+                else:
+                    self.emit(body_depth, f"if {self.cond_expr(term.mnemonic)}:")
+                    self.emit(body_depth + 1, f"cpu.pc = {target}")
+                    self.emit(
+                        body_depth + 1,
+                        "_nx = _NT" if self.succ_target is not None else "_nx = True",
+                    )
+                    self.emit(body_depth, "else:")
+                    self.emit(body_depth + 1, f"cpu.pc = {fall_pc}")
+                    self.emit(
+                        body_depth + 1,
+                        "_nx = _NF" if self.succ_fall is not None else "_nx = True",
+                    )
+                    exit_ret = "_nx"
 
         # Taint bail: commit the executed prefix, leave instruction _i for
         # the slow path.  No progress (first instruction, no completed
@@ -773,7 +847,7 @@ class _Codegen:
         self.flush_values(1)
         self.flush_exit_taint(1)
         self.emit(1, f"cpu.steps += {'_st' if self.is_loop else str(L)}")
-        self.emit(1, "return True")
+        self.emit(1, f"return {exit_ret}")
         return "\n".join(self.lines) + "\n"
 
 
@@ -789,6 +863,8 @@ def _compile_region(region: Region) -> Callable:
         "_FAULT": ExitStatus.FAULT,
         "_TB": TaintBail,
         "_MF": MemoryFault,
+        "_NT": gen.succ_target,
+        "_NF": gen.succ_fall,
     }
     code = compile(
         source, f"<superblock 0x{gen.entry_pc:08x} {region.kind}>", "exec"

@@ -102,32 +102,67 @@ class ApiContext:
     # -- guest memory -----------------------------------------------------------
 
     def read_string(self, addr: int, max_len: int = 4096) -> Tuple[str, List[TagSet]]:
+        """Read a NUL-terminated guest string and per-*character* taints.
+
+        Guest bytes are UTF-8 (what :meth:`write_string` produces): a
+        multi-byte character's taint is the union of its bytes' taints, so
+        a write/read round trip preserves both the text — non-latin-1
+        identifiers included — and its taint shape.  Bytes that are not
+        valid UTF-8 (guest-constructed buffers) survive via surrogateescape
+        instead of being mangled, keeping the round trip an identity there
+        too.  Use records stay byte-level, matching memory."""
         if addr == 0:
             return "", []
         from ..vm.memory import MemoryFault
 
         try:
-            text, taints = self.cpu.memory.read_cstring(addr, max_len)
+            raw_text, byte_taints = self.cpu.memory.read_cstring(addr, max_len)
         except MemoryFault:
             # A bogus guest pointer is the API's problem, not the host's:
             # real APIs validate and fail gracefully.
             return "", []
         if self.cpu._track:
-            self.cpu._uses.extend(("mem", addr + i) for i in range(len(text) + 1))
+            self.cpu._uses.extend(("mem", addr + i) for i in range(len(raw_text) + 1))
+        if raw_text.isascii():
+            # One byte per character: byte taints are character taints.
+            return raw_text, byte_taints
+        raw = raw_text.encode("latin-1")  # exact bytes back from read_cstring
+        text = raw.decode("utf-8", "surrogateescape")
+        taints: List[TagSet] = []
+        pos = 0
+        for ch in text:
+            width = len(ch.encode("utf-8", "surrogateescape"))
+            live = [t for t in byte_taints[pos : pos + width] if t]
+            taints.append(union(*live) if live else EMPTY)
+            pos += width
         return text, taints
 
     def read_string_arg(self, index: int) -> Tuple[str, List[TagSet]]:
         return self.read_string(self.arg(index))
 
     def write_string(self, addr: int, text: str, taints=None, taint: TagSet = EMPTY) -> None:
-        data = text.encode("latin-1", errors="replace")
+        """Write ``text`` as NUL-terminated UTF-8 guest bytes.
+
+        ``taints`` is per *character* (matching what :meth:`read_string`
+        returns); each character's taint is expanded over every byte of its
+        encoding.  Def records stay byte-level, matching memory."""
+        mem = self.cpu.memory
         if taints is None:
-            taints = [taint] * len(data)
-        for i, (b, t) in enumerate(zip(data, taints)):
-            self.cpu.memory.write_byte(addr + i, b, t)
-        self.cpu.memory.write_byte(addr + len(data), 0, EMPTY)
+            data = text.encode("utf-8", "surrogateescape")
+            for i, b in enumerate(data):
+                mem.write_byte(addr + i, b, taint)
+            length = len(data)
+        else:
+            pos = addr
+            for i, ch in enumerate(text):
+                t = taints[i] if i < len(taints) else EMPTY
+                for b in ch.encode("utf-8", "surrogateescape"):
+                    mem.write_byte(pos, b, t)
+                    pos += 1
+            length = pos - addr
+        mem.write_byte(addr + length, 0, EMPTY)
         if self.cpu._track:
-            self.cpu._defs.extend(("mem", addr + i) for i in range(len(data) + 1))
+            self.cpu._defs.extend(("mem", addr + i) for i in range(length + 1))
 
     def read_u32(self, addr: int) -> int:
         value, _ = self.cpu.read_mem(addr, 4)

@@ -43,11 +43,13 @@ from .registry import (
     normalize_key,
 )
 from .services import Service, ServiceManager, ServiceState
+from .snapshot import EnvSnapshot
 from .windows_gui import Window, WindowManager
 
 __all__ = [
     "Access",
     "Acl",
+    "EnvSnapshot",
     "FALSE",
     "FileNode",
     "FileSystem",

@@ -64,6 +64,21 @@ class SystemEnvironment:
         self.global_interceptors: list = []
         self._tick = 0x0001_0000 + (rng_seed & 0xFFFF)
 
+    def __getattr__(self, name: str):
+        # Restored environments (EnvSnapshot.restore) defer the RNG:
+        # rebuilding a Mersenne state costs microseconds per resume and many
+        # resumed runs never draw randomness.  Materialize on first access —
+        # this only fires when ``rng`` is absent from the instance dict, so
+        # normally-constructed environments never pay for it.
+        if name == "rng":
+            state = self.__dict__.pop("_rng_state", None)
+            if state is not None:
+                rng = random.Random.__new__(random.Random)
+                rng.setstate(state)
+                self.rng = rng
+                return rng
+        raise AttributeError(name)
+
     # -- clocks / entropy --------------------------------------------------
 
     def tick_count(self) -> int:
@@ -98,6 +113,19 @@ class SystemEnvironment:
         )
 
     # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self, process: Process) -> "object":
+        """Structured mid-run capture of this machine plus ``process``.
+
+        Unlike :meth:`clone` — which restarts the RNG from the seed and
+        rebuilds pristine namespaces for a *fresh* run — the returned
+        :class:`~repro.winenv.snapshot.EnvSnapshot` freezes the machine
+        exactly as it stands (RNG mid-sequence, tick counter, handle tables,
+        open connections) so each ``restore()`` resumes where this run was.
+        """
+        from .snapshot import EnvSnapshot
+
+        return EnvSnapshot.capture(self, process)
 
     def clone(self) -> "SystemEnvironment":
         """Deep-copy the machine state so repeated runs start identically.

@@ -99,3 +99,46 @@ class LibraryManager:
             copy.blocked = lib.blocked
             other._libs[name] = copy
         return other
+
+    # -- structured snapshot/restore --------------------------------------
+
+    def snapshot_state(self, rid_of) -> tuple:
+        return tuple(
+            (rid_of(lib), name, dict(vars(lib)))
+            for name, lib in self._libs.items()
+        )
+
+    @classmethod
+    def restore_state(cls, rows: tuple, register) -> "LibraryManager":
+        # Image rebuild (see FileSystem.restore_state); every library
+        # attribute is immutable, so the dict update is the whole rebuild.
+        lm = cls.__new__(cls)
+        lm._libs = _build_libs(rows, register)
+        return lm
+
+    @classmethod
+    def restore_lazy(cls, rows: tuple) -> "LibraryManager":
+        """Defer the rebuild until first access (see FileSystem.restore_lazy)."""
+        lm = cls.__new__(cls)
+        lm._lazy_rows = rows
+        return lm
+
+    def __getattr__(self, name: str):
+        if name == "_libs":
+            rows = self.__dict__.pop("_lazy_rows", None)
+            if rows is not None:
+                self._libs = libs = _build_libs(rows, None)
+                return libs
+        raise AttributeError(name)
+
+
+def _build_libs(rows: tuple, register) -> dict:
+    libs = {}
+    new = Library.__new__
+    for rid, name, attrs in rows:
+        lib = new(Library)
+        lib.__dict__ = dict(attrs)
+        libs[name] = lib
+        if register is not None:
+            register(rid, lib)
+    return libs

@@ -120,6 +120,47 @@ class Network:
         other.blackhole = self.blackhole
         return other
 
+    # -- structured snapshot/restore --------------------------------------
+
+    def snapshot_state(self) -> tuple:
+        """Mid-run image: unlike :meth:`clone` (which resets to a fresh
+        internet), this keeps open connections, the conn-id counter and the
+        traffic log — ``recv`` replays canned responses indexed by how much
+        a connection already received, so resumed runs must not rewind it.
+        ``TrafficRecord`` rows are append-only and shared by reference."""
+        return (
+            dict(self.hosts),
+            dict(self.responses),
+            self.blackhole,
+            self._next_conn,
+            tuple(
+                (c.conn_id, c.host, c.port, bytes(c.sent), bytes(c.received), c.open)
+                for c in self.connections.values()
+            ),
+            tuple(self.traffic),
+        )
+
+    @classmethod
+    def restore_state(cls, state: tuple) -> "Network":
+        hosts, responses, blackhole, next_conn, conn_rows, traffic = state
+        net = cls.__new__(cls)
+        net.hosts = dict(hosts)
+        net.responses = dict(responses)
+        net.blackhole = blackhole
+        net._next_conn = next_conn
+        net.connections = {}
+        for conn_id, host, port, sent, received, is_open in conn_rows:
+            net.connections[conn_id] = Connection(
+                conn_id=conn_id,
+                host=host,
+                port=port,
+                sent=bytearray(sent),
+                received=bytearray(received),
+                open=is_open,
+            )
+        net.traffic = list(traffic)
+        return net
+
 
 def _looks_like_ip(text: str) -> bool:
     parts = text.split(".")

@@ -10,9 +10,8 @@ both.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from .acl import Acl, open_acl
 
@@ -101,11 +100,14 @@ class HandleTable:
     _BASE = 0x100
 
     def __init__(self) -> None:
-        self._next = itertools.count(self._BASE, 4)
+        # Plain int, not itertools.count: snapshot/restore must read and
+        # re-seed the counter position (closed handles still consumed values).
+        self._next = self._BASE
         self._table: Dict[int, Handle] = {}
 
     def allocate(self, kind: HandleKind, resource: Optional[Resource]) -> Handle:
-        handle = Handle(value=next(self._next), kind=kind, resource=resource)
+        handle = Handle(value=self._next, kind=kind, resource=resource)
+        self._next += 4
         self._table[handle.value] = handle
         return handle
 
@@ -120,3 +122,59 @@ class HandleTable:
 
     def __len__(self) -> int:
         return len(self._table)
+
+    # -- structured snapshot/restore --------------------------------------
+
+    def snapshot_state(self, rid_of: Callable[[Resource], int]) -> Tuple:
+        """Plain-data image of the table: counter position plus one spec per
+        handle.  Resources are referenced by the id-map rid ``rid_of``
+        assigns, so handles sharing a resource object keep that identity
+        across restores."""
+        rows = []
+        for h in self._table.values():
+            attrs = dict(vars(h))
+            attrs["resource"] = None  # resolved by rid on restore
+            attrs["state"] = _freeze_state(h.state)
+            rows.append(
+                (None if h.resource is None else rid_of(h.resource), attrs)
+            )
+        return (self._next, tuple(rows))
+
+    @classmethod
+    def restore_state(
+        cls, state: Tuple, resolve: Callable[[int], Resource]
+    ) -> "HandleTable":
+        next_value, rows = state
+        table = cls.__new__(cls)
+        table._next = next_value
+        table._table = entries = {}
+        new = Handle.__new__
+        for rid, attrs in rows:
+            # Image rebuild — restores run once per candidate × mechanism,
+            # and the dataclass __init__ only re-copies the captured image.
+            h = new(Handle)
+            d = dict(attrs)
+            state_rows = attrs["state"]
+            d["state"] = _thaw_state(state_rows) if state_rows else {}
+            if rid is not None:
+                d["resource"] = resolve(rid)
+            h.__dict__ = d
+            entries[attrs["value"]] = h
+        return table
+
+
+def _freeze_state(state: Dict[str, object]) -> Tuple:
+    """Immutable image of a handle's ``state`` dict.  Mutable values (the
+    enum-API pid snapshot list) are copied so later guest activity cannot
+    reach back into a captured snapshot."""
+    return tuple(
+        (key, ("list", tuple(value)) if isinstance(value, list) else ("val", value))
+        for key, value in state.items()
+    )
+
+
+def _thaw_state(rows: Tuple) -> Dict[str, object]:
+    return {
+        key: list(payload) if tag == "list" else payload
+        for key, (tag, payload) in rows
+    }

@@ -8,9 +8,8 @@ integrity level, ``GetLastError`` slot and handle table.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .acl import Acl, IntegrityLevel, open_acl
 from .errors import ResourceFault, Win32Error
@@ -86,7 +85,10 @@ class ProcessTable:
     """Environment-global process table, pre-seeded with standard processes."""
 
     def __init__(self) -> None:
-        self._next_pid = itertools.count(1000, 4)
+        # Plain int, not itertools.count: snapshot/restore re-seeds the
+        # counter position so resumed runs hand out the same pids a full
+        # rerun would (terminated processes still consumed pids).
+        self._next_pid = 1000
         self._procs: Dict[int, Process] = {}
         for name in STANDARD_PROCESSES:
             level = (
@@ -101,7 +103,8 @@ class ProcessTable:
         integrity: IntegrityLevel = IntegrityLevel.MEDIUM,
         parent_pid: Optional[int] = None,
     ) -> Process:
-        pid = next(self._next_pid)
+        pid = self._next_pid
+        self._next_pid += 4
         proc = Process(pid, name, image_path=image_path, integrity=integrity, parent_pid=parent_pid)
         self._procs[pid] = proc
         return proc
@@ -133,7 +136,7 @@ class ProcessTable:
 
     def clone(self) -> "ProcessTable":
         other = ProcessTable.__new__(ProcessTable)
-        other._next_pid = itertools.count(5000, 4)
+        other._next_pid = 5000
         other._procs = {}
         for pid, proc in self._procs.items():
             copy = Process(
@@ -148,3 +151,53 @@ class ProcessTable:
             copy.exit_code = proc.exit_code
             other._procs[pid] = copy
         return other
+
+    # -- structured snapshot/restore --------------------------------------
+
+    def snapshot_state(self, rid_of: Callable[[Resource], int]) -> Tuple:
+        """Plain-data image of every process *including* its handle table,
+        last-error slot and injection evidence — everything ``clone()``
+        deliberately drops because it rebuilds from scratch.  ``RemoteWrite``
+        records are append-only, so the rows share them by reference."""
+        rows = []
+        for pid, proc in self._procs.items():
+            attrs = dict(vars(proc))
+            attrs["handles"] = None  # restored separately (two-pass)
+            attrs["remote_writes"] = tuple(proc.remote_writes)
+            attrs["remote_threads"] = tuple(proc.remote_threads)
+            rows.append(
+                (rid_of(proc), pid, attrs, proc.handles.snapshot_state(rid_of))
+            )
+        return (self._next_pid, tuple(rows))
+
+    @classmethod
+    def restore_state(
+        cls, state: Tuple, register: Callable[[int, Resource], None]
+    ) -> "Tuple[ProcessTable, list]":
+        """Rebuild the table and register each process under its rid.
+
+        Handle tables are *not* filled here: a PROCESS handle may reference
+        another process (or an orphaned resource not yet rebuilt), so the
+        caller runs :meth:`HandleTable.restore_state` on the returned
+        ``(process, handle_state)`` pairs once every rid resolves.
+        """
+        next_pid, rows = state
+        table = cls.__new__(cls)
+        table._next_pid = next_pid
+        table._procs = {}
+        pending = []
+        new = Process.__new__
+        for rid, pid, attrs, handle_state in rows:
+            # Image rebuild (see FileSystem.restore_state).  ``handles``
+            # stays None (from the captured image) until the caller runs the
+            # second pass over ``pending`` — every process gets its real
+            # table there (see the docstring above).
+            proc = new(Process)
+            d = dict(attrs)
+            d["remote_writes"] = list(attrs["remote_writes"])
+            d["remote_threads"] = list(attrs["remote_threads"])
+            proc.__dict__ = d
+            table._procs[pid] = proc
+            register(rid, proc)
+            pending.append((proc, handle_state))
+        return table, pending

@@ -177,3 +177,50 @@ class Registry:
             copy.values = dict(key.values)
             other._keys[path] = copy
         return other
+
+    # -- structured snapshot/restore --------------------------------------
+
+    def snapshot_state(self, rid_of) -> tuple:
+        rows = []
+        for path, key in self._keys.items():
+            attrs = dict(vars(key))
+            attrs["values"] = tuple(key.values.items())
+            rows.append((rid_of(key), path, attrs))
+        return tuple(rows)
+
+    @classmethod
+    def restore_state(cls, rows: tuple, register) -> "Registry":
+        # Image rebuild (see FileSystem.restore_state): one dict copy per
+        # key; only the mutable values dict is re-copied.
+        reg = cls.__new__(cls)
+        reg._keys = _build_keys(rows, register)
+        return reg
+
+    @classmethod
+    def restore_lazy(cls, rows: tuple) -> "Registry":
+        """Defer the rebuild until first access (see FileSystem.restore_lazy)."""
+        reg = cls.__new__(cls)
+        reg._lazy_rows = rows
+        return reg
+
+    def __getattr__(self, name: str):
+        if name == "_keys":
+            rows = self.__dict__.pop("_lazy_rows", None)
+            if rows is not None:
+                self._keys = keys = _build_keys(rows, None)
+                return keys
+        raise AttributeError(name)
+
+
+def _build_keys(rows: tuple, register) -> dict:
+    keys = {}
+    new = RegistryKey.__new__
+    for rid, path, attrs in rows:
+        key = new(RegistryKey)
+        d = dict(attrs)
+        d["values"] = dict(attrs["values"])
+        key.__dict__ = d
+        keys[path] = key
+        if register is not None:
+            register(rid, key)
+    return keys

@@ -124,3 +124,46 @@ class ServiceManager:
             copy.state = svc.state
             other._services[key] = copy
         return other
+
+    # -- structured snapshot/restore --------------------------------------
+
+    def snapshot_state(self, rid_of) -> tuple:
+        return tuple(
+            (rid_of(svc), key, dict(vars(svc)))
+            for key, svc in self._services.items()
+        )
+
+    @classmethod
+    def restore_state(cls, rows: tuple, register) -> "ServiceManager":
+        # Image rebuild (see FileSystem.restore_state); the captured image
+        # already carries the derived ``is_kernel_driver`` flag.
+        scm = cls.__new__(cls)
+        scm._services = _build_services(rows, register)
+        return scm
+
+    @classmethod
+    def restore_lazy(cls, rows: tuple) -> "ServiceManager":
+        """Defer the rebuild until first access (see FileSystem.restore_lazy)."""
+        scm = cls.__new__(cls)
+        scm._lazy_rows = rows
+        return scm
+
+    def __getattr__(self, name: str):
+        if name == "_services":
+            rows = self.__dict__.pop("_lazy_rows", None)
+            if rows is not None:
+                self._services = services = _build_services(rows, None)
+                return services
+        raise AttributeError(name)
+
+
+def _build_services(rows: tuple, register) -> dict:
+    services = {}
+    new = Service.__new__
+    for rid, key, attrs in rows:
+        svc = new(Service)
+        svc.__dict__ = dict(attrs)
+        services[key] = svc
+        if register is not None:
+            register(rid, svc)
+    return services

@@ -183,6 +183,34 @@ class TestDaemon:
         )
         assert cpu.regs["eax"] >= 0x100  # phantom success
 
+    def test_non_latin1_identifier_reaches_marker(self, run_asm):
+        """A vaccine whose identifier is outside latin-1 still protects: the
+        guest's UTF-8 bytes decode to the same string the marker was created
+        under (regression: the old latin-1 read split "π" into "Ï€")."""
+        env = SystemEnvironment()
+        DirectInjector(env).inject(make_vaccine(ResourceType.MUTEX, "Vaccine-π"))
+        cpu = run_asm(
+            '.section .rdata\nm: .asciz "Vaccine-\\xcf\\x80"\n.section .text\n'
+            "    push m\n    push 0\n    push 0x1F0001\n    call @OpenMutexA\n    halt\n",
+            environment=env,
+        )
+        assert cpu.regs["eax"] >= 0x100  # found the real marker
+
+    def test_simulate_presence_matches_non_latin1_identifier(self, run_asm):
+        env = SystemEnvironment()
+        vaccine = make_vaccine(
+            ResourceType.MUTEX, "sim-π-x", mechanism=Mechanism.SIMULATE_PRESENCE,
+            kind=IdentifierKind.PARTIAL_STATIC, pattern="^sim\\-.\\-x$",
+        )
+        VaccineDaemon(vaccines=[vaccine]).install(env)
+        cpu = run_asm(
+            '.section .rdata\nm: .asciz "sim-\\xcf\\x80-x"\n.section .text\n'
+            "    push m\n    push 0\n    push 0x1F0001\n    call @OpenMutexA\n    halt\n",
+            environment=env,
+        )
+        # "π" must arrive as ONE character for the single-char pattern to hit.
+        assert cpu.regs["eax"] >= 0x100  # phantom success
+
     def test_daemon_counts_seen_calls(self, run_asm):
         env = SystemEnvironment()
         daemon = VaccineDaemon(vaccines=[make_vaccine(

@@ -14,6 +14,7 @@ import pytest
 from repro.core.candidate import select_candidates
 from repro.core.impact import ImpactAnalyzer
 from repro.core.pipeline import AutoVac
+from repro.core.snapshot import pickle_env_overridden
 from repro.tracing import serialize
 
 
@@ -43,12 +44,32 @@ def rerun_analyses(family_programs):
     return {name: av.analyze(p) for name, p in family_programs.items()}
 
 
+@pytest.fixture(scope="module")
+def pickle_blob_analyses(family_programs):
+    """Snapshot-resume again, but with the legacy pickle-blob environment
+    capture forced — the third leg of the equivalence triangle."""
+    av = AutoVac(snapshot_impact=True)
+    with pickle_env_overridden(True):
+        return {name: av.analyze(p) for name, p in family_programs.items()}
+
+
 @pytest.mark.parametrize("family", FAMILY_NAMES)
 def test_families_identical_under_snapshot_resume(
     family, family_programs, snapshot_analyses, rerun_analyses
 ):
     assert family in family_programs
     assert _encoded(snapshot_analyses[family]) == _encoded(rerun_analyses[family])
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+def test_families_identical_under_pickle_blob_capture(
+    family, snapshot_analyses, pickle_blob_analyses
+):
+    # Structured restore vs the legacy blob: with the rerun equivalence
+    # above, this closes the three-way triangle per family.
+    assert _encoded(pickle_blob_analyses[family]) == _encoded(
+        snapshot_analyses[family]
+    )
 
 
 def test_families_produce_vaccines(snapshot_analyses):

@@ -263,6 +263,57 @@ class TestFold:
         line = fold.progress_line(now=10.0)
         assert "1/3 done" in line and "impact" in line
 
+    def test_rate_uses_monotonic_clock_not_wall(self):
+        import time as _time
+
+        ticks = iter([100.0, 110.0, 110.0])  # created at 100, queried at 110
+        fold = LedgerFold(population=4, clock=lambda: next(ticks))
+        # Simulate a wall-clock step: started_unix lands in the future.  A
+        # wall-based elapsed would be negative and the rate would clamp to 0.
+        fold.started_unix = _time.time() + 3600.0
+        fold.apply({"kind": "sample.completed", "index": 0})
+        assert fold.rate() == pytest.approx(0.1)
+        assert fold.eta_seconds() == pytest.approx(30.0)
+        # An explicit now= stays on the caller's timeline (deterministic
+        # test path): elapsed is measured against started_unix.
+        assert fold.rate(now=fold.started_unix + 20.0) == pytest.approx(0.05)
+
+    def test_metrics_row_keeps_wall_timestamp_with_monotonic_rate(self):
+        import time as _time
+
+        ticks = iter([50.0, 60.0])
+        fold = LedgerFold(population=2, clock=lambda: next(ticks))
+        fold.apply({"kind": "sample.completed", "index": 0})
+        before = _time.time()
+        row = fold.metrics_row()
+        after = _time.time()
+        # "t" is wall-clock (readers correlate it with ledger events)...
+        assert before <= row["t"] <= after
+        # ...while the rate came off the injected monotonic clock.
+        assert row["rate_per_s"] == pytest.approx(0.1)
+
+    def test_telemetry_duration_uses_monotonic_clock(self, tmp_path):
+        ticks = iter([1000.0, 1017.25])  # init, finish
+        manifest = {
+            "version": ledger.MANIFEST_VERSION,
+            "run_id": "run-test-monotonic",
+            "status": "running",
+            "population": 0,
+            "started_unix": 0.0,  # wall clock an hour+ out of step
+            "pid": os.getpid(),
+        }
+        telemetry = RunTelemetry(
+            tmp_path,
+            manifest,
+            ledger.Collector(tmp_path, LedgerFold(population=0)),
+            clock=lambda: next(ticks),
+        )
+        finished = telemetry.finish()
+        # Duration is measured on the injected monotonic clock, not as
+        # finished_unix - started_unix (which would be ~the epoch offset).
+        assert finished["duration_seconds"] == pytest.approx(17.25)
+        assert finished["finished_unix"] > 1e9
+
     def test_progress_view_non_tty(self):
         import io
 

@@ -148,8 +148,8 @@ class TestPipelineCollection:
         assert "vm;slow" in paths
         assert any(p.startswith("api;") for p in paths)
         assert any(p.endswith(";read_args") for p in paths)
-        assert "snapshot;capture;env_pickle" in paths
-        assert "snapshot;resume;env_unpickle" in paths
+        assert "snapshot;capture;env_snapshot" in paths
+        assert "snapshot;resume;env_restore" in paths
 
     def test_profile_off_analysis_has_none(self):
         analysis = AutoVac().analyze(build_family("sality"))

@@ -188,3 +188,60 @@ class TestInstructionRecords:
         cpu = run(".section .data\nv: .space 4\n.section .text\n    mov [v], 1\n    halt\n")
         defs = cpu.trace.instructions[0].defs
         assert len([d for d in defs if d[0] == "mem"]) == 4
+
+
+class TestStackArgParity:
+    """``read_stack_args`` must be bit-for-bit equivalent to repeated
+    ``stack_arg`` calls — values, taints, and per-byte use records — even
+    when the block read straddles region boundaries or the top of the
+    address space (where its single-region fast path must decline)."""
+
+    N = 4
+
+    @staticmethod
+    def _fill_slots(cpu, esp, n):
+        from repro.taint.labels import EMPTY, TaintClass, TaintTag
+
+        tag = frozenset({TaintTag(3, "GetTickCount", TaintClass.ENV_DETERMINISTIC)})
+        for k in range(n):
+            a = (esp + 4 * k) & 0xFFFFFFFF
+            for j in range(4):
+                cpu.memory.write_byte(
+                    (a + j) & 0xFFFFFFFF, (17 * k + j + 1) & 0xFF,
+                    tag if k % 2 else EMPTY,
+                )
+
+    def _assert_parity(self, cpu, esp):
+        cpu.regs["esp"] = esp
+        self._fill_slots(cpu, esp, self.N)
+        cpu._uses.clear()
+        slow = [cpu.stack_arg(k) for k in range(self.N)]
+        slow_uses = list(cpu._uses)
+        cpu._uses.clear()
+        values, taints = cpu.read_stack_args(self.N)
+        assert values == [v for v, _ in slow]
+        assert taints == [t for _, t in slow]
+        assert list(cpu._uses) == slow_uses
+        assert any(taints) and not all(taints)  # the fixture mixed both
+
+    def test_parity_inside_one_region(self):
+        cpu = run("    halt\n")
+        self._assert_parity(cpu, STACK_TOP - 0x100)
+
+    def test_parity_across_region_boundary(self):
+        """Two slots in the stack region, two in an adjacently mapped one:
+        the whole-block containment check fails and the per-slot fallback
+        must produce identical records."""
+        cpu = run("    halt\n")
+        stack_end = STACK_TOP + 0x1000  # mapped stack region end (memory.py)
+        cpu.memory.map_region(stack_end, 0x1000)
+        self._assert_parity(cpu, stack_end - 8)
+
+    def test_parity_wrapping_address_space_top(self):
+        """esp near 0xFFFFFFFC: the block's last byte overflows 32 bits, so
+        the unmasked fast-path bound must decline and per-slot masked reads
+        take over (slot addresses wrap to page zero)."""
+        cpu = run("    halt\n")
+        cpu.memory.map_region(0xFFFFF000, 0x1000)
+        cpu.memory.map_region(0, 0x1000)
+        self._assert_parity(cpu, 0xFFFFFFF4)

@@ -291,3 +291,100 @@ class TestFutility:
         # At least one region hit the limit and none overshot it: the
         # guarded dispatcher stopped paying per-entry exceptions for it.
         assert futiles and max(futiles) == FUTILE_LIMIT
+
+
+class TestRegionChaining:
+    """Compiled exits hand the dispatcher the successor Region directly
+    (PR 10): a chain of hot regions costs one probe, not one per region."""
+
+    # prologue region -> loop region -> epilogue region, all hot.
+    SRC = (
+        "main:\n    mov ecx, 50\n    xor ebx, ebx\n"
+        "spin:\n    mov eax, ecx\n    imul eax, 13\n    add ebx, eax\n"
+        "    dec ecx\n    jnz spin\n"
+        "done:\n    mov edx, ebx\n    mov esi, 7\n    halt\n"
+    )
+
+    def _run(self, **kwargs):
+        cpu = CPU(
+            assemble(self.SRC),
+            record_instructions=False,
+            superblocks=True,
+            superblock_threshold=0,
+            **kwargs,
+        )
+        cpu.run()
+        return cpu
+
+    def test_closures_return_their_successor(self):
+        cpu = self._run()
+        entries = cpu._superblocks.entries
+        regions = [r for r in entries if r is not None and r.fn is not None]
+        assert len(regions) == 3
+        prologue, loop, epilogue = sorted(regions, key=lambda r: r.entry)
+        # The region table is fixed at discovery, so codegen resolved the
+        # static successors into the closures' default args.
+        assert "_NF" in prologue.fn.__source__   # falls through into the loop
+        assert "_NF" in loop.fn.__source__       # jnz not-taken exits into done
+        assert "_NT" not in loop.fn.__source__   # the back-edge never chains
+        assert "return True" in epilogue.fn.__source__  # halt: no successor
+
+    def test_chain_counts_every_region_entered(self):
+        cpu = self._run()
+        assert cpu.status is ExitStatus.HALTED
+        # All three regions were entered (prologue once, loop once per
+        # back-edge re-dispatch bundle, epilogue once) and the chained
+        # entries still land in the counter.
+        assert cpu._sb_entries >= 3
+        assert obs.metrics.total("vm.superblocks.entries") == cpu._sb_entries
+        assert obs.metrics.total("vm.instructions") == cpu.steps
+
+    def test_chaining_preserves_machine_state(self):
+        chained = self._run()
+        slow = CPU(assemble(self.SRC), record_instructions=False, superblocks=False)
+        slow._allow_fast = False
+        slow.run()
+        assert chained.status is slow.status is ExitStatus.HALTED
+        assert chained.regs == slow.regs
+        assert chained.steps == slow.steps
+        assert chained.flags == slow.flags
+
+    def test_chained_run_under_taint_guards(self):
+        """The guarded tier-3 dispatcher consumes chained successors through
+        the same validation as probed entries (futility, warmth)."""
+        src = (
+            ".section .data\nbuf: .space 16\n.section .text\n"
+            "    push 0\n    push buf\n    call @GetComputerNameA\n"
+            "    mov ecx, 40\n    xor ebx, ebx\n"
+            "spin:\n    mov eax, ecx\n    imul eax, 13\n    add ebx, eax\n"
+            "    dec ecx\n    jnz spin\n"
+            "done:\n    mov edx, ebx\n    mov esi, 7\n    halt\n"
+        )
+        guarded = _api_cpu(src, superblocks=True, superblock_threshold=0)
+        guarded.run()
+        plain = _api_cpu(src, superblocks=False)
+        plain.run()
+        assert guarded.status is plain.status is ExitStatus.HALTED
+        assert guarded.regs == plain.regs
+        assert guarded.steps == plain.steps
+
+    @pytest.mark.parametrize("budget", [3, 7, 55, 120])
+    def test_budget_parity_with_chaining(self, budget):
+        fast = CPU(
+            assemble(self.SRC),
+            record_instructions=False,
+            superblocks=True,
+            superblock_threshold=0,
+            max_steps=budget,
+        )
+        fast.run()
+        slow = CPU(
+            assemble(self.SRC), record_instructions=False,
+            superblocks=False, max_steps=budget,
+        )
+        slow._allow_fast = False
+        slow.run()
+        assert fast.status is slow.status
+        assert fast.steps == slow.steps
+        assert fast.pc == slow.pc
+        assert fast.regs == slow.regs

@@ -96,6 +96,58 @@ class TestStringApis:
         assert all(taints)
 
 
+class TestStringCodecSymmetry:
+    """``write_string``/``read_string`` form a symmetric UTF-8 codec.
+
+    The old asymmetry (latin-1 + ``errors="replace"`` on write, per-byte
+    latin-1 on read) silently corrupted any identifier outside latin-1.
+    """
+
+    def _context(self, cpu):
+        from repro.winapi.context import ApiContext
+
+        return ApiContext(cpu, cpu.environment, cpu.process, lookup("lstrcpyA"), 1)
+
+    def test_non_latin1_round_trip(self, run_asm):
+        cpu = run_asm(".section .data\nbuf: .space 64\n.section .text\n    halt\n")
+        ctx = self._context(cpu)
+        addr = cpu.program.labels["buf"]
+        text = "Vaccine-π-Ω"  # Greek pi + ohm sign: 2- and 3-byte UTF-8
+        ctx.write_string(addr, text)
+        got, taints = ctx.read_string(addr)
+        assert got == text
+        assert len(taints) == len(text)  # per *character*, not per byte
+
+    def test_per_character_taints_survive_multibyte(self, run_asm):
+        from repro.taint.labels import EMPTY, TaintClass, TaintTag
+
+        cpu = run_asm(".section .data\nbuf: .space 64\n.section .text\n    halt\n")
+        ctx = self._context(cpu)
+        addr = cpu.program.labels["buf"]
+        text = "aπb"
+        tag = frozenset({TaintTag(7, "GetComputerNameA", TaintClass.ENV_DETERMINISTIC)})
+        ctx.write_string(addr, text, taints=[EMPTY, tag, EMPTY])
+        got, taints = ctx.read_string(addr)
+        assert got == text
+        assert taints == [EMPTY, tag, EMPTY]
+        # The multi-byte character's taint covers each of its guest bytes.
+        _, byte_taints = cpu.memory.read_cstring(addr)
+        assert byte_taints == [EMPTY, tag, tag, EMPTY]
+
+    def test_guest_constructed_non_utf8_bytes_survive(self, run_asm):
+        """Bytes the guest wrote itself need not be valid UTF-8; the codec
+        must not mangle them (surrogateescape keeps the round trip exact)."""
+        cpu = run_asm(".section .data\nbuf: .space 8\nout: .space 8\n.section .text\n    halt\n")
+        ctx = self._context(cpu)
+        addr = cpu.program.labels["buf"]
+        for i, b in enumerate(b"\xffA\xfe"):
+            cpu.memory.write_byte(addr + i, b)
+        got, _ = ctx.read_string(addr)
+        out = cpu.program.labels["out"]
+        ctx.write_string(out, got)
+        assert [cpu.memory.read_byte(out + i)[0] for i in range(4)] == [0xFF, 0x41, 0xFE, 0]
+
+
 class TestLabelDatabase:
     def test_lookup_known(self):
         assert lookup("OpenMutexA").resource_type is ResourceType.MUTEX
